@@ -1,0 +1,145 @@
+//! Ablation benches for the design choices DESIGN.md §8 calls out.
+//!
+//! * `estimators/*` — the same bursty trace through the four bandwidth
+//!   estimators: interval-filtered EWMA (Shaka), aggregate sliding
+//!   percentile (ExoPlayer), per-media harmonic mean (dash.js) and the
+//!   concurrency-aware joint EWMA (§4). The reported throughput numbers
+//!   differ exactly the way §3 describes.
+//! * `combo_rule/*` — combination-set construction: ExoPlayer's
+//!   log-staircase vs the full M×N set vs the curated subset.
+//! * `sync_mode/*` — a full best-practice session with chunk-level vs
+//!   independent prefetching (the BP2 ablation).
+
+use abr_bench::setup::{drama, hls_sub_view, player_config, PlayerKind};
+use abr_core::bestpractice::BestPracticePolicy;
+use abr_core::estimators::{ExoMeter, HarmonicMean, JointEwma, ShakaEstimator};
+use abr_event::time::{Duration, Instant};
+use abr_httpsim::origin::Origin;
+use abr_media::combo::{all_combos, curated_subset, log_staircase};
+use abr_media::track::{MediaType, TrackId};
+use abr_media::units::{BitsPerSec, Bytes};
+use abr_net::link::Link;
+use abr_net::profile::{DeliveryProfile, Segment};
+use abr_net::trace::Trace;
+use abr_player::config::SyncMode;
+use abr_player::policy::TransferRecord;
+use abr_player::Session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_transfers() -> Vec<TransferRecord> {
+    // Alternating slow/fast transfers like the Fig 4(b) trace.
+    let mut out = Vec::new();
+    let mut t = Instant::ZERO;
+    for i in 0..50u64 {
+        let kbps = if i % 5 == 0 { 1100 } else { 480 };
+        let secs = 2;
+        let rate = BitsPerSec::from_kbps(kbps);
+        let end = t + Duration::from_secs(secs);
+        let mut profile = DeliveryProfile::new();
+        profile.push(Segment { start: t, end, rate });
+        let size = rate.bytes_in_micros(secs * 1_000_000);
+        out.push(TransferRecord {
+            media: if i % 2 == 0 { MediaType::Video } else { MediaType::Audio },
+            track: TrackId::video(0),
+            chunk: i as usize,
+            size,
+            opened_at: t,
+            completed_at: end,
+            profile,
+            window_bytes: size,
+            window_busy: Duration::from_secs(secs),
+        });
+        t = end;
+    }
+    out
+}
+
+fn estimators(c: &mut Criterion) {
+    let transfers = synthetic_transfers();
+    let mut group = c.benchmark_group("estimators");
+    group.bench_function("shaka_interval_ewma", |b| {
+        b.iter(|| {
+            let mut e = ShakaEstimator::new();
+            for t in &transfers {
+                e.on_transfer(black_box(t));
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.bench_function("exoplayer_sliding_percentile", |b| {
+        b.iter(|| {
+            let mut e = ExoMeter::new();
+            for t in &transfers {
+                e.on_transfer(black_box(t));
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.bench_function("dashjs_harmonic_mean", |b| {
+        b.iter(|| {
+            let mut e = HarmonicMean::new(4);
+            for t in &transfers {
+                if let Some(tput) = t.throughput() {
+                    e.add(tput.bps() as f64);
+                }
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.bench_function("joint_ewma", |b| {
+        b.iter(|| {
+            let mut e = JointEwma::new(3.0);
+            for t in &transfers {
+                e.on_transfer(black_box(t));
+            }
+            black_box(e.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn combo_rule(c: &mut Criterion) {
+    let content = drama();
+    let mut group = c.benchmark_group("combo_rule");
+    group.bench_function("exoplayer_log_staircase", |b| {
+        b.iter(|| black_box(log_staircase(content.video(), content.audio())))
+    });
+    group.bench_function("all_mxn", |b| {
+        b.iter(|| black_box(all_combos(content.video(), content.audio())))
+    });
+    group.bench_function("curated_subset", |b| {
+        b.iter(|| black_box(curated_subset(content.video(), content.audio())))
+    });
+    group.finish();
+}
+
+fn sync_mode(c: &mut Criterion) {
+    let content = drama();
+    let view = hls_sub_view(&content, &[0, 1, 2]);
+    let mut group = c.benchmark_group("sync_mode");
+    group.sample_size(10);
+    for (label, sync) in [
+        ("chunk_level", SyncMode::ChunkLevel { tolerance: content.chunk_duration() }),
+        ("independent", SyncMode::Independent),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let policy = Box::new(BestPracticePolicy::from_hls(&view));
+                let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+                let link = Link::with_latency(
+                    Trace::fig3_varying_600k(Duration::from_secs(3600)),
+                    Duration::from_millis(20),
+                );
+                let mut config = player_config(PlayerKind::BestPractice, content.chunk_duration());
+                config.sync = sync;
+                let log = Session::new(origin, link, policy, config).run();
+                black_box(log.max_buffer_imbalance())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimators, combo_rule, sync_mode);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Simulator-engine microbenches: the fluid link solver, content
+//! synthesis, manifest round-trips and a full streaming session.
+
+use abr_bench::setup::{dash_policy, drama, run_session, PlayerKind};
+use abr_event::time::{Duration, Instant};
+use abr_manifest::build::{build_master_playlist, build_mpd};
+use abr_manifest::{MasterPlaylist, Mpd};
+use abr_media::combo::all_combos;
+use abr_media::content::Content;
+use abr_media::units::{BitsPerSec, Bytes};
+use abr_net::link::Link;
+use abr_net::trace::Trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fluid_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fluid_link");
+    group.bench_function("solo_flow_1000_completions", |b| {
+        b.iter(|| {
+            let mut link = Link::new(Trace::constant(BitsPerSec::from_kbps(5000)));
+            let mut done = 0;
+            for _ in 0..1000 {
+                let _ = link.open_flow(Bytes(10_000));
+                let t = link.next_completion().expect("completes");
+                done += link.advance_to(t).len();
+            }
+            black_box(done)
+        })
+    });
+    group.bench_function("eight_concurrent_flows_over_square_wave", |b| {
+        let trace = Trace::square_wave(
+            BitsPerSec::from_kbps(4000),
+            BitsPerSec::from_kbps(1000),
+            Duration::from_millis(500),
+            Duration::from_secs(600),
+        );
+        b.iter(|| {
+            let mut link = Link::new(trace.clone());
+            for _ in 0..8 {
+                let _ = link.open_flow(Bytes(1_000_000));
+            }
+            let done = link.advance_to(Instant::from_secs(600));
+            black_box(done.len())
+        })
+    });
+    group.finish();
+}
+
+fn content_and_manifests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("content");
+    group.bench_function("synthesize_drama_show", |b| {
+        b.iter(|| black_box(Content::drama_show(black_box(7))))
+    });
+    let content = drama();
+    group.bench_function("mpd_roundtrip", |b| {
+        b.iter(|| {
+            let text = build_mpd(&content).to_text();
+            black_box(Mpd::parse(&text).expect("parses"))
+        })
+    });
+    let combos = all_combos(content.video(), content.audio());
+    group.bench_function("hls_master_roundtrip", |b| {
+        b.iter(|| {
+            let text = build_master_playlist(&content, &combos, &[0, 1, 2]).to_text();
+            black_box(MasterPlaylist::parse(&text).expect("parses"))
+        })
+    });
+    group.finish();
+}
+
+fn full_session(c: &mut Criterion) {
+    let content = drama();
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("bestpractice_300s_clip", |b| {
+        b.iter(|| {
+            let log = run_session(
+                &content,
+                PlayerKind::BestPractice,
+                dash_policy(PlayerKind::BestPractice, &content),
+                Trace::constant(BitsPerSec::from_kbps(1500)),
+            );
+            black_box(log.transfers.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fluid_link, content_and_manifests, full_session);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benches: one target per paper table/figure.
+//!
+//! Each bench regenerates the corresponding artifact end-to-end (content
+//! synthesis → manifest round-trip → full streaming simulation → rendered
+//! table/figure), so `cargo bench` both re-derives every number in
+//! EXPERIMENTS.md and tracks the simulator's own performance.
+
+use abr_bench::experiments::{all_ids, run};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn paper_artifacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    // Whole-session simulations per iteration: keep sampling modest.
+    group.sample_size(10);
+    for id in all_ids() {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let result = run(black_box(id)).expect("known experiment id");
+                black_box(result.text.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_artifacts);
+criterion_main!(benches);

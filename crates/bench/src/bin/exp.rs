@@ -1,0 +1,77 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! exp --list            list experiment ids
+//! exp --id f4a          run one experiment, print the regenerated figure
+//! exp --all [--json D]  run everything; optionally write JSON to dir D
+//! ```
+
+use abr_bench::experiments::{all_ids, run};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut run_all = false;
+    let mut list = false;
+    let mut json_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--all" => run_all = true,
+            "--id" => {
+                i += 1;
+                id = Some(args.get(i).unwrap_or_else(|| usage("--id needs a value")).clone());
+            }
+            "--json" => {
+                i += 1;
+                json_dir =
+                    Some(args.get(i).unwrap_or_else(|| usage("--json needs a value")).clone());
+            }
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    if list {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if run_all {
+        all_ids()
+    } else if let Some(ref id) = id {
+        vec![id.as_str()]
+    } else {
+        usage("pass --id <id>, --all or --list");
+    };
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+
+    for id in ids {
+        let Some(result) = run(id) else {
+            eprintln!("unknown experiment `{id}`; try --list");
+            std::process::exit(2);
+        };
+        println!("=== {} — {} ===", result.id, result.title);
+        println!("{}", result.text);
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{}.json", result.id);
+            let mut f = std::fs::File::create(&path).expect("create json file");
+            f.write_all(serde_json::to_string_pretty(&result.json).expect("serialize").as_bytes())
+                .expect("write json");
+            println!("[json written to {path}]\n");
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: exp (--list | --id <experiment> | --all) [--json <dir>]");
+    std::process::exit(2);
+}

@@ -1,0 +1,30 @@
+//! Seed scan helper for trace calibration (not part of the experiment set).
+use abr_bench::setup::*;
+use abr_core::ExoPlayerPolicy;
+use abr_event::time::Duration;
+use abr_media::units::BitsPerSec;
+use abr_net::trace::Trace;
+
+fn main() {
+    let content = drama();
+    for seed in [0xF163u64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+        let trace = Trace::random_walk(
+            BitsPerSec::from_kbps(600),
+            BitsPerSec::from_kbps(150),
+            BitsPerSec::from_kbps(1100),
+            0.45,
+            Duration::from_secs(5),
+            Duration::from_secs(3600),
+            seed,
+        );
+        let mean = trace.mean_over(abr_event::time::Instant::ZERO, abr_event::time::Instant::from_secs(400));
+        let view = hls_sub_view(&content, &[2, 0, 1]);
+        let policy = ExoPlayerPolicy::hls(&view);
+        let log = run_session(&content, PlayerKind::ExoPlayer, Box::new(policy), trace);
+        println!(
+            "seed {seed:#x}: mean(0-400s)={} stalls={} rebuf={:.1}s finished={:.0}s completed={}",
+            mean.kbps(), log.stall_count(), log.total_stall().as_secs_f64(),
+            log.finished_at.as_secs_f64(), log.completed()
+        );
+    }
+}

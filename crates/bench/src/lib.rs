@@ -1,0 +1,18 @@
+//! # abr-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper (see DESIGN.md §7 for
+//! the experiment index and EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! * [`setup`] — canonical content, manifests (round-tripped through their
+//!   textual forms, so every experiment exercises the full
+//!   build→serialize→parse→bind pipeline), player configurations and
+//!   session runners.
+//! * [`report`] — fixed-width tables and ASCII time-series plots.
+//! * [`experiments`] — one function per experiment id (`t1`…`m1`);
+//!   [`experiments::run`] dispatches by id, the `exp` binary is the CLI.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,69 @@
+//! Integration: every experiment id runs, renders non-empty text and
+//! structured JSON, and the headline shape claims hold.
+
+use abr_bench::experiments::{all_ids, run};
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    for id in all_ids() {
+        let r = run(id).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert_eq!(r.id, id);
+        assert!(!r.title.is_empty());
+        assert!(r.text.len() > 80, "{id}: text too small ({} bytes)", r.text.len());
+        assert!(r.json.is_object(), "{id}: json must be an object");
+    }
+}
+
+#[test]
+fn unknown_id_is_none() {
+    assert!(run("nope").is_none());
+    assert!(run("").is_none());
+}
+
+#[test]
+fn headline_shapes_hold_in_json() {
+    // F2a: V3+B2 dominates all chunks.
+    let f2a = run("f2a").unwrap().json;
+    assert_eq!(f2a["dominant_combo"], "V3+A2"); // B-set renders as A-names
+    assert_eq!(f2a["dominant_chunks"], 75);
+    assert_eq!(f2a["better_excluded"], true);
+
+    // F3a: A3 pinned, everything off-manifest.
+    let f3a = run("f3a").unwrap().json;
+    assert_eq!(f3a["audio_tracks_used"], serde_json::json!([2]));
+    assert_eq!(f3a["off_manifest_chunks"], 75);
+
+    // F4a: flat default estimate.
+    let f4a = run("f4a").unwrap().json;
+    assert_eq!(f4a["estimate_flat_500"], true);
+    assert_eq!(f4a["dominant_combo"], "V2+A2");
+
+    // F4b: overestimation after bursts.
+    let f4b = run("f4b").unwrap().json;
+    assert!(f4b["late_max_estimate_kbps"].as_f64().unwrap() > 1000.0);
+
+    // F3fix: the repaired player stops stalling.
+    let f3fix = run("f3fix").unwrap().json;
+    let rows = f3fix["rows"].as_array().unwrap();
+    let stock = &rows[0];
+    let fixed = &rows[1];
+    assert!(stock["total_stall_s"].as_f64().unwrap() > 20.0);
+    assert!(fixed["total_stall_s"].as_f64().unwrap() < 2.0);
+
+    // BP3: extension-driven session never leaves the manifest.
+    let bp3 = run("bp3").unwrap().json;
+    assert_eq!(bp3["off_manifest_chunks"], 0);
+
+    // M1: storage expansion factor in the expected band.
+    let m1 = run("m1").unwrap().json;
+    let factor = m1["expansion_factor"].as_f64().unwrap();
+    assert!((3.0..4.0).contains(&factor), "{factor}");
+    assert_eq!(m1["muxed_user_b_hits"], 0);
+
+    // M3: demuxed viewer B pulls far fewer origin bytes than muxed.
+    let m3 = run("m3").unwrap().json;
+    let rows = m3["rows"].as_array().unwrap();
+    let demuxed_mb = rows[0]["viewer_b_origin_mb"].as_f64().unwrap();
+    let muxed_mb = rows[1]["viewer_b_origin_mb"].as_f64().unwrap();
+    assert!(demuxed_mb * 3.0 < muxed_mb, "{demuxed_mb} vs {muxed_mb}");
+}

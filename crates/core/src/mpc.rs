@@ -1,0 +1,308 @@
+//! MPC — model-predictive control rate adaptation (Yin et al., SIGCOMM
+//! 2015; the paper's reference \[25\]), adapted to joint audio+video
+//! combination selection.
+//!
+//! At each chunk position the policy enumerates every combination sequence
+//! over a lookahead horizon, simulates the buffer under a conservative
+//! throughput prediction (RobustMPC's harmonic mean discounted by the
+//! recent maximum prediction error), scores each sequence with the linear
+//! QoE objective (quality − switch penalty − stall penalty), and commits
+//! only the first step. Like the best-practice policy it selects whole
+//! combinations, so audio and video stay consistent per §4.2.
+
+use crate::estimators::HarmonicMean;
+use abr_manifest::view::{BoundDash, BoundHls};
+use abr_media::combo::Combo;
+use abr_media::track::TrackId;
+use abr_media::units::BitsPerSec;
+use abr_player::policy::{AbrPolicy, ChunkLock, SelectionContext, TransferRecord};
+
+
+/// MPC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MpcConfig {
+    /// Lookahead horizon in chunks (RobustMPC uses 5).
+    pub horizon: usize,
+    /// λ: penalty per Mbps of quality change between consecutive chunks.
+    pub switch_penalty: f64,
+    /// μ: penalty per second of predicted rebuffering.
+    pub stall_penalty: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig { horizon: 5, switch_penalty: 1.0, stall_penalty: 4.3 }
+    }
+}
+
+/// The MPC joint-combination policy.
+#[derive(Debug, Clone)]
+pub struct MpcPolicy {
+    /// Candidate combinations, ascending bandwidth.
+    combos: Vec<Combo>,
+    /// Aggregate bandwidth requirement per combination (bps) — used both
+    /// as the download-cost model and as the quality proxy.
+    combo_bw: Vec<f64>,
+    tput: HarmonicMean,
+    /// Relative prediction errors of recent throughput predictions
+    /// (RobustMPC's max-error discount).
+    errors: std::collections::VecDeque<f64>,
+    last_prediction: Option<f64>,
+    cfg: MpcConfig,
+    current: Option<usize>,
+    locked: ChunkLock,
+}
+
+impl MpcPolicy {
+    /// Over explicit combinations.
+    pub fn from_combos(mut pairs: Vec<(Combo, BitsPerSec)>) -> MpcPolicy {
+        assert!(!pairs.is_empty(), "no combinations");
+        pairs.sort_by_key(|&(c, bw)| (bw, c.video, c.audio));
+        MpcPolicy {
+            combos: pairs.iter().map(|&(c, _)| c).collect(),
+            combo_bw: pairs.iter().map(|&(_, b)| b.bps() as f64).collect(),
+            tput: HarmonicMean::new(5),
+            errors: std::collections::VecDeque::new(),
+            last_prediction: None,
+            cfg: MpcConfig::default(),
+            current: None,
+            locked: ChunkLock::new(),
+        }
+    }
+
+    /// Over an HLS manifest's variants.
+    pub fn from_hls(view: &BoundHls) -> MpcPolicy {
+        MpcPolicy::from_combos(view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect())
+    }
+
+    /// Over a DASH manifest with server-curated combinations.
+    pub fn from_dash(view: &BoundDash, allowed: &[Combo]) -> MpcPolicy {
+        MpcPolicy::from_combos(
+            allowed
+                .iter()
+                .map(|&c| (c, view.video_declared[c.video] + view.audio_declared[c.audio]))
+                .collect(),
+        )
+    }
+
+    /// Overrides the tunables.
+    pub fn with_config(mut self, cfg: MpcConfig) -> MpcPolicy {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The candidate combinations, ascending bandwidth.
+    pub fn combinations(&self) -> &[Combo] {
+        &self.combos
+    }
+
+    /// RobustMPC's conservative prediction: harmonic mean over recent
+    /// transfers, divided by (1 + max recent relative error).
+    fn predict(&self) -> Option<f64> {
+        let base = self.tput.estimate()?.bps() as f64;
+        let max_err = self.errors.iter().cloned().fold(0.0f64, f64::max);
+        Some(base / (1.0 + max_err))
+    }
+
+    /// Exhaustive search over combination sequences of length `horizon`,
+    /// returning the best first action. `buffer_s` is the scarcer buffer
+    /// level in seconds.
+    fn plan(&self, buffer_s: f64, chunk_s: f64, predicted_bps: f64, prev: usize) -> usize {
+        let n = self.combos.len();
+        let horizon = self.cfg.horizon.max(1);
+        // Depth-first enumeration with an explicit stack of partial plans.
+        // n ≤ ~18 and horizon 5 → ≤ 1.9M leaves worst case; typical ladders
+        // (≤ 8 combos) stay under 33k. Fine at chunk cadence.
+        let mut best_first = prev.min(n - 1);
+        let mut best_score = f64::NEG_INFINITY;
+        let mut choice = vec![0usize; horizon];
+        loop {
+            // Evaluate the current `choice` sequence.
+            let mut buf = buffer_s;
+            let mut score = 0.0;
+            let mut last = prev.min(n - 1);
+            for &c in &choice {
+                let download_s = self.combo_bw[c] * chunk_s / predicted_bps;
+                let stall = (download_s - buf).max(0.0);
+                buf = (buf - download_s).max(0.0) + chunk_s;
+                let q = self.combo_bw[c] / 1e6;
+                let lastq = self.combo_bw[last] / 1e6;
+                score += q
+                    - self.cfg.switch_penalty * (q - lastq).abs()
+                    - self.cfg.stall_penalty * stall;
+                last = c;
+            }
+            if score > best_score {
+                best_score = score;
+                best_first = choice[0];
+            }
+            // Odometer increment.
+            let mut pos = horizon;
+            loop {
+                if pos == 0 {
+                    return best_first;
+                }
+                pos -= 1;
+                choice[pos] += 1;
+                if choice[pos] < n {
+                    break;
+                }
+                choice[pos] = 0;
+            }
+        }
+    }
+}
+
+impl AbrPolicy for MpcPolicy {
+    fn name(&self) -> &str {
+        "mpc"
+    }
+
+    fn on_transfer(&mut self, record: &TransferRecord) {
+        if let Some(tput) = record.throughput() {
+            let actual = tput.bps() as f64;
+            if let Some(pred) = self.last_prediction {
+                // Relative under-prediction error, RobustMPC style.
+                let err = ((pred - actual) / actual).max(0.0);
+                self.errors.push_back(err);
+                while self.errors.len() > 5 {
+                    self.errors.pop_front();
+                }
+            }
+            self.tput.add(actual);
+        }
+    }
+
+    fn select(&mut self, ctx: &SelectionContext) -> TrackId {
+        if let Some(idx) = self.locked.get(ctx.chunk) {
+            return self.combos[idx].id_for(ctx.media);
+        }
+        let next = match self.predict() {
+            None => 0, // no history: start at the bottom
+            Some(pred) => {
+                self.last_prediction = Some(pred);
+                let buffer_s = ctx.audio_level.min(ctx.video_level).as_secs_f64();
+                let chunk_s = ctx.chunk_duration.as_secs_f64();
+                self.plan(buffer_s, chunk_s, pred.max(1.0), self.current.unwrap_or(0))
+            }
+        };
+        self.current = Some(next);
+        self.locked.lock(ctx.chunk, next);
+        self.combos[next].id_for(ctx.media)
+    }
+
+    fn debug_estimate(&self) -> Option<BitsPerSec> {
+        self.predict().map(|p| BitsPerSec(p.round() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_event::time::{Duration, Instant};
+    use abr_manifest::build::build_master_playlist;
+    use abr_media::combo::curated_subset;
+    use abr_media::content::Content;
+    use abr_media::track::MediaType;
+    use abr_net::profile::DeliveryProfile;
+    use abr_media::units::Bytes;
+
+    fn policy() -> MpcPolicy {
+        let content = Content::drama_show(1);
+        let combos = curated_subset(content.video(), content.audio());
+        let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+        MpcPolicy::from_hls(&abr_manifest::view::BoundHls::from_master(&master).unwrap())
+    }
+
+    fn feed(p: &mut MpcPolicy, kbps: u64, reps: usize) {
+        let size = BitsPerSec::from_kbps(kbps).bytes_in_micros(2_000_000);
+        for _ in 0..reps {
+            p.on_transfer(&TransferRecord {
+                media: MediaType::Video,
+                track: TrackId::video(0),
+                chunk: 0,
+                size,
+                opened_at: Instant::ZERO,
+                completed_at: Instant::from_secs(2),
+                profile: DeliveryProfile::new(),
+                window_bytes: Bytes::ZERO,
+                window_busy: Duration::ZERO,
+            });
+        }
+    }
+
+    fn ctx_at(buf_secs: u64, chunk: usize) -> SelectionContext {
+        SelectionContext {
+            now: Instant::from_secs(chunk as u64 * 4),
+            media: MediaType::Video,
+            chunk,
+            audio_level: Duration::from_secs(buf_secs),
+            video_level: Duration::from_secs(buf_secs),
+            chunk_duration: Duration::from_secs(4),
+            current_audio: None,
+            current_video: None,
+            playing: true,
+        }
+    }
+
+    #[test]
+    fn cold_start_is_conservative() {
+        let mut p = policy();
+        assert_eq!(p.select(&ctx_at(0, 0)), TrackId::video(0));
+    }
+
+    #[test]
+    fn high_throughput_deep_buffer_goes_high() {
+        let mut p = policy();
+        feed(&mut p, 8_000, 6);
+        let v = p.select(&ctx_at(25, 1));
+        assert!(v.index >= 4, "rich conditions select a high rung, got {v}");
+    }
+
+    #[test]
+    fn thin_buffer_stays_safe() {
+        let mut p = policy();
+        feed(&mut p, 1_000, 6);
+        // 1 s of buffer at 1 Mbps: downloading V5+A3 (2.8 Mbps avg) would
+        // stall ~hard; MPC must pick something cheap.
+        let v = p.select(&ctx_at(1, 1));
+        assert!(v.index <= 1, "thin buffer forces a low rung, got {v}");
+    }
+
+    #[test]
+    fn switch_penalty_smooths_oscillation() {
+        let mut p = policy();
+        feed(&mut p, 1_200, 6);
+        let mut picks = Vec::new();
+        for chunk in 0..20 {
+            // Alternate feeds around the decision boundary.
+            feed(&mut p, if chunk % 2 == 0 { 1_100 } else { 1_300 }, 1);
+            picks.push(p.select(&ctx_at(15, chunk)).index);
+        }
+        let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches <= 6, "MPC damps boundary oscillation, got {switches} switches");
+    }
+
+    #[test]
+    fn prediction_error_discounts() {
+        let mut p = policy();
+        feed(&mut p, 2_000, 6);
+        let optimistic = p.predict().unwrap();
+        // A big over-prediction incident (predicted 2 Mbps, actual 400 Kbps).
+        p.last_prediction = Some(2_000_000.0);
+        feed(&mut p, 400, 1);
+        let discounted = p.predict().unwrap();
+        assert!(discounted < optimistic, "error discount kicks in");
+    }
+
+    #[test]
+    fn joint_lock_holds_combo_per_position() {
+        let mut p = policy();
+        feed(&mut p, 3_000, 6);
+        let v = p.select(&ctx_at(20, 3));
+        feed(&mut p, 100, 6); // crash mid-position
+        let a = p.select(&SelectionContext { media: MediaType::Audio, ..ctx_at(20, 3) });
+        let combo = p.combinations().iter().find(|c| c.video == v.index).unwrap();
+        assert_eq!(a.index, combo.audio);
+    }
+}

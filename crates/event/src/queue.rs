@@ -1,0 +1,166 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper over `BinaryHeap` that orders events by `(time, seq)`,
+//! where `seq` is a monotonically increasing insertion counter. Two events
+//! scheduled for the same instant therefore always pop in the order they
+//! were pushed — the property that keeps multi-flow simulations (several
+//! downloads completing at the same microsecond) reproducible.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: reversed ordering so the `BinaryHeap` max-heap pops
+/// the *earliest* event first.
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest time (then lowest seq) is the "greatest" entry.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `at`. Panics if `at` is in the past —
+    /// scheduling backwards in time is always a logic error.
+    pub fn schedule(&mut self, at: Instant, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(3), "c");
+        q.schedule(Instant::from_secs(1), "a");
+        q.schedule(Instant::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_secs(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(2), ());
+        q.schedule(Instant::from_secs(7), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_secs(2));
+        q.pop();
+        assert_eq!(q.now(), Instant::from_secs(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_schedule() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(5), ());
+        q.pop();
+        q.schedule(Instant::from_secs(4), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Instant::from_millis(10), 1);
+        q.schedule(Instant::from_millis(5), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(5)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(1), "first");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Instant::from_secs(1), "first"));
+        // Scheduling relative to the advanced clock works.
+        q.schedule(q.now() + Duration::from_secs(1), "second");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+}

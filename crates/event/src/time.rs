@@ -1,0 +1,335 @@
+//! Microsecond-resolution virtual time.
+//!
+//! The simulation clock is a `u64` count of microseconds since the start of
+//! the run. One microsecond is fine enough to resolve sub-millisecond
+//! throughput-sampling windows (Shaka samples every 125 ms; a 16 KB/interval
+//! filter boundary at 1 Mbps falls on an exact microsecond grid) while a
+//! `u64` still covers ~584,000 years of virtual time — overflow is treated
+//! as a logic bug and panics in debug builds via the standard checked
+//! arithmetic of the underlying integer ops.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// A point in virtual time, measured in microseconds from the start of the
+/// simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    micros: u64,
+}
+
+impl Instant {
+    /// The origin of virtual time (t = 0).
+    pub const ZERO: Instant = Instant { micros: 0 };
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Instant { micros }
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Instant { micros: millis * 1_000 }
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Instant { micros: secs * MICROS_PER_SEC }
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
+        Instant { micros: (secs * MICROS_PER_SEC as f64).round() as u64 }
+    }
+
+    /// This instant as a whole number of microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// This instant in fractional seconds (for reporting only; the
+    /// simulation itself never consumes this).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later than
+    /// `self` (time never flows backwards in the simulator).
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration::from_micros(
+            self.micros
+                .checked_sub(earlier.micros)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: Instant) -> Duration {
+        Duration::from_micros(self.micros.saturating_sub(earlier.micros))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other { self } else { other }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other { self } else { other }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant { micros: self.micros.checked_add(rhs.as_micros()).expect("Instant overflow") }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant { micros: self.micros.checked_sub(rhs.as_micros()).expect("Instant underflow") }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, measured in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    micros: u64,
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration { micros: 0 };
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration { micros }
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration { micros: millis * 1_000 }
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration { micros: secs * MICROS_PER_SEC }
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        Duration { micros: (secs * MICROS_PER_SEC as f64).round() as u64 }
+    }
+
+    /// This duration as a whole number of microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.micros
+    }
+
+    /// This duration as whole milliseconds, truncating.
+    pub const fn as_millis(self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// This duration in fractional seconds (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True if this duration is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.micros == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration { micros: self.micros.saturating_sub(rhs.micros) }
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        self.micros.checked_sub(rhs.micros).map(Duration::from_micros)
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        if self <= other { self } else { other }
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        if self >= other { self } else { other }
+    }
+
+    /// Multiplies by a rational factor `num/den`, rounding to the nearest
+    /// microsecond, using 128-bit intermediates so no realistic simulation
+    /// duration can overflow.
+    pub fn mul_ratio(self, num: u64, den: u64) -> Duration {
+        assert!(den != 0, "mul_ratio division by zero");
+        let micros = (self.micros as u128 * num as u128 + den as u128 / 2) / den as u128;
+        Duration { micros: micros as u64 }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration { micros: self.micros.checked_add(rhs.micros).expect("Duration overflow") }
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration { micros: self.micros.checked_sub(rhs.micros).expect("Duration underflow") }
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration { micros: self.micros.checked_mul(rhs).expect("Duration overflow") }
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration { micros: self.micros / rhs }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl core::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_roundtrip_units() {
+        assert_eq!(Instant::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(Instant::from_millis(1500).as_micros(), 1_500_000);
+        assert_eq!(Instant::from_micros(7).as_micros(), 7);
+        assert_eq!(Instant::from_secs_f64(0.125).as_micros(), 125_000);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant::from_secs(10);
+        assert_eq!(t + Duration::from_secs(5), Instant::from_secs(15));
+        assert_eq!(t - Duration::from_secs(4), Instant::from_secs(6));
+        assert_eq!(Instant::from_secs(15) - t, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn instant_ordering_and_minmax() {
+        let a = Instant::from_millis(100);
+        let b = Instant::from_millis(200);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps() {
+        let a = Instant::from_secs(1);
+        let b = Instant::from_secs(2);
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn duration_since_panics_backwards() {
+        let _ = Instant::from_secs(1).duration_since(Instant::from_secs(2));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_millis(250);
+        assert_eq!(d + d, Duration::from_millis(500));
+        assert_eq!(d * 4, Duration::from_secs(1));
+        assert_eq!(Duration::from_secs(1) / 8, Duration::from_millis(125));
+        assert_eq!(Duration::from_secs(3) - Duration::from_secs(1), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn duration_mul_ratio_rounds() {
+        // 1 s * 1/3 = 333333.33 µs → rounds to 333333
+        assert_eq!(Duration::from_secs(1).mul_ratio(1, 3).as_micros(), 333_333);
+        // 1 s * 2/3 = 666666.67 µs → rounds to 666667
+        assert_eq!(Duration::from_secs(1).mul_ratio(2, 3).as_micros(), 666_667);
+    }
+
+    #[test]
+    fn duration_saturating_and_checked() {
+        let a = Duration::from_secs(1);
+        let b = Duration::from_secs(2);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        assert_eq!(b.checked_sub(a), Some(Duration::from_secs(1)));
+        assert_eq!(a.checked_sub(b), None);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration =
+            [Duration::from_secs(1), Duration::from_millis(500)].into_iter().sum();
+        assert_eq!(total, Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(Instant::from_millis(1250).to_string(), "1.250s");
+        assert_eq!(Duration::from_micros(1_000).to_string(), "0.001s");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the time base, RNG and event queue.
+
+use abr_event::queue::EventQueue;
+use abr_event::rng::SplitMix64;
+use abr_event::time::{Duration, Instant};
+use proptest::prelude::*;
+
+proptest! {
+    /// Instant/Duration arithmetic round-trips: (t + d) − d == t and
+    /// (t + d) − t == d for any values that don't overflow.
+    #[test]
+    fn instant_duration_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = Instant::from_micros(t);
+        let d = Duration::from_micros(d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_duration_since(t), d);
+    }
+
+    /// mul_ratio(n, d) never differs from exact rational arithmetic by more
+    /// than half a microsecond (round-to-nearest).
+    #[test]
+    fn duration_mul_ratio_rounds_to_nearest(
+        micros in 0u64..1_000_000_000_000,
+        num in 1u64..1000,
+        den in 1u64..1000,
+    ) {
+        let d = Duration::from_micros(micros);
+        let got = d.mul_ratio(num, den).as_micros() as i128;
+        let exact_twice = micros as i128 * num as i128 * 2; // 2·exact·den⁻¹
+        // |got − exact| ≤ 1/2  ⇔  |2·got·den − 2·exact| ≤ den
+        prop_assert!((got * 2 * den as i128 - exact_twice).abs() <= den as i128);
+    }
+
+    /// Ordering of instants matches ordering of their raw microsecond
+    /// values, and min/max agree with it.
+    #[test]
+    fn instant_ordering_total(a in any::<u64>(), b in any::<u64>()) {
+        let (ia, ib) = (Instant::from_micros(a), Instant::from_micros(b));
+        prop_assert_eq!(ia < ib, a < b);
+        prop_assert_eq!(ia.min(ib).as_micros(), a.min(b));
+        prop_assert_eq!(ia.max(ib).as_micros(), a.max(b));
+    }
+
+    /// The RNG's bounded generators stay in bounds for arbitrary ranges.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            let x = rng.range_u64(lo, lo + span);
+            prop_assert!((lo..=lo + span).contains(&x));
+            let f = rng.range_f64(lo as f64, (lo + span) as f64);
+            prop_assert!(f >= lo as f64 && f < (lo + span) as f64);
+        }
+    }
+
+    /// Equal seeds yield equal streams; the stream is stateless with
+    /// respect to call pattern (next_u64 sequence is the only state).
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let va: Vec<u64> = (0..20).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..20).map(|_| b.next_u64()).collect();
+        prop_assert_eq!(va, vb);
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO order within equal timestamps.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_micros(t), i);
+        }
+        let mut popped: Vec<(Instant, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time-ordered");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+        // Every payload appears exactly once.
+        let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    }
+}

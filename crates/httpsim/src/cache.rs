@@ -1,0 +1,247 @@
+//! LRU CDN cache.
+//!
+//! Models an edge cache between clients and the origin, keyed by
+//! `(object, exact range)`. Used by the §1 motivation experiment: with
+//! demuxed tracks, user B's request for video variant V1 hits the cache
+//! warmed by user A even though their audio choices differ; with muxed
+//! packaging every (V, A) pairing is a distinct object and misses.
+
+use crate::origin::{HttpError, Origin};
+use crate::request::{ObjectId, Request};
+use abr_media::units::Bytes;
+use std::collections::HashMap;
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that went to the origin.
+    pub misses: u64,
+    /// Body bytes served out of cache.
+    pub bytes_from_cache: Bytes,
+    /// Body bytes fetched from the origin.
+    pub bytes_from_origin: Bytes,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all requests (0 when no requests yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached entry in the LRU order bookkeeping.
+#[derive(Debug, Clone)]
+struct Entry {
+    size: Bytes,
+    last_used: u64,
+}
+
+/// An LRU cache with a byte-capacity bound.
+#[derive(Debug)]
+pub struct CdnCache {
+    capacity: Bytes,
+    used: Bytes,
+    clock: u64,
+    entries: HashMap<(ObjectId, Option<(u64, u64)>), Entry>,
+    stats: CacheStats,
+}
+
+impl CdnCache {
+    /// A cache holding at most `capacity` body bytes.
+    pub fn new(capacity: Bytes) -> CdnCache {
+        assert!(capacity.get() > 0, "zero-capacity cache");
+        CdnCache {
+            capacity,
+            used: Bytes::ZERO,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Serves `req` through the cache: returns `(was_hit, body_size)`.
+    /// Misses fetch from `origin` and insert (evicting LRU entries if
+    /// needed; objects larger than the whole cache are served but not
+    /// stored).
+    pub fn fetch(&mut self, origin: &Origin, req: &Request) -> Result<(bool, Bytes), HttpError> {
+        self.clock += 1;
+        let key = req.cache_key();
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.clock;
+            self.stats.hits += 1;
+            let size = e.size;
+            self.stats.bytes_from_cache += size;
+            return Ok((true, size));
+        }
+        let size = origin.body_size(req)?;
+        self.stats.misses += 1;
+        self.stats.bytes_from_origin += size;
+        if size <= self.capacity {
+            while self.used + size > self.capacity {
+                self.evict_lru();
+            }
+            self.used += size;
+            self.entries.insert(key, Entry { size, last_used: self.clock });
+        }
+        Ok((false, size))
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+            .expect("evict on non-empty cache");
+        let e = self.entries.remove(&victim).expect("present");
+        self.used -= e.size;
+        self.stats.evictions += 1;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> Bytes {
+        self.used
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_media::combo::Combo;
+    use abr_media::content::Content;
+    use abr_media::track::TrackId;
+
+    fn setup() -> (Origin, CdnCache) {
+        let origin = Origin::with_overhead(Content::drama_show(1), Bytes::ZERO);
+        let cache = CdnCache::new(Bytes(1_000_000_000));
+        (origin, cache)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (o, mut c) = setup();
+        let req = Origin::segment_request(TrackId::video(0), 0);
+        let (hit1, s1) = c.fetch(&o, &req).unwrap();
+        let (hit2, s2) = c.fetch(&o, &req).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(s1, s2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn demuxed_cross_user_hit_muxed_miss() {
+        // §1 scenario: A watches V1+A2, then B watches V1+A1.
+        let (o, mut c_demux) = setup();
+        for chunk in 0..5 {
+            // User A.
+            c_demux.fetch(&o, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
+            c_demux.fetch(&o, &Origin::segment_request(TrackId::audio(1), chunk)).unwrap();
+        }
+        let before = c_demux.stats();
+        for chunk in 0..5 {
+            // User B: video hits, audio misses.
+            let (vh, _) =
+                c_demux.fetch(&o, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
+            let (ah, _) =
+                c_demux.fetch(&o, &Origin::segment_request(TrackId::audio(0), chunk)).unwrap();
+            assert!(vh, "video chunk should hit");
+            assert!(!ah, "different audio misses");
+        }
+        assert_eq!(c_demux.stats().hits - before.hits, 5);
+
+        // Muxed: same scenario, every request misses for user B too.
+        let (o2, mut c_mux) = setup();
+        for chunk in 0..5 {
+            c_mux
+                .fetch(&o2, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 1), chunk }))
+                .unwrap();
+        }
+        for chunk in 0..5 {
+            let (hit, _) = c_mux
+                .fetch(&o2, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 0), chunk }))
+                .unwrap();
+            assert!(!hit, "muxed variants never share cache entries");
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let (o, _) = setup();
+        // Capacity fits ~two audio chunks only.
+        let a0 = Origin::segment_request(TrackId::audio(0), 0);
+        let a1 = Origin::segment_request(TrackId::audio(0), 1);
+        let a2 = Origin::segment_request(TrackId::audio(0), 2);
+        let s0 = o.body_size(&a0).unwrap();
+        let s1 = o.body_size(&a1).unwrap();
+        let mut c = CdnCache::new(s0 + s1);
+        c.fetch(&o, &a0).unwrap();
+        c.fetch(&o, &a1).unwrap();
+        c.fetch(&o, &a0).unwrap(); // refresh a0 → a1 becomes LRU
+        c.fetch(&o, &a2).unwrap(); // evicts a1
+        assert_eq!(c.stats().evictions, 1);
+        let (hit_a0, _) = c.fetch(&o, &a0).unwrap();
+        assert!(hit_a0, "refreshed entry survived");
+        let (hit_a1, _) = c.fetch(&o, &a1).unwrap();
+        assert!(!hit_a1, "LRU entry evicted");
+    }
+
+    #[test]
+    fn oversized_objects_pass_through() {
+        let (o, _) = setup();
+        let mut c = CdnCache::new(Bytes(10));
+        let req = Origin::segment_request(TrackId::video(5), 0);
+        let (hit, size) = c.fetch(&o, &req).unwrap();
+        assert!(!hit);
+        assert!(size.get() > 10);
+        assert!(c.is_empty(), "not stored");
+        assert_eq!(c.used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn ranged_requests_key_separately() {
+        let (o, mut c) = setup();
+        let r0 = o.range_request(TrackId::video(0), 0).unwrap();
+        let r1 = o.range_request(TrackId::video(0), 1).unwrap();
+        c.fetch(&o, &r0).unwrap();
+        let (hit, _) = c.fetch(&o, &r1).unwrap();
+        assert!(!hit);
+        let (hit, _) = c.fetch(&o, &r0).unwrap();
+        assert!(hit);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_without_counting_entries() {
+        let (o, mut c) = setup();
+        let bad = Origin::segment_request(TrackId::video(0), 999);
+        assert!(c.fetch(&o, &bad).is_err());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests: cache capacity/accounting invariants and origin
+//! byte-range consistency.
+
+use abr_httpsim::cache::CdnCache;
+use abr_httpsim::origin::Origin;
+use abr_httpsim::request::{ObjectId, Request};
+use abr_media::content::Content;
+use abr_media::track::TrackId;
+use abr_media::units::Bytes;
+use proptest::prelude::*;
+
+fn origin() -> Origin {
+    Origin::with_overhead(Content::drama_show(3), Bytes::ZERO)
+}
+
+/// A random request against the drama show.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0usize..9, 0usize..75, any::<bool>()).prop_map(|(t, chunk, whole_track)| {
+        let track = if t < 6 { TrackId::video(t) } else { TrackId::audio(t - 6) };
+        if whole_track {
+            Request::whole(ObjectId::TrackFile { track })
+        } else {
+            Origin::segment_request(track, chunk)
+        }
+    })
+}
+
+proptest! {
+    /// The cache never stores more than its capacity, hit+miss equals
+    /// request count, and repeated identical requests after a miss are
+    /// hits as long as nothing was evicted in between.
+    #[test]
+    fn cache_accounting_invariants(
+        requests in proptest::collection::vec(arb_request(), 1..120),
+        capacity_kb in 8u64..4_096,
+    ) {
+        let origin = origin();
+        let mut cache = CdnCache::new(Bytes(capacity_kb * 1024));
+        let mut count = 0u64;
+        for req in &requests {
+            let (_hit, size) = cache.fetch(&origin, req).unwrap();
+            count += 1;
+            prop_assert!(cache.used() <= Bytes(capacity_kb * 1024), "capacity respected");
+            prop_assert_eq!(size, origin.body_size(req).unwrap());
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits + stats.misses, count);
+        }
+        // Totals are consistent with per-request sizes.
+        let stats = cache.stats();
+        let total: u64 = stats.bytes_from_cache.get() + stats.bytes_from_origin.get();
+        let expect: u64 = requests.iter().map(|r| origin.body_size(r).unwrap().get()).sum();
+        prop_assert_eq!(total, expect);
+    }
+
+    /// Immediately repeating any request is a hit iff the object fits the
+    /// cache at all.
+    #[test]
+    fn immediate_repeat_hits(req in arb_request(), capacity_kb in 1u64..100_000) {
+        let origin = origin();
+        let mut cache = CdnCache::new(Bytes(capacity_kb * 1024));
+        let size = origin.body_size(&req).unwrap();
+        let (first, _) = cache.fetch(&origin, &req).unwrap();
+        prop_assert!(!first, "cold cache always misses");
+        let (second, _) = cache.fetch(&origin, &req).unwrap();
+        prop_assert_eq!(second, size <= Bytes(capacity_kb * 1024));
+    }
+
+    /// Byte-range requests for consecutive chunks cover the whole track
+    /// file with no gaps or overlaps, for every track.
+    #[test]
+    fn ranges_partition_track_files(seed in any::<u64>()) {
+        let origin = Origin::with_overhead(Content::drama_show(seed), Bytes::ZERO);
+        for id in origin.content().track_ids() {
+            let mut next_offset = 0u64;
+            for chunk in 0..origin.content().num_chunks() {
+                let req = origin.range_request(id, chunk).unwrap();
+                let (off, len) = match req.range {
+                    Some((o, l)) => (o, l),
+                    None => unreachable!("range requests carry ranges"),
+                };
+                prop_assert_eq!(off, next_offset);
+                next_offset = off + len.get();
+            }
+            prop_assert_eq!(next_offset, origin.content().track_bytes(id).get());
+        }
+    }
+
+    /// Muxed segment sizes equal the sum of their components, for every
+    /// combination and chunk.
+    #[test]
+    fn muxed_segments_are_sums(v in 0usize..6, a in 0usize..3, chunk in 0usize..75) {
+        let origin = origin();
+        let combo = abr_media::combo::Combo::new(v, a);
+        let muxed = origin
+            .body_size(&Request::whole(ObjectId::MuxedSegment { combo, chunk }))
+            .unwrap();
+        let video = origin.body_size(&Origin::segment_request(TrackId::video(v), chunk)).unwrap();
+        let audio = origin.body_size(&Origin::segment_request(TrackId::audio(a), chunk)).unwrap();
+        prop_assert_eq!(muxed, video + audio);
+    }
+}

@@ -1,0 +1,33 @@
+//! # abr-manifest — DASH and HLS manifest models
+//!
+//! The paper's root causes live in the *information asymmetry* between the
+//! two manifest formats (§2.3):
+//!
+//! * **DASH** declares a per-track `@bandwidth` for every Representation but
+//!   has **no way to restrict audio+video combinations** — so a player must
+//!   either consider all M×N combinations (Shaka) or invent its own subset
+//!   (ExoPlayer's staircase).
+//! * **HLS** lists explicit audio+video combinations (`EXT-X-STREAM-INF`)
+//!   but the master playlist only carries the **aggregate** `BANDWIDTH` of
+//!   each combination — per-track bitrates hide in second-level media
+//!   playlists (`EXT-X-BYTERANGE` / `EXT-X-BITRATE`), which commercial
+//!   players don't read for adaptation (§4.1).
+//!
+//! This crate models both formats with real textual writers and parsers
+//! (a conformant subset), builders from [`abr_media::Content`], and the
+//! [`view`] module that exposes exactly the information each protocol makes
+//! available to a player — nothing more.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dash;
+pub mod hls;
+pub mod view;
+pub mod xml;
+
+pub use build::{build_master_playlist, build_media_playlist, build_mpd, Packaging};
+pub use dash::Mpd;
+pub use hls::{MasterPlaylist, MediaPlaylist};
+pub use view::{BoundDash, BoundHls, BoundVariant};

@@ -1,0 +1,332 @@
+//! A minimal XML reader/writer, sufficient for DASH MPD documents.
+//!
+//! Supports: the XML declaration, nested elements, attributes with single-
+//! or double-quoted values, self-closing tags, comments, and the five
+//! predefined entities. Does **not** support: CDATA, processing
+//! instructions other than the declaration, DOCTYPE, or namespaces beyond
+//! passing `xmlns` through as an ordinary attribute — none of which appear
+//! in the MPD subset this workspace emits.
+
+use core::fmt::Write as _;
+
+/// An XML element: name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order (text content is ignored — MPDs in
+    /// this workspace carry data only in attributes).
+    pub children: Vec<Element>,
+}
+
+impl Element {
+    /// A new element with no attributes or children.
+    pub fn new(name: &str) -> Element {
+        Element { name: name.to_string(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: &str, value: impl ToString) -> Element {
+        self.attrs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a child (builder style).
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(child);
+        self
+    }
+
+    /// First attribute value by key.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All children with a given tag name.
+    pub fn children_named<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Element> + 'a {
+        let name = name.to_string();
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with a given tag name.
+    pub fn first_child(&self, name: &str) -> Option<&Element> {
+        self.children_named(name).next()
+    }
+
+    /// Serializes with 2-space indentation and an XML declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}<{}", self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}=\"{}\"", escape(v));
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+        } else {
+            out.push_str(">\n");
+            for c in &self.children {
+                c.write_into(out, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}</{}>", self.name);
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parses a document and returns its root element.
+pub fn parse(text: &str) -> Result<Element, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, the XML declaration, and comments.
+    fn skip_misc(&mut self) -> Result<(), String> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.consume_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.consume_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn consume_until(&mut self, end: &str) -> Result<(), String> {
+        let hay = &self.bytes[self.pos..];
+        match hay.windows(end.len()).position(|w| w == end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(format!("unterminated construct expecting `{end}`")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("expected a name at byte {start}"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, String> {
+        if self.peek() != Some(b'<') {
+            return Err(format!("expected `<` at byte {}", self.pos));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut el = Element::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(format!("expected `>` after `/` at byte {}", self.pos));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(format!("expected `=` after attribute `{key}`"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(format!("expected quoted value for `{key}`"));
+                    }
+                    let q = quote.expect("checked");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != q) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(format!("unterminated value for `{key}`"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attrs.push((key, unescape(&raw)));
+                }
+                None => return Err("unexpected end inside tag".to_string()),
+            }
+        }
+        // Children until the close tag; text content is skipped.
+        loop {
+            // Skip text and comments.
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.starts_with("<!--") {
+                self.consume_until("-->")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(format!("mismatched close tag: `{close}` vs `{name}`"));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err("expected `>` in close tag".to_string());
+                }
+                self.pos += 1;
+                return Ok(el);
+            }
+            if self.peek().is_none() {
+                return Err(format!("unclosed element `{name}`"));
+            }
+            el.children.push(self.parse_element()?);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let doc = Element::new("MPD")
+            .attr("type", "static")
+            .child(Element::new("Period").child(Element::new("AdaptationSet").attr("contentType", "video")));
+        let text = doc.to_document();
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("<MPD type=\"static\">"));
+        assert!(text.contains("<AdaptationSet contentType=\"video\"/>"));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let doc = Element::new("MPD")
+            .attr("mediaPresentationDuration", "PT300S")
+            .child(
+                Element::new("Period").child(
+                    Element::new("AdaptationSet")
+                        .attr("contentType", "audio")
+                        .child(Element::new("Representation").attr("id", "A1").attr("bandwidth", "128000")),
+                ),
+            );
+        let text = doc.to_document();
+        let back = parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn attribute_escaping_roundtrip() {
+        let doc = Element::new("E").attr("v", "a<b & \"c\">");
+        let back = parse(&doc.to_document()).unwrap();
+        assert_eq!(back.get_attr("v"), Some("a<b & \"c\">"));
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let el = parse("<A x='1' y=\"2\"/>").unwrap();
+        assert_eq!(el.get_attr("x"), Some("1"));
+        assert_eq!(el.get_attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn comments_and_text_ignored() {
+        let el = parse("<A><!-- note --><B/>text<B/></A>").unwrap();
+        assert_eq!(el.children.len(), 2);
+        assert_eq!(el.children_named("B").count(), 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let el = parse("<A><B id=\"1\"/><C/><B id=\"2\"/></A>").unwrap();
+        assert_eq!(el.first_child("B").unwrap().get_attr("id"), Some("1"));
+        assert!(el.first_child("D").is_none());
+        let ids: Vec<_> =
+            el.children_named("B").map(|b| b.get_attr("id").unwrap()).collect();
+        assert_eq!(ids, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn literal_angle_bracket_in_quoted_attribute() {
+        // A raw `>` inside a quoted value must not terminate the tag.
+        let el = parse("<A x=\"a>b\"><B/></A>").unwrap();
+        assert_eq!(el.get_attr("x"), Some("a>b"));
+        assert_eq!(el.children.len(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("<A>").is_err(), "unclosed");
+        assert!(parse("<A></B>").is_err(), "mismatched");
+        assert!(parse("<A x=1/>").is_err(), "unquoted attr");
+        assert!(parse("<A/><B/>").is_err(), "trailing content");
+        assert!(parse("<A x=\"1/>").is_err(), "unterminated value");
+    }
+
+    #[test]
+    fn declaration_skipped() {
+        let el = parse("<?xml version=\"1.0\"?>\n<Root/>").unwrap();
+        assert_eq!(el.name, "Root");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests: manifest round trips over arbitrary ladders and
+//! combination sets.
+
+use abr_event::time::Duration;
+use abr_manifest::build::{
+    build_master_playlist, build_master_playlist_ext, build_media_playlist, build_mpd,
+    build_mpd_with_combos, Packaging,
+};
+use abr_manifest::view::{BoundDash, BoundHls};
+use abr_manifest::{MasterPlaylist, MediaPlaylist, Mpd};
+use abr_media::combo::Combo;
+use abr_media::content::Content;
+use abr_media::ladder::Ladder;
+use abr_media::track::{MediaType, TrackId, TrackInfo};
+use proptest::prelude::*;
+
+/// Arbitrary content: random strictly-ascending ladders, modest chunk
+/// counts (content synthesis is cheap but not free).
+fn arb_content() -> impl Strategy<Value = Content> {
+    (
+        proptest::collection::vec(1u64..400, 1..7),
+        proptest::collection::vec(1u64..200, 1..4),
+        3usize..20, // ≥3 so a 2×avg peak chunk stays below the clip total
+        any::<u64>(),
+    )
+        .prop_map(|(vinc, ainc, chunks, seed)| {
+            let mut acc = 50u64;
+            let video: Vec<TrackInfo> = vinc
+                .iter()
+                .enumerate()
+                .map(|(i, inc)| {
+                    acc += inc;
+                    TrackInfo::video(i, acc, acc * 2, acc, 144)
+                })
+                .collect();
+            let mut acc = 24u64;
+            let audio: Vec<TrackInfo> = ainc
+                .iter()
+                .enumerate()
+                .map(|(i, inc)| {
+                    acc += inc;
+                    TrackInfo::audio(i, acc, acc * 2, acc, 2, 44_000)
+                })
+                .collect();
+            Content::new(
+                Ladder::new(MediaType::Video, video),
+                Ladder::new(MediaType::Audio, audio),
+                Duration::from_secs(4),
+                chunks,
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MPD text round trip preserves everything, including the §4.1
+    /// combinations extension, and binds to the same declared bitrates.
+    #[test]
+    fn mpd_roundtrip_arbitrary(content in arb_content(), with_ext in any::<bool>()) {
+        let combos: Vec<Combo> =
+            abr_media::combo::curated_subset(content.video(), content.audio());
+        let mpd = if with_ext {
+            build_mpd_with_combos(&content, &combos)
+        } else {
+            build_mpd(&content)
+        };
+        let back = Mpd::parse(&mpd.to_text()).unwrap();
+        prop_assert_eq!(&back, &mpd);
+        let view = BoundDash::from_mpd(&back).unwrap();
+        prop_assert_eq!(view.video_declared.len(), content.video().len());
+        prop_assert_eq!(view.audio_declared.len(), content.audio().len());
+        for (i, b) in view.video_declared.iter().enumerate() {
+            prop_assert_eq!(*b, content.video().get(i).declared);
+        }
+        if with_ext {
+            prop_assert_eq!(view.allowed_combos.as_deref(), Some(combos.as_slice()));
+        } else {
+            prop_assert_eq!(view.allowed_combos, None);
+        }
+    }
+
+    /// HLS master round trip preserves variants (with and without the
+    /// per-track extension) and binds to the same combination list.
+    #[test]
+    fn master_roundtrip_arbitrary(content in arb_content(), with_ext in any::<bool>()) {
+        let combos = abr_media::combo::all_combos(content.video(), content.audio());
+        let order: Vec<usize> = (0..content.audio().len()).collect();
+        let master = if with_ext {
+            build_master_playlist_ext(&content, &combos, &order)
+        } else {
+            build_master_playlist(&content, &combos, &order)
+        };
+        let back = MasterPlaylist::parse(&master.to_text()).unwrap();
+        prop_assert_eq!(&back, &master);
+        let view = BoundHls::from_master(&back).unwrap();
+        prop_assert_eq!(view.allowed_combos(), combos);
+        if with_ext {
+            let (v, a) = view.extension_track_bitrates().expect("extension present");
+            for (i, b) in v.iter().enumerate() {
+                prop_assert_eq!(*b, content.video().get(i).peak);
+            }
+            prop_assert_eq!(a.len(), content.audio().len());
+        } else {
+            prop_assert_eq!(view.extension_track_bitrates(), None);
+        }
+    }
+
+    /// Media playlists round trip under both packaging modes, and the
+    /// derived bitrates match the track's measured statistics.
+    #[test]
+    fn media_playlist_roundtrip_arbitrary(
+        content in arb_content(),
+        single_file in any::<bool>(),
+    ) {
+        let packaging = if single_file {
+            Packaging::SingleFile
+        } else {
+            Packaging::SegmentFiles { with_bitrate_tags: true }
+        };
+        for id in content.track_ids() {
+            let pl = build_media_playlist(&content, id, packaging);
+            let back = MediaPlaylist::parse(&pl.to_text()).unwrap();
+            prop_assert_eq!(&back, &pl);
+            prop_assert_eq!(back.segments.len(), content.num_chunks());
+            prop_assert_eq!(back.duration(), content.duration());
+            let derived = back.derived_bitrates().expect("information present");
+            let track = content.track(id);
+            // Byte ranges are exact; EXT-X-BITRATE rounds to whole Kbps, so
+            // allow 1 Kbps per segment of drift on the average.
+            let tol: i64 = if single_file { 1 } else { 2 };
+            prop_assert!(
+                (derived.avg.kbps() as i64 - track.avg.kbps() as i64).abs() <= tol,
+                "derived avg {} vs track {}", derived.avg.kbps(), track.avg.kbps()
+            );
+        }
+    }
+
+    /// Byte ranges tile every track file exactly.
+    #[test]
+    fn byteranges_tile(content in arb_content()) {
+        for id in content.track_ids() {
+            let pl = build_media_playlist(&content, id, Packaging::SingleFile);
+            let mut offset = 0u64;
+            for seg in &pl.segments {
+                let (len, off) = seg.byterange.expect("single-file packaging");
+                prop_assert_eq!(off, offset);
+                offset += len.get();
+            }
+            prop_assert_eq!(offset, content.track_bytes(id).get());
+        }
+        let _ = TrackId::video(0);
+    }
+}

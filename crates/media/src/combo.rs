@@ -1,0 +1,305 @@
+//! Audio + video combination math.
+//!
+//! * [`all_combos`] — the full M×N cross product in ascending aggregate peak
+//!   bitrate order: exactly Table 2 of the paper (the HLS `H_all` manifest).
+//! * [`curated_subset`] — the paper's `H_sub` 6-combination curation rule
+//!   (Table 3): each video rung paired with a content-appropriate audio rung.
+//! * [`log_staircase`] — ExoPlayer's DASH combination-predetermination rule,
+//!   reverse-engineered from the paper's three worked examples (DESIGN.md
+//!   §4): a greedy staircase in normalized log-bitrate space.
+
+use crate::ladder::Ladder;
+use crate::track::{MediaType, TrackId};
+use crate::units::BitsPerSec;
+use core::fmt;
+
+/// One audio+video track combination, by ladder indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Combo {
+    /// Video ladder index (0-based).
+    pub video: usize,
+    /// Audio ladder index (0-based).
+    pub audio: usize,
+}
+
+impl Combo {
+    /// Constructs a combination.
+    pub const fn new(video: usize, audio: usize) -> Combo {
+        Combo { video, audio }
+    }
+
+    /// The video [`TrackId`].
+    pub fn video_id(self) -> TrackId {
+        TrackId::video(self.video)
+    }
+
+    /// The audio [`TrackId`].
+    pub fn audio_id(self) -> TrackId {
+        TrackId::audio(self.audio)
+    }
+
+    /// The track of `media` in this combination.
+    pub fn id_for(self, media: MediaType) -> TrackId {
+        match media {
+            MediaType::Video => self.video_id(),
+            MediaType::Audio => self.audio_id(),
+        }
+    }
+}
+
+impl fmt::Display for Combo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}+A{}", self.video + 1, self.audio + 1)
+    }
+}
+
+/// Aggregate bitrates of a combination (sums of the component tracks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComboBitrate {
+    /// Sum of average bitrates (HLS `AVERAGE-BANDWIDTH`).
+    pub avg: BitsPerSec,
+    /// Sum of peak bitrates (HLS `BANDWIDTH`).
+    pub peak: BitsPerSec,
+    /// Sum of declared bitrates (DASH per-track `@bandwidth` summed — the
+    /// paper's "bandwidth requirement" for DASH combinations).
+    pub declared: BitsPerSec,
+}
+
+/// Computes the aggregate bitrates of `combo` over the given ladders.
+pub fn combo_bitrate(video: &Ladder, audio: &Ladder, combo: Combo) -> ComboBitrate {
+    let v = video.get(combo.video);
+    let a = audio.get(combo.audio);
+    ComboBitrate { avg: v.avg + a.avg, peak: v.peak + a.peak, declared: v.declared + a.declared }
+}
+
+/// All M×N combinations sorted by ascending aggregate peak bitrate, ties by
+/// ascending aggregate average — the order Table 2 lists them in.
+pub fn all_combos(video: &Ladder, audio: &Ladder) -> Vec<Combo> {
+    let mut combos: Vec<Combo> = (0..video.len())
+        .flat_map(|v| (0..audio.len()).map(move |a| Combo::new(v, a)))
+        .collect();
+    combos.sort_by_key(|&c| {
+        let b = combo_bitrate(video, audio, c);
+        (b.peak, b.avg, c.video, c.audio)
+    });
+    combos
+}
+
+/// The paper's `H_sub` curation: pair each video rung with an audio rung at
+/// the matching relative position (low video ↔ low audio), exactly one
+/// combination per video rung. For Table 1's 6×3 ladder this yields
+/// V1+A1, V2+A1, V3+A2, V4+A2, V5+A3, V6+A3 — Table 3 verbatim.
+pub fn curated_subset(video: &Ladder, audio: &Ladder) -> Vec<Combo> {
+    let m = video.len();
+    let n = audio.len();
+    (0..m)
+        .map(|v| {
+            // Evenly partition video rungs across audio rungs, low-to-low;
+            // the top video rung always pairs with the top audio rung.
+            let a = ((v + 1) * n - 1) / m;
+            Combo::new(v, a)
+        })
+        .collect()
+}
+
+/// ExoPlayer's DASH combination-predetermination rule (reverse-engineered;
+/// see DESIGN.md §4 for the derivation and validation against the paper's
+/// three worked examples).
+///
+/// Each track is placed at its normalized log-bitrate position within its
+/// own ladder, `p = (ln r − ln r_lo) / (ln r_hi − ln r_lo)` (0 for a
+/// single-rung or flat ladder). Starting from (V1, A1), the staircase
+/// repeatedly upgrades whichever component leaves the two positions closest
+/// (`|p_video − p_audio|` minimized; ties upgrade video), ending at the top
+/// of both ladders. The result has exactly `M + N − 1` combinations in which
+/// consecutive entries differ in a single component.
+pub fn log_staircase(video: &Ladder, audio: &Ladder) -> Vec<Combo> {
+    log_staircase_rates(&video.declared_bitrates(), &audio.declared_bitrates())
+}
+
+/// [`log_staircase`] over raw declared-bitrate slices — the form a player
+/// can compute from a parsed manifest alone.
+pub fn log_staircase_rates(video: &[BitsPerSec], audio: &[BitsPerSec]) -> Vec<Combo> {
+    fn positions(declared: &[BitsPerSec]) -> Vec<f64> {
+        let lo = declared.first().expect("non-empty ladder").bps() as f64;
+        let hi = declared.last().expect("non-empty ladder").bps() as f64;
+        if declared.len() <= 1 || hi <= lo {
+            return vec![0.0; declared.len()];
+        }
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        declared.iter().map(|r| ((r.bps() as f64).ln() - llo) / (lhi - llo)).collect()
+    }
+
+    let qv = positions(video);
+    let pa = positions(audio);
+    let (m, n) = (video.len(), audio.len());
+
+    let mut combos = Vec::with_capacity(m + n - 1);
+    let (mut i, mut j) = (0usize, 0usize);
+    combos.push(Combo::new(i, j));
+    while i < m - 1 || j < n - 1 {
+        let after_video = if i < m - 1 { Some((qv[i + 1] - pa[j]).abs()) } else { None };
+        let after_audio = if j < n - 1 { Some((qv[i] - pa[j + 1]).abs()) } else { None };
+        match (after_video, after_audio) {
+            (Some(v), Some(a)) if a < v => j += 1,
+            (Some(_), _) => i += 1,
+            (None, Some(_)) => j += 1,
+            (None, None) => unreachable!("loop guard"),
+        }
+        combos.push(Combo::new(i, j));
+    }
+    combos
+}
+
+/// True if `combos` form a valid staircase: starts at (0,0), ends at the
+/// ladder tops, and every step increments exactly one component by one.
+pub fn is_staircase(combos: &[Combo], video_len: usize, audio_len: usize) -> bool {
+    if combos.first() != Some(&Combo::new(0, 0)) {
+        return false;
+    }
+    if combos.last() != Some(&Combo::new(video_len - 1, audio_len - 1)) {
+        return false;
+    }
+    combos.windows(2).all(|w| {
+        let (a, b) = (w[0], w[1]);
+        (b.video == a.video + 1 && b.audio == a.audio)
+            || (b.video == a.video && b.audio == a.audio + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(combos: &[Combo]) -> Vec<String> {
+        combos.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn table2_full_set_order_and_bitrates() {
+        let v = Ladder::table1_video();
+        let a = Ladder::table1_audio();
+        let combos = all_combos(&v, &a);
+        assert_eq!(combos.len(), 18);
+        // Table 2, rows in order with (avg, peak) Kbps.
+        let expected = [
+            ("V1+A1", 239, 253),
+            ("V1+A2", 307, 318),
+            ("V2+A1", 374, 395),
+            ("V2+A2", 442, 460),
+            ("V1+A3", 495, 510),
+            ("V2+A3", 630, 652),
+            ("V3+A1", 490, 775),
+            ("V3+A2", 558, 840),
+            ("V3+A3", 746, 1032),
+            ("V4+A1", 862, 1324),
+            ("V4+A2", 930, 1389),
+            ("V4+A3", 1118, 1581),
+            ("V5+A1", 1549, 2516),
+            ("V5+A2", 1617, 2581),
+            ("V5+A3", 1805, 2773),
+            ("V6+A1", 2856, 4581),
+            ("V6+A2", 2924, 4646),
+            ("V6+A3", 3112, 4838),
+        ];
+        for (combo, (name, avg, peak)) in combos.iter().zip(expected.iter()) {
+            assert_eq!(&combo.to_string(), name);
+            let b = combo_bitrate(&v, &a, *combo);
+            assert_eq!(b.avg.kbps(), *avg, "{name} avg");
+            assert_eq!(b.peak.kbps(), *peak, "{name} peak");
+        }
+    }
+
+    #[test]
+    fn table3_curated_subset() {
+        let v = Ladder::table1_video();
+        let a = Ladder::table1_audio();
+        let combos = curated_subset(&v, &a);
+        assert_eq!(names(&combos), vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]);
+        // Table 3 bitrates.
+        let expected = [(239, 253), (374, 395), (558, 840), (930, 1389), (1805, 2773), (3112, 4838)];
+        for (c, (avg, peak)) in combos.iter().zip(expected.iter()) {
+            let b = combo_bitrate(&v, &a, *c);
+            assert_eq!(b.avg.kbps(), *avg);
+            assert_eq!(b.peak.kbps(), *peak);
+        }
+    }
+
+    #[test]
+    fn staircase_matches_paper_table1_audio() {
+        // §3.2: "the resultant combinations ... are V1+A1, V2+A1, V2+A2,
+        // V3+A2, V4+A2, V4+A3, V5+A3, and V6+A3".
+        let combos = log_staircase(&Ladder::table1_video(), &Ladder::table1_audio());
+        assert_eq!(
+            names(&combos),
+            vec!["V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V4+A3", "V5+A3", "V6+A3"]
+        );
+    }
+
+    #[test]
+    fn staircase_matches_paper_low_audio_b() {
+        // §3.2 experiment 1: B = 32/64/128 Kbps → V1+B1, V2+B1, V2+B2,
+        // V3+B2, V4+B2, V5+B2, V5+B3, V6+B3.
+        let combos = log_staircase(&Ladder::table1_video(), &Ladder::low_audio_b());
+        assert_eq!(
+            names(&combos),
+            vec!["V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V5+A2", "V5+A3", "V6+A3"]
+        );
+    }
+
+    #[test]
+    fn staircase_matches_paper_high_audio_c() {
+        // §3.2 experiment 2: C = 196/384/768 Kbps → V1+C1, V2+C1, V2+C2,
+        // V3+C2, V4+C2, V5+C2, V5+C3, V6+C3.
+        let combos = log_staircase(&Ladder::table1_video(), &Ladder::high_audio_c());
+        assert_eq!(
+            names(&combos),
+            vec!["V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V5+A2", "V5+A3", "V6+A3"]
+        );
+    }
+
+    #[test]
+    fn staircase_shape_invariants() {
+        for audio in [Ladder::table1_audio(), Ladder::low_audio_b(), Ladder::high_audio_c()] {
+            let v = Ladder::table1_video();
+            let combos = log_staircase(&v, &audio);
+            assert_eq!(combos.len(), v.len() + audio.len() - 1);
+            assert!(is_staircase(&combos, v.len(), audio.len()));
+        }
+    }
+
+    #[test]
+    fn staircase_excludes_desirable_combo_v3b3() {
+        // The paper's point: V3+B3 (declared 473+128 = 601 Kbps) is a better
+        // fit at 900 Kbps but is NOT in the predetermined set.
+        let v = Ladder::table1_video();
+        let b = Ladder::low_audio_b();
+        let combos = log_staircase(&v, &b);
+        assert!(!combos.contains(&Combo::new(2, 2)), "V3+B3 must be excluded");
+        let bits = combo_bitrate(&v, &b, Combo::new(2, 2));
+        assert_eq!(bits.declared.kbps(), 601);
+    }
+
+    #[test]
+    fn combo_id_accessors() {
+        let c = Combo::new(2, 1);
+        assert_eq!(c.video_id(), TrackId::video(2));
+        assert_eq!(c.audio_id(), TrackId::audio(1));
+        assert_eq!(c.id_for(MediaType::Video), TrackId::video(2));
+        assert_eq!(c.id_for(MediaType::Audio), TrackId::audio(1));
+        assert_eq!(c.to_string(), "V3+A2");
+    }
+
+    #[test]
+    fn degenerate_single_rung_ladders() {
+        let v1 = Ladder::new(
+            MediaType::Video,
+            vec![crate::track::TrackInfo::video(0, 100, 120, 110, 144)],
+        );
+        let a = Ladder::table1_audio();
+        let combos = log_staircase(&v1, &a);
+        assert_eq!(names(&combos), vec!["V1+A1", "V1+A2", "V1+A3"]);
+        assert_eq!(all_combos(&v1, &a).len(), 3);
+        assert_eq!(curated_subset(&v1, &a).len(), 1);
+    }
+}

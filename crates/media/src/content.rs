@@ -1,0 +1,232 @@
+//! A complete piece of demuxed content: one video ladder, one audio ladder,
+//! and calibrated per-chunk byte sizes for every track.
+//!
+//! [`Content::drama_show`] reconstructs the paper's experimental subject: a
+//! ~5-minute YouTube drama show with the Table 1 ladder, cut into equal
+//! chunks. The §3.2 variants with the "B" and "C" audio sets are
+//! [`Content::drama_show_low_audio`] and [`Content::drama_show_high_audio`].
+
+use crate::ladder::Ladder;
+use crate::track::{MediaType, TrackId, TrackInfo};
+use crate::units::{BitsPerSec, Bytes};
+use crate::vbr::{self, VbrParams};
+use abr_event::rng::SplitMix64;
+use abr_event::time::Duration;
+
+/// Content descriptor plus per-chunk sizes.
+#[derive(Debug, Clone)]
+pub struct Content {
+    video: Ladder,
+    audio: Ladder,
+    chunk_duration: Duration,
+    num_chunks: usize,
+    /// `video_sizes[track][chunk]`.
+    video_sizes: Vec<Vec<Bytes>>,
+    /// `audio_sizes[track][chunk]`.
+    audio_sizes: Vec<Vec<Bytes>>,
+}
+
+impl Content {
+    /// Builds content from two ladders, generating calibrated chunk sizes.
+    ///
+    /// Video tracks use a VBR shape (spread 0.35) and audio tracks a
+    /// near-CBR shape (spread 0.02); each track draws from an independent
+    /// child stream of `seed`, so adding a track never perturbs the sizes
+    /// of the others.
+    pub fn new(video: Ladder, audio: Ladder, chunk_duration: Duration, num_chunks: usize, seed: u64) -> Self {
+        assert_eq!(video.media(), MediaType::Video);
+        assert_eq!(audio.media(), MediaType::Audio);
+        assert!(num_chunks > 0, "content needs at least one chunk");
+        let mut rng = SplitMix64::new(seed);
+        let video_sizes = video
+            .iter()
+            .map(|t| {
+                let mut child = rng.split();
+                vbr::chunk_sizes(
+                    VbrParams::video(t.avg, t.peak),
+                    chunk_duration,
+                    num_chunks,
+                    &mut child,
+                )
+            })
+            .collect();
+        let audio_sizes = audio
+            .iter()
+            .map(|t| {
+                let mut child = rng.split();
+                vbr::chunk_sizes(
+                    VbrParams::audio(t.avg, t.peak),
+                    chunk_duration,
+                    num_chunks,
+                    &mut child,
+                )
+            })
+            .collect();
+        Content { video, audio, chunk_duration, num_chunks, video_sizes, audio_sizes }
+    }
+
+    /// The Table 1 drama show: 6 video + 3 audio tracks, 75 chunks of 4 s
+    /// (300 s ≈ the paper's "around 5 minutes").
+    pub fn drama_show(seed: u64) -> Content {
+        Content::new(Ladder::table1_video(), Ladder::table1_audio(), Duration::from_secs(4), 75, seed)
+    }
+
+    /// §3.2 experiment 1: Table 1 video with the low-bitrate "B" audio set.
+    pub fn drama_show_low_audio(seed: u64) -> Content {
+        Content::new(Ladder::table1_video(), Ladder::low_audio_b(), Duration::from_secs(4), 75, seed)
+    }
+
+    /// §3.2 experiment 2: Table 1 video with the high-bitrate "C" audio set.
+    pub fn drama_show_high_audio(seed: u64) -> Content {
+        Content::new(Ladder::table1_video(), Ladder::high_audio_c(), Duration::from_secs(4), 75, seed)
+    }
+
+    /// The video ladder.
+    pub fn video(&self) -> &Ladder {
+        &self.video
+    }
+
+    /// The audio ladder.
+    pub fn audio(&self) -> &Ladder {
+        &self.audio
+    }
+
+    /// The ladder for a media type.
+    pub fn ladder(&self, media: MediaType) -> &Ladder {
+        match media {
+            MediaType::Video => &self.video,
+            MediaType::Audio => &self.audio,
+        }
+    }
+
+    /// Track info for an id.
+    pub fn track(&self, id: TrackId) -> &TrackInfo {
+        self.ladder(id.media).track(id)
+    }
+
+    /// Duration of every chunk.
+    pub fn chunk_duration(&self) -> Duration {
+        self.chunk_duration
+    }
+
+    /// Number of chunks per track.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Total clip duration.
+    pub fn duration(&self) -> Duration {
+        self.chunk_duration * self.num_chunks as u64
+    }
+
+    /// Size in bytes of one chunk of one track. Panics on out-of-range
+    /// track or chunk indices.
+    pub fn chunk_size(&self, id: TrackId, chunk: usize) -> Bytes {
+        assert!(chunk < self.num_chunks, "chunk {chunk} out of range (< {})", self.num_chunks);
+        match id.media {
+            MediaType::Video => self.video_sizes[id.index][chunk],
+            MediaType::Audio => self.audio_sizes[id.index][chunk],
+        }
+    }
+
+    /// The bitrate one chunk realizes (size over chunk duration).
+    pub fn chunk_bitrate(&self, id: TrackId, chunk: usize) -> BitsPerSec {
+        self.chunk_size(id, chunk).rate_over_micros(self.chunk_duration.as_micros())
+    }
+
+    /// Total bytes of one whole track.
+    pub fn track_bytes(&self, id: TrackId) -> Bytes {
+        (0..self.num_chunks).map(|c| self.chunk_size(id, c)).sum()
+    }
+
+    /// All track ids, audio first then video, each ascending.
+    pub fn track_ids(&self) -> Vec<TrackId> {
+        let mut ids: Vec<TrackId> =
+            (0..self.audio.len()).map(TrackId::audio).collect();
+        ids.extend((0..self.video.len()).map(TrackId::video));
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vbr::measure;
+
+    #[test]
+    fn drama_show_dimensions() {
+        let c = Content::drama_show(1);
+        assert_eq!(c.video().len(), 6);
+        assert_eq!(c.audio().len(), 3);
+        assert_eq!(c.num_chunks(), 75);
+        assert_eq!(c.chunk_duration(), Duration::from_secs(4));
+        assert_eq!(c.duration(), Duration::from_secs(300));
+        assert_eq!(c.track_ids().len(), 9);
+    }
+
+    #[test]
+    fn every_track_calibrated_to_table1() {
+        let c = Content::drama_show(42);
+        for id in c.track_ids() {
+            let t = c.track(id).clone();
+            let sizes: Vec<Bytes> = (0..c.num_chunks()).map(|i| c.chunk_size(id, i)).collect();
+            let m = measure(&sizes, c.chunk_duration());
+            assert!(
+                (m.avg.kbps() as i64 - t.avg.kbps() as i64).abs() <= 1,
+                "{id}: measured avg {} vs declared {}",
+                m.avg.kbps(),
+                t.avg.kbps()
+            );
+            assert!(
+                (m.peak.kbps() as i64 - t.peak.kbps() as i64).abs() <= 1,
+                "{id}: measured peak {} vs declared {}",
+                m.peak.kbps(),
+                t.peak.kbps()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Content::drama_show(7);
+        let b = Content::drama_show(7);
+        let c = Content::drama_show(8);
+        let id = TrackId::video(3);
+        assert_eq!(a.chunk_size(id, 10), b.chunk_size(id, 10));
+        let differs =
+            (0..a.num_chunks()).any(|i| a.chunk_size(id, i) != c.chunk_size(id, i));
+        assert!(differs, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn higher_rungs_are_bigger() {
+        let c = Content::drama_show(3);
+        let lo = c.track_bytes(TrackId::video(0));
+        let hi = c.track_bytes(TrackId::video(5));
+        assert!(hi.get() > 20 * lo.get(), "V6 total {} vs V1 total {}", hi, lo);
+    }
+
+    #[test]
+    fn chunk_bitrate_matches_size() {
+        let c = Content::drama_show(3);
+        let id = TrackId::audio(0);
+        let br = c.chunk_bitrate(id, 5);
+        let sz = c.chunk_size(id, 5);
+        assert_eq!(sz, br.bytes_in_micros(c.chunk_duration().as_micros()));
+    }
+
+    #[test]
+    fn variant_contents_use_expected_audio() {
+        let b = Content::drama_show_low_audio(1);
+        assert_eq!(b.audio().get(2).declared.kbps(), 128);
+        let hc = Content::drama_show_high_audio(1);
+        assert_eq!(hc.audio().get(2).declared.kbps(), 768);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_out_of_range_panics() {
+        let c = Content::drama_show(1);
+        c.chunk_size(TrackId::video(0), 75);
+    }
+}

@@ -1,0 +1,229 @@
+//! Bitrate ladders.
+//!
+//! A ladder is the ordered set of tracks offered for one media type,
+//! sorted by ascending declared bitrate. This module also carries the
+//! concrete ladders the paper experiments with:
+//!
+//! * [`Ladder::table1_video`] / [`Ladder::table1_audio`] — the YouTube drama
+//!   show of Table 1 (V1–V6, A1–A3);
+//! * [`Ladder::low_audio_b`] — the §3.2 "B" set (32/64/128 Kbps);
+//! * [`Ladder::high_audio_c`] — the §3.2 "C" set (196/384/768 Kbps).
+
+use crate::track::{MediaType, TrackId, TrackInfo};
+use crate::units::BitsPerSec;
+
+/// An ordered set of tracks for one media type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ladder {
+    media: MediaType,
+    tracks: Vec<TrackInfo>,
+}
+
+impl Ladder {
+    /// Builds a ladder, validating that all tracks share `media`, indices
+    /// are consecutive from zero, and declared bitrates strictly ascend.
+    pub fn new(media: MediaType, tracks: Vec<TrackInfo>) -> Self {
+        assert!(!tracks.is_empty(), "empty ladder");
+        for (i, t) in tracks.iter().enumerate() {
+            assert_eq!(t.id.media, media, "track {} in {} ladder", t.id, media);
+            assert_eq!(t.id.index, i, "track index {} out of order (expected {i})", t.id.index);
+            if i > 0 {
+                assert!(
+                    tracks[i - 1].declared < t.declared,
+                    "declared bitrates must strictly ascend: {} !< {}",
+                    tracks[i - 1].declared,
+                    t.declared
+                );
+            }
+        }
+        Ladder { media, tracks }
+    }
+
+    /// The media type of every track in this ladder.
+    pub fn media(&self) -> MediaType {
+        self.media
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Always false (construction rejects empty ladders); present for
+    /// clippy-idiomatic pairing with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+
+    /// Track at `index`. Panics if out of range.
+    pub fn get(&self, index: usize) -> &TrackInfo {
+        &self.tracks[index]
+    }
+
+    /// Track for a [`TrackId`]; panics if the id belongs to the other media
+    /// type or is out of range.
+    pub fn track(&self, id: TrackId) -> &TrackInfo {
+        assert_eq!(id.media, self.media, "track {} looked up in {} ladder", id, self.media);
+        &self.tracks[id.index]
+    }
+
+    /// Iterates rungs from lowest to highest.
+    pub fn iter(&self) -> impl Iterator<Item = &TrackInfo> {
+        self.tracks.iter()
+    }
+
+    /// The lowest rung.
+    pub fn lowest(&self) -> &TrackInfo {
+        &self.tracks[0]
+    }
+
+    /// The highest rung.
+    pub fn highest(&self) -> &TrackInfo {
+        self.tracks.last().expect("non-empty")
+    }
+
+    /// Highest rung whose declared bitrate is ≤ `budget`; `None` if even the
+    /// lowest rung exceeds the budget.
+    pub fn highest_within(&self, budget: BitsPerSec) -> Option<&TrackInfo> {
+        self.tracks.iter().rev().find(|t| t.declared <= budget)
+    }
+
+    /// Declared bitrates of all rungs, ascending.
+    pub fn declared_bitrates(&self) -> Vec<BitsPerSec> {
+        self.tracks.iter().map(|t| t.declared).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // The paper's concrete ladders.
+    // ------------------------------------------------------------------
+
+    /// Table 1 video ladder: the YouTube drama show, V1–V6.
+    pub fn table1_video() -> Ladder {
+        Ladder::new(
+            MediaType::Video,
+            vec![
+                TrackInfo::video(0, 111, 119, 111, 144),
+                TrackInfo::video(1, 246, 261, 246, 240),
+                TrackInfo::video(2, 362, 641, 473, 360),
+                TrackInfo::video(3, 734, 1190, 914, 480),
+                TrackInfo::video(4, 1421, 2382, 1852, 720),
+                TrackInfo::video(5, 2728, 4447, 3746, 1080),
+            ],
+        )
+    }
+
+    /// Table 1 audio ladder: A1–A3 (128/196/384 Kbps declared).
+    pub fn table1_audio() -> Ladder {
+        Ladder::new(
+            MediaType::Audio,
+            vec![
+                TrackInfo::audio(0, 128, 134, 128, 2, 44_000),
+                TrackInfo::audio(1, 196, 199, 196, 6, 48_000),
+                TrackInfo::audio(2, 384, 391, 384, 6, 48_000),
+            ],
+        )
+    }
+
+    /// §3.2 low-bitrate audio set "B": declared 32/64/128 Kbps. The paper
+    /// gives only declared bitrates; we model near-CBR audio with a ~4%
+    /// peak-over-average margin like the Table 1 audio tracks.
+    pub fn low_audio_b() -> Ladder {
+        Ladder::new(
+            MediaType::Audio,
+            vec![
+                TrackInfo::audio(0, 32, 34, 32, 2, 44_000),
+                TrackInfo::audio(1, 64, 67, 64, 2, 44_000),
+                TrackInfo::audio(2, 128, 134, 128, 2, 44_000),
+            ],
+        )
+    }
+
+    /// §3.2 high-bitrate audio set "C": declared 196/384/768 Kbps
+    /// (768 Kbps ≈ Dolby Atmos-class audio per §1).
+    pub fn high_audio_c() -> Ladder {
+        Ladder::new(
+            MediaType::Audio,
+            vec![
+                TrackInfo::audio(0, 196, 199, 196, 6, 48_000),
+                TrackInfo::audio(1, 384, 391, 384, 6, 48_000),
+                TrackInfo::audio(2, 768, 782, 768, 6, 48_000),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_video_matches_paper() {
+        let l = Ladder::table1_video();
+        assert_eq!(l.len(), 6);
+        let declared: Vec<u64> = l.declared_bitrates().iter().map(|b| b.kbps()).collect();
+        assert_eq!(declared, vec![111, 246, 473, 914, 1852, 3746]);
+        assert_eq!(l.get(2).avg.kbps(), 362);
+        assert_eq!(l.get(5).peak.kbps(), 4447);
+        assert_eq!(l.get(0).detail.label(), "144p");
+        assert_eq!(l.get(5).detail.label(), "1080p");
+    }
+
+    #[test]
+    fn table1_audio_matches_paper() {
+        let l = Ladder::table1_audio();
+        assert_eq!(l.len(), 3);
+        let declared: Vec<u64> = l.declared_bitrates().iter().map(|b| b.kbps()).collect();
+        assert_eq!(declared, vec![128, 196, 384]);
+        assert_eq!(l.get(0).detail.label(), "2ch/44kHz");
+    }
+
+    #[test]
+    fn b_and_c_sets_declared() {
+        let b: Vec<u64> = Ladder::low_audio_b().declared_bitrates().iter().map(|x| x.kbps()).collect();
+        assert_eq!(b, vec![32, 64, 128]);
+        let c: Vec<u64> = Ladder::high_audio_c().declared_bitrates().iter().map(|x| x.kbps()).collect();
+        assert_eq!(c, vec![196, 384, 768]);
+    }
+
+    #[test]
+    fn highest_within_budget() {
+        let l = Ladder::table1_video();
+        // 675 Kbps budget (0.75 × 900): highest ≤ is V3 (473).
+        let t = l.highest_within(BitsPerSec::from_kbps(675)).unwrap();
+        assert_eq!(t.name(), "V3");
+        // Budget below V1: none fit.
+        assert!(l.highest_within(BitsPerSec::from_kbps(100)).is_none());
+        // Huge budget: top rung.
+        assert_eq!(l.highest_within(BitsPerSec::from_kbps(99_999)).unwrap().name(), "V6");
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let l = Ladder::table1_audio();
+        assert_eq!(l.track(TrackId::audio(2)).declared.kbps(), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "looked up in")]
+    fn wrong_media_lookup_panics() {
+        Ladder::table1_audio().track(TrackId::video(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascend")]
+    fn rejects_unsorted_ladder() {
+        Ladder::new(
+            MediaType::Audio,
+            vec![
+                TrackInfo::audio(0, 128, 134, 128, 2, 44_000),
+                TrackInfo::audio(1, 64, 67, 64, 2, 44_000),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn rejects_gapped_indices() {
+        Ladder::new(MediaType::Audio, vec![TrackInfo::audio(1, 64, 67, 64, 2, 44_000)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # abr-media — content model for demuxed ABR streaming
+//!
+//! Everything the rest of the workspace knows about *content* lives here:
+//!
+//! * [`units`] — `BitsPerSec` / `Bytes` newtypes with integer conversions.
+//! * [`track`] — audio/video track descriptors (average, peak and declared
+//!   bitrates; the three are distinct, exactly as in Table 1 of the paper).
+//! * [`ladder`] — an ordered set of tracks for one media type, with the
+//!   paper's Table-1 YouTube ladder and the §3.2 "B" and "C" audio sets as
+//!   constants.
+//! * [`vbr`] — deterministic per-chunk size synthesis calibrated so each
+//!   track's measured average and peak bitrates match its declared ladder
+//!   entry (the substitution for the real YouTube clip; see DESIGN.md §1).
+//! * [`content`] — a complete piece of content: both ladders plus per-chunk
+//!   byte sizes for every track.
+//! * [`combo`] — audio+video combination math: the full M×N set (Table 2),
+//!   the curated subset (Table 3), and the log-staircase predetermination
+//!   rule reverse-engineered from ExoPlayer's behaviour (DESIGN.md §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combo;
+pub mod content;
+pub mod ladder;
+pub mod track;
+pub mod units;
+pub mod vbr;
+
+pub use combo::{Combo, ComboBitrate};
+pub use content::Content;
+pub use ladder::Ladder;
+pub use track::{MediaType, TrackId, TrackInfo};
+pub use units::{Bytes, BitsPerSec};

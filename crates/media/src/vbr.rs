@@ -1,0 +1,261 @@
+//! Deterministic per-chunk size synthesis.
+//!
+//! The paper streams a real YouTube clip; we substitute a synthetic clip
+//! whose *per-track average and peak bitrates are calibrated to Table 1
+//! exactly* (see DESIGN.md §1 — every behaviour the paper demonstrates is a
+//! function of the ladder, not of pixel content).
+//!
+//! Calibration contract, given `n ≥ 2` chunks of equal duration:
+//!
+//! 1. the sum of all chunk sizes equals the track's average bitrate times
+//!    the clip duration (to the byte),
+//! 2. exactly one designated chunk carries the peak bitrate (to the byte),
+//!    and no chunk exceeds it,
+//! 3. all sizes are positive,
+//! 4. the sequence is a pure function of the seed.
+
+use crate::units::{BitsPerSec, Bytes};
+use abr_event::rng::SplitMix64;
+use abr_event::time::Duration;
+
+/// Shape parameters for one track's chunk-size sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct VbrParams {
+    /// Target mean bitrate over the clip.
+    pub avg: BitsPerSec,
+    /// Target maximum per-chunk bitrate.
+    pub peak: BitsPerSec,
+    /// Relative half-width of the per-chunk variation around the mean, in
+    /// `[0, 0.95]`. Video uses ~0.35; near-CBR audio ~0.02. The effective
+    /// spread is automatically narrowed when the peak leaves little
+    /// headroom above the mean.
+    pub spread: f64,
+}
+
+impl VbrParams {
+    /// Typical VBR video shape.
+    pub fn video(avg: BitsPerSec, peak: BitsPerSec) -> Self {
+        VbrParams { avg, peak, spread: 0.35 }
+    }
+
+    /// Near-CBR audio shape.
+    pub fn audio(avg: BitsPerSec, peak: BitsPerSec) -> Self {
+        VbrParams { avg, peak, spread: 0.02 }
+    }
+}
+
+/// Bytes in one chunk of `chunk_dur` at `rate`, rounded to nearest.
+fn chunk_bytes(rate: BitsPerSec, chunk_dur: Duration) -> u64 {
+    rate.bytes_in_micros(chunk_dur.as_micros()).get()
+}
+
+/// Generates `n` chunk sizes meeting the calibration contract above.
+///
+/// Panics if `n == 0`, `avg > peak`, `spread` is outside `[0, 0.95]`, or the
+/// target total cannot accommodate the peak chunk (`peak > n × avg`, which
+/// no realistic ladder exhibits).
+pub fn chunk_sizes(params: VbrParams, chunk_dur: Duration, n: usize, rng: &mut SplitMix64) -> Vec<Bytes> {
+    assert!(n > 0, "zero chunks");
+    assert!(params.avg <= params.peak, "avg {} > peak {}", params.avg, params.peak);
+    assert!(
+        (0.0..=0.95).contains(&params.spread),
+        "spread {} outside [0, 0.95]",
+        params.spread
+    );
+    assert!(!chunk_dur.is_zero(), "zero chunk duration");
+
+    let total: u64 = (params.avg.bps() as u128 * chunk_dur.as_micros() as u128 * n as u128
+        / (8 * 1_000_000)) as u64;
+    let peak_sz = chunk_bytes(params.peak, chunk_dur);
+
+    if n == 1 {
+        return vec![Bytes(total.max(1))];
+    }
+    assert!(
+        peak_sz < total,
+        "peak chunk ({peak_sz} B) exceeds clip total ({total} B): peak > n × avg"
+    );
+
+    let rest_total = total - peak_sz;
+    let rest_n = n - 1;
+    let rest_mean = rest_total as f64 / rest_n as f64;
+
+    // Narrow the spread so no non-peak chunk can reach the peak and none
+    // can go non-positive.
+    let headroom = (peak_sz as f64 / rest_mean - 1.0).max(0.0);
+    let eff = params.spread.min(headroom * 0.9).min(0.95);
+
+    // Non-peak chunks stay strictly below the peak so the peak chunk is the
+    // unique maximum — except in the (near-)CBR regime where the mean leaves
+    // no room below the peak and equality is the only feasible assignment.
+    let cap = if peak_sz as f64 - rest_mean > 1.5 { peak_sz - 1 } else { peak_sz };
+
+    // Raw weights, normalized to hit rest_total exactly after rounding.
+    let weights: Vec<f64> = (0..rest_n).map(|_| 1.0 + eff * (2.0 * rng.next_f64() - 1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut sizes: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w / wsum) * rest_total as f64).round().max(1.0) as u64)
+        .map(|s| s.min(cap))
+        .collect();
+
+    // Integer correction so the sum is exact. The per-chunk drift from
+    // rounding is at most a few bytes; distribute it one byte at a time over
+    // chunks that still have headroom (or slack, when shrinking).
+    let mut diff: i64 = rest_total as i64 - sizes.iter().sum::<u64>() as i64;
+    let mut k = 0usize;
+    let mut guard = 0u64;
+    while diff != 0 {
+        guard += 1;
+        assert!(
+            guard < 64 * rest_total.max(1),
+            "size correction failed to converge (diff {diff})"
+        );
+        let i = k % rest_n;
+        k += 1;
+        if diff > 0 && sizes[i] < cap {
+            sizes[i] += 1;
+            diff -= 1;
+        } else if diff < 0 && sizes[i] > 1 {
+            sizes[i] -= 1;
+            diff += 1;
+        }
+    }
+
+    // Insert the peak chunk at a seed-determined position.
+    let peak_pos = rng.below(n as u64) as usize;
+    let mut out: Vec<Bytes> = sizes.into_iter().map(Bytes).collect();
+    out.insert(peak_pos.min(out.len()), Bytes(peak_sz));
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Measured statistics of a size sequence, for calibration checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredBitrates {
+    /// Mean bitrate implied by the sizes.
+    pub avg: BitsPerSec,
+    /// Maximum per-chunk bitrate implied by the sizes.
+    pub peak: BitsPerSec,
+}
+
+/// Computes the average and peak bitrates a size sequence realizes.
+pub fn measure(sizes: &[Bytes], chunk_dur: Duration) -> MeasuredBitrates {
+    assert!(!sizes.is_empty());
+    let total: Bytes = sizes.iter().copied().sum();
+    let avg = total.rate_over_micros(chunk_dur.as_micros() * sizes.len() as u64);
+    let peak_sz = sizes.iter().copied().max().expect("non-empty");
+    MeasuredBitrates { avg, peak: peak_sz.rate_over_micros(chunk_dur.as_micros()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHUNK: Duration = Duration::from_secs(4);
+
+    fn check_calibration(avg_kbps: u64, peak_kbps: u64, spread: f64, n: usize, seed: u64) {
+        let p = VbrParams {
+            avg: BitsPerSec::from_kbps(avg_kbps),
+            peak: BitsPerSec::from_kbps(peak_kbps),
+            spread,
+        };
+        let mut rng = SplitMix64::new(seed);
+        let sizes = chunk_sizes(p, CHUNK, n, &mut rng);
+        assert_eq!(sizes.len(), n);
+        let m = measure(&sizes, CHUNK);
+        // Integer division rounds the total by at most n bytes: within 1 Kbps.
+        assert!(
+            (m.avg.kbps() as i64 - avg_kbps as i64).abs() <= 1,
+            "avg {} vs target {avg_kbps}",
+            m.avg.kbps()
+        );
+        assert!(
+            (m.peak.kbps() as i64 - peak_kbps as i64).abs() <= 1,
+            "peak {} vs target {peak_kbps}",
+            m.peak.kbps()
+        );
+        assert!(sizes.iter().all(|s| s.get() > 0), "positive sizes");
+        let peak_sz = sizes.iter().max().unwrap();
+        assert_eq!(sizes.iter().filter(|s| *s == peak_sz).count(), 1, "unique peak chunk");
+    }
+
+    #[test]
+    fn calibrates_every_table1_track() {
+        // (avg, peak) pairs straight from Table 1.
+        for (i, (a, p, s)) in [
+            (128, 134, 0.02),
+            (196, 199, 0.02),
+            (384, 391, 0.02),
+            (111, 119, 0.35),
+            (246, 261, 0.35),
+            (362, 641, 0.35),
+            (734, 1190, 0.35),
+            (1421, 2382, 0.35),
+            (2728, 4447, 0.35),
+        ]
+        .iter()
+        .enumerate()
+        {
+            check_calibration(*a, *p, *s, 75, 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = VbrParams::video(BitsPerSec::from_kbps(734), BitsPerSec::from_kbps(1190));
+        let a = chunk_sizes(p, CHUNK, 75, &mut SplitMix64::new(9));
+        let b = chunk_sizes(p, CHUNK, 75, &mut SplitMix64::new(9));
+        let c = chunk_sizes(p, CHUNK, 75, &mut SplitMix64::new(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_chunk_clip() {
+        let p = VbrParams::audio(BitsPerSec::from_kbps(128), BitsPerSec::from_kbps(134));
+        let sizes = chunk_sizes(p, CHUNK, 1, &mut SplitMix64::new(1));
+        assert_eq!(sizes.len(), 1);
+        assert_eq!(sizes[0], Bytes(64_000)); // 128 Kbps × 4 s / 8
+    }
+
+    #[test]
+    fn cbr_when_avg_equals_peak() {
+        let p = VbrParams { avg: BitsPerSec::from_kbps(100), peak: BitsPerSec::from_kbps(100), spread: 0.0 };
+        let sizes = chunk_sizes(p, CHUNK, 10, &mut SplitMix64::new(1));
+        let m = measure(&sizes, CHUNK);
+        assert_eq!(m.avg.kbps(), 100);
+        assert_eq!(m.peak.kbps(), 100);
+    }
+
+    #[test]
+    fn tiny_clips_still_calibrate() {
+        check_calibration(362, 641, 0.35, 2, 7);
+        check_calibration(362, 641, 0.35, 3, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "avg")]
+    fn rejects_avg_above_peak() {
+        let p = VbrParams { avg: BitsPerSec::from_kbps(200), peak: BitsPerSec::from_kbps(100), spread: 0.1 };
+        chunk_sizes(p, CHUNK, 10, &mut SplitMix64::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak chunk")]
+    fn rejects_peak_exceeding_total() {
+        // peak 10× avg with only 2 chunks: the peak chunk alone exceeds the
+        // whole clip's byte budget.
+        let p = VbrParams { avg: BitsPerSec::from_kbps(100), peak: BitsPerSec::from_kbps(1000), spread: 0.1 };
+        chunk_sizes(p, CHUNK, 2, &mut SplitMix64::new(1));
+    }
+
+    #[test]
+    fn measure_reports_exact_rates() {
+        // Two 4-s chunks of 50000 and 100000 bytes: avg = 150 KB/8 s,
+        // peak = 100 KB/4 s.
+        let m = measure(&[Bytes(50_000), Bytes(100_000)], CHUNK);
+        assert_eq!(m.avg, BitsPerSec(150_000));
+        assert_eq!(m.peak, BitsPerSec(200_000));
+    }
+}

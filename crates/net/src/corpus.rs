@@ -1,0 +1,135 @@
+//! A corpus of named bandwidth profiles.
+//!
+//! The ABR literature evaluates against a handful of recurring network
+//! shapes; this module provides deterministic synthetic stand-ins for the
+//! common ones, plus the two profiles calibrated for the paper's Fig 3 and
+//! Fig 4(b) experiments (re-exported from [`crate::trace`]). Every profile
+//! is seeded and documented with its mean and range so experiments can
+//! cite exactly what they ran on.
+
+use crate::trace::Trace;
+use abr_event::time::Duration;
+use abr_media::units::BitsPerSec;
+
+fn kbps(k: u64) -> BitsPerSec {
+    BitsPerSec::from_kbps(k)
+}
+
+/// A stable wired line (DSL/cable-like): 5 Mbps with ±5% jitter every 10 s.
+/// Mean ≈ 5 Mbps. The "easy" profile — every policy should be clean here.
+pub fn dsl_stable(total: Duration, seed: u64) -> Trace {
+    Trace::random_walk(kbps(5_000), kbps(4_500), kbps(5_500), 0.05, Duration::from_secs(10), total, seed)
+}
+
+/// A walking-pace cellular link (LTE-like): mean ~3 Mbps, swinging between
+/// 600 Kbps and 8 Mbps with large steps every 2 s.
+pub fn lte_walk(total: Duration, seed: u64) -> Trace {
+    Trace::random_walk(kbps(3_000), kbps(600), kbps(8_000), 0.35, Duration::from_secs(2), total, seed)
+}
+
+/// A congested 3G link (HSPA-like): mean ~700 Kbps between 150 Kbps and
+/// 1.8 Mbps, choppy (steps every 1.5 s).
+pub fn hspa_congested(total: Duration, seed: u64) -> Trace {
+    Trace::random_walk(kbps(700), kbps(150), kbps(1_800), 0.45, Duration::from_millis(1_500), total, seed)
+}
+
+/// A commuter-bus profile: comfortable 4 Mbps runs interrupted every ~45 s
+/// by deep fades to 100 Kbps lasting ~8 s (tunnels, handovers).
+pub fn bus_commute(total: Duration) -> Trace {
+    let mut steps = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    while elapsed < total {
+        steps.push((Duration::from_secs(45), kbps(4_000)));
+        steps.push((Duration::from_secs(8), kbps(100)));
+        elapsed += Duration::from_secs(53);
+    }
+    Trace::steps(&steps)
+}
+
+/// An elevator profile: normal 2.5 Mbps service with a complete outage
+/// (0 Kbps) from 60 s to 75 s — the hard test for buffer management.
+pub fn elevator(total: Duration) -> Trace {
+    let mut steps = vec![
+        (Duration::from_secs(60), kbps(2_500)),
+        (Duration::from_secs(15), BitsPerSec::ZERO),
+    ];
+    let mut elapsed = Duration::from_secs(75);
+    while elapsed < total {
+        steps.push((Duration::from_secs(60), kbps(2_500)));
+        elapsed += Duration::from_secs(60);
+    }
+    Trace::steps(&steps)
+}
+
+/// Every named profile, for sweep experiments: `(name, trace)`.
+pub fn all(total: Duration, seed: u64) -> Vec<(&'static str, Trace)> {
+    vec![
+        ("dsl-stable", dsl_stable(total, seed)),
+        ("lte-walk", lte_walk(total, seed)),
+        ("hspa-congested", hspa_congested(total, seed)),
+        ("bus-commute", bus_commute(total)),
+        ("elevator", elevator(total)),
+        ("paper-fig3-600k", Trace::fig3_varying_600k(total)),
+        ("paper-fig4b-600k", Trace::fig4b_varying_600k(total)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_event::time::Instant;
+
+    const TOTAL: Duration = Duration::from_secs(600);
+
+    #[test]
+    fn corpus_is_deterministic() {
+        for ((n1, a), (n2, b)) in all(TOTAL, 9).into_iter().zip(all(TOTAL, 9)) {
+            assert_eq!(n1, n2);
+            assert_eq!(a, b, "{n1} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn means_are_in_documented_ballparks() {
+        let horizon = Instant::from_secs(600);
+        let cases: Vec<(&str, Trace, u64, u64)> = vec![
+            ("dsl", dsl_stable(TOTAL, 1), 4_500, 5_500),
+            ("lte", lte_walk(TOTAL, 1), 1_500, 6_000),
+            ("hspa", hspa_congested(TOTAL, 1), 300, 1_500),
+            ("bus", bus_commute(TOTAL), 3_000, 3_800),
+            ("elevator", elevator(TOTAL), 1_800, 2_500),
+        ];
+        for (name, trace, lo, hi) in cases {
+            let mean = trace.mean_over(Instant::ZERO, horizon).kbps();
+            assert!(
+                (lo..=hi).contains(&mean),
+                "{name}: mean {mean} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn bus_commute_has_fades() {
+        let t = bus_commute(TOTAL);
+        assert_eq!(t.rate_at(Instant::from_secs(10)), kbps(4_000));
+        assert_eq!(t.rate_at(Instant::from_secs(48)), kbps(100));
+        assert_eq!(t.rate_at(Instant::from_secs(60)), kbps(4_000));
+    }
+
+    #[test]
+    fn elevator_has_a_true_outage() {
+        let t = elevator(TOTAL);
+        assert_eq!(t.rate_at(Instant::from_secs(65)), BitsPerSec::ZERO);
+        assert_eq!(t.rate_at(Instant::from_secs(80)), kbps(2_500));
+    }
+
+    #[test]
+    fn all_profiles_listed_once() {
+        let names: Vec<&str> = all(TOTAL, 1).iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(names.len(), 7);
+    }
+}

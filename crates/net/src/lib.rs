@@ -1,0 +1,33 @@
+//! # abr-net — bandwidth traces and the fluid bottleneck link
+//!
+//! The substitution for the paper's `tc`-shaped testbed network
+//! (DESIGN.md §1):
+//!
+//! * [`corpus`] — named synthetic network profiles (DSL, LTE walk, bus
+//!   commute, elevator outage, …) for sweep experiments.
+//! * [`trace`] — piecewise-constant bandwidth schedules, with generators for
+//!   the paper's fixed-rate settings, the time-varying average-600-Kbps
+//!   profiles of Figs 3 and 4(b), plus square waves, steps and seeded random
+//!   walks for the extended experiments.
+//! * [`profile`] — per-flow delivery records (`(start, end, rate)` segments)
+//!   that bandwidth estimators query; Shaka's 0.125-s interval sampling with
+//!   its 16 KB validity filter reads these verbatim.
+//! * [`packet`] — an MTU-granularity link used to validate the fluid
+//!   approximation (completion times agree to within packet service times).
+//! * [`link`] — the fluid bottleneck: concurrent flows share capacity by
+//!   processor sharing (the standard fluid approximation of TCP fair share
+//!   on a common bottleneck), integrated exactly across trace changepoints
+//!   in integer microseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod link;
+pub mod packet;
+pub mod profile;
+pub mod trace;
+
+pub use link::{FlowId, Link};
+pub use profile::{DeliveryProfile, Segment};
+pub use trace::Trace;

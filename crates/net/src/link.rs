@@ -1,0 +1,481 @@
+//! The fluid bottleneck link.
+//!
+//! Concurrent flows (chunk downloads) share the link's instantaneous
+//! capacity equally — processor sharing, the standard fluid approximation
+//! of TCP fair share on a single bottleneck. This is the mechanism behind
+//! two of the paper's findings:
+//!
+//! * Shaka's per-flow throughput sampling sees only *its own* share, so two
+//!   concurrent audio+video downloads each measure ≈ half the link (Fig 4a);
+//! * sequential chunk-synchronized downloading (ExoPlayer) measures the
+//!   full link per transfer.
+//!
+//! Delivery is integrated exactly in integer microseconds across trace
+//! changepoints, flow activations (request latency) and flow completions.
+//! A flow's completion instant is computed with ceiling division — the
+//! transfer finishes when its *last byte* lands.
+
+use crate::profile::{DeliveryProfile, Segment};
+use crate::trace::Trace;
+use abr_event::time::{Duration, Instant};
+use abr_media::units::{BitsPerSec, Bytes};
+use std::collections::BTreeMap;
+
+/// Identifies a flow on one link. Ids ascend in open order and are never
+/// reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Bit-microseconds per byte: tracking a flow's remaining work in
+/// `bits × µs` keeps delivery integration exact across arbitrary segment
+/// boundaries (no per-segment rounding), which makes completion instants
+/// independent of how the caller steps the clock.
+const BITMICROS_PER_BYTE: u128 = 8 * 1_000_000;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    /// Remaining work in bit-microseconds (`bytes × 8 × 10⁶`).
+    remaining_bm: u128,
+    size: Bytes,
+    opened_at: Instant,
+    activate_at: Instant,
+    profile: DeliveryProfile,
+}
+
+/// A completed transfer, as reported by [`Link::advance_to`].
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Which flow finished.
+    pub id: FlowId,
+    /// Exact instant the last byte arrived.
+    pub at: Instant,
+    /// Requested transfer size.
+    pub size: Bytes,
+    /// Instant the request was opened (before request latency).
+    pub opened_at: Instant,
+    /// Full delivery history of the transfer.
+    pub profile: DeliveryProfile,
+}
+
+/// A shared bottleneck link with a piecewise-constant capacity schedule.
+#[derive(Debug, Clone)]
+pub struct Link {
+    trace: Trace,
+    latency: Duration,
+    now: Instant,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+}
+
+impl Link {
+    /// A link with the given capacity schedule and zero request latency.
+    pub fn new(trace: Trace) -> Self {
+        Link::with_latency(trace, Duration::ZERO)
+    }
+
+    /// A link whose flows start delivering `latency` after being opened
+    /// (models request RTT + server think time).
+    pub fn with_latency(trace: Trace, latency: Duration) -> Self {
+        Link { trace, latency, now: Instant::ZERO, flows: BTreeMap::new(), next_id: 0 }
+    }
+
+    /// Current link time (advanced by [`Link::advance_to`]).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The capacity schedule.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Opens a transfer of `size` bytes at the current time. Panics on a
+    /// zero-size transfer (no such HTTP response exists in this model; use
+    /// latency for header-only exchanges).
+    pub fn open_flow(&mut self, size: Bytes) -> FlowId {
+        self.open_flow_after(size, Duration::ZERO)
+    }
+
+    /// Opens a transfer whose first byte is delayed by the link latency
+    /// *plus* `extra` — e.g. an origin round trip behind a CDN miss.
+    pub fn open_flow_after(&mut self, size: Bytes, extra: Duration) -> FlowId {
+        assert!(size.get() > 0, "zero-byte flow");
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining_bm: size.get() as u128 * BITMICROS_PER_BYTE,
+                size,
+                opened_at: self.now,
+                activate_at: self.now + self.latency + extra,
+                profile: DeliveryProfile::new(),
+            },
+        );
+        id
+    }
+
+    /// Number of flows currently transferring or awaiting activation.
+    pub fn pending_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Delivery history so far of an in-progress flow.
+    pub fn flow_profile(&self, id: FlowId) -> Option<&DeliveryProfile> {
+        self.flows.get(&id).map(|f| &f.profile)
+    }
+
+    /// Cancels an in-progress flow (the client closed the connection).
+    /// Returns true if the flow existed. Bytes already delivered stay
+    /// delivered; the flow simply stops competing for capacity.
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        self.flows.remove(&id).is_some()
+    }
+
+    /// Bytes still owed to an in-progress flow (rounded up).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<Bytes> {
+        self.flows
+            .get(&id)
+            .map(|f| Bytes(f.remaining_bm.div_ceil(BITMICROS_PER_BYTE) as u64))
+    }
+
+    /// The instantaneous per-flow share if `n` flows were active at `t`.
+    fn share_at(&self, t: Instant, n: usize) -> BitsPerSec {
+        if n == 0 {
+            return BitsPerSec::ZERO;
+        }
+        BitsPerSec(self.trace.rate_at(t).bps() / n as u64)
+    }
+
+    /// Exact instant of the earliest future completion, or `None` if no
+    /// pending flow can ever complete (no flows, or the schedule's final
+    /// rate is zero with work outstanding).
+    pub fn next_completion(&self) -> Option<Instant> {
+        let mut flows: Vec<(u128, Instant)> =
+            self.flows.values().map(|f| (f.remaining_bm, f.activate_at)).collect();
+        if flows.is_empty() {
+            return None;
+        }
+        let mut t = self.now;
+        loop {
+            let active = flows.iter().filter(|(r, a)| *r > 0 && *a <= t).count();
+            let share = self.share_at(t, active);
+            // Candidate boundaries: next activation, next trace change,
+            // earliest completion under current share.
+            let mut boundary: Option<Instant> = None;
+            let mut fold = |c: Instant| {
+                boundary = Some(boundary.map_or(c, |b: Instant| b.min(c)));
+            };
+            for (r, a) in &flows {
+                if *r > 0 && *a > t {
+                    fold(*a);
+                }
+            }
+            if let Some(c) = self.trace.next_change_after(t) {
+                fold(c);
+            }
+            if active > 0 && share.bps() > 0 {
+                let min_remaining = flows
+                    .iter()
+                    .filter(|(r, a)| *r > 0 && *a <= t)
+                    .map(|(r, _)| *r)
+                    .min()
+                    .expect("active flows exist");
+                let done =
+                    t + Duration::from_micros(min_remaining.div_ceil(share.bps() as u128) as u64);
+                if boundary.is_none_or(|b| done <= b) {
+                    return Some(done);
+                }
+            }
+            let Some(b) = boundary else {
+                // No rate changes, no activations, nothing deliverable.
+                return None;
+            };
+            // Deliver up to the boundary and continue (exact integer
+            // arithmetic; completions inside the span were handled above).
+            if active > 0 && share.bps() > 0 {
+                let d = share.bps() as u128 * (b - t).as_micros() as u128;
+                for (r, a) in flows.iter_mut() {
+                    if *r > 0 && *a <= t {
+                        *r = r.saturating_sub(d);
+                    }
+                }
+            }
+            t = b;
+        }
+    }
+
+    /// Advances link time to `t`, integrating deliveries, and returns the
+    /// flows that completed at or before `t`, ordered by completion time
+    /// then flow id. Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: Instant) -> Vec<Completion> {
+        assert!(t >= self.now, "advance into the past: {t} < {}", self.now);
+        let mut done = Vec::new();
+        while self.now < t {
+            let now = self.now;
+            let active_ids: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.remaining_bm > 0 && f.activate_at <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            let share = self.share_at(now, active_ids.len());
+
+            // Boundary: min of t, next activation, next trace change, and
+            // the earliest completion at the current share.
+            let mut boundary = t;
+            for f in self.flows.values() {
+                if f.remaining_bm > 0 && f.activate_at > now {
+                    boundary = boundary.min(f.activate_at);
+                }
+            }
+            if let Some(c) = self.trace.next_change_after(now) {
+                boundary = boundary.min(c);
+            }
+            if share.bps() > 0 {
+                for id in &active_ids {
+                    let rem = self.flows[id].remaining_bm;
+                    let fin =
+                        now + Duration::from_micros(rem.div_ceil(share.bps() as u128) as u64);
+                    boundary = boundary.min(fin);
+                }
+            }
+
+            // Deliver over [now, boundary] to every active flow.
+            if share.bps() > 0 && !active_ids.is_empty() && boundary > now {
+                let span = (boundary - now).as_micros() as u128;
+                for id in &active_ids {
+                    let f = self.flows.get_mut(id).expect("active flow exists");
+                    let delivered = share.bps() as u128 * span;
+                    if delivered >= f.remaining_bm {
+                        let fin = now
+                            + Duration::from_micros(
+                                f.remaining_bm.div_ceil(share.bps() as u128) as u64,
+                            );
+                        debug_assert!(fin <= boundary);
+                        f.profile.push(Segment { start: now, end: fin, rate: share });
+                        f.remaining_bm = 0;
+                        let f = self.flows.remove(id).expect("present");
+                        done.push(Completion {
+                            id: *id,
+                            at: fin,
+                            size: f.size,
+                            opened_at: f.opened_at,
+                            profile: f.profile,
+                        });
+                    } else {
+                        f.remaining_bm -= delivered;
+                        f.profile.push(Segment { start: now, end: boundary, rate: share });
+                    }
+                }
+            }
+            self.now = boundary;
+        }
+        done.sort_by_key(|c| (c.at, c.id));
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kbps(k: u64) -> BitsPerSec {
+        BitsPerSec::from_kbps(k)
+    }
+
+    #[test]
+    fn solo_flow_exact_completion() {
+        // 1 MB at 8 Mbps = exactly 1 s.
+        let mut link = Link::new(Trace::constant(BitsPerSec(8_000_000)));
+        let id = link.open_flow(Bytes(1_000_000));
+        assert_eq!(link.next_completion(), Some(Instant::from_secs(1)));
+        let done = link.advance_to(Instant::from_secs(2));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].at, Instant::from_secs(1));
+        assert_eq!(done[0].profile.mean_throughput(), Some(BitsPerSec(8_000_000)));
+    }
+
+    #[test]
+    fn two_flows_split_capacity() {
+        // Two equal flows at 1 Mbps: each sees 500 Kbps — the Fig 4(a)
+        // concurrency-underestimation mechanism.
+        let mut link = Link::new(Trace::constant(kbps(1000)));
+        let a = link.open_flow(Bytes(62_500)); // 0.5 Mb at 500 Kbps = 1 s
+        let b = link.open_flow(Bytes(62_500));
+        let done = link.advance_to(Instant::from_secs(5));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].at, Instant::from_secs(1));
+        assert_eq!(done[1].at, Instant::from_secs(1));
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[1].id, b);
+        for c in &done {
+            assert_eq!(c.profile.mean_throughput(), Some(kbps(500)));
+        }
+    }
+
+    #[test]
+    fn share_grows_when_peer_finishes() {
+        // Flow A is smaller; after it completes, B gets the whole link.
+        let mut link = Link::new(Trace::constant(kbps(1000)));
+        let _a = link.open_flow(Bytes(62_500)); // at 500 Kbps: done at 1 s
+        let b = link.open_flow(Bytes(187_500));
+        // B delivers 62500 B in the first second (shared), then 125000 B
+        // solo at 1 Mbps in a further 1 s: done at 2 s.
+        let done = link.advance_to(Instant::from_secs(10));
+        assert_eq!(done.len(), 2);
+        let bc = done.iter().find(|c| c.id == b).unwrap();
+        assert_eq!(bc.at, Instant::from_secs(2));
+        let segs = bc.profile.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].rate, kbps(500));
+        assert_eq!(segs[1].rate, kbps(1000));
+    }
+
+    #[test]
+    fn trace_change_mid_flow() {
+        // 500 Kbps for 1 s then 1500 Kbps: 187500 B = 62500 + 125000 →
+        // 1 s + ~0.667 s.
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), kbps(500)),
+            (Duration::from_secs(100), kbps(1500)),
+        ]);
+        let mut link = Link::new(trace);
+        let _ = link.open_flow(Bytes(187_500));
+        let expect = Instant::from_micros(1_000_000 + 666_667);
+        assert_eq!(link.next_completion(), Some(expect));
+        let done = link.advance_to(Instant::from_secs(5));
+        assert_eq!(done[0].at, expect);
+    }
+
+    #[test]
+    fn zero_capacity_interval_pauses_delivery() {
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), kbps(800)),  // 100 KB
+            (Duration::from_secs(2), kbps(0)),    // stalled
+            (Duration::from_secs(100), kbps(800)),
+        ]);
+        let mut link = Link::new(trace);
+        let _ = link.open_flow(Bytes(200_000));
+        // 100 KB in the first second, 2 s of nothing, 100 KB more by t=4.
+        assert_eq!(link.next_completion(), Some(Instant::from_secs(4)));
+        let done = link.advance_to(Instant::from_secs(10));
+        assert_eq!(done[0].at, Instant::from_secs(4));
+        // The profile records the gap.
+        assert_eq!(done[0].profile.segments().len(), 2);
+    }
+
+    #[test]
+    fn never_completes_on_dead_link() {
+        let mut link = Link::new(Trace::constant(BitsPerSec::ZERO));
+        let _ = link.open_flow(Bytes(1));
+        assert_eq!(link.next_completion(), None);
+        assert!(link.advance_to(Instant::from_secs(100)).is_empty());
+        assert_eq!(link.pending_count(), 1);
+    }
+
+    #[test]
+    fn request_latency_delays_first_byte() {
+        let mut link = Link::with_latency(Trace::constant(kbps(800)), Duration::from_millis(50));
+        let id = link.open_flow(Bytes(100_000)); // 1 s of delivery
+        assert_eq!(link.next_completion(), Some(Instant::from_millis(1_050)));
+        let done = link.advance_to(Instant::from_secs(2));
+        assert_eq!(done[0].at, Instant::from_millis(1_050));
+        assert_eq!(done[0].opened_at, Instant::ZERO);
+        assert_eq!(done[0].profile.start(), Some(Instant::from_millis(50)));
+        let _ = id;
+    }
+
+    #[test]
+    fn cancelled_flows_release_capacity() {
+        let mut link = Link::new(Trace::constant(kbps(1000)));
+        let a = link.open_flow(Bytes(125_000)); // 2 s at half rate
+        let b = link.open_flow(Bytes(125_000));
+        link.advance_to(Instant::from_secs(1)); // each has 62500 B left
+        assert!(link.cancel_flow(a));
+        assert!(!link.cancel_flow(a), "second cancel is a no-op");
+        // B now gets the whole link: 62500 B at 1 Mbps = 0.5 s.
+        assert_eq!(link.next_completion(), Some(Instant::from_millis(1_500)));
+        let done = link.advance_to(Instant::from_secs(3));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, b);
+    }
+
+    #[test]
+    fn extra_flow_delay_stacks_on_link_latency() {
+        let mut link = Link::with_latency(Trace::constant(kbps(800)), Duration::from_millis(50));
+        let _ = link.open_flow_after(Bytes(100_000), Duration::from_millis(150));
+        // 50 ms link latency + 150 ms extra + 1 s of delivery.
+        assert_eq!(link.next_completion(), Some(Instant::from_millis(1_200)));
+    }
+
+    #[test]
+    fn staggered_opens_reshare() {
+        let mut link = Link::new(Trace::constant(kbps(1000)));
+        let a = link.open_flow(Bytes(250_000)); // solo: 2 s
+        // Let 1 s pass, then a second flow joins.
+        let none = link.advance_to(Instant::from_secs(1));
+        assert!(none.is_empty());
+        let b = link.open_flow(Bytes(125_000));
+        // A has 125000 B left, now at 500 Kbps → 2 s more (done t=3).
+        // B needs 125000 B at 500 Kbps → done t=3 too.
+        let done = link.advance_to(Instant::from_secs(10));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].at, Instant::from_secs(3));
+        assert_eq!(done[1].at, Instant::from_secs(3));
+        assert_eq!(done[0].id, a);
+        assert_eq!(done[1].id, b);
+    }
+
+    #[test]
+    fn advance_in_small_steps_equals_one_big_step() {
+        let trace = Trace::square_wave(kbps(900), kbps(300), Duration::from_secs(3), Duration::from_secs(60));
+        let mut a = Link::new(trace.clone());
+        let mut b = Link::new(trace);
+        let _ = a.open_flow(Bytes(777_777));
+        let _ = b.open_flow(Bytes(777_777));
+        let big = a.advance_to(Instant::from_secs(30));
+        let mut small = Vec::new();
+        for ms in (0..30_000).step_by(250) {
+            small.extend(b.advance_to(Instant::from_millis(ms as u64 + 250)));
+        }
+        assert_eq!(big.len(), 1);
+        assert_eq!(small.len(), 1);
+        assert_eq!(big[0].at, small[0].at);
+        assert_eq!(big[0].profile.total_bytes(), small[0].profile.total_bytes());
+    }
+
+    #[test]
+    fn profile_total_matches_size() {
+        let mut link = Link::new(Trace::square_wave(
+            kbps(731), kbps(293), Duration::from_millis(700), Duration::from_secs(600),
+        ));
+        let _ = link.open_flow(Bytes(123_457));
+        let done = link.advance_to(Instant::from_secs(600));
+        assert_eq!(done.len(), 1);
+        let total = done[0].profile.total_bytes().get() as i64;
+        // Per-segment rounding can drift by at most 1 byte per segment.
+        let segs = done[0].profile.segments().len() as i64;
+        assert!(
+            (total - 123_457).abs() <= segs,
+            "profile total {total} vs size 123457 ({segs} segments)"
+        );
+    }
+
+    #[test]
+    fn flow_queries_mid_transfer() {
+        let mut link = Link::new(Trace::constant(kbps(800)));
+        let id = link.open_flow(Bytes(200_000));
+        link.advance_to(Instant::from_secs(1));
+        assert_eq!(link.flow_remaining(id), Some(Bytes(100_000)));
+        assert!(!link.flow_profile(id).unwrap().is_empty());
+        assert_eq!(link.pending_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte flow")]
+    fn zero_byte_flow_rejected() {
+        Link::new(Trace::constant(kbps(1))).open_flow(Bytes::ZERO);
+    }
+}

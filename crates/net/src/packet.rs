@@ -1,0 +1,331 @@
+//! A packet-granularity bottleneck link, for validating the fluid model.
+//!
+//! [`crate::link::Link`] is a fluid approximation: concurrent flows divide
+//! capacity continuously. Real bottlenecks serve whole packets. This
+//! module implements the same interface at MTU granularity — one packet in
+//! service at a time, round-robin across active flows, each packet
+//! transmitted at the capacity in force when it starts — so tests can
+//! check that the fluid model's completion times agree with a
+//! packet-accurate one to within a few packet service times (see the
+//! `fluid_equivalence` tests and `crates/net/tests/proptests.rs`).
+//!
+//! The simulator proper uses the fluid link (exact, fewer events); this
+//! one exists to keep it honest.
+
+use crate::link::FlowId;
+use crate::trace::Trace;
+use abr_event::time::{Duration, Instant};
+use abr_media::units::Bytes;
+use std::collections::BTreeMap;
+
+/// Standard Ethernet MTU.
+pub const DEFAULT_MTU: Bytes = Bytes(1500);
+
+#[derive(Debug, Clone)]
+struct PFlow {
+    remaining: u64,
+    size: Bytes,
+    opened_at: Instant,
+    activate_at: Instant,
+}
+
+/// A completed transfer on the packet link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketCompletion {
+    /// Which flow finished.
+    pub id: FlowId,
+    /// When its last packet finished transmitting.
+    pub at: Instant,
+    /// Requested transfer size.
+    pub size: Bytes,
+    /// When the request was opened.
+    pub opened_at: Instant,
+}
+
+/// A packet currently being transmitted.
+#[derive(Debug, Clone, Copy)]
+struct InService {
+    flow: FlowId,
+    bytes: u64,
+    finish: Instant,
+}
+
+/// The packet-granularity link.
+#[derive(Debug, Clone)]
+pub struct PacketLink {
+    trace: Trace,
+    latency: Duration,
+    mtu: Bytes,
+    now: Instant,
+    flows: BTreeMap<FlowId, PFlow>,
+    next_id: u64,
+    in_service: Option<InService>,
+    /// Flow id after which round-robin resumes.
+    rr_cursor: Option<FlowId>,
+}
+
+impl PacketLink {
+    /// A packet link with the default MTU and zero request latency.
+    pub fn new(trace: Trace) -> Self {
+        PacketLink::with_params(trace, Duration::ZERO, DEFAULT_MTU)
+    }
+
+    /// Full-control constructor.
+    pub fn with_params(trace: Trace, latency: Duration, mtu: Bytes) -> Self {
+        assert!(mtu.get() > 0, "zero MTU");
+        PacketLink {
+            trace,
+            latency,
+            mtu,
+            now: Instant::ZERO,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            in_service: None,
+            rr_cursor: None,
+        }
+    }
+
+    /// Current link time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Opens a transfer of `size` bytes.
+    pub fn open_flow(&mut self, size: Bytes) -> FlowId {
+        assert!(size.get() > 0, "zero-byte flow");
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            PFlow {
+                remaining: size.get(),
+                size,
+                opened_at: self.now,
+                activate_at: self.now + self.latency,
+            },
+        );
+        id
+    }
+
+    /// Flows still incomplete.
+    pub fn pending_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The next active flow in round-robin order after the cursor.
+    fn next_rr(&self, at: Instant) -> Option<FlowId> {
+        let active =
+            |f: &PFlow| f.remaining > 0 && f.activate_at <= at;
+        let after = self
+            .rr_cursor
+            .and_then(|cur| {
+                self.flows
+                    .range((
+                        std::ops::Bound::Excluded(cur),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .find(|(_, f)| active(f))
+                    .map(|(id, _)| *id)
+            });
+        after.or_else(|| {
+            self.flows.iter().find(|(_, f)| active(f)).map(|(id, _)| *id)
+        })
+    }
+
+    /// Advances to `t`, returning completions in time order.
+    pub fn advance_to(&mut self, t: Instant) -> Vec<PacketCompletion> {
+        assert!(t >= self.now, "advance into the past");
+        let mut done = Vec::new();
+        loop {
+            // Finish the packet in service if it lands within the window.
+            if let Some(svc) = self.in_service {
+                if svc.finish > t {
+                    self.now = t;
+                    return done;
+                }
+                self.now = svc.finish;
+                self.in_service = None;
+                self.rr_cursor = Some(svc.flow);
+                let flow = self.flows.get_mut(&svc.flow).expect("flow in service exists");
+                flow.remaining -= svc.bytes;
+                if flow.remaining == 0 {
+                    let f = self.flows.remove(&svc.flow).expect("present");
+                    done.push(PacketCompletion {
+                        id: svc.flow,
+                        at: svc.finish,
+                        size: f.size,
+                        opened_at: f.opened_at,
+                    });
+                }
+                continue;
+            }
+            if self.now >= t {
+                return done;
+            }
+            // Start the next packet, or skip dead time.
+            let rate = self.trace.rate_at(self.now);
+            let next_change = self.trace.next_change_after(self.now);
+            let next_activation = self
+                .flows
+                .values()
+                .filter(|f| f.remaining > 0 && f.activate_at > self.now)
+                .map(|f| f.activate_at)
+                .min();
+            match self.next_rr(self.now) {
+                Some(id) if rate.bps() > 0 => {
+                    let flow = &self.flows[&id];
+                    let bytes = flow.remaining.min(self.mtu.get());
+                    let micros = rate
+                        .micros_for_bytes(Bytes(bytes))
+                        .expect("nonzero rate");
+                    self.in_service = Some(InService {
+                        flow: id,
+                        bytes,
+                        finish: self.now + Duration::from_micros(micros),
+                    });
+                }
+                _ => {
+                    // Idle: nothing active or zero capacity. Jump to the
+                    // next thing that could change that.
+                    let mut next = t;
+                    if let Some(c) = next_change {
+                        next = next.min(c);
+                    }
+                    if let Some(a) = next_activation {
+                        next = next.min(a);
+                    }
+                    if next <= self.now {
+                        // Nothing will ever change before t.
+                        self.now = t;
+                        return done;
+                    }
+                    self.now = next;
+                }
+            }
+        }
+    }
+
+    /// The earliest future completion, found by simulating a clone forward
+    /// (packet links have no closed form). `None` if nothing pending or
+    /// nothing can complete within `horizon`.
+    pub fn next_completion_within(&self, horizon: Duration) -> Option<Instant> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let mut probe = self.clone();
+        let done = probe.advance_to(self.now + horizon);
+        done.first().map(|c| c.at)
+    }
+}
+
+#[cfg(test)]
+mod fluid_equivalence {
+    use super::*;
+    use crate::link::Link;
+    use abr_media::units::BitsPerSec;
+
+    fn kbps(k: u64) -> BitsPerSec {
+        BitsPerSec::from_kbps(k)
+    }
+
+    /// One packet's service time at `rate`.
+    fn pkt_time(rate: BitsPerSec) -> Duration {
+        Duration::from_micros(rate.micros_for_bytes(DEFAULT_MTU).unwrap())
+    }
+
+    #[test]
+    fn solo_flow_matches_fluid_exactly() {
+        // A solo flow has no sharing error: only the final short packet
+        // can shift the completion, by strictly less than one packet time.
+        let trace = Trace::constant(kbps(1_000));
+        let mut fluid = Link::new(trace.clone());
+        let mut packet = PacketLink::new(trace);
+        let _ = fluid.open_flow(Bytes(600_000));
+        let _ = packet.open_flow(Bytes(600_000));
+        let f = fluid.advance_to(Instant::from_secs(60))[0].at;
+        let p = packet.advance_to(Instant::from_secs(60))[0].at;
+        let delta = p.saturating_duration_since(f) + f.saturating_duration_since(p);
+        assert!(delta <= pkt_time(kbps(1_000)), "delta {delta}");
+    }
+
+    #[test]
+    fn two_flows_round_robin_approximates_processor_sharing() {
+        let trace = Trace::constant(kbps(2_000));
+        let mut fluid = Link::new(trace.clone());
+        let mut packet = PacketLink::new(trace);
+        for size in [300_000u64, 450_000] {
+            let _ = fluid.open_flow(Bytes(size));
+            let _ = packet.open_flow(Bytes(size));
+        }
+        let f = fluid.advance_to(Instant::from_secs(60));
+        let p = packet.advance_to(Instant::from_secs(60));
+        assert_eq!(f.len(), 2);
+        assert_eq!(p.len(), 2);
+        for (fc, pc) in f.iter().zip(p.iter()) {
+            assert_eq!(fc.id, pc.id);
+            let delta = fc.at.saturating_duration_since(pc.at)
+                + pc.at.saturating_duration_since(fc.at);
+            // RR vs PS divergence is bounded by a couple of packet times
+            // per flow.
+            assert!(delta <= pkt_time(kbps(2_000)) * 4, "flow {:?}: delta {delta}", fc.id);
+        }
+    }
+
+    #[test]
+    fn square_wave_stays_close() {
+        let trace = Trace::square_wave(
+            kbps(3_000),
+            kbps(500),
+            Duration::from_secs(5),
+            Duration::from_secs(120),
+        );
+        let mut fluid = Link::new(trace.clone());
+        let mut packet = PacketLink::new(trace);
+        let _ = fluid.open_flow(Bytes(2_000_000));
+        let _ = packet.open_flow(Bytes(2_000_000));
+        let f = fluid.advance_to(Instant::from_secs(120))[0].at;
+        let p = packet.advance_to(Instant::from_secs(120))[0].at;
+        let delta = p.saturating_duration_since(f) + f.saturating_duration_since(p);
+        // Rate changes mid-packet are charged at the start-of-packet rate:
+        // error ≤ one packet per changepoint crossed.
+        assert!(delta <= Duration::from_millis(200), "delta {delta}");
+    }
+
+    #[test]
+    fn zero_capacity_pauses_service() {
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), kbps(800)),
+            (Duration::from_secs(2), kbps(0)),
+            (Duration::from_secs(60), kbps(800)),
+        ]);
+        let mut packet = PacketLink::new(trace);
+        let _ = packet.open_flow(Bytes(200_000));
+        let done = packet.advance_to(Instant::from_secs(60));
+        assert_eq!(done.len(), 1);
+        // ~100 KB in second 1, 2 s dead, ~100 KB more: completes ≈ t=4
+        // (within a packet of the fluid answer).
+        let at = done[0].at.as_secs_f64();
+        assert!((3.98..4.05).contains(&at), "completed at {at}");
+    }
+
+    #[test]
+    fn staggered_activation_respected() {
+        let mut packet =
+            PacketLink::with_params(Trace::constant(kbps(800)), Duration::from_millis(50), DEFAULT_MTU);
+        let _ = packet.open_flow(Bytes(100_000));
+        let done = packet.advance_to(Instant::from_secs(10));
+        assert_eq!(done.len(), 1);
+        let at = done[0].at.as_secs_f64();
+        assert!((1.05..1.07).contains(&at), "latency honored, got {at}");
+    }
+
+    #[test]
+    fn next_completion_probe_matches_execution() {
+        let trace = Trace::constant(kbps(1_500));
+        let mut packet = PacketLink::new(trace);
+        let _ = packet.open_flow(Bytes(333_333));
+        let predicted = packet.next_completion_within(Duration::from_secs(100)).unwrap();
+        let done = packet.advance_to(Instant::from_secs(100));
+        assert_eq!(done[0].at, predicted);
+    }
+}

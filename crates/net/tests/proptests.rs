@@ -1,0 +1,192 @@
+//! Property-based tests: conservation and consistency of the fluid link.
+
+use abr_event::time::{Duration, Instant};
+use abr_media::units::{BitsPerSec, Bytes};
+use abr_net::link::Link;
+use abr_net::packet::{PacketLink, DEFAULT_MTU};
+use abr_net::trace::Trace;
+use proptest::prelude::*;
+
+/// An arbitrary piecewise-constant trace (rates may include zero).
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((1u64..30, 0u64..5_000), 1..12).prop_map(|steps| {
+        let steps: Vec<(Duration, BitsPerSec)> = steps
+            .into_iter()
+            .map(|(secs, kbps)| (Duration::from_secs(secs), BitsPerSec::from_kbps(kbps)))
+            .collect();
+        // Guarantee completion is possible: end on a nonzero rate.
+        let mut steps = steps;
+        steps.push((Duration::from_secs(5), BitsPerSec::from_kbps(1_000)));
+        Trace::steps(&steps)
+    })
+}
+
+proptest! {
+    /// Delivered bytes never exceed the capacity integral, and every flow's
+    /// recorded profile total matches its size within per-segment rounding.
+    #[test]
+    fn conservation(
+        trace in arb_trace(),
+        sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
+        stagger_ms in proptest::collection::vec(0u64..10_000, 1..8),
+    ) {
+        let mut link = Link::new(trace.clone());
+        let mut opened = Vec::new();
+        let mut t = Instant::ZERO;
+        for (size, delay) in sizes.iter().zip(stagger_ms.iter().cycle()) {
+            t += Duration::from_millis(*delay);
+            // advance_to processes deliveries up to the open instant.
+            let done = link.advance_to(t);
+            opened.extend(done);
+            let _ = link.open_flow(Bytes(*size));
+        }
+        let end = t + Duration::from_secs(3_600 * 24);
+        opened.extend(link.advance_to(end));
+        prop_assert_eq!(opened.len(), sizes.len(), "everything completes on a live tail");
+
+        let mut total_sizes: u64 = 0;
+        for c in &opened {
+            let segs = c.profile.segments().len() as i64;
+            let recorded = c.profile.total_bytes().get() as i64;
+            prop_assert!(
+                (recorded - c.size.get() as i64).abs() <= segs,
+                "profile total {} vs size {} ({} segments)", recorded, c.size.get(), segs
+            );
+            total_sizes += c.size.get();
+            // No delivery outside [opened_at, completed_at].
+            prop_assert!(c.profile.start().unwrap() >= c.opened_at);
+            prop_assert!(c.profile.end().unwrap() == c.at);
+        }
+        // Aggregate conservation: bytes ≤ capacity integral over the run.
+        let horizon = opened.iter().map(|c| c.at).max().unwrap();
+        let cap_bits: u128 = {
+            let mean = trace.mean_over(Instant::ZERO, horizon);
+            mean.bps() as u128 * (horizon - Instant::ZERO).as_micros() as u128 / 1_000_000
+        };
+        prop_assert!(
+            (total_sizes as u128) * 8 <= cap_bits + 8 * sizes.len() as u128 + 1_000_000,
+            "{} bytes delivered vs {} bit capacity", total_sizes, cap_bits
+        );
+    }
+
+    /// `next_completion` exactly predicts the first completion that
+    /// `advance_to` then produces.
+    #[test]
+    fn prediction_matches_execution(
+        trace in arb_trace(),
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..6),
+    ) {
+        let mut link = Link::new(trace);
+        for size in &sizes {
+            let _ = link.open_flow(Bytes(*size));
+        }
+        let mut remaining = sizes.len();
+        while remaining > 0 {
+            let predicted = link.next_completion().expect("live tail guarantees completion");
+            let done = link.advance_to(predicted);
+            prop_assert!(!done.is_empty(), "a completion must land at the predicted instant");
+            for c in &done {
+                prop_assert_eq!(c.at, predicted);
+            }
+            remaining -= done.len();
+        }
+        prop_assert_eq!(link.pending_count(), 0);
+    }
+
+    /// Advancing in arbitrary small steps produces identical completions to
+    /// one big advance (the solver is step-size independent).
+    #[test]
+    fn step_size_independence(
+        trace in arb_trace(),
+        sizes in proptest::collection::vec(1u64..500_000, 1..5),
+        steps_ms in proptest::collection::vec(1u64..4_000, 1..40),
+    ) {
+        let mut big = Link::new(trace.clone());
+        let mut small = Link::new(trace);
+        for size in &sizes {
+            let _ = big.open_flow(Bytes(*size));
+            let _ = small.open_flow(Bytes(*size));
+        }
+        let horizon = Instant::from_secs(3_600);
+        let big_done = big.advance_to(horizon);
+
+        let mut small_done = Vec::new();
+        let mut t = Instant::ZERO;
+        for ms in steps_ms.iter().cycle() {
+            t += Duration::from_millis(*ms);
+            if t >= horizon {
+                break;
+            }
+            small_done.extend(small.advance_to(t));
+        }
+        small_done.extend(small.advance_to(horizon));
+
+        prop_assert_eq!(big_done.len(), small_done.len());
+        for (a, b) in big_done.iter().zip(small_done.iter()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.at, b.at);
+        }
+    }
+
+    /// The packet-granularity link's completion times agree with the fluid
+    /// model to within a few packet service times — for arbitrary traces
+    /// and flow sets (the fluid model's validation property).
+    #[test]
+    fn fluid_matches_packet_granularity(
+        trace in arb_trace(),
+        sizes in proptest::collection::vec(10_000u64..800_000, 1..4),
+    ) {
+        let mut fluid = Link::new(trace.clone());
+        let mut packet = PacketLink::new(trace.clone());
+        for size in &sizes {
+            let _ = fluid.open_flow(Bytes(*size));
+            let _ = packet.open_flow(Bytes(*size));
+        }
+        let horizon = Instant::from_secs(3_600 * 24);
+        let f = fluid.advance_to(horizon);
+        let p = packet.advance_to(horizon);
+        prop_assert_eq!(f.len(), sizes.len());
+        prop_assert_eq!(p.len(), sizes.len());
+        // Error bound: each completion may shift by one packet service
+        // time per active peer per changepoint crossed; bound generously
+        // by (flows + changepoints + 2) packets at the slowest nonzero
+        // rate the trace uses.
+        let slowest = trace
+            .points()
+            .iter()
+            .map(|(_, r)| r.bps())
+            .filter(|&b| b > 0)
+            .min()
+            .expect("live tail");
+        let pkt = Duration::from_micros(
+            abr_media::units::BitsPerSec(slowest).micros_for_bytes(DEFAULT_MTU).expect("nonzero"),
+        );
+        let budget_pkts = (sizes.len() + trace.points().len() + 2) as u64;
+        let mut f_sorted = f;
+        f_sorted.sort_by_key(|c| c.id);
+        let mut p_sorted = p;
+        p_sorted.sort_by_key(|c| c.id);
+        for (fc, pc) in f_sorted.iter().zip(p_sorted.iter()) {
+            prop_assert_eq!(fc.id, pc.id);
+            let delta = fc.at.saturating_duration_since(pc.at)
+                + pc.at.saturating_duration_since(fc.at);
+            prop_assert!(
+                delta <= pkt * budget_pkts,
+                "flow {:?}: fluid {} vs packet {} (budget {} pkts of {})",
+                fc.id, fc.at, pc.at, budget_pkts, pkt
+            );
+        }
+    }
+
+    /// Trace text serialization round-trips arbitrary step schedules.
+    #[test]
+    fn trace_text_roundtrip(steps in proptest::collection::vec((1u64..1000, 0u64..100_000), 1..30)) {
+        let steps: Vec<(Duration, BitsPerSec)> = steps
+            .into_iter()
+            .map(|(s, k)| (Duration::from_secs(s), BitsPerSec::from_kbps(k)))
+            .collect();
+        let trace = Trace::steps(&steps);
+        let back = Trace::parse(&trace.to_text()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}

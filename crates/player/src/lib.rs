@@ -1,0 +1,35 @@
+//! # abr-player — the streaming client harness
+//!
+//! A policy-pluggable ABR player driven by the discrete-event network
+//! simulation. Everything the three emulated players (and the §4
+//! best-practice player) share lives here; everything they *differ* in —
+//! bandwidth estimation and track selection — is injected via the
+//! [`policy::AbrPolicy`] trait from `abr-core`.
+//!
+//! * [`config`] — startup/rebuffer thresholds, buffer targets, and the
+//!   download-synchronization mode (chunk-level vs independent pipelines —
+//!   the §3.4/§4.2 distinction).
+//! * [`buffer`] — per-media chunk buffers measured in seconds of content.
+//! * [`playback`] — the playout state machine: playback consumes audio and
+//!   video *in lockstep*, so a stall occurs whenever **either** buffer
+//!   empties (§2.1).
+//! * [`policy`] — the `AbrPolicy` trait and the transfer records fed to it.
+//! * [`scheduler`] — which media to fetch next, and when.
+//! * [`session`] — the event loop gluing link + origin + buffers + policy.
+//! * [`log`] — selection/transfer/buffer/stall records for the figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod config;
+pub mod log;
+pub mod playback;
+pub mod policy;
+pub mod scheduler;
+pub mod session;
+
+pub use config::{PlayerConfig, SyncMode};
+pub use log::SessionLog;
+pub use policy::{AbrPolicy, SelectionContext, TransferRecord};
+pub use session::Session;

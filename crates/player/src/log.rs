@@ -1,0 +1,304 @@
+//! Session records — the raw material for every figure.
+//!
+//! The session appends an event row for each track selection, completed
+//! transfer, buffer-level sample and stall; the experiment harness turns
+//! these into the paper's time-series plots and QoE summaries.
+
+use crate::playback::{Seek, Stall};
+use abr_event::time::{Duration, Instant};
+use abr_media::track::{MediaType, TrackId};
+use abr_media::units::{BitsPerSec, Bytes};
+
+/// One track-selection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionEvent {
+    /// When the decision was made (request issue time).
+    pub at: Instant,
+    /// Chunk index the decision applies to.
+    pub chunk: usize,
+    /// The chosen track.
+    pub track: TrackId,
+    /// The chosen track's declared bitrate (for plotting Fig 2/3/5-style
+    /// selection timelines).
+    pub declared: BitsPerSec,
+    /// The chosen track's average bitrate (Fig 2 plots average bitrates).
+    pub avg_bitrate: BitsPerSec,
+}
+
+/// One completed transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferEvent {
+    /// Completion time.
+    pub at: Instant,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Track downloaded from.
+    pub track: TrackId,
+    /// On-the-wire bytes.
+    pub size: Bytes,
+    /// Request-to-completion wall time.
+    pub duration: Duration,
+    /// The policy's bandwidth estimate right after this transfer, if the
+    /// policy exposes one (Fig 4 plots the estimate trajectory).
+    pub estimate_after: Option<BitsPerSec>,
+}
+
+/// One second-level playlist fetch (when the session models them; §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaylistFetchEvent {
+    /// Whose playlist.
+    pub track: TrackId,
+    /// When the playlist request was issued.
+    pub requested_at: Instant,
+    /// When it arrived (chunk requests for this track wait until then
+    /// under lazy fetching).
+    pub completed_at: Instant,
+}
+
+/// One buffer-level sample (taken at every simulation event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSample {
+    /// Sample time.
+    pub at: Instant,
+    /// Audio buffer level.
+    pub audio: Duration,
+    /// Video buffer level.
+    pub video: Duration,
+}
+
+/// The complete record of one streaming session.
+#[derive(Debug, Clone)]
+pub struct SessionLog {
+    /// Policy name that produced this session.
+    pub policy: String,
+    /// Selection decisions in decision order.
+    pub selections: Vec<SelectionEvent>,
+    /// Completed transfers in completion order.
+    pub transfers: Vec<TransferEvent>,
+    /// Buffer levels over time (piecewise-linear between samples while
+    /// playing; constant while stalled).
+    pub buffer_samples: Vec<BufferSample>,
+    /// Stall events.
+    pub stalls: Vec<Stall>,
+    /// Second-level playlist fetches (empty when playlists are preloaded).
+    pub playlist_fetches: Vec<PlaylistFetchEvent>,
+    /// User seeks applied during the session.
+    pub seeks: Vec<Seek>,
+    /// When playback started.
+    pub startup_at: Option<Instant>,
+    /// When playback finished all content.
+    pub ended_at: Option<Instant>,
+    /// When the simulation loop exited.
+    pub finished_at: Instant,
+    /// Chunk duration of the content.
+    pub chunk_duration: Duration,
+    /// Number of chunks in the content.
+    pub num_chunks: usize,
+}
+
+impl SessionLog {
+    /// Selections filtered to one media type.
+    pub fn selections_for(&self, media: MediaType) -> impl Iterator<Item = &SelectionEvent> {
+        self.selections.iter().filter(move |s| s.track.media == media)
+    }
+
+    /// Ladder index selected for each chunk of `media`, in chunk order.
+    /// Panics if a chunk was selected twice (sessions never re-fetch).
+    pub fn selected_tracks(&self, media: MediaType) -> Vec<usize> {
+        let mut out: Vec<Option<usize>> = vec![None; self.num_chunks];
+        for s in self.selections_for(media) {
+            assert!(out[s.chunk].replace(s.track.index).is_none(), "duplicate selection");
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// Distinct ladder indices selected for `media`.
+    pub fn distinct_tracks(&self, media: MediaType) -> Vec<usize> {
+        let mut v = self.selected_tracks(media);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of track switches (consecutive chunks on different rungs).
+    pub fn switch_count(&self, media: MediaType) -> usize {
+        self.selected_tracks(media).windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Total rebuffering time (open stalls measured to session end).
+    pub fn total_stall(&self) -> Duration {
+        self.stalls.iter().map(|s| s.duration_or(self.finished_at)).sum()
+    }
+
+    /// Number of stall events.
+    pub fn stall_count(&self) -> usize {
+        self.stalls.len()
+    }
+
+    /// Mean of the selected tracks' average bitrates over played chunks of
+    /// one media type (the paper's Fig 2 y-axis).
+    pub fn mean_selected_avg_bitrate(&self, media: MediaType) -> Option<BitsPerSec> {
+        let picks: Vec<&SelectionEvent> = self.selections_for(media).collect();
+        if picks.is_empty() {
+            return None;
+        }
+        let sum: u64 = picks.iter().map(|s| s.avg_bitrate.bps()).sum();
+        Some(BitsPerSec(sum / picks.len() as u64))
+    }
+
+    /// Time integral of |audio level − video level| divided by session
+    /// length: the buffer-imbalance measure for Fig 5(b) and the §4.2
+    /// balance recommendation.
+    pub fn mean_buffer_imbalance(&self) -> Duration {
+        if self.buffer_samples.len() < 2 {
+            return Duration::ZERO;
+        }
+        let mut weighted: u128 = 0;
+        for w in self.buffer_samples.windows(2) {
+            let dt = (w[1].at - w[0].at).as_micros() as u128;
+            let d0 = imbalance(&w[0]).as_micros() as u128;
+            let d1 = imbalance(&w[1]).as_micros() as u128;
+            weighted += dt * (d0 + d1) / 2;
+        }
+        let span = (self.buffer_samples.last().expect("non-empty").at
+            - self.buffer_samples[0].at)
+            .as_micros() as u128;
+        if span == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((weighted / span) as u64)
+    }
+
+    /// The maximum buffer imbalance observed at any sample.
+    pub fn max_buffer_imbalance(&self) -> Duration {
+        self.buffer_samples.iter().map(imbalance).max().unwrap_or(Duration::ZERO)
+    }
+
+    /// True when every chunk of both media types was selected and the
+    /// content played to the end.
+    pub fn completed(&self) -> bool {
+        self.ended_at.is_some()
+            && self.selected_tracks(MediaType::Audio).len() == self.num_chunks
+            && self.selected_tracks(MediaType::Video).len() == self.num_chunks
+    }
+}
+
+fn imbalance(s: &BufferSample) -> Duration {
+    if s.audio >= s.video {
+        s.audio - s.video
+    } else {
+        s.video - s.audio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(at: u64, chunk: usize, track: TrackId, kbps: u64) -> SelectionEvent {
+        SelectionEvent {
+            at: Instant::from_secs(at),
+            chunk,
+            track,
+            declared: BitsPerSec::from_kbps(kbps),
+            avg_bitrate: BitsPerSec::from_kbps(kbps),
+        }
+    }
+
+    fn empty_log() -> SessionLog {
+        SessionLog {
+            policy: "test".into(),
+            selections: vec![],
+            transfers: vec![],
+            buffer_samples: vec![],
+            stalls: vec![],
+            playlist_fetches: vec![],
+            seeks: vec![],
+            startup_at: None,
+            ended_at: None,
+            finished_at: Instant::from_secs(100),
+            chunk_duration: Duration::from_secs(4),
+            num_chunks: 3,
+        }
+    }
+
+    #[test]
+    fn selected_tracks_and_switches() {
+        let mut log = empty_log();
+        log.selections = vec![
+            sel(0, 0, TrackId::video(1), 246),
+            sel(0, 0, TrackId::audio(0), 128),
+            sel(4, 1, TrackId::video(2), 473),
+            sel(4, 1, TrackId::audio(0), 128),
+            sel(8, 2, TrackId::video(2), 473),
+            sel(8, 2, TrackId::audio(1), 196),
+        ];
+        assert_eq!(log.selected_tracks(MediaType::Video), vec![1, 2, 2]);
+        assert_eq!(log.selected_tracks(MediaType::Audio), vec![0, 0, 1]);
+        assert_eq!(log.switch_count(MediaType::Video), 1);
+        assert_eq!(log.switch_count(MediaType::Audio), 1);
+        assert_eq!(log.distinct_tracks(MediaType::Video), vec![1, 2]);
+    }
+
+    #[test]
+    fn mean_selected_bitrate() {
+        let mut log = empty_log();
+        log.selections = vec![
+            sel(0, 0, TrackId::video(0), 100),
+            sel(4, 1, TrackId::video(1), 300),
+        ];
+        assert_eq!(
+            log.mean_selected_avg_bitrate(MediaType::Video),
+            Some(BitsPerSec::from_kbps(200))
+        );
+        assert_eq!(log.mean_selected_avg_bitrate(MediaType::Audio), None);
+    }
+
+    #[test]
+    fn stall_totals_count_open_stalls() {
+        let mut log = empty_log();
+        log.stalls = vec![
+            Stall { start: Instant::from_secs(10), end: Some(Instant::from_secs(13)) },
+            Stall { start: Instant::from_secs(90), end: None },
+        ];
+        assert_eq!(log.stall_count(), 2);
+        // 3 s closed + 10 s open (to finished_at = 100).
+        assert_eq!(log.total_stall(), Duration::from_secs(13));
+    }
+
+    #[test]
+    fn imbalance_integral() {
+        let mut log = empty_log();
+        log.buffer_samples = vec![
+            BufferSample { at: Instant::ZERO, audio: Duration::from_secs(10), video: Duration::from_secs(10) },
+            BufferSample { at: Instant::from_secs(10), audio: Duration::from_secs(30), video: Duration::from_secs(10) },
+        ];
+        // Imbalance ramps 0 → 20 s over 10 s: mean 10 s, max 20 s.
+        assert_eq!(log.mean_buffer_imbalance(), Duration::from_secs(10));
+        assert_eq!(log.max_buffer_imbalance(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn completed_requires_full_coverage_and_end() {
+        let mut log = empty_log();
+        log.num_chunks = 1;
+        log.selections = vec![
+            sel(0, 0, TrackId::video(0), 100),
+            sel(0, 0, TrackId::audio(0), 100),
+        ];
+        assert!(!log.completed(), "no ended_at yet");
+        log.ended_at = Some(Instant::from_secs(4));
+        assert!(log.completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate selection")]
+    fn duplicate_selection_panics() {
+        let mut log = empty_log();
+        log.selections = vec![
+            sel(0, 0, TrackId::video(0), 100),
+            sel(1, 0, TrackId::video(1), 100),
+        ];
+        log.selected_tracks(MediaType::Video);
+    }
+}

@@ -1,0 +1,125 @@
+//! Download scheduling: which media type may issue its next fetch.
+//!
+//! Each media type has one pipeline with at most one in-flight request
+//! (players fetch chunk-by-chunk per stream). Whether the two pipelines are
+//! *coupled* is the §3.4/§4.2 design axis this module models:
+//!
+//! * [`SyncMode::ChunkLevel`] pauses a pipeline while it is more than the
+//!   tolerance ahead of the other — ExoPlayer-style balance;
+//! * [`SyncMode::Independent`] lets each pipeline race to its own buffer
+//!   target — dash.js-style, producing the Fig 5(b) imbalance.
+
+use crate::config::{PlayerConfig, SyncMode};
+use abr_event::time::Duration;
+use abr_media::track::MediaType;
+
+/// Snapshot of one media pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineState {
+    /// A request is currently in flight.
+    pub in_flight: bool,
+    /// Next chunk index this pipeline would fetch.
+    pub next_chunk: usize,
+    /// Buffered seconds for this media type.
+    pub level: Duration,
+}
+
+impl PipelineState {
+    /// True when every chunk has already been requested.
+    pub fn exhausted(&self, num_chunks: usize) -> bool {
+        self.next_chunk >= num_chunks
+    }
+}
+
+/// Returns the media types that should issue a fetch right now, audio
+/// first (deterministic order).
+pub fn due_fetches(
+    cfg: &PlayerConfig,
+    audio: PipelineState,
+    video: PipelineState,
+    num_chunks: usize,
+) -> Vec<MediaType> {
+    let mut out = Vec::with_capacity(2);
+    let pair = [(MediaType::Audio, audio, video), (MediaType::Video, video, audio)];
+    for (media, me, other) in pair {
+        if me.in_flight || me.exhausted(num_chunks) {
+            continue;
+        }
+        if me.level >= cfg.max_buffer {
+            continue;
+        }
+        if let SyncMode::ChunkLevel { tolerance } = cfg.sync {
+            // Don't run ahead of a peer that still has work to do.
+            let peer_active = !other.exhausted(num_chunks);
+            if peer_active && me.level >= other.level + tolerance {
+                continue;
+            }
+        }
+        out.push(media);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(sync: SyncMode) -> PlayerConfig {
+        PlayerConfig {
+            startup_threshold: Duration::from_secs(4),
+            resume_threshold: Duration::from_secs(4),
+            max_buffer: Duration::from_secs(30),
+            sync,
+        }
+    }
+
+    fn pipe(in_flight: bool, next_chunk: usize, level_secs: u64) -> PipelineState {
+        PipelineState { in_flight, next_chunk, level: Duration::from_secs(level_secs) }
+    }
+
+    const CHUNKED: SyncMode = SyncMode::ChunkLevel { tolerance: Duration::from_secs(4) };
+
+    #[test]
+    fn both_start_empty() {
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 0, 0), pipe(false, 0, 0), 75);
+        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+    }
+
+    #[test]
+    fn in_flight_blocks() {
+        let due = due_fetches(&cfg(CHUNKED), pipe(true, 1, 0), pipe(false, 0, 0), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+    }
+
+    #[test]
+    fn chunk_sync_pauses_leader() {
+        // Audio 8 s ahead with 4 s tolerance: audio pauses, video proceeds.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 2, 8), pipe(false, 0, 0), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+        // Within tolerance: both proceed.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 1, 3), pipe(false, 0, 0), 75);
+        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+    }
+
+    #[test]
+    fn independent_ignores_peer() {
+        let due = due_fetches(&cfg(SyncMode::Independent), pipe(false, 5, 20), pipe(false, 0, 0), 75);
+        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+    }
+
+    #[test]
+    fn max_buffer_gates() {
+        let due = due_fetches(&cfg(SyncMode::Independent), pipe(false, 9, 30), pipe(false, 9, 29), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+    }
+
+    #[test]
+    fn exhausted_pipeline_stops_and_releases_peer() {
+        // Audio fetched everything; video far behind must not be blocked.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 75, 28), pipe(false, 40, 2), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+        // And video ahead of an exhausted audio keeps going.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 75, 2), pipe(false, 40, 28), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+    }
+}

@@ -1,0 +1,122 @@
+//! §2.1 scenario: a music show, where "the sound quality may be relatively
+//! more important than video quality, and hence it might be more desirable
+//! to combine high audio tracks with low/medium video tracks".
+//!
+//! The content provider curates an *audio-priority* combination set and
+//! serves it via the §4.1 out-of-band mechanism next to the DASH manifest.
+//! We stream it with the best-practice player over a modest link and
+//! compare against (a) the uncurated full combination set and (b) a
+//! video-priority curation, showing that the server-side curation — not
+//! the player — decides where the bits go.
+//!
+//! ```sh
+//! cargo run --example music_show
+//! ```
+
+use abr_unmuxed::core::BestPracticePolicy;
+use abr_unmuxed::event::time::Duration;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::build_mpd;
+use abr_unmuxed::manifest::view::BoundDash;
+use abr_unmuxed::media::combo::{all_combos, Combo};
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::ladder::Ladder;
+use abr_unmuxed::media::units::{BitsPerSec, Bytes};
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::player::{PlayerConfig, Session, SessionLog};
+use abr_unmuxed::qoe;
+
+/// A concert recording: Table-1 video ladder, high-end audio ladder
+/// (the "C" set: 196/384/768 Kbps — 768 is Dolby-Atmos-class, §1).
+fn concert() -> Content {
+    Content::new(Ladder::table1_video(), Ladder::high_audio_c(), Duration::from_secs(4), 75, 77)
+}
+
+/// Audio-priority curation: never drop below the middle audio rung once
+/// any real video is affordable; spend the rest on video.
+fn audio_priority() -> Vec<Combo> {
+    vec![
+        Combo::new(0, 0), // emergency rung
+        Combo::new(0, 1),
+        Combo::new(1, 1),
+        Combo::new(1, 2),
+        Combo::new(2, 2),
+        Combo::new(3, 2),
+        Combo::new(4, 2),
+        Combo::new(5, 2),
+    ]
+}
+
+/// Video-priority curation (what an action movie would use; see the
+/// sibling `action_movie` example).
+fn video_priority() -> Vec<Combo> {
+    vec![
+        Combo::new(0, 0),
+        Combo::new(1, 0),
+        Combo::new(2, 0),
+        Combo::new(3, 0),
+        Combo::new(3, 1),
+        Combo::new(4, 1),
+        Combo::new(5, 1),
+        Combo::new(5, 2),
+    ]
+}
+
+fn stream(content: &Content, allowed: &[Combo], label: &str) -> SessionLog {
+    use abr_unmuxed::qoe::{summarize_for_content, ContentProfile, QoeWeights};
+    let view = BoundDash::from_mpd(&build_mpd(content)).unwrap();
+    let policy = BestPracticePolicy::from_dash(&view, allowed);
+    let origin = Origin::with_overhead(content.clone(), Bytes(320));
+    // A steady 1.6 Mbps link: enough for mid video + top audio, or high
+    // video + low audio — the curation decides which.
+    let link = Link::with_latency(
+        Trace::constant(BitsPerSec::from_kbps(1600)),
+        Duration::from_millis(20),
+    );
+    let config = PlayerConfig::default_chunked(content.chunk_duration());
+    let log = Session::new(origin, link, Box::new(policy), config).run();
+    let q = qoe::summarize(&log);
+    // §2.1: a concert is audio-priority content — score it that way.
+    let music =
+        summarize_for_content(&log, QoeWeights::default(), ContentProfile::MUSIC_SHOW);
+    println!(
+        "{label:<16} video {:>4} Kbps  audio {:>4} Kbps  stalls {}  switches {:>2}  QoE {:.2}  music-QoE {:.2}",
+        q.mean_video_kbps,
+        q.mean_audio_kbps,
+        q.stall_count,
+        q.video_switches + q.audio_switches,
+        q.score,
+        music.score,
+    );
+    log
+}
+
+fn main() {
+    let content = concert();
+    println!(
+        "concert content: audio ladder {:?} Kbps (Dolby-Atmos-class top rung)\n",
+        content.audio().declared_bitrates().iter().map(|b| b.kbps()).collect::<Vec<_>>()
+    );
+    println!("steady 1.6 Mbps link, best-practice player, three curations:\n");
+
+    let audio_log = stream(&content, &audio_priority(), "audio-priority");
+    let video_log = stream(&content, &video_priority(), "video-priority");
+    let all = all_combos(content.video(), content.audio());
+    let uncurated_log = stream(&content, &all, "uncurated (all)");
+
+    let qa = qoe::summarize(&audio_log);
+    let qv = qoe::summarize(&video_log);
+    println!(
+        "\nthe audio-priority curation delivers {:.1}x the audio bitrate of the\n\
+         video-priority one on the same link ({} vs {} Kbps), trading video\n\
+         ({} vs {} Kbps) — the §2.1 argument that only the content provider\n\
+         can make this call, and the manifest is where it belongs.",
+        qa.mean_audio_kbps as f64 / qv.mean_audio_kbps.max(1) as f64,
+        qa.mean_audio_kbps,
+        qv.mean_audio_kbps,
+        qa.mean_video_kbps,
+        qv.mean_video_kbps,
+    );
+    let _ = uncurated_log;
+}

@@ -1,0 +1,93 @@
+//! Head-to-head: the three emulated players (§3) versus the §4
+//! best-practice policy, over the same DASH content and the same set of
+//! network traces — the comparison the paper leaves as future work.
+//!
+//! ```sh
+//! cargo run --example player_shootout
+//! ```
+
+use abr_unmuxed::core::{
+    BbaPolicy, BestPracticePolicy, DashJsPolicy, ExoPlayerPolicy, MpcPolicy, ShakaPolicy,
+};
+use abr_unmuxed::event::time::Duration;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::build_mpd;
+use abr_unmuxed::manifest::view::BoundDash;
+use abr_unmuxed::manifest::Mpd;
+use abr_unmuxed::media::combo::curated_subset;
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::units::{BitsPerSec, Bytes};
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::player::config::SyncMode;
+use abr_unmuxed::player::policy::AbrPolicy;
+use abr_unmuxed::player::{PlayerConfig, Session};
+use abr_unmuxed::qoe;
+
+fn main() {
+    let content = Content::drama_show(2019);
+    let mpd_text = build_mpd(&content).to_text();
+    let view = BoundDash::from_mpd(&Mpd::parse(&mpd_text).unwrap()).unwrap();
+    let curated = curated_subset(content.video(), content.audio());
+
+    let traces: Vec<(&str, Trace)> = vec![
+        ("700 Kbps fixed", Trace::constant(BitsPerSec::from_kbps(700))),
+        ("1.5 Mbps fixed", Trace::constant(BitsPerSec::from_kbps(1500))),
+        (
+            "random walk ~600 Kbps",
+            Trace::fig3_varying_600k(Duration::from_secs(3600)),
+        ),
+        (
+            "bursty ~600 Kbps",
+            Trace::fig4b_varying_600k(Duration::from_secs(3600)),
+        ),
+    ];
+
+    println!(
+        "{:<22} {:<16} {:>6} {:>7} {:>8} {:>7} {:>7} {:>9} {:>8}",
+        "trace", "policy", "QoE", "stalls", "stall s", "video", "audio", "switches", "off-cur"
+    );
+    for (tname, trace) in &traces {
+        for which in 0..6usize {
+            let policy: Box<dyn AbrPolicy> = match which {
+                0 => Box::new(ExoPlayerPolicy::dash(&view)),
+                1 => Box::new(ShakaPolicy::dash(&view)),
+                2 => Box::new(DashJsPolicy::new(&view)),
+                3 => Box::new(BbaPolicy::from_dash(&view, &curated)),
+                4 => Box::new(MpcPolicy::from_dash(&view, &curated)),
+                _ => Box::new(BestPracticePolicy::from_dash(&view, &curated)),
+            };
+            // dash.js ships independent pipelines; the others synchronize.
+            let sync = if which == 2 {
+                SyncMode::Independent
+            } else {
+                SyncMode::ChunkLevel { tolerance: content.chunk_duration() }
+            };
+            let config = PlayerConfig {
+                sync,
+                ..PlayerConfig::default_chunked(content.chunk_duration())
+            };
+            let origin = Origin::with_overhead(content.clone(), Bytes(320));
+            let link = Link::with_latency(trace.clone(), Duration::from_millis(20));
+            let log = Session::new(origin, link, policy, config).run();
+            let q = qoe::summarize(&log);
+            println!(
+                "{:<22} {:<16} {:>6.2} {:>7} {:>8.1} {:>7} {:>7} {:>9} {:>8}",
+                tname,
+                q.policy,
+                q.score,
+                q.stall_count,
+                q.total_stall.as_secs_f64(),
+                q.mean_video_kbps,
+                q.mean_audio_kbps,
+                q.video_switches + q.audio_switches,
+                qoe::off_manifest_chunks(&log, &curated),
+            );
+        }
+        println!();
+    }
+    println!(
+        "off-cur = chunks outside the server's curated combination set\n\
+         (the best-practice player is zero by construction — §4.2)."
+    );
+}

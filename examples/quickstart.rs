@@ -1,0 +1,79 @@
+//! Quickstart: synthesize the paper's Table-1 content, publish DASH + HLS
+//! manifests, stream it with the best-practice joint audio+video policy
+//! over a fluctuating link, and print the session's QoE summary.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use abr_unmuxed::core::BestPracticePolicy;
+use abr_unmuxed::event::time::Duration;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::{build_master_playlist, build_mpd};
+use abr_unmuxed::manifest::view::BoundHls;
+use abr_unmuxed::manifest::MasterPlaylist;
+use abr_unmuxed::media::combo::curated_subset;
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::track::MediaType;
+use abr_unmuxed::media::units::{BitsPerSec, Bytes};
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::player::{PlayerConfig, Session};
+use abr_unmuxed::qoe;
+
+fn main() {
+    // 1. Content: the YouTube drama show of Table 1 — 6 video + 3 audio
+    //    tracks, 75 four-second chunks, sizes calibrated to the paper's
+    //    average/peak bitrates.
+    let content = Content::drama_show(2019);
+    println!(
+        "content: {} video + {} audio tracks, {} chunks x {}",
+        content.video().len(),
+        content.audio().len(),
+        content.num_chunks(),
+        content.chunk_duration(),
+    );
+
+    // 2. Manifests: a DASH MPD and a curated HLS master playlist (H_sub).
+    let mpd = build_mpd(&content);
+    println!("\n--- DASH MPD (first lines) ---");
+    for line in mpd.to_text().lines().take(6) {
+        println!("{line}");
+    }
+    let combos = curated_subset(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    println!("\n--- HLS master playlist ---");
+    print!("{}", master.to_text());
+
+    // 3. Stream it: best-practice policy (joint adaptation over the
+    //    curated combinations) over a 600 Kbps-average fluctuating link.
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let policy = BestPracticePolicy::from_hls(&view);
+    let origin = Origin::with_overhead(content.clone(), Bytes(320));
+    let link = Link::with_latency(
+        Trace::fig3_varying_600k(Duration::from_secs(3600)),
+        Duration::from_millis(20),
+    );
+    let config = PlayerConfig::default_chunked(content.chunk_duration());
+    let log = Session::new(origin, link, Box::new(policy), config).run();
+
+    // 4. Results.
+    let q = qoe::summarize(&log);
+    println!("\n--- session results ({}) ---", q.policy);
+    println!("completed:        {}", q.completed);
+    println!("startup delay:    {:?}", q.startup_delay.map(|d| d.to_string()));
+    println!("stalls:           {} ({:.1}s total)", q.stall_count, q.total_stall.as_secs_f64());
+    println!("mean video:       {} Kbps", q.mean_video_kbps);
+    println!("mean audio:       {} Kbps", q.mean_audio_kbps);
+    println!("switches (v/a):   {}/{}", q.video_switches, q.audio_switches);
+    println!("max buffer skew:  {:.1}s", q.max_imbalance.as_secs_f64());
+    println!("QoE score:        {:.2}", q.score);
+    println!("\ncombinations played:");
+    for (combo, chunks) in qoe::combos_used(&log) {
+        println!("  {combo}: {chunks} chunks");
+    }
+    let est = BitsPerSec::from_kbps(600);
+    println!("\n(link averaged ~{est}; every combination above is in H_sub)");
+    assert!(qoe::off_manifest_chunks(&log, &view.allowed_combos()) == 0);
+    let _ = MediaType::Audio;
+}

@@ -1,0 +1,100 @@
+//! Tour of the session-level features beyond plain streaming: forward
+//! seeks, an edge cache in the path, lazy playlist fetching, and muxed
+//! delivery — all over the same content and policy.
+//!
+//! ```sh
+//! cargo run --example session_features
+//! ```
+
+use abr_unmuxed::core::BestPracticePolicy;
+use abr_unmuxed::event::time::{Duration, Instant};
+use abr_unmuxed::httpsim::cache::CdnCache;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::{build_master_playlist, Packaging};
+use abr_unmuxed::manifest::view::BoundHls;
+use abr_unmuxed::manifest::MasterPlaylist;
+use abr_unmuxed::media::combo::curated_subset;
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::units::{BitsPerSec, Bytes};
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::player::session::{DeliveryMode, EdgeCache, PlaylistFetch};
+use abr_unmuxed::player::{PlayerConfig, Session};
+use abr_unmuxed::qoe;
+
+fn main() {
+    let content = Content::drama_show(2019);
+    let combos = curated_subset(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+
+    let base = |kbps: u64| {
+        let origin = Origin::with_overhead(content.clone(), Bytes(320));
+        let link = Link::with_latency(
+            Trace::constant(BitsPerSec::from_kbps(kbps)),
+            Duration::from_millis(40),
+        );
+        let config = PlayerConfig::default_chunked(content.chunk_duration());
+        Session::new(origin, link, Box::new(BestPracticePolicy::from_hls(&view)), config)
+    };
+
+    // 1. A seek: watch 40 s, then skip to the 4-minute mark.
+    let log = base(2_000)
+        .with_seeks(vec![(Instant::from_secs(40), Duration::from_secs(240))])
+        .run();
+    let seek = log.seeks[0];
+    println!(
+        "seek:      jumped {}s → {}s at t={}; rebuffered {:.2}s; session ended at t={:.0}s",
+        seek.from.as_secs_f64(),
+        seek.to.as_secs_f64(),
+        seek.at,
+        seek.resumed
+            .map(|r| r.saturating_duration_since(seek.at).as_secs_f64())
+            .unwrap_or(f64::NAN),
+        log.finished_at.as_secs_f64(),
+    );
+
+    // 2. An edge cache: first viewer cold, second viewer warm.
+    let edge = EdgeCache {
+        cache: CdnCache::new(Bytes(1 << 32)),
+        miss_penalty: Duration::from_millis(150),
+    };
+    let (first, warmed) = base(2_000).with_edge_cache(edge).run_with_edge();
+    let (second, warmed) = base(2_000).with_edge_cache(warmed.unwrap()).run_with_edge();
+    let stats = warmed.unwrap().cache.stats();
+    println!(
+        "edge:      viewer 1 startup {:.2}s (all misses), viewer 2 startup {:.2}s; edge hit ratio {:.0}%",
+        first.startup_at.unwrap().as_secs_f64(),
+        second.startup_at.unwrap().as_secs_f64(),
+        stats.hit_ratio() * 100.0,
+    );
+
+    // 3. Lazy playlist fetching: watch the per-track round trips.
+    let log = base(2_000)
+        .with_playlist_fetch(PlaylistFetch::Lazy, Packaging::SingleFile)
+        .run();
+    println!(
+        "playlists: {} lazy fetches; first at t={:.2}s, last at t={:.2}s (each first use of a track)",
+        log.playlist_fetches.len(),
+        log.playlist_fetches.first().map(|p| p.completed_at.as_secs_f64()).unwrap_or(f64::NAN),
+        log.playlist_fetches.last().map(|p| p.completed_at.as_secs_f64()).unwrap_or(f64::NAN),
+    );
+
+    // 4. Muxed delivery: identical content, zero buffer imbalance, 3.3×
+    //    the origin storage (see `cargo run --example cdn_cache`).
+    let muxed = base(2_000).with_delivery(DeliveryMode::Muxed).run();
+    let demuxed = base(2_000).run();
+    println!(
+        "delivery:  demuxed max buffer imbalance {:.1}s; muxed {:.1}s ({} vs {} transfers)",
+        demuxed.max_buffer_imbalance().as_secs_f64(),
+        muxed.max_buffer_imbalance().as_secs_f64(),
+        demuxed.transfers.len(),
+        muxed.transfers.len(),
+    );
+
+    let q = qoe::summarize(&demuxed);
+    println!(
+        "baseline:  {} completed={} stalls={} mean video {} Kbps audio {} Kbps",
+        q.policy, q.completed, q.stall_count, q.mean_video_kbps, q.mean_audio_kbps
+    );
+}

@@ -1,0 +1,253 @@
+//! Integration: end-to-end streaming sessions reproduce the shape of every
+//! figure in the paper's evaluation (§3). Absolute numbers are not asserted
+//! — the substrate is a simulator — but selections, directions and orders
+//! of magnitude are.
+
+use abr_unmuxed::core::{DashJsPolicy, ExoPlayerPolicy, ShakaPolicy};
+use abr_unmuxed::event::time::Duration;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::{build_master_playlist, build_mpd};
+use abr_unmuxed::manifest::view::{BoundDash, BoundHls};
+use abr_unmuxed::manifest::{MasterPlaylist, Mpd};
+use abr_unmuxed::media::combo::{all_combos, curated_subset, Combo};
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::track::MediaType;
+use abr_unmuxed::media::units::{BitsPerSec, Bytes};
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::player::config::{PlayerConfig, SyncMode};
+use abr_unmuxed::player::policy::AbrPolicy;
+use abr_unmuxed::player::{Session, SessionLog};
+use abr_unmuxed::qoe;
+
+const SEED: u64 = 2019;
+
+fn dash_view(content: &Content) -> BoundDash {
+    BoundDash::from_mpd(&Mpd::parse(&build_mpd(content).to_text()).unwrap()).unwrap()
+}
+
+fn run(
+    content: &Content,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+    sync: SyncMode,
+    max_buffer: Duration,
+) -> SessionLog {
+    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+    let link = Link::with_latency(trace, Duration::from_millis(20));
+    let config = PlayerConfig {
+        startup_threshold: content.chunk_duration(),
+        resume_threshold: content.chunk_duration(),
+        max_buffer,
+        sync,
+    };
+    Session::new(origin, link, policy, config).run()
+}
+
+fn chunked(content: &Content) -> SyncMode {
+    SyncMode::ChunkLevel { tolerance: content.chunk_duration() }
+}
+
+/// Fig 2(a): audio set B at 900 Kbps → V3+B2 dominates, V3+B3 excluded.
+#[test]
+fn fig2a_exoplayer_picks_v3_b2() {
+    let content = Content::drama_show_low_audio(SEED);
+    let policy = ExoPlayerPolicy::dash(&dash_view(&content));
+    assert!(!policy.combinations().contains(&Combo::new(2, 2)), "V3+B3 excluded");
+    let log = run(
+        &content,
+        Box::new(policy),
+        Trace::constant(BitsPerSec::from_kbps(900)),
+        chunked(&content),
+        Duration::from_secs(30),
+    );
+    assert!(log.completed());
+    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
+    assert_eq!(dominant.0, Combo::new(2, 1), "V3+B2 dominates, got {}", dominant.0);
+    assert!(dominant.1 >= 70, "steady selection ({} chunks)", dominant.1);
+}
+
+/// Fig 2(b): audio set C at 900 Kbps → V2+C2 (low video + high audio).
+#[test]
+fn fig2b_exoplayer_picks_v2_c2() {
+    let content = Content::drama_show_high_audio(SEED);
+    let policy = ExoPlayerPolicy::dash(&dash_view(&content));
+    let log = run(
+        &content,
+        Box::new(policy),
+        Trace::constant(BitsPerSec::from_kbps(900)),
+        chunked(&content),
+        Duration::from_secs(30),
+    );
+    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
+    assert_eq!(dominant.0, Combo::new(1, 1), "V2+C2 dominates, got {}", dominant.0);
+    // The audio eats more bits than the video — the paper's complaint.
+    let q = qoe::summarize(&log);
+    assert!(q.mean_audio_kbps > q.mean_video_kbps);
+}
+
+/// Fig 3: H_sub with A3 first on the varying trace → audio pinned at A3,
+/// every chunk off-manifest, repeated stalls with tens of seconds of
+/// rebuffering.
+#[test]
+fn fig3_exoplayer_hls_pins_audio_and_stalls() {
+    let content = Content::drama_show(SEED);
+    let combos = curated_subset(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[2, 0, 1]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let allowed = view.allowed_combos();
+    let policy = ExoPlayerPolicy::hls(&view);
+    let log = run(
+        &content,
+        Box::new(policy),
+        Trace::fig3_varying_600k(Duration::from_secs(3600)),
+        chunked(&content),
+        Duration::from_secs(30),
+    );
+    assert_eq!(log.distinct_tracks(MediaType::Audio), vec![2], "A3 pinned");
+    assert_eq!(
+        qoe::off_manifest_chunks(&log, &allowed),
+        log.num_chunks,
+        "every selected combination violates H_sub"
+    );
+    assert!(log.stall_count() >= 3, "repeated stalls, got {}", log.stall_count());
+    let stall = log.total_stall().as_secs_f64();
+    assert!((15.0..120.0).contains(&stall), "tens of seconds of rebuffering, got {stall:.1}");
+}
+
+/// §3.2 second HLS experiment: A1 first at 5 Mbps → pinned at A1, clean
+/// playback, needlessly poor audio.
+#[test]
+fn fig3x_exoplayer_hls_pins_lowest_audio() {
+    let content = Content::drama_show(SEED);
+    let combos = curated_subset(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let log = run(
+        &content,
+        Box::new(ExoPlayerPolicy::hls(&view)),
+        Trace::constant(BitsPerSec::from_kbps(5000)),
+        chunked(&content),
+        Duration::from_secs(30),
+    );
+    assert!(log.completed());
+    assert_eq!(log.distinct_tracks(MediaType::Audio), vec![0], "A1 pinned");
+    assert_eq!(log.stall_count(), 0);
+    // Plenty of bandwidth was left unused for audio.
+    assert_eq!(qoe::summarize(&log).mean_audio_kbps, 128);
+}
+
+/// Fig 4(a): Shaka at 1 Mbps → estimate stuck at the 500 Kbps default,
+/// V2+A2 selected throughout, no rebuffering.
+#[test]
+fn fig4a_shaka_estimate_stuck_at_default() {
+    let content = Content::drama_show(SEED);
+    let combos = all_combos(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let log = run(
+        &content,
+        Box::new(ShakaPolicy::hls(&view)),
+        Trace::constant(BitsPerSec::from_kbps(1000)),
+        SyncMode::Independent,
+        Duration::from_secs(10),
+    );
+    assert!(log.completed());
+    for t in &log.transfers {
+        assert_eq!(t.estimate_after.unwrap().kbps(), 500, "estimate pinned to default");
+    }
+    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
+    assert_eq!(dominant.0, Combo::new(1, 1), "V2+A2");
+    assert_eq!(dominant.1, log.num_chunks, "no fluctuation at a constant estimate");
+}
+
+/// Fig 4(b): the bursty trace → estimate first at the (over-optimistic)
+/// default, then overshooting past 1 Mbps; selection jumps V2+A2 → V3+A3;
+/// substantial rebuffering.
+#[test]
+fn fig4b_shaka_under_then_overestimates() {
+    let content = Content::drama_show(SEED);
+    let combos = all_combos(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let log = run(
+        &content,
+        Box::new(ShakaPolicy::hls(&view)),
+        Trace::fig4b_varying_600k(Duration::from_secs(3600)),
+        SyncMode::Independent,
+        Duration::from_secs(10),
+    );
+    let estimates: Vec<(f64, u64)> = log
+        .transfers
+        .iter()
+        .filter_map(|t| t.estimate_after.map(|e| (t.at.as_secs_f64(), e.kbps())))
+        .collect();
+    let early_max = estimates.iter().filter(|(t, _)| *t < 50.0).map(|&(_, e)| e).max().unwrap();
+    let late_max = estimates.iter().map(|&(_, e)| e).max().unwrap();
+    assert_eq!(early_max, 500, "default until the first burst");
+    assert!(late_max > 1000, "overestimation after bursts, got {late_max}");
+    let used = qoe::distinct_combos(&log);
+    assert!(used.contains(&Combo::new(1, 1)), "V2+A2 early");
+    assert!(used.contains(&Combo::new(2, 2)), "V3+A3 after overestimation");
+    let stall = log.total_stall().as_secs_f64();
+    assert!((20.0..150.0).contains(&stall), "tens of seconds of rebuffering, got {stall:.1}");
+}
+
+/// §3.3 fluctuation: estimates between 300 and 700 Kbps flip the pure
+/// rate-based rule across exactly the paper's five nearby combinations.
+#[test]
+fn fig4x_shaka_fluctuation_set() {
+    let content = Content::drama_show(SEED);
+    let combos = all_combos(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let policy = ShakaPolicy::hls(&view);
+    let picks: std::collections::BTreeSet<String> = (300..=700)
+        .step_by(10)
+        .map(|k| policy.choice_for_estimate(BitsPerSec::from_kbps(k)).to_string())
+        .collect();
+    for expected in ["V1+A2", "V2+A1", "V2+A2", "V1+A3", "V2+A3"] {
+        assert!(picks.contains(expected), "sweep must hit {expected}");
+    }
+}
+
+/// Fig 5: dash.js at 700 Kbps — independent adaptation uses undesirable
+/// combinations (V2+A3) and unbalances the buffers far more than the
+/// chunk-synchronized ExoPlayer run on the same trace.
+#[test]
+fn fig5_dashjs_undesirable_combos_and_imbalance() {
+    let content = Content::drama_show(SEED);
+    let view = dash_view(&content);
+    let dashjs_log = run(
+        &content,
+        Box::new(DashJsPolicy::new(&view)),
+        Trace::constant(BitsPerSec::from_kbps(700)),
+        SyncMode::Independent,
+        Duration::from_secs(30),
+    );
+    assert!(dashjs_log.completed());
+    let used = qoe::distinct_combos(&dashjs_log);
+    assert!(
+        used.contains(&Combo::new(1, 2)) || used.contains(&Combo::new(1, 1)),
+        "independent adaptation pairs low video with high audio, got {used:?}"
+    );
+    assert!(used.len() >= 3, "selection fluctuates, got {used:?}");
+    assert!(
+        dashjs_log.switch_count(MediaType::Video) + dashjs_log.switch_count(MediaType::Audio) > 10,
+        "frequent switching"
+    );
+
+    let exo_log = run(
+        &content,
+        Box::new(ExoPlayerPolicy::dash(&view)),
+        Trace::constant(BitsPerSec::from_kbps(700)),
+        chunked(&content),
+        Duration::from_secs(30),
+    );
+    assert!(
+        dashjs_log.max_buffer_imbalance() > exo_log.max_buffer_imbalance(),
+        "independent pipelines unbalance buffers: dash.js {} vs ExoPlayer {}",
+        dashjs_log.max_buffer_imbalance(),
+        exo_log.max_buffer_imbalance()
+    );
+}
