@@ -9,6 +9,11 @@
 //!   log-staircase vs the full M×N set vs the curated subset.
 //! * `sync_mode/*` — a full best-practice session with chunk-level vs
 //!   independent prefetching (the BP2 ablation).
+//! * `obs_overhead/*` — a full session with no observability handle vs a
+//!   `NullTracer` handle threaded through every instrumented site. The
+//!   disabled path must cost within noise of the uninstrumented one
+//!   (<2%): `emit` closures are never evaluated when the tracer reports
+//!   itself disabled.
 
 use abr_bench::setup::{drama, hls_sub_view, player_config, PlayerKind};
 use abr_core::bestpractice::BestPracticePolicy;
@@ -21,11 +26,13 @@ use abr_media::units::{BitsPerSec, Bytes};
 use abr_net::link::Link;
 use abr_net::profile::{DeliveryProfile, Segment};
 use abr_net::trace::Trace;
+use abr_obs::{NullTracer, ObsHandle};
 use abr_player::config::SyncMode;
 use abr_player::policy::TransferRecord;
 use abr_player::Session;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::rc::Rc;
 
 fn synthetic_transfers() -> Vec<TransferRecord> {
     // Alternating slow/fast transfers like the Fig 4(b) trace.
@@ -37,10 +44,18 @@ fn synthetic_transfers() -> Vec<TransferRecord> {
         let rate = BitsPerSec::from_kbps(kbps);
         let end = t + Duration::from_secs(secs);
         let mut profile = DeliveryProfile::new();
-        profile.push(Segment { start: t, end, rate });
+        profile.push(Segment {
+            start: t,
+            end,
+            rate,
+        });
         let size = rate.bytes_in_micros(secs * 1_000_000);
         out.push(TransferRecord {
-            media: if i % 2 == 0 { MediaType::Video } else { MediaType::Audio },
+            media: if i % 2 == 0 {
+                MediaType::Video
+            } else {
+                MediaType::Audio
+            },
             track: TrackId::video(0),
             chunk: i as usize,
             size,
@@ -120,7 +135,12 @@ fn sync_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("sync_mode");
     group.sample_size(10);
     for (label, sync) in [
-        ("chunk_level", SyncMode::ChunkLevel { tolerance: content.chunk_duration() }),
+        (
+            "chunk_level",
+            SyncMode::ChunkLevel {
+                tolerance: content.chunk_duration(),
+            },
+        ),
         ("independent", SyncMode::Independent),
     ] {
         group.bench_function(label, |b| {
@@ -141,5 +161,35 @@ fn sync_mode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, estimators, combo_rule, sync_mode);
+fn obs_overhead(c: &mut Criterion) {
+    let content = drama();
+    let view = hls_sub_view(&content, &[0, 1, 2]);
+    let session = |obs: Option<ObsHandle>| {
+        let policy = Box::new(BestPracticePolicy::from_hls(&view));
+        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+        let link = Link::with_latency(
+            Trace::fig3_varying_600k(Duration::from_secs(3600)),
+            Duration::from_millis(20),
+        );
+        let config = player_config(PlayerKind::BestPractice, content.chunk_duration());
+        let mut s = Session::new(origin, link, policy, config);
+        if let Some(obs) = obs {
+            s = s.with_obs(obs);
+        }
+        s.run()
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("uninstrumented", |b| b.iter(|| black_box(session(None))));
+    group.bench_function("null_tracer", |b| {
+        b.iter(|| {
+            black_box(session(Some(
+                ObsHandle::disabled().with_tracer(Rc::new(NullTracer)),
+            )))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, estimators, combo_rule, sync_mode, obs_overhead);
 criterion_main!(benches);

@@ -4,9 +4,15 @@
 //! exp --list            list experiment ids
 //! exp --id f4a          run one experiment, print the regenerated figure
 //! exp --all [--json D]  run everything; optionally write JSON to dir D
+//!
+//! Observability (single-session experiments only, with --id):
+//! exp --id f4b --trace out.jsonl    write the event trace as JSONL
+//! exp --id f4b --chrome out.json    write a Chrome trace_event document
+//! exp --id f4b --metrics            print the metrics registry summary
 //! ```
 
-use abr_bench::experiments::{all_ids, run};
+use abr_bench::experiments::{all_ids, run, traced_session};
+use abr_bench::report::table;
 use std::io::Write as _;
 
 fn main() {
@@ -15,6 +21,9 @@ fn main() {
     let mut run_all = false;
     let mut list = false;
     let mut json_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -22,13 +31,37 @@ fn main() {
             "--all" => run_all = true,
             "--id" => {
                 i += 1;
-                id = Some(args.get(i).unwrap_or_else(|| usage("--id needs a value")).clone());
+                id = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--id needs a value"))
+                        .clone(),
+                );
             }
             "--json" => {
                 i += 1;
-                json_dir =
-                    Some(args.get(i).unwrap_or_else(|| usage("--json needs a value")).clone());
+                json_dir = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--json needs a value"))
+                        .clone(),
+                );
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--trace needs a value"))
+                        .clone(),
+                );
+            }
+            "--chrome" => {
+                i += 1;
+                chrome_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--chrome needs a value"))
+                        .clone(),
+                );
+            }
+            "--metrics" => metrics = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -39,6 +72,11 @@ fn main() {
             println!("{id}");
         }
         return;
+    }
+
+    let wants_obs = trace_path.is_some() || chrome_path.is_some() || metrics;
+    if wants_obs && (run_all || id.is_none()) {
+        usage("--trace/--chrome/--metrics need a single experiment (--id)");
     }
 
     let ids: Vec<&str> = if run_all {
@@ -63,15 +101,53 @@ fn main() {
         if let Some(dir) = &json_dir {
             let path = format!("{dir}/{}.json", result.id);
             let mut f = std::fs::File::create(&path).expect("create json file");
-            f.write_all(serde_json::to_string_pretty(&result.json).expect("serialize").as_bytes())
-                .expect("write json");
+            f.write_all(
+                serde_json::to_string_pretty(&result.json)
+                    .expect("serialize")
+                    .as_bytes(),
+            )
+            .expect("write json");
             println!("[json written to {path}]\n");
+        }
+        if wants_obs {
+            let Some((_log, events, snapshot)) = traced_session(id) else {
+                eprintln!(
+                    "experiment `{id}` is a table or multi-session sweep; \
+                     no single session to trace"
+                );
+                std::process::exit(2);
+            };
+            if let Some(path) = &trace_path {
+                if let Err(e) = std::fs::write(path, abr_obs::export::to_jsonl(&events)) {
+                    eprintln!("error: cannot write trace to `{path}`: {e}");
+                    std::process::exit(1);
+                }
+                println!("[{} events written to {path}]", events.len());
+            }
+            if let Some(path) = &chrome_path {
+                if let Err(e) = std::fs::write(path, abr_obs::export::to_chrome_trace(&events)) {
+                    eprintln!("error: cannot write chrome trace to `{path}`: {e}");
+                    std::process::exit(1);
+                }
+                println!("[chrome trace written to {path}]");
+            }
+            if metrics {
+                let rows: Vec<Vec<String>> = snapshot
+                    .rows()
+                    .into_iter()
+                    .map(|(k, v)| vec![k, v])
+                    .collect();
+                println!("{}", table(&["Metric", "Value"], &rows));
+            }
         }
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: exp (--list | --id <experiment> | --all) [--json <dir>]");
+    eprintln!(
+        "usage: exp (--list | --id <experiment> | --all) [--json <dir>]\n\
+         \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]  (with --id)"
+    );
     std::process::exit(2);
 }

@@ -17,14 +17,20 @@ fn main() {
             Duration::from_secs(3600),
             seed,
         );
-        let mean = trace.mean_over(abr_event::time::Instant::ZERO, abr_event::time::Instant::from_secs(400));
+        let mean = trace.mean_over(
+            abr_event::time::Instant::ZERO,
+            abr_event::time::Instant::from_secs(400),
+        );
         let view = hls_sub_view(&content, &[2, 0, 1]);
         let policy = ExoPlayerPolicy::hls(&view);
         let log = run_session(&content, PlayerKind::ExoPlayer, Box::new(policy), trace);
         println!(
             "seed {seed:#x}: mean(0-400s)={} stalls={} rebuf={:.1}s finished={:.0}s completed={}",
-            mean.kbps(), log.stall_count(), log.total_stall().as_secs_f64(),
-            log.finished_at.as_secs_f64(), log.completed()
+            mean.kbps(),
+            log.stall_count(),
+            log.total_stall().as_secs_f64(),
+            log.finished_at.as_secs_f64(),
+            log.completed()
         );
     }
 }

@@ -1,21 +1,39 @@
 //! Fluctuation-regime scan (calibration helper).
 use abr_bench::setup::*;
-use abr_core::{ShakaPolicy, BestPracticePolicy};
+use abr_core::{BestPracticePolicy, ShakaPolicy};
 use abr_event::time::Duration;
-use abr_media::units::BitsPerSec;
 use abr_media::track::MediaType;
+use abr_media::units::BitsPerSec;
 use abr_net::trace::Trace;
 
 fn main() {
     let content = drama();
     for seed in [1u64, 2, 3, 4, 5] {
         let trace = Trace::random_walk(
-            BitsPerSec::from_kbps(2200), BitsPerSec::from_kbps(1200), BitsPerSec::from_kbps(3500),
-            0.35, Duration::from_secs(4), Duration::from_secs(3600), seed);
+            BitsPerSec::from_kbps(2200),
+            BitsPerSec::from_kbps(1200),
+            BitsPerSec::from_kbps(3500),
+            0.35,
+            Duration::from_secs(4),
+            Duration::from_secs(3600),
+            seed,
+        );
         let view = hls_all_view(&content);
-        let shaka = run_session(&content, PlayerKind::Shaka, Box::new(ShakaPolicy::hls(&view)), trace.clone());
-        let bp = run_session(&content, PlayerKind::BestPractice, Box::new(BestPracticePolicy::from_hls(&view)), trace);
-        let sw = |l: &abr_player::SessionLog| l.switch_count(MediaType::Video)+l.switch_count(MediaType::Audio);
+        let shaka = run_session(
+            &content,
+            PlayerKind::Shaka,
+            Box::new(ShakaPolicy::hls(&view)),
+            trace.clone(),
+        );
+        let bp = run_session(
+            &content,
+            PlayerKind::BestPractice,
+            Box::new(BestPracticePolicy::from_hls(&view)),
+            trace,
+        );
+        let sw = |l: &abr_player::SessionLog| {
+            l.switch_count(MediaType::Video) + l.switch_count(MediaType::Audio)
+        };
         println!("seed {seed}: shaka sw={} stalls={} rebuf={:.1} | bp sw={} stalls={} rebuf={:.1} | qoe {:.2} vs {:.2}",
             sw(&shaka), shaka.stall_count(), shaka.total_stall().as_secs_f64(),
             sw(&bp), bp.stall_count(), bp.total_stall().as_secs_f64(),

@@ -1,15 +1,19 @@
 //! BBA tail-behavior debug (calibration helper).
 use abr_bench::setup::*;
 use abr_core::BbaPolicy;
-use abr_media::units::BitsPerSec;
 use abr_media::track::MediaType;
+use abr_media::units::BitsPerSec;
 use abr_net::trace::Trace;
 
 fn main() {
     let content = drama();
     let view = hls_sub_view(&content, &[0, 1, 2]);
-    let log = run_session(&content, PlayerKind::BestPractice, Box::new(BbaPolicy::from_hls(&view)),
-        Trace::constant(BitsPerSec::from_kbps(8000)));
+    let log = run_session(
+        &content,
+        PlayerKind::BestPractice,
+        Box::new(BbaPolicy::from_hls(&view)),
+        Trace::constant(BitsPerSec::from_kbps(8000)),
+    );
     let v = log.selected_tracks(MediaType::Video);
     println!("video tail: {:?}", &v[60..]);
     for s in log.buffer_samples.iter().rev().take(8) {

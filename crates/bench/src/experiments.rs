@@ -34,8 +34,8 @@ pub struct ExperimentResult {
 /// All experiment ids in DESIGN.md §7 order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "t1", "t2", "t3", "f2a", "f2b", "f3a", "f3b", "f3x", "f3fix", "f4a", "f4b",
-        "f4x", "f5a", "f5b", "bp1", "bp2", "bp3", "bp4", "bp5", "m1", "m2", "m3",
+        "t1", "t2", "t3", "f2a", "f2b", "f3a", "f3b", "f3x", "f3fix", "f4a", "f4b", "f4x", "f5a",
+        "f5b", "bp1", "bp2", "bp3", "bp4", "bp5", "m1", "m2", "m3",
     ]
 }
 
@@ -64,6 +64,92 @@ pub fn run(id: &str) -> Option<ExperimentResult> {
         "m1" => m1(),
         "m2" => m2(),
         "m3" => m3(),
+        _ => return None,
+    })
+}
+
+/// Re-runs the single canonical session underlying an experiment with a
+/// recording tracer and metrics attached (the `exp --trace/--chrome/
+/// --metrics` path). Returns `None` for experiments that are pure tables
+/// or multi-session sweeps — there is no one session to trace.
+pub fn traced_session(
+    id: &str,
+) -> Option<(
+    SessionLog,
+    Vec<abr_obs::TracedEvent>,
+    abr_obs::MetricsSnapshot,
+)> {
+    Some(match id {
+        "f2a" | "f2b" => {
+            let content = if id == "f2b" {
+                drama_high_audio()
+            } else {
+                drama_low_audio()
+            };
+            let view = dash_view(&content);
+            let policy = ExoPlayerPolicy::dash(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::ExoPlayer,
+                Box::new(policy),
+                Trace::constant(BitsPerSec::from_kbps(900)),
+            )
+        }
+        "f3a" | "f3b" => {
+            let content = drama();
+            let view = hls_sub_view(&content, &[2, 0, 1]);
+            let policy = ExoPlayerPolicy::hls(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::ExoPlayer,
+                Box::new(policy),
+                Trace::fig3_varying_600k(Duration::from_secs(3600)),
+            )
+        }
+        "f3x" => {
+            let content = drama();
+            let view = hls_sub_view(&content, &[0, 1, 2]);
+            let policy = ExoPlayerPolicy::hls(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::ExoPlayer,
+                Box::new(policy),
+                Trace::constant(BitsPerSec::from_kbps(5000)),
+            )
+        }
+        "f4a" => {
+            let content = drama();
+            let view = hls_all_view(&content);
+            let policy = ShakaPolicy::hls(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::Shaka,
+                Box::new(policy),
+                Trace::constant(BitsPerSec::from_kbps(1000)),
+            )
+        }
+        "f4b" => {
+            let content = drama();
+            let view = hls_all_view(&content);
+            let policy = ShakaPolicy::hls(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::Shaka,
+                Box::new(policy),
+                Trace::fig4b_varying_600k(Duration::from_secs(3600)),
+            )
+        }
+        "f5a" | "f5b" => {
+            let content = drama();
+            let view = dash_view(&content);
+            let policy = DashJsPolicy::new(&view);
+            run_session_obs(
+                &content,
+                PlayerKind::DashJs,
+                Box::new(policy),
+                Trace::constant(BitsPerSec::from_kbps(700)),
+            )
+        }
         _ => return None,
     })
 }
@@ -102,7 +188,15 @@ fn t1() -> ExperimentResult {
         }));
     }
     let text = table(
-        &["Track", "Avg (paper)", "Peak (paper)", "Declared", "Detail", "Avg (measured)", "Peak (measured)"],
+        &[
+            "Track",
+            "Avg (paper)",
+            "Peak (paper)",
+            "Declared",
+            "Detail",
+            "Avg (measured)",
+            "Peak (measured)",
+        ],
         &rows,
     );
     ExperimentResult {
@@ -119,7 +213,11 @@ fn combo_table(combos: &[Combo]) -> (String, Value) {
     let mut jrows = Vec::new();
     for &combo in combos {
         let b = combo_bitrate(c.video(), c.audio(), combo);
-        rows.push(vec![combo.to_string(), b.avg.kbps().to_string(), b.peak.kbps().to_string()]);
+        rows.push(vec![
+            combo.to_string(),
+            b.avg.kbps().to_string(),
+            b.peak.kbps().to_string(),
+        ]);
         jrows.push(json!({
             "combo": combo.to_string(),
             "avg_kbps": b.avg.kbps(),
@@ -127,7 +225,14 @@ fn combo_table(combos: &[Combo]) -> (String, Value) {
         }));
     }
     (
-        table(&["Video/Audio Combination", "Average Bitrate (Kbps)", "Peak Bitrate (Kbps)"], &rows),
+        table(
+            &[
+                "Video/Audio Combination",
+                "Average Bitrate (Kbps)",
+                "Peak Bitrate (Kbps)",
+            ],
+            &rows,
+        ),
         json!({ "combos": jrows }),
     )
 }
@@ -136,14 +241,24 @@ fn combo_table(combos: &[Combo]) -> (String, Value) {
 fn t2() -> ExperimentResult {
     let c = drama();
     let (text, json) = combo_table(&all_combos(c.video(), c.audio()));
-    ExperimentResult { id: "t2", title: "Table 2: bitrates of the full combination set (H_all)", text, json }
+    ExperimentResult {
+        id: "t2",
+        title: "Table 2: bitrates of the full combination set (H_all)",
+        text,
+        json,
+    }
 }
 
 /// Table 3: the curated 6-combination subset (`H_sub`).
 fn t3() -> ExperimentResult {
     let c = drama();
     let (text, json) = combo_table(&curated_subset(c.video(), c.audio()));
-    ExperimentResult { id: "t3", title: "Table 3: bitrates of the curated subset (H_sub)", text, json }
+    ExperimentResult {
+        id: "t3",
+        title: "Table 3: bitrates of the curated subset (H_sub)",
+        text,
+        json,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -174,10 +289,18 @@ fn log_summary_json(log: &SessionLog) -> Value {
 /// Fig 2(a)/(b): ExoPlayer DASH with the low "B" (or high "C") audio set
 /// at a fixed 900 Kbps.
 fn f2(high_audio: bool) -> ExperimentResult {
-    let content = if high_audio { drama_high_audio() } else { drama_low_audio() };
+    let content = if high_audio {
+        drama_high_audio()
+    } else {
+        drama_low_audio()
+    };
     let view = dash_view(&content);
     let policy = ExoPlayerPolicy::dash(&view);
-    let staircase: Vec<String> = policy.combinations().iter().map(|c| c.to_string()).collect();
+    let staircase: Vec<String> = policy
+        .combinations()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     let log = run_session(
         &content,
         PlayerKind::ExoPlayer,
@@ -204,8 +327,16 @@ fn f2(high_audio: bool) -> ExperimentResult {
     let mut text = ascii_plot(
         "Selected declared bitrate over time (Kbps)",
         &[
-            Series { glyph: 'v', label: "video", points: &v_series },
-            Series { glyph: 'a', label: "audio", points: &a_series },
+            Series {
+                glyph: 'v',
+                label: "video",
+                points: &v_series,
+            },
+            Series {
+                glyph: 'a',
+                label: "audio",
+                points: &a_series,
+            },
         ],
         72,
         14,
@@ -268,16 +399,26 @@ fn f3a() -> ExperimentResult {
     let allowed = curated_subset(content.video(), content.audio());
     let audio_tracks = log.distinct_tracks(MediaType::Audio);
     let off = abr_qoe::off_manifest_chunks(&log, &allowed);
-    let combos: Vec<String> =
-        abr_qoe::distinct_combos(&log).iter().map(|c| c.to_string()).collect();
+    let combos: Vec<String> = abr_qoe::distinct_combos(&log)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
 
     let v_series = downsample(&selection_series(&log, MediaType::Video), 70);
     let a_series = downsample(&selection_series(&log, MediaType::Audio), 70);
     let mut text = ascii_plot(
         "Selected declared bitrate over time (Kbps)",
         &[
-            Series { glyph: 'v', label: "video", points: &v_series },
-            Series { glyph: 'a', label: "audio (pinned)", points: &a_series },
+            Series {
+                glyph: 'v',
+                label: "video",
+                points: &v_series,
+            },
+            Series {
+                glyph: 'a',
+                label: "audio (pinned)",
+                points: &a_series,
+            },
         ],
         72,
         14,
@@ -287,7 +428,10 @@ fn f3a() -> ExperimentResult {
          combinations used: {}\n\
          off-manifest chunks: {} of {}\n\
          stalls: {}  total rebuffering: {:.1}s  (paper: 5 stalls, 36.9s)\n",
-        audio_tracks.iter().map(|i| format!("A{}", i + 1)).collect::<Vec<_>>(),
+        audio_tracks
+            .iter()
+            .map(|i| format!("A{}", i + 1))
+            .collect::<Vec<_>>(),
         combos.join(", "),
         off,
         log.num_chunks,
@@ -314,8 +458,16 @@ fn f3b() -> ExperimentResult {
     let mut text = ascii_plot(
         "Buffer level over time (seconds)",
         &[
-            Series { glyph: 'a', label: "audio buffer", points: &a },
-            Series { glyph: 'v', label: "video buffer", points: &v },
+            Series {
+                glyph: 'a',
+                label: "audio buffer",
+                points: &a,
+            },
+            Series {
+                glyph: 'v',
+                label: "video buffer",
+                points: &v,
+            },
         ],
         72,
         14,
@@ -363,7 +515,10 @@ fn f3x() -> ExperimentResult {
          audio tracks used: {:?}  (paper: A1 throughout despite headroom)\n\
          mean video: {} Kbps  mean audio: {} Kbps\n\
          stalls: {}\n",
-        audio_tracks.iter().map(|i| format!("A{}", i + 1)).collect::<Vec<_>>(),
+        audio_tracks
+            .iter()
+            .map(|i| format!("A{}", i + 1))
+            .collect::<Vec<_>>(),
         abr_qoe::summarize(&log).mean_video_kbps,
         abr_qoe::summarize(&log).mean_audio_kbps,
         log.stall_count(),
@@ -432,8 +587,11 @@ fn f3fix() -> ExperimentResult {
     ];
     for (label, log) in &runs {
         let q = abr_qoe::summarize(log);
-        let audio_used: Vec<String> =
-            log.distinct_tracks(MediaType::Audio).iter().map(|i| format!("A{}", i + 1)).collect();
+        let audio_used: Vec<String> = log
+            .distinct_tracks(MediaType::Audio)
+            .iter()
+            .map(|i| format!("A{}", i + 1))
+            .collect();
         rows.push(vec![
             label.to_string(),
             audio_used.join("/"),
@@ -452,7 +610,15 @@ fn f3fix() -> ExperimentResult {
         }));
     }
     let mut text = table(
-        &["Player", "Audio used", "Stalls", "Stall s", "Video Kbps", "Audio Kbps", "QoE"],
+        &[
+            "Player",
+            "Audio used",
+            "Stalls",
+            "Stall s",
+            "Video Kbps",
+            "Audio Kbps",
+            "QoE",
+        ],
         &rows,
     );
     text.push_str(concat!(
@@ -488,7 +654,11 @@ fn f4a() -> ExperimentResult {
     let est_plot = downsample(&est, 70);
     let mut text = ascii_plot(
         "Shaka bandwidth estimate over time (Kbps); actual link = 1000",
-        &[Series { glyph: 'e', label: "estimate", points: &est_plot }],
+        &[Series {
+            glyph: 'e',
+            label: "estimate",
+            points: &est_plot,
+        }],
         72,
         10,
     );
@@ -530,7 +700,11 @@ fn f4b() -> ExperimentResult {
     let est_plot = downsample(&est, 70);
     let mut text = ascii_plot(
         "Shaka bandwidth estimate over time (Kbps); link mean = 600",
-        &[Series { glyph: 'e', label: "estimate", points: &est_plot }],
+        &[Series {
+            glyph: 'e',
+            label: "estimate",
+            points: &est_plot,
+        }],
         72,
         12,
     );
@@ -540,8 +714,10 @@ fn f4b() -> ExperimentResult {
         .map(|&(_, e)| e)
         .fold(0.0f64, f64::max);
     let late_max = est.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
-    let combos: Vec<String> =
-        abr_qoe::distinct_combos(&log).iter().map(|c| c.to_string()).collect();
+    let combos: Vec<String> = abr_qoe::distinct_combos(&log)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     text.push_str(&format!(
         "\nestimate before t=50s: ≤{early_max:.0} Kbps (stuck at default; link is 400)\n\
          peak estimate after bursts: {late_max:.0} Kbps (true mean 600)\n\
@@ -574,13 +750,22 @@ fn f4x() -> ExperimentResult {
     let mut picks = Vec::new();
     for kbps in (300..=700).step_by(25) {
         let pick = policy.choice_for_estimate(BitsPerSec::from_kbps(kbps));
-        let bw = combo_bitrate(content.video(), content.audio(), pick).peak.kbps();
+        let bw = combo_bitrate(content.video(), content.audio(), pick)
+            .peak
+            .kbps();
         rows.push(vec![kbps.to_string(), pick.to_string(), bw.to_string()]);
         picks.push(pick);
     }
     let mut distinct: Vec<String> = picks.iter().map(|c| c.to_string()).collect();
     distinct.dedup();
-    let mut text = table(&["Estimate (Kbps)", "Selected combination", "Combo BANDWIDTH (Kbps)"], &rows);
+    let mut text = table(
+        &[
+            "Estimate (Kbps)",
+            "Selected combination",
+            "Combo BANDWIDTH (Kbps)",
+        ],
+        &rows,
+    );
     text.push_str(&format!(
         "\ndistinct selections across the sweep: {} — {}\n\
          (paper: fluctuation among V1+A2, V2+A1, V2+A2, V1+A3, V2+A3 at 318/395/460/510/652)\n",
@@ -618,8 +803,10 @@ fn f5_session() -> SessionLog {
 fn f5a() -> ExperimentResult {
     let log = f5_session();
     let combos_rle = abr_qoe::combos_used(&log);
-    let combos: Vec<String> =
-        abr_qoe::distinct_combos(&log).iter().map(|c| c.to_string()).collect();
+    let combos: Vec<String> = abr_qoe::distinct_combos(&log)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     // The paper's better alternative: V3+A2 (declared 669) fits 700 Kbps.
     let undesirable = combos_rle
         .iter()
@@ -631,8 +818,16 @@ fn f5a() -> ExperimentResult {
     let mut text = ascii_plot(
         "Selected declared bitrate over time (Kbps); link = 700",
         &[
-            Series { glyph: 'v', label: "video", points: &v_series },
-            Series { glyph: 'a', label: "audio", points: &a_series },
+            Series {
+                glyph: 'v',
+                label: "video",
+                points: &v_series,
+            },
+            Series {
+                glyph: 'a',
+                label: "audio",
+                points: &a_series,
+            },
         ],
         72,
         14,
@@ -666,8 +861,16 @@ fn f5b() -> ExperimentResult {
     let mut text = ascii_plot(
         "Buffer level over time (seconds); independent pipelines",
         &[
-            Series { glyph: 'a', label: "audio buffer", points: &a },
-            Series { glyph: 'v', label: "video buffer", points: &v },
+            Series {
+                glyph: 'a',
+                label: "audio buffer",
+                points: &a,
+            },
+            Series {
+                glyph: 'v',
+                label: "video buffer",
+                points: &v,
+            },
         ],
         72,
         14,
@@ -701,7 +904,10 @@ fn bp1() -> ExperimentResult {
         ("700k fixed", Trace::constant(BitsPerSec::from_kbps(700))),
         ("900k fixed", Trace::constant(BitsPerSec::from_kbps(900))),
         ("1M fixed", Trace::constant(BitsPerSec::from_kbps(1000))),
-        ("varying-600k", Trace::fig3_varying_600k(Duration::from_secs(3600))),
+        (
+            "varying-600k",
+            Trace::fig3_varying_600k(Duration::from_secs(3600)),
+        ),
     ];
     let kinds = [
         PlayerKind::ExoPlayer,
@@ -747,8 +953,16 @@ fn bp1() -> ExperimentResult {
     }
     let text = table(
         &[
-            "Trace", "Policy", "QoE", "Stalls", "Stall s", "Video Kbps", "Audio Kbps",
-            "Switches", "Max imbal s", "Off-curated",
+            "Trace",
+            "Policy",
+            "QoE",
+            "Stalls",
+            "Stall s",
+            "Video Kbps",
+            "Audio Kbps",
+            "Switches",
+            "Max imbal s",
+            "Off-curated",
         ],
         &rows,
     );
@@ -769,7 +983,12 @@ fn bp2() -> ExperimentResult {
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
     for (label, sync) in [
-        ("chunk-level sync", SyncMode::ChunkLevel { tolerance: content.chunk_duration() }),
+        (
+            "chunk-level sync",
+            SyncMode::ChunkLevel {
+                tolerance: content.chunk_duration(),
+            },
+        ),
         ("independent", SyncMode::Independent),
     ] {
         let policy = Box::new(BestPracticePolicy::from_hls(&view));
@@ -797,7 +1016,14 @@ fn bp2() -> ExperimentResult {
         }));
     }
     let text = table(
-        &["Prefetch mode", "QoE", "Stalls", "Stall s", "Mean imbal s", "Max imbal s"],
+        &[
+            "Prefetch mode",
+            "QoE",
+            "Stalls",
+            "Stall s",
+            "Mean imbal s",
+            "Max imbal s",
+        ],
         &rows,
     );
     ExperimentResult {
@@ -838,7 +1064,11 @@ fn bp3() -> ExperimentResult {
             "mean video {} Kbps  mean audio {} Kbps  QoE {:.2}\n",
         ),
         abr_manifest::dash::COMBINATIONS_SCHEME,
-        combos.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "),
+        combos
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
         q.completed,
         q.stall_count,
         q.total_stall.as_secs_f64(),
@@ -885,7 +1115,10 @@ fn bp4() -> ExperimentResult {
         rows.push(vec![
             label.to_string(),
             log.playlist_fetches.len().to_string(),
-            format!("{:.2}", q.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())),
+            format!(
+                "{:.2}",
+                q.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())
+            ),
             q.stall_count.to_string(),
             format!("{:.1}", q.total_stall.as_secs_f64()),
             format!("{:.2}", q.score),
@@ -900,7 +1133,14 @@ fn bp4() -> ExperimentResult {
         }));
     }
     let mut text = table(
-        &["Playlist fetching", "Fetches", "Startup s", "Stalls", "Stall s", "QoE"],
+        &[
+            "Playlist fetching",
+            "Fetches",
+            "Startup s",
+            "Stalls",
+            "Stall s",
+            "QoE",
+        ],
         &rows,
     );
     text.push_str(concat!(
@@ -938,13 +1178,21 @@ fn m1() -> ExperimentResult {
 
     let mut demux = CdnCache::new(Bytes(1 << 32));
     for chunk in 0..n {
-        demux.fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-        demux.fetch(&origin, &Origin::segment_request(TrackId::audio(1), chunk)).unwrap();
+        demux
+            .fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk))
+            .unwrap();
+        demux
+            .fetch(&origin, &Origin::segment_request(TrackId::audio(1), chunk))
+            .unwrap();
     }
     let a_stats = demux.stats();
     for chunk in 0..n {
-        demux.fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-        demux.fetch(&origin, &Origin::segment_request(TrackId::audio(0), chunk)).unwrap();
+        demux
+            .fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk))
+            .unwrap();
+        demux
+            .fetch(&origin, &Origin::segment_request(TrackId::audio(0), chunk))
+            .unwrap();
     }
     let b_hits = demux.stats().hits - a_stats.hits;
 
@@ -952,14 +1200,20 @@ fn m1() -> ExperimentResult {
     for chunk in 0..n {
         mux.fetch(
             &origin,
-            &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 1), chunk }),
+            &Request::whole(ObjectId::MuxedSegment {
+                combo: Combo::new(0, 1),
+                chunk,
+            }),
         )
         .unwrap();
     }
     for chunk in 0..n {
         mux.fetch(
             &origin,
-            &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 0), chunk }),
+            &Request::whole(ObjectId::MuxedSegment {
+                combo: Combo::new(0, 0),
+                chunk,
+            }),
         )
         .unwrap();
     }
@@ -976,7 +1230,10 @@ fn m1() -> ExperimentResult {
             format!("x{:.2}", m.get() as f64 / d.get() as f64),
         ]);
     }
-    let lang_table = table(&["Languages", "Demuxed MB", "Muxed MB", "Expansion"], &lang_rows);
+    let lang_table = table(
+        &["Languages", "Demuxed MB", "Muxed MB", "Expansion"],
+        &lang_rows,
+    );
     let text = format!(
         concat!(
             "Origin storage (Table 1 content, 6 video × 3 audio):\n",
@@ -1023,7 +1280,10 @@ fn m2() -> ExperimentResult {
     let trace = Trace::constant(BitsPerSec::from_kbps(2_000));
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
-    for (label, mode) in [("demuxed", DeliveryMode::Demuxed), ("muxed", DeliveryMode::Muxed)] {
+    for (label, mode) in [
+        ("demuxed", DeliveryMode::Demuxed),
+        ("muxed", DeliveryMode::Muxed),
+    ] {
         let policy = Box::new(ShakaPolicy::hls(&view));
         let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
         let link = abr_net::link::Link::with_latency(trace.clone(), Duration::from_millis(20));
@@ -1032,8 +1292,11 @@ fn m2() -> ExperimentResult {
             .with_delivery(mode)
             .run();
         let q = abr_qoe::summarize(&log);
-        let final_estimate =
-            log.transfers.last().and_then(|t| t.estimate_after).map_or(0, |e| e.kbps());
+        let final_estimate = log
+            .transfers
+            .last()
+            .and_then(|t| t.estimate_after)
+            .map_or(0, |e| e.kbps());
         rows.push(vec![
             label.to_string(),
             final_estimate.to_string(),
@@ -1051,7 +1314,14 @@ fn m2() -> ExperimentResult {
         }));
     }
     let mut text = table(
-        &["Delivery", "Final estimate Kbps", "Video Kbps", "Audio Kbps", "Max imbal s", "Stalls"],
+        &[
+            "Delivery",
+            "Final estimate Kbps",
+            "Video Kbps",
+            "Audio Kbps",
+            "Max imbal s",
+            "Stalls",
+        ],
         &rows,
     );
     text.push_str(concat!(
@@ -1087,7 +1357,10 @@ fn m3() -> ExperimentResult {
     let miss_penalty = Duration::from_millis(120);
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
-    for (label, mode) in [("demuxed", DeliveryMode::Demuxed), ("muxed", DeliveryMode::Muxed)] {
+    for (label, mode) in [
+        ("demuxed", DeliveryMode::Demuxed),
+        ("muxed", DeliveryMode::Muxed),
+    ] {
         let session = |edge: EdgeCache, audio: usize| {
             let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
             let link = abr_net::link::Link::with_latency(
@@ -1121,9 +1394,15 @@ fn m3() -> ExperimentResult {
             label.to_string(),
             b_hits.to_string(),
             b_misses.to_string(),
-            format!("{:.2}", qb.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())),
+            format!(
+                "{:.2}",
+                qb.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())
+            ),
             qb.stall_count.to_string(),
-            format!("{:.1}", (stats.bytes_from_origin.get() - before.bytes_from_origin.get()) as f64 / 1e6),
+            format!(
+                "{:.1}",
+                (stats.bytes_from_origin.get() - before.bytes_from_origin.get()) as f64 / 1e6
+            ),
         ]);
         jrows.push(json!({
             "mode": label,
@@ -1134,7 +1413,14 @@ fn m3() -> ExperimentResult {
         }));
     }
     let mut text = table(
-        &["Delivery", "B hits", "B misses", "B startup s", "B stalls", "B origin MB"],
+        &[
+            "Delivery",
+            "B hits",
+            "B misses",
+            "B startup s",
+            "B stalls",
+            "B origin MB",
+        ],
         &rows,
     );
     text.push_str(concat!(
@@ -1192,7 +1478,16 @@ fn bp5() -> ExperimentResult {
         }
     }
     let text = table(
-        &["Trace", "Policy", "QoE", "Stalls", "Stall s", "Video Kbps", "Audio Kbps", "Switches"],
+        &[
+            "Trace",
+            "Policy",
+            "QoE",
+            "Stalls",
+            "Stall s",
+            "Video Kbps",
+            "Audio Kbps",
+            "Switches",
+        ],
         &rows,
     );
     ExperimentResult {

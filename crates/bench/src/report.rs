@@ -55,8 +55,10 @@ pub struct Series<'a> {
 /// Later series overdraw earlier ones where they collide.
 pub fn ascii_plot(title: &str, series: &[Series<'_>], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "plot too small");
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let mut out = format!("{title}\n");
     if all.is_empty() {
         out.push_str("(no data)\n");
@@ -118,8 +120,10 @@ pub fn ascii_plot(title: &str, series: &[Series<'_>], width: usize, height: usiz
         w = width / 2,
         r = width - width / 2,
     ));
-    let legend: Vec<String> =
-        series.iter().map(|s| format!("{} = {}", s.glyph, s.label)).collect();
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} = {}", s.glyph, s.label))
+        .collect();
     out.push_str(&format!("{} {}\n", " ".repeat(10), legend.join(", ")));
     out
 }
@@ -147,7 +151,9 @@ mod tests {
         assert!(lines[1].contains("Combo"));
         assert!(lines[3].contains("V1+A1"));
         // All body lines share the same width.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
     }
 
     #[test]
@@ -161,7 +167,11 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i % 7) as f64)).collect();
         let p = ascii_plot(
             "demo",
-            &[Series { glyph: 'v', label: "video", points: &pts }],
+            &[Series {
+                glyph: 'v',
+                label: "video",
+                points: &pts,
+            }],
             40,
             8,
         );
@@ -175,7 +185,11 @@ mod tests {
         let pts = [(0.0, 500.0), (10.0, 500.0), (20.0, 500.0)];
         let p = ascii_plot(
             "flat",
-            &[Series { glyph: 'e', label: "estimate", points: &pts }],
+            &[Series {
+                glyph: 'e',
+                label: "estimate",
+                points: &pts,
+            }],
             30,
             6,
         );
@@ -184,8 +198,99 @@ mod tests {
 
     #[test]
     fn plot_empty_series() {
-        let p = ascii_plot("none", &[Series { glyph: 'x', label: "x", points: &[] }], 30, 6);
+        let p = ascii_plot(
+            "none",
+            &[Series {
+                glyph: 'x',
+                label: "x",
+                points: &[],
+            }],
+            30,
+            6,
+        );
         assert!(p.contains("(no data)"));
+    }
+
+    #[test]
+    fn table_golden_string() {
+        let t = table(&["k", "value"], &[vec!["a".into(), "1".into()]]);
+        assert_eq!(
+            t,
+            "+---+-------+\n\
+             | k | value |\n\
+             +---+-------+\n\
+             | a | 1     |\n\
+             +---+-------+\n"
+        );
+    }
+
+    #[test]
+    fn table_with_no_rows_renders_header_only() {
+        let t = table(&["Metric", "Value"], &[]);
+        assert_eq!(
+            t,
+            "+--------+-------+\n\
+             | Metric | Value |\n\
+             +--------+-------+\n\
+             +--------+-------+\n"
+        );
+    }
+
+    #[test]
+    fn plot_single_point() {
+        let pts = [(5.0, 10.0)];
+        let p = ascii_plot(
+            "dot",
+            &[Series {
+                glyph: '*',
+                label: "one",
+                points: &pts,
+            }],
+            16,
+            4,
+        );
+        // A degenerate x/y range widens to a unit span instead of dividing
+        // by zero; the point lands somewhere inside the frame.
+        assert!(p.contains('*'));
+        assert!(p.contains("* = one"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite data point")]
+    fn plot_rejects_nan() {
+        let pts = [(0.0, 1.0), (1.0, f64::NAN)];
+        ascii_plot(
+            "bad",
+            &[Series {
+                glyph: 'x',
+                label: "x",
+                points: &pts,
+            }],
+            20,
+            5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite data point")]
+    fn plot_rejects_infinity() {
+        let pts = [(f64::INFINITY, 1.0)];
+        ascii_plot(
+            "bad",
+            &[Series {
+                glyph: 'x',
+                label: "x",
+                points: &pts,
+            }],
+            20,
+            5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "plot too small")]
+    fn plot_rejects_tiny_grid() {
+        ascii_plot("tiny", &[], 8, 2);
     }
 
     #[test]
@@ -195,8 +300,16 @@ mod tests {
         let p = ascii_plot(
             "xy",
             &[
-                Series { glyph: 'a', label: "a", points: &a },
-                Series { glyph: 'b', label: "b", points: &b },
+                Series {
+                    glyph: 'a',
+                    label: "a",
+                    points: &a,
+                },
+                Series {
+                    glyph: 'b',
+                    label: "b",
+                    points: &b,
+                },
             ],
             20,
             5,

@@ -5,7 +5,9 @@
 //! textual form (build → serialize → parse → bind), so the experiments
 //! exercise the same information pipeline a real player would.
 
-use abr_core::{BbaPolicy, BestPracticePolicy, DashJsPolicy, ExoPlayerPolicy, MpcPolicy, ShakaPolicy};
+use abr_core::{
+    BbaPolicy, BestPracticePolicy, DashJsPolicy, ExoPlayerPolicy, MpcPolicy, ShakaPolicy,
+};
 use abr_event::time::{Duration, Instant};
 use abr_httpsim::origin::Origin;
 use abr_manifest::build::{build_master_playlist, build_mpd};
@@ -17,6 +19,7 @@ use abr_media::content::Content;
 use abr_media::units::Bytes;
 use abr_net::link::Link;
 use abr_net::trace::Trace;
+use abr_obs::{MetricsSnapshot, ObsHandle, TracedEvent};
 use abr_player::config::{PlayerConfig, SyncMode};
 use abr_player::policy::AbrPolicy;
 use abr_player::{Session, SessionLog};
@@ -48,13 +51,21 @@ pub fn dash_view(content: &Content) -> BoundDash {
 /// HLS `H_all` view (all 18 combinations, Table 2 order), audio listed
 /// A1, A2, A3.
 pub fn hls_all_view(content: &Content) -> BoundHls {
-    hls_view(content, &all_combos(content.video(), content.audio()), &[0, 1, 2])
+    hls_view(
+        content,
+        &all_combos(content.video(), content.audio()),
+        &[0, 1, 2],
+    )
 }
 
 /// HLS `H_sub` view (the Table 3 curation) with an explicit audio listing
 /// order — Fig 3's experiments hinge on which rendition is listed first.
 pub fn hls_sub_view(content: &Content, audio_order: &[usize]) -> BoundHls {
-    hls_view(content, &curated_subset(content.video(), content.audio()), audio_order)
+    hls_view(
+        content,
+        &curated_subset(content.video(), content.audio()),
+        audio_order,
+    )
 }
 
 /// Arbitrary-combination HLS view, round-tripped through playlist text.
@@ -128,6 +139,27 @@ pub fn run_session(
     Session::new(origin, link, policy, config).run()
 }
 
+/// Like [`run_session`], but with a recording tracer and metrics registry
+/// attached: returns the directly-recorded log alongside the captured
+/// event stream and a metrics snapshot. This is the runner behind the
+/// `exp --trace/--chrome/--metrics` flags and the trace-replay
+/// integration test.
+pub fn run_session_obs(
+    content: &Content,
+    kind: PlayerKind,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+) -> (SessionLog, Vec<TracedEvent>, MetricsSnapshot) {
+    let (obs, tracer, metrics) = ObsHandle::recording();
+    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+    let link = Link::with_latency(trace, Duration::from_millis(20));
+    let config = player_config(kind, content.chunk_duration());
+    let log = Session::new(origin, link, policy, config)
+        .with_obs(obs)
+        .run();
+    (log, tracer.take(), metrics.snapshot())
+}
+
 /// Builds the standard policy for a kind over DASH manifests (used by the
 /// BP1 shootout; the best-practice player gets the §4.1 server-curated
 /// combination list out-of-band).
@@ -178,7 +210,10 @@ pub fn buffer_series(log: &SessionLog, media: abr_media::track::MediaType) -> Ve
 pub fn estimate_series(log: &SessionLog) -> Vec<(f64, f64)> {
     log.transfers
         .iter()
-        .filter_map(|t| t.estimate_after.map(|e| (t.at.as_secs_f64(), e.kbps() as f64)))
+        .filter_map(|t| {
+            t.estimate_after
+                .map(|e| (t.at.as_secs_f64(), e.kbps() as f64))
+        })
         .collect()
 }
 
@@ -189,7 +224,9 @@ pub fn downsample(series: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
         return series.to_vec();
     }
     let step = (series.len() - 1) as f64 / (max_points - 1) as f64;
-    (0..max_points).map(|i| series[(i as f64 * step).round() as usize]).collect()
+    (0..max_points)
+        .map(|i| series[(i as f64 * step).round() as usize])
+        .collect()
 }
 
 /// Stall windows as (start_secs, end_secs) pairs, open stalls closing at
@@ -233,12 +270,18 @@ mod tests {
     #[test]
     fn configs_match_kind_semantics() {
         let chunk = Duration::from_secs(4);
-        assert_eq!(player_config(PlayerKind::DashJs, chunk).sync, SyncMode::Independent);
+        assert_eq!(
+            player_config(PlayerKind::DashJs, chunk).sync,
+            SyncMode::Independent
+        );
         assert_eq!(
             player_config(PlayerKind::ExoPlayer, chunk).sync,
             SyncMode::ChunkLevel { tolerance: chunk }
         );
-        assert_eq!(player_config(PlayerKind::Shaka, chunk).max_buffer, Duration::from_secs(10));
+        assert_eq!(
+            player_config(PlayerKind::Shaka, chunk).max_buffer,
+            Duration::from_secs(10)
+        );
     }
 
     #[test]

@@ -9,7 +9,11 @@ fn every_experiment_runs_and_renders() {
         let r = run(id).unwrap_or_else(|| panic!("unknown id {id}"));
         assert_eq!(r.id, id);
         assert!(!r.title.is_empty());
-        assert!(r.text.len() > 80, "{id}: text too small ({} bytes)", r.text.len());
+        assert!(
+            r.text.len() > 80,
+            "{id}: text too small ({} bytes)",
+            r.text.len()
+        );
         assert!(r.json.is_object(), "{id}: json must be an object");
     }
 }

@@ -9,12 +9,13 @@
 //! courtesy the §3.4 players don't extend), making it a useful
 //! buffer-only baseline next to the rate-based and hybrid policies.
 
+use abr_event::time::Duration;
 use abr_manifest::view::{BoundDash, BoundHls};
 use abr_media::combo::Combo;
 use abr_media::track::TrackId;
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, ChunkLock, SelectionContext, TransferRecord};
-use abr_event::time::Duration;
 
 /// BBA parameters.
 #[derive(Debug, Clone, Copy)]
@@ -29,7 +30,10 @@ impl Default for BbaConfig {
     fn default() -> Self {
         // Scaled to this workspace's 30 s buffer target (the original used
         // a 240 s TV-style buffer with proportionally larger regions).
-        BbaConfig { reservoir: Duration::from_secs(8), cushion: Duration::from_secs(16) }
+        BbaConfig {
+            reservoir: Duration::from_secs(8),
+            cushion: Duration::from_secs(16),
+        }
     }
 }
 
@@ -44,6 +48,7 @@ pub struct BbaPolicy {
     current: Option<usize>,
     /// Joint per-chunk-position lock (§4.2).
     locked: ChunkLock,
+    obs: ObsHandle,
 }
 
 impl BbaPolicy {
@@ -56,12 +61,18 @@ impl BbaPolicy {
             cfg: BbaConfig::default(),
             current: None,
             locked: ChunkLock::new(),
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// Over an HLS manifest's variants.
     pub fn from_hls(view: &BoundHls) -> BbaPolicy {
-        BbaPolicy::from_combos(view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect())
+        BbaPolicy::from_combos(
+            view.variants
+                .iter()
+                .map(|v| (v.combo, v.bandwidth))
+                .collect(),
+        )
     }
 
     /// Over a DASH manifest with server-curated combinations.
@@ -69,7 +80,12 @@ impl BbaPolicy {
         BbaPolicy::from_combos(
             allowed
                 .iter()
-                .map(|&c| (c, view.video_declared[c.video] + view.audio_declared[c.audio]))
+                .map(|&c| {
+                    (
+                        c,
+                        view.video_declared[c.video] + view.audio_declared[c.audio],
+                    )
+                })
                 .collect(),
         )
     }
@@ -127,13 +143,28 @@ impl AbrPolicy for BbaPolicy {
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
-        if let Some(idx) = self.locked.get(ctx.chunk) {
-            return self.combos[idx].id_for(ctx.media);
-        }
-        let level = ctx.audio_level.min(ctx.video_level);
-        let idx = self.choose(level);
-        self.locked.lock(ctx.chunk, idx);
-        self.combos[idx].id_for(ctx.media)
+        let (idx, reason) = match self.locked.get(ctx.chunk) {
+            Some(idx) => (idx, "combination locked for this chunk position"),
+            None => {
+                let level = ctx.audio_level.min(ctx.video_level);
+                let idx = self.choose(level);
+                self.locked.lock(ctx.chunk, idx);
+                (idx, "buffer-based rate map over the combination ladder")
+            }
+        };
+        let chosen = self.combos[idx].id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            chosen,
+            reason: reason.to_string(),
+        });
+        chosen
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -223,9 +254,15 @@ mod tests {
             let _ = p.select(&ctx_at(20, chunk));
         }
         let v = p.select(&ctx_at(20, 6));
-        let a = p.select(&SelectionContext { media: MediaType::Audio, ..ctx_at(20, 6) });
+        let a = p.select(&SelectionContext {
+            media: MediaType::Audio,
+            ..ctx_at(20, 6)
+        });
         let combo = p.combos.iter().find(|c| c.video == v.index).unwrap();
-        assert_eq!(a.index, combo.audio, "audio and video from the same combination");
+        assert_eq!(
+            a.index, combo.audio,
+            "audio and video from the same combination"
+        );
     }
 
     #[test]
@@ -236,7 +273,10 @@ mod tests {
         }
         let v = p.select(&ctx_at(30, 8));
         // Buffer collapses before the audio request for position 8.
-        let a = p.select(&SelectionContext { media: MediaType::Audio, ..ctx_at(1, 8) });
+        let a = p.select(&SelectionContext {
+            media: MediaType::Audio,
+            ..ctx_at(1, 8)
+        });
         let combo = p.combos.iter().find(|c| c.video == v.index).unwrap();
         assert_eq!(a.index, combo.audio, "locked combination for the position");
         // Position 9 reflects the collapse.

@@ -16,12 +16,13 @@
 //!   which this policy is designed to pair with.
 
 use crate::estimators::JointEwma;
+use abr_event::time::Duration;
 use abr_manifest::view::{BoundDash, BoundHls};
 use abr_media::combo::Combo;
 use abr_media::track::TrackId;
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, ChunkLock, SelectionContext, TransferRecord};
-use abr_event::time::Duration;
 
 /// Tunables for the best-practice policy.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,7 @@ pub struct BestPracticePolicy {
     locked: ChunkLock,
     /// Chunk index of the last voluntary switch (for the hold timer).
     last_switch: Option<usize>,
+    obs: ObsHandle,
 }
 
 impl BestPracticePolicy {
@@ -81,13 +83,17 @@ impl BestPracticePolicy {
             current: None,
             locked: ChunkLock::new(),
             last_switch: None,
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// From an HLS master playlist: the allowed set is the variant list.
     pub fn from_hls(view: &BoundHls) -> BestPracticePolicy {
         BestPracticePolicy::from_combos(
-            view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect(),
+            view.variants
+                .iter()
+                .map(|v| (v.combo, v.bandwidth))
+                .collect(),
         )
     }
 
@@ -97,7 +103,12 @@ impl BestPracticePolicy {
         BestPracticePolicy::from_combos(
             allowed
                 .iter()
-                .map(|&c| (c, view.video_declared[c.video] + view.audio_declared[c.audio]))
+                .map(|&c| {
+                    (
+                        c,
+                        view.video_declared[c.video] + view.audio_declared[c.audio],
+                    )
+                })
                 .collect(),
         )
     }
@@ -125,7 +136,10 @@ impl BestPracticePolicy {
     }
 
     fn highest_within(&self, budget: BitsPerSec) -> usize {
-        self.combo_bw.iter().rposition(|&bw| bw <= budget).unwrap_or(0)
+        self.combo_bw
+            .iter()
+            .rposition(|&bw| bw <= budget)
+            .unwrap_or(0)
     }
 }
 
@@ -135,7 +149,19 @@ impl AbrPolicy for BestPracticePolicy {
     }
 
     fn on_transfer(&mut self, record: &TransferRecord) {
+        let old = self.est.estimate();
         self.est.on_transfer(record);
+        self.obs.count("estimator.updates", 1);
+        if let Some(new) = self.est.estimate() {
+            if Some(new) != old {
+                self.obs
+                    .emit(record.completed_at, || Event::EstimateUpdated {
+                        old,
+                        new,
+                        window_bytes: record.window_bytes,
+                    });
+            }
+        }
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
@@ -143,12 +169,20 @@ impl AbrPolicy for BestPracticePolicy {
         // other media type's request) is final: both components of a
         // position always come from one combination.
         if let Some(idx) = self.locked.get(ctx.chunk) {
-            return self.combos[idx].id_for(ctx.media);
+            let chosen = self.combos[idx].id_for(ctx.media);
+            self.obs.emit(ctx.now, || Event::PolicyDecision {
+                media: ctx.media,
+                chunk: ctx.chunk,
+                candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+                chosen,
+                reason: "combination locked for this chunk position".to_string(),
+            });
+            return chosen;
         }
-        let next = match self.est.estimate() {
+        let (next, reason) = match self.est.estimate() {
             // No measurement yet: start at the bottom for fast, safe
             // startup.
-            None => 0,
+            None => (0, "no measurement yet: lowest combination"),
             Some(est) => {
                 let (n, d) = self.cfg.up_safety;
                 let up_ideal = self.highest_within(est.mul_ratio(n, d));
@@ -162,12 +196,18 @@ impl AbrPolicy for BestPracticePolicy {
                     // Emergency drop to something affordable — ignores the
                     // hold timer. The band between up_safety×est and est
                     // gives switch hysteresis.
-                    cur.min(up_ideal)
+                    (
+                        cur.min(up_ideal),
+                        "emergency drop to a sustainable combination",
+                    )
                 } else if up_ideal > cur && buffered >= self.cfg.up_buffer && !held {
                     // Climb one rung at a time to keep switches small.
-                    cur + 1
+                    (
+                        cur + 1,
+                        "single-rung climb: headroom, buffer, hold all clear",
+                    )
                 } else {
-                    cur
+                    (cur, "holding the current combination")
                 }
             }
         };
@@ -176,11 +216,23 @@ impl AbrPolicy for BestPracticePolicy {
         }
         self.current = Some(next);
         self.locked.lock(ctx.chunk, next);
-        self.combos[next].id_for(ctx.media)
+        let chosen = self.combos[next].id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            chosen,
+            reason: reason.to_string(),
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         self.est.estimate()
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -198,9 +250,7 @@ mod tests {
         let content = Content::drama_show(1);
         let combos = curated_subset(content.video(), content.audio());
         let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
-        BestPracticePolicy::from_hls(
-            &abr_manifest::view::BoundHls::from_master(&master).unwrap(),
-        )
+        BestPracticePolicy::from_hls(&abr_manifest::view::BoundHls::from_master(&master).unwrap())
     }
 
     fn feed(p: &mut BestPracticePolicy, kbps: u64, reps: usize) {
@@ -258,7 +308,11 @@ mod tests {
         let v = p.select(&ctx_at(MediaType::Video, 20, 12));
         feed(&mut p, 100, 30); // estimate collapses mid-position
         let a = p.select(&ctx_at(MediaType::Audio, 20, 12));
-        let combo = p.combinations().iter().find(|c| c.video == v.index).unwrap();
+        let combo = p
+            .combinations()
+            .iter()
+            .find(|c| c.video == v.index)
+            .unwrap();
         assert_eq!(a.index, combo.audio, "locked combination for position 12");
         // The next position reflects the collapse.
         let v2 = p.select(&ctx_at(MediaType::Video, 20, 13));
@@ -271,10 +325,14 @@ mod tests {
         feed(&mut p, 8000, 10);
         // 20 consecutive positions with a sky-high estimate: at most one
         // upward switch per min_hold_chunks (4) positions.
-        let picks: Vec<usize> =
-            (0..20).map(|c| p.select(&ctx_at(MediaType::Video, 30, c)).index).collect();
+        let picks: Vec<usize> = (0..20)
+            .map(|c| p.select(&ctx_at(MediaType::Video, 30, c)).index)
+            .collect();
         let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches <= 5, "held to ≤5 switches over 20 chunks, got {switches}");
+        assert!(
+            switches <= 5,
+            "held to ≤5 switches over 20 chunks, got {switches}"
+        );
         assert!(picks.windows(2).all(|w| w[1] >= w[0]), "monotone climb");
     }
 
@@ -314,7 +372,7 @@ mod tests {
         let _ = p.select(&ctx_at(MediaType::Video, 20, 0)); // climb to rung 1
         let before = p.current.unwrap();
         let after = p.select(&ctx_at(MediaType::Video, 7, 10)).index; // 7 s < 10 s gate
-        // Stays (sustainable, but no headroom for climbing).
+                                                                      // Stays (sustainable, but no headroom for climbing).
         assert_eq!(p.current.unwrap(), before);
         let _ = after;
     }
@@ -374,7 +432,11 @@ mod tests {
         let p = BestPracticePolicy::from_dash(&view, &allowed);
         assert_eq!(p.combinations().len(), 6);
         // V3+A2 declared sum = 473 + 196 = 669.
-        let i = p.combinations().iter().position(|c| c.to_string() == "V3+A2").unwrap();
+        let i = p
+            .combinations()
+            .iter()
+            .position(|c| c.to_string() == "V3+A2")
+            .unwrap();
         assert_eq!(p.combo_bw[i].kbps(), 669);
     }
 }

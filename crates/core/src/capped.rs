@@ -10,6 +10,7 @@
 use abr_media::combo::Combo;
 use abr_media::track::{MediaType, TrackId};
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, ChunkLock, SelectionContext, TransferRecord};
 
 /// Caps an inner policy to combinations whose aggregate bandwidth does not
@@ -21,6 +22,7 @@ pub struct CappedPolicy {
     cap: BitsPerSec,
     name: String,
     locked: ChunkLock,
+    obs: ObsHandle,
 }
 
 impl CappedPolicy {
@@ -40,7 +42,14 @@ impl CappedPolicy {
             "cap {cap} below the cheapest combination"
         );
         let name = format!("{}+cap{}", inner.name(), cap.kbps());
-        CappedPolicy { inner, combos, cap, name, locked: ChunkLock::new() }
+        CappedPolicy {
+            inner,
+            combos,
+            cap,
+            name,
+            locked: ChunkLock::new(),
+            obs: ObsHandle::disabled(),
+        }
     }
 
     /// The clamp target: the most expensive combination under the cap.
@@ -55,7 +64,9 @@ impl CappedPolicy {
 
     /// Whether a combination is within the cap.
     fn within(&self, combo: Combo) -> bool {
-        self.combos.iter().any(|&(c, bw)| c == combo && bw <= self.cap)
+        self.combos
+            .iter()
+            .any(|&(c, bw)| c == combo && bw <= self.cap)
     }
 }
 
@@ -69,32 +80,64 @@ impl AbrPolicy for CappedPolicy {
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
-        if let Some(idx) = self.locked.get(ctx.chunk) {
-            return self.combos[idx].0.id_for(ctx.media);
-        }
-        // Let the inner policy decide both components for this position.
-        let inner_pick = self.inner.select(ctx);
-        let other = self.inner.select(&SelectionContext { media: ctx.media.other(), ..*ctx });
-        let decided = match ctx.media {
-            MediaType::Video => Combo::new(inner_pick.index, other.index),
-            MediaType::Audio => Combo::new(other.index, inner_pick.index),
+        let (combo, reason) = match self.locked.get(ctx.chunk) {
+            Some(idx) => (
+                self.combos[idx].0,
+                "combination locked for this chunk position",
+            ),
+            None => {
+                // Let the inner policy decide both components for this
+                // position.
+                let inner_pick = self.inner.select(ctx);
+                let other = self.inner.select(&SelectionContext {
+                    media: ctx.media.other(),
+                    ..*ctx
+                });
+                let decided = match ctx.media {
+                    MediaType::Video => Combo::new(inner_pick.index, other.index),
+                    MediaType::Audio => Combo::new(other.index, inner_pick.index),
+                };
+                let (idx, combo, reason) = if self.within(decided) {
+                    let idx = self
+                        .combos
+                        .iter()
+                        .position(|&(c, _)| c == decided)
+                        .expect("within() implies membership");
+                    (idx, decided, "inner decision within the cap")
+                } else {
+                    let (idx, combo) = self.ceiling();
+                    (idx, combo, "inner decision clamped to the cap ceiling")
+                };
+                self.locked.lock(ctx.chunk, idx);
+                (combo, reason)
+            }
         };
-        let (idx, combo) = if self.within(decided) {
-            let idx = self
+        let chosen = combo.id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self
                 .combos
                 .iter()
-                .position(|&(c, _)| c == decided)
-                .expect("within() implies membership");
-            (idx, decided)
-        } else {
-            self.ceiling()
-        };
-        self.locked.lock(ctx.chunk, idx);
-        combo.id_for(ctx.media)
+                .filter(|&&(_, bw)| bw <= self.cap)
+                .map(|(c, _)| c.to_string())
+                .collect(),
+            chosen,
+            reason: reason.to_string(),
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         self.inner.debug_estimate()
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        // The wrapper and the wrapped policy both see the handle: the inner
+        // policy keeps emitting its estimate/decision events, and the
+        // wrapper adds the clamp decisions on top.
+        self.obs = obs.clone();
+        self.inner.set_obs(obs);
     }
 }
 
@@ -107,7 +150,6 @@ mod tests {
     use abr_manifest::view::BoundHls;
     use abr_media::combo::curated_subset;
     use abr_media::content::Content;
-    use abr_media::units::Bytes;
     use abr_net::profile::DeliveryProfile;
 
     fn capped(cap_kbps: u64) -> CappedPolicy {
@@ -115,8 +157,11 @@ mod tests {
         let combos = curated_subset(content.video(), content.audio());
         let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
         let view = BoundHls::from_master(&master).unwrap();
-        let pairs: Vec<(Combo, BitsPerSec)> =
-            view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect();
+        let pairs: Vec<(Combo, BitsPerSec)> = view
+            .variants
+            .iter()
+            .map(|v| (v.combo, v.bandwidth))
+            .collect();
         CappedPolicy::new(
             Box::new(BestPracticePolicy::from_hls(&view)),
             pairs,
@@ -169,7 +214,11 @@ mod tests {
         }
         let v = p.select(&ctx_at(MediaType::Video, 31));
         let a = p.select(&ctx_at(MediaType::Audio, 31));
-        assert_eq!((v.index, a.index), (2, 1), "settles at the cap ceiling V3+A2");
+        assert_eq!(
+            (v.index, a.index),
+            (2, 1),
+            "settles at the cap ceiling V3+A2"
+        );
     }
 
     #[test]
@@ -180,7 +229,10 @@ mod tests {
         feed(&mut p, 400);
         let v = p.select(&ctx_at(MediaType::Video, 0));
         let a = p.select(&ctx_at(MediaType::Audio, 0));
-        assert!(v.index <= 1 && a.index == 0, "inner decision passes through: {v}+{a}");
+        assert!(
+            v.index <= 1 && a.index == 0,
+            "inner decision passes through: {v}+{a}"
+        );
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! back when the buffer falls below 6 s and BOLA's pick is lower.
 
 use crate::estimators::HarmonicMean;
+use abr_event::time::Duration;
 use abr_manifest::view::BoundDash;
 use abr_media::track::{MediaType, TrackId};
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, SelectionContext, TransferRecord};
-use abr_event::time::Duration;
 
 /// BOLA parameters, derived as in dash.js `BolaRule` from the bitrate
 /// ladder and the stable buffer time.
@@ -54,7 +55,12 @@ impl Bola {
             1.0
         };
         let vp = Self::MINIMUM_BUFFER_S / gp;
-        Bola { utilities, vp, gp, bitrates: rates }
+        Bola {
+            utilities,
+            vp,
+            gp,
+            bitrates: rates,
+        }
     }
 
     /// The BOLA objective for rung `m` at buffer level `q` seconds.
@@ -67,7 +73,9 @@ impl Bola {
         let q = q.as_secs_f64();
         (0..self.bitrates.len())
             .max_by(|&a, &b| {
-                self.score(a, q).partial_cmp(&self.score(b, q)).expect("finite scores")
+                self.score(a, q)
+                    .partial_cmp(&self.score(b, q))
+                    .expect("finite scores")
             })
             .expect("non-empty ladder")
     }
@@ -92,7 +100,12 @@ impl DynamicAdapter {
 
     fn new(bitrates: Vec<BitsPerSec>) -> DynamicAdapter {
         let bola = Bola::new(&bitrates, Duration::from_secs(12));
-        DynamicAdapter { bitrates, throughput: HarmonicMean::new(4), bola, using_bola: false }
+        DynamicAdapter {
+            bitrates,
+            throughput: HarmonicMean::new(4),
+            bola,
+            using_bola: false,
+        }
     }
 
     fn throughput_choice(&self) -> usize {
@@ -101,7 +114,10 @@ impl DynamicAdapter {
             Some(est) => {
                 let (n, d) = Self::SAFETY;
                 let budget = est.mul_ratio(n, d);
-                self.bitrates.iter().rposition(|&b| b <= budget).unwrap_or(0)
+                self.bitrates
+                    .iter()
+                    .rposition(|&b| b <= budget)
+                    .unwrap_or(0)
             }
         }
     }
@@ -127,6 +143,7 @@ impl DynamicAdapter {
 pub struct DashJsPolicy {
     audio: DynamicAdapter,
     video: DynamicAdapter,
+    obs: ObsHandle,
 }
 
 impl DashJsPolicy {
@@ -135,6 +152,7 @@ impl DashJsPolicy {
         DashJsPolicy {
             audio: DynamicAdapter::new(view.audio_declared.clone()),
             video: DynamicAdapter::new(view.video_declared.clone()),
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -151,21 +169,61 @@ impl AbrPolicy for DashJsPolicy {
                 MediaType::Audio => &mut self.audio,
                 MediaType::Video => &mut self.video,
             };
+            let old = adapter.throughput.estimate();
             adapter.throughput.add(tput.bps() as f64);
+            self.obs.count("estimator.updates", 1);
+            if let Some(new) = adapter.throughput.estimate() {
+                if Some(new) != old {
+                    self.obs
+                        .emit(record.completed_at, || Event::EstimateUpdated {
+                            old,
+                            new,
+                            window_bytes: record.window_bytes,
+                        });
+                }
+            }
         }
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
-        match ctx.media {
-            MediaType::Audio => TrackId::audio(self.audio.choose(ctx.audio_level)),
-            MediaType::Video => TrackId::video(self.video.choose(ctx.video_level)),
-        }
+        let (adapter, level) = match ctx.media {
+            MediaType::Audio => (&mut self.audio, ctx.audio_level),
+            MediaType::Video => (&mut self.video, ctx.video_level),
+        };
+        let rung = adapter.choose(level);
+        let using_bola = adapter.using_bola;
+        let ladder_len = adapter.bitrates.len();
+        let chosen = match ctx.media {
+            MediaType::Audio => TrackId::audio(rung),
+            MediaType::Video => TrackId::video(rung),
+        };
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: (0..ladder_len)
+                .map(|i| match ctx.media {
+                    MediaType::Audio => TrackId::audio(i).to_string(),
+                    MediaType::Video => TrackId::video(i).to_string(),
+                })
+                .collect(),
+            chosen,
+            reason: if using_bola {
+                format!("BOLA rule at buffer {level}")
+            } else {
+                "THROUGHPUT rule (0.9 x per-media harmonic mean)".to_string()
+            },
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         // Report the video-side estimate (the larger and more interesting
         // of the two independent estimators).
         self.video.throughput.estimate()
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -175,8 +233,8 @@ mod tests {
     use abr_event::time::Instant;
     use abr_manifest::build::build_mpd;
     use abr_media::content::Content;
-    use abr_net::profile::DeliveryProfile;
     use abr_media::units::Bytes;
+    use abr_net::profile::DeliveryProfile;
 
     fn policy() -> DashJsPolicy {
         let content = Content::drama_show(1);
@@ -264,7 +322,10 @@ mod tests {
         let low = bola.choose(Duration::from_secs(3));
         let mid = bola.choose(Duration::from_secs(14));
         let high = bola.choose(Duration::from_secs(25));
-        assert!(low <= mid && mid <= high, "monotone in buffer: {low} {mid} {high}");
+        assert!(
+            low <= mid && mid <= high,
+            "monotone in buffer: {low} {mid} {high}"
+        );
         assert_eq!(low, 0, "thin buffer picks the lowest rung");
         assert!(high >= 3, "deep buffer climbs, got {high}");
     }
@@ -273,7 +334,7 @@ mod tests {
     fn dynamic_switches_to_bola_on_deep_buffer() {
         let mut p = policy();
         feed(&mut p, MediaType::Video, 400); // THROUGHPUT pick: V1/V2
-        // Deep buffer: BOLA picks at least as high → switch to BOLA.
+                                             // Deep buffer: BOLA picks at least as high → switch to BOLA.
         let v_deep = p.select(&ctx(MediaType::Video, 25, 25));
         assert!(p.video.using_bola);
         // BOLA at 25 s picks higher than the 400 Kbps THROUGHPUT rule.

@@ -37,7 +37,11 @@ impl Ewma {
     /// seconds of sample weight.
     pub fn with_half_life(half_life_secs: f64) -> Ewma {
         assert!(half_life_secs > 0.0);
-        Ewma { alpha: 0.5f64.powf(1.0 / half_life_secs), estimate: 0.0, total_weight: 0.0 }
+        Ewma {
+            alpha: 0.5f64.powf(1.0 / half_life_secs),
+            estimate: 0.0,
+            total_weight: 0.0,
+        }
     }
 
     /// Feeds one sample of `value` with `weight` (seconds).
@@ -72,7 +76,11 @@ impl SlidingPercentile {
     /// ExoPlayer's default max weight (2000 in `sqrt(bytes)` units).
     pub fn new(max_weight: f64) -> SlidingPercentile {
         assert!(max_weight > 0.0);
-        SlidingPercentile { max_weight, samples: VecDeque::new(), total_weight: 0.0 }
+        SlidingPercentile {
+            max_weight,
+            samples: VecDeque::new(),
+            total_weight: 0.0,
+        }
     }
 
     /// Adds a sample, evicting the oldest beyond the weight cap.
@@ -116,12 +124,18 @@ pub struct ExoMeter {
 impl ExoMeter {
     /// ExoPlayer defaults: 1 Mbps initial estimate, weight cap 2000.
     pub fn new() -> ExoMeter {
-        ExoMeter { percentile: SlidingPercentile::new(2000.0), initial: BitsPerSec::from_kbps(1000) }
+        ExoMeter {
+            percentile: SlidingPercentile::new(2000.0),
+            initial: BitsPerSec::from_kbps(1000),
+        }
     }
 
     /// Overrides the pre-measurement estimate.
     pub fn with_initial(initial: BitsPerSec) -> ExoMeter {
-        ExoMeter { initial, ..ExoMeter::new() }
+        ExoMeter {
+            initial,
+            ..ExoMeter::new()
+        }
     }
 
     /// Feeds a completed transfer (uses the aggregate window fields).
@@ -129,7 +143,10 @@ impl ExoMeter {
         if rec.window_bytes.get() == 0 || rec.window_busy.is_zero() {
             return;
         }
-        let value = rec.window_bytes.rate_over_micros(rec.window_busy.as_micros()).bps() as f64;
+        let value = rec
+            .window_bytes
+            .rate_over_micros(rec.window_busy.as_micros())
+            .bps() as f64;
         let weight = (rec.window_bytes.get() as f64).sqrt();
         self.percentile.add(weight, value);
     }
@@ -229,7 +246,10 @@ impl HarmonicMean {
     /// dash.js VOD default: last 4 samples.
     pub fn new(window: usize) -> HarmonicMean {
         assert!(window > 0);
-        HarmonicMean { window, samples: VecDeque::new() }
+        HarmonicMean {
+            window,
+            samples: VecDeque::new(),
+        }
     }
 
     /// Adds a throughput sample in bps.
@@ -247,7 +267,9 @@ impl HarmonicMean {
             return None;
         }
         let recip: f64 = self.samples.iter().map(|v| 1.0 / v).sum();
-        Some(BitsPerSec((self.samples.len() as f64 / recip).round() as u64))
+        Some(BitsPerSec(
+            (self.samples.len() as f64 / recip).round() as u64
+        ))
     }
 }
 
@@ -261,7 +283,9 @@ pub struct JointEwma {
 impl JointEwma {
     /// A joint estimator with the given half-life in seconds of busy time.
     pub fn new(half_life_secs: f64) -> JointEwma {
-        JointEwma { ewma: Ewma::with_half_life(half_life_secs) }
+        JointEwma {
+            ewma: Ewma::with_half_life(half_life_secs),
+        }
     }
 
     /// Feeds a completed transfer (uses the aggregate window fields).
@@ -269,7 +293,10 @@ impl JointEwma {
         if rec.window_bytes.get() == 0 || rec.window_busy.is_zero() {
             return;
         }
-        let value = rec.window_bytes.rate_over_micros(rec.window_busy.as_micros()).bps() as f64;
+        let value = rec
+            .window_bytes
+            .rate_over_micros(rec.window_busy.as_micros())
+            .bps() as f64;
         self.ewma.sample(rec.window_busy.as_secs_f64(), value);
     }
 

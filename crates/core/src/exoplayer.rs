@@ -22,12 +22,13 @@
 //! V1+A3 under `H_sub`), exactly as Fig 3 shows.
 
 use crate::estimators::ExoMeter;
+use abr_event::time::Duration;
 use abr_manifest::view::{BoundDash, BoundHls};
 use abr_media::combo::{log_staircase_rates, Combo};
-use abr_media::units::BitsPerSec;
-use abr_player::policy::{AbrPolicy, SelectionContext, TransferRecord};
-use abr_event::time::Duration;
 use abr_media::track::TrackId;
+use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
+use abr_player::policy::{AbrPolicy, SelectionContext, TransferRecord};
 
 /// ExoPlayer `AdaptiveTrackSelection` constants (v2.10.2 defaults).
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +64,7 @@ pub struct ExoPlayerPolicy {
     meter: ExoMeter,
     cfg: ExoConfig,
     current: Option<usize>,
+    obs: ObsHandle,
 }
 
 impl ExoPlayerPolicy {
@@ -81,6 +83,7 @@ impl ExoPlayerPolicy {
             meter: ExoMeter::new(),
             cfg: ExoConfig::default(),
             current: None,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -88,7 +91,10 @@ impl ExoPlayerPolicy {
     /// from the first variant containing each video track (aggregate
     /// `BANDWIDTH`, i.e. overestimated).
     pub fn hls(view: &BoundHls) -> ExoPlayerPolicy {
-        let pinned_audio = *view.audio_listing.first().expect("HLS manifest lists audio");
+        let pinned_audio = *view
+            .audio_listing
+            .first()
+            .expect("HLS manifest lists audio");
         let mut combos = Vec::new();
         let mut combo_bw = Vec::new();
         for v in 0..view.video_count() {
@@ -110,6 +116,7 @@ impl ExoPlayerPolicy {
             meter: ExoMeter::new(),
             cfg: ExoConfig::default(),
             current: None,
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -127,14 +134,12 @@ impl ExoPlayerPolicy {
     pub fn hls_fixed(view: &BoundHls) -> Result<ExoPlayerPolicy, String> {
         let (video, audio) = view
             .extension_track_bitrates()
-            .or_else(|| {
-                match (&view.video_bitrates, &view.audio_bitrates) {
-                    (Some(v), Some(a)) => Some((
-                        v.iter().map(|d| d.peak).collect(),
-                        a.iter().map(|d| d.peak).collect(),
-                    )),
-                    _ => None,
-                }
+            .or_else(|| match (&view.video_bitrates, &view.audio_bitrates) {
+                (Some(v), Some(a)) => Some((
+                    v.iter().map(|d| d.peak).collect(),
+                    a.iter().map(|d| d.peak).collect(),
+                )),
+                _ => None,
             })
             .ok_or_else(|| {
                 "no per-track bitrate information: master playlist lacks the §4.1 \
@@ -142,7 +147,10 @@ impl ExoPlayerPolicy {
                     .to_string()
             })?;
         let combos = log_staircase_rates(&video, &audio);
-        let combo_bw = combos.iter().map(|c| video[c.video] + audio[c.audio]).collect();
+        let combo_bw = combos
+            .iter()
+            .map(|c| video[c.video] + audio[c.audio])
+            .collect();
         Ok(ExoPlayerPolicy {
             name: "exoplayer-hls-fixed".to_string(),
             combos,
@@ -150,6 +158,7 @@ impl ExoPlayerPolicy {
             meter: ExoMeter::new(),
             cfg: ExoConfig::default(),
             current: None,
+            obs: ObsHandle::disabled(),
         })
     }
 
@@ -166,7 +175,10 @@ impl ExoPlayerPolicy {
     }
 
     fn ideal_index(&self, budget: BitsPerSec) -> usize {
-        self.combo_bw.iter().rposition(|&bw| bw <= budget).unwrap_or(0)
+        self.combo_bw
+            .iter()
+            .rposition(|&bw| bw <= budget)
+            .unwrap_or(0)
     }
 }
 
@@ -176,40 +188,63 @@ impl AbrPolicy for ExoPlayerPolicy {
     }
 
     fn on_transfer(&mut self, record: &TransferRecord) {
+        let old = self.meter.estimate();
         self.meter.on_transfer(record);
+        self.obs.count("estimator.updates", 1);
+        let new = self.meter.estimate();
+        if new != old {
+            self.obs
+                .emit(record.completed_at, || Event::EstimateUpdated {
+                    old: Some(old),
+                    new,
+                    window_bytes: record.window_bytes,
+                });
+        }
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
         let (num, den) = self.cfg.bandwidth_fraction;
         let budget = self.meter.estimate().mul_ratio(num, den);
         let ideal = self.ideal_index(budget);
-        let next = match self.current {
-            None => ideal,
+        let (next, reason) = match self.current {
+            None => (ideal, "initial pick at the budgeted ideal"),
             Some(cur) => {
                 let buffered = ctx.audio_level.min(ctx.video_level);
                 if ideal > cur {
                     if buffered >= self.cfg.min_buffer_for_up {
-                        ideal
+                        (ideal, "up-switch: buffer cleared the increase gate")
                     } else {
-                        cur
+                        (cur, "up-switch held: buffer below the increase gate")
                     }
                 } else if ideal < cur {
                     if buffered < self.cfg.max_buffer_for_down {
-                        ideal
+                        (ideal, "down-switch to the budgeted ideal")
                     } else {
-                        cur
+                        (cur, "down-switch skipped: deep buffer rides it out")
                     }
                 } else {
-                    cur
+                    (cur, "holding the current combination")
                 }
             }
         };
         self.current = Some(next);
-        self.combos[next].id_for(ctx.media)
+        let chosen = self.combos[next].id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            chosen,
+            reason: format!("{reason} (budget {budget})"),
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         Some(self.meter.estimate())
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -373,7 +408,10 @@ mod tests {
         let a_low = p.select(&ctx(MediaType::Audio, 12, 12));
         feed_estimate(&mut p, 5000);
         let a_high = p.select(&ctx(MediaType::Audio, 20, 20));
-        assert!(a_high.index > a_low.index, "audio adapts: {a_low} → {a_high}");
+        assert!(
+            a_high.index > a_low.index,
+            "audio adapts: {a_low} → {a_high}"
+        );
     }
 
     #[test]

@@ -32,17 +32,17 @@
 #![warn(missing_docs)]
 
 pub mod bba;
-pub mod capped;
 pub mod bestpractice;
+pub mod capped;
 pub mod dashjs;
 pub mod estimators;
-pub mod mpc;
 pub mod exoplayer;
+pub mod mpc;
 pub mod shaka;
 
 pub use bba::BbaPolicy;
-pub use capped::CappedPolicy;
 pub use bestpractice::BestPracticePolicy;
+pub use capped::CappedPolicy;
 pub use dashjs::DashJsPolicy;
 pub use exoplayer::ExoPlayerPolicy;
 pub use mpc::MpcPolicy;

@@ -15,8 +15,8 @@ use abr_manifest::view::{BoundDash, BoundHls};
 use abr_media::combo::Combo;
 use abr_media::track::TrackId;
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, ChunkLock, SelectionContext, TransferRecord};
-
 
 /// MPC parameters.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +31,11 @@ pub struct MpcConfig {
 
 impl Default for MpcConfig {
     fn default() -> Self {
-        MpcConfig { horizon: 5, switch_penalty: 1.0, stall_penalty: 4.3 }
+        MpcConfig {
+            horizon: 5,
+            switch_penalty: 1.0,
+            stall_penalty: 4.3,
+        }
     }
 }
 
@@ -51,6 +55,7 @@ pub struct MpcPolicy {
     cfg: MpcConfig,
     current: Option<usize>,
     locked: ChunkLock,
+    obs: ObsHandle,
 }
 
 impl MpcPolicy {
@@ -67,12 +72,18 @@ impl MpcPolicy {
             cfg: MpcConfig::default(),
             current: None,
             locked: ChunkLock::new(),
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// Over an HLS manifest's variants.
     pub fn from_hls(view: &BoundHls) -> MpcPolicy {
-        MpcPolicy::from_combos(view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect())
+        MpcPolicy::from_combos(
+            view.variants
+                .iter()
+                .map(|v| (v.combo, v.bandwidth))
+                .collect(),
+        )
     }
 
     /// Over a DASH manifest with server-curated combinations.
@@ -80,7 +91,12 @@ impl MpcPolicy {
         MpcPolicy::from_combos(
             allowed
                 .iter()
-                .map(|&c| (c, view.video_declared[c.video] + view.audio_declared[c.audio]))
+                .map(|&c| {
+                    (
+                        c,
+                        view.video_declared[c.video] + view.audio_declared[c.audio],
+                    )
+                })
                 .collect(),
         )
     }
@@ -169,30 +185,60 @@ impl AbrPolicy for MpcPolicy {
                     self.errors.pop_front();
                 }
             }
+            let old = self.debug_estimate();
             self.tput.add(actual);
+            self.obs.count("estimator.updates", 1);
+            if let Some(new) = self.debug_estimate() {
+                if Some(new) != old {
+                    self.obs
+                        .emit(record.completed_at, || Event::EstimateUpdated {
+                            old,
+                            new,
+                            window_bytes: record.window_bytes,
+                        });
+                }
+            }
         }
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
-        if let Some(idx) = self.locked.get(ctx.chunk) {
-            return self.combos[idx].id_for(ctx.media);
-        }
-        let next = match self.predict() {
-            None => 0, // no history: start at the bottom
-            Some(pred) => {
-                self.last_prediction = Some(pred);
-                let buffer_s = ctx.audio_level.min(ctx.video_level).as_secs_f64();
-                let chunk_s = ctx.chunk_duration.as_secs_f64();
-                self.plan(buffer_s, chunk_s, pred.max(1.0), self.current.unwrap_or(0))
+        let (next, reason) = match self.locked.get(ctx.chunk) {
+            Some(idx) => (idx, "combination locked for this chunk position"),
+            None => {
+                let (next, reason) = match self.predict() {
+                    None => (0, "no history: lowest combination"),
+                    Some(pred) => {
+                        self.last_prediction = Some(pred);
+                        let buffer_s = ctx.audio_level.min(ctx.video_level).as_secs_f64();
+                        let chunk_s = ctx.chunk_duration.as_secs_f64();
+                        (
+                            self.plan(buffer_s, chunk_s, pred.max(1.0), self.current.unwrap_or(0)),
+                            "best first action of the horizon plan",
+                        )
+                    }
+                };
+                self.current = Some(next);
+                self.locked.lock(ctx.chunk, next);
+                (next, reason)
             }
         };
-        self.current = Some(next);
-        self.locked.lock(ctx.chunk, next);
-        self.combos[next].id_for(ctx.media)
+        let chosen = self.combos[next].id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            chosen,
+            reason: reason.to_string(),
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         self.predict().map(|p| BitsPerSec(p.round() as u64))
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -204,8 +250,8 @@ mod tests {
     use abr_media::combo::curated_subset;
     use abr_media::content::Content;
     use abr_media::track::MediaType;
-    use abr_net::profile::DeliveryProfile;
     use abr_media::units::Bytes;
+    use abr_net::profile::DeliveryProfile;
 
     fn policy() -> MpcPolicy {
         let content = Content::drama_show(1);
@@ -280,7 +326,10 @@ mod tests {
             picks.push(p.select(&ctx_at(15, chunk)).index);
         }
         let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches <= 6, "MPC damps boundary oscillation, got {switches} switches");
+        assert!(
+            switches <= 6,
+            "MPC damps boundary oscillation, got {switches} switches"
+        );
     }
 
     #[test]
@@ -301,8 +350,15 @@ mod tests {
         feed(&mut p, 3_000, 6);
         let v = p.select(&ctx_at(20, 3));
         feed(&mut p, 100, 6); // crash mid-position
-        let a = p.select(&SelectionContext { media: MediaType::Audio, ..ctx_at(20, 3) });
-        let combo = p.combinations().iter().find(|c| c.video == v.index).unwrap();
+        let a = p.select(&SelectionContext {
+            media: MediaType::Audio,
+            ..ctx_at(20, 3)
+        });
+        let combo = p
+            .combinations()
+            .iter()
+            .find(|c| c.video == v.index)
+            .unwrap();
         assert_eq!(a.index, combo.audio);
     }
 }

@@ -19,6 +19,7 @@ use abr_manifest::view::{BoundDash, BoundHls};
 use abr_media::combo::Combo;
 use abr_media::track::TrackId;
 use abr_media::units::BitsPerSec;
+use abr_obs::{Event, ObsHandle};
 use abr_player::policy::{AbrPolicy, SelectionContext, TransferRecord};
 
 /// The Shaka policy (same adaptation code for HLS and DASH, §3.3).
@@ -29,14 +30,18 @@ pub struct ShakaPolicy {
     combos: Vec<Combo>,
     combo_bw: Vec<BitsPerSec>,
     est: ShakaEstimator,
+    obs: ObsHandle,
 }
 
 impl ShakaPolicy {
     /// HLS mode: candidates are exactly the master playlist's variants,
     /// with their declared aggregate `BANDWIDTH`.
     pub fn hls(view: &BoundHls) -> ShakaPolicy {
-        let mut pairs: Vec<(Combo, BitsPerSec)> =
-            view.variants.iter().map(|v| (v.combo, v.bandwidth)).collect();
+        let mut pairs: Vec<(Combo, BitsPerSec)> = view
+            .variants
+            .iter()
+            .map(|v| (v.combo, v.bandwidth))
+            .collect();
         pairs.sort_by_key(|&(c, bw)| (bw, c.video, c.audio));
         ShakaPolicy::from_pairs("shaka-hls", pairs)
     }
@@ -61,6 +66,7 @@ impl ShakaPolicy {
             combos: pairs.iter().map(|&(c, _)| c).collect(),
             combo_bw: pairs.iter().map(|&(_, b)| b).collect(),
             est: ShakaEstimator::new(),
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -72,7 +78,11 @@ impl ShakaPolicy {
     /// The combination a given estimate selects (public so the fluctuation
     /// experiment F4x can sweep estimates directly).
     pub fn choice_for_estimate(&self, estimate: BitsPerSec) -> Combo {
-        let i = self.combo_bw.iter().rposition(|&bw| bw <= estimate).unwrap_or(0);
+        let i = self
+            .combo_bw
+            .iter()
+            .rposition(|&bw| bw <= estimate)
+            .unwrap_or(0);
         self.combos[i]
     }
 }
@@ -83,15 +93,40 @@ impl AbrPolicy for ShakaPolicy {
     }
 
     fn on_transfer(&mut self, record: &TransferRecord) {
+        let old = self.est.estimate();
         self.est.on_transfer(record);
+        self.obs.count("estimator.updates", 1);
+        let new = self.est.estimate();
+        if new != old {
+            self.obs
+                .emit(record.completed_at, || Event::EstimateUpdated {
+                    old: Some(old),
+                    new,
+                    window_bytes: record.window_bytes,
+                });
+        }
     }
 
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
-        self.choice_for_estimate(self.est.estimate()).id_for(ctx.media)
+        let est = self.est.estimate();
+        let combo = self.choice_for_estimate(est);
+        let chosen = combo.id_for(ctx.media);
+        self.obs.emit(ctx.now, || Event::PolicyDecision {
+            media: ctx.media,
+            chunk: ctx.chunk,
+            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            chosen,
+            reason: format!("highest combination within estimate {est}: {combo}"),
+        });
+        chosen
     }
 
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         Some(self.est.estimate())
+    }
+
+    fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 }
 
@@ -196,13 +231,16 @@ mod tests {
     #[test]
     fn dash_synthesizes_all_combinations() {
         let content = Content::drama_show(1);
-        let view =
-            abr_manifest::view::BoundDash::from_mpd(&build_mpd(&content)).unwrap();
+        let view = abr_manifest::view::BoundDash::from_mpd(&build_mpd(&content)).unwrap();
         let p = ShakaPolicy::dash(&view);
         assert_eq!(p.combinations().len(), 18);
         // Declared sums reorder the ladder vs the HLS peak sums: the
         // highest combination ≤ 500 Kbps is V1+A3 (111+384 = 495).
-        assert_eq!(p.choice_for_estimate(BitsPerSec::from_kbps(500)).to_string(), "V1+A3");
+        assert_eq!(
+            p.choice_for_estimate(BitsPerSec::from_kbps(500))
+                .to_string(),
+            "V1+A3"
+        );
     }
 
     #[test]
@@ -217,6 +255,9 @@ mod tests {
         // Crash the estimate with slow-but-valid samples? Slow samples are
         // filtered; instead verify the pure function directly.
         let lo = p.choice_for_estimate(BitsPerSec::from_kbps(300));
-        assert!(hi.index > lo.video, "selection tracks the estimate verbatim");
+        assert!(
+            hi.index > lo.video,
+            "selection tracks the estimate verbatim"
+        );
     }
 }

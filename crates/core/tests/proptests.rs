@@ -15,7 +15,11 @@ fn record(rate_kbps: u64, secs: u64, start_secs: u64) -> TransferRecord {
     let start = Instant::from_secs(start_secs);
     let end = start + Duration::from_secs(secs);
     let mut profile = DeliveryProfile::new();
-    profile.push(Segment { start, end, rate: BitsPerSec::from_kbps(rate_kbps) });
+    profile.push(Segment {
+        start,
+        end,
+        rate: BitsPerSec::from_kbps(rate_kbps),
+    });
     let size = BitsPerSec::from_kbps(rate_kbps).bytes_in_micros(secs * 1_000_000);
     TransferRecord {
         media: MediaType::Video,

@@ -52,7 +52,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at `t = 0`.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -64,7 +68,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` to fire at `at`. Panics if `at` is in the past —
     /// scheduling backwards in time is always a logic error.
     pub fn schedule(&mut self, at: Instant, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });

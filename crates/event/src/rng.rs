@@ -40,7 +40,10 @@ impl SplitMix64 {
     /// Uniform double in `[lo, hi)`. Panics if `lo > hi` or either is
     /// non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + self.next_f64() * (hi - lo)
     }
 

@@ -32,19 +32,25 @@ impl Instant {
 
     /// Creates an instant from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Instant { micros: millis * 1_000 }
+        Instant {
+            micros: millis * 1_000,
+        }
     }
 
     /// Creates an instant from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Instant { micros: secs * MICROS_PER_SEC }
+        Instant {
+            micros: secs * MICROS_PER_SEC,
+        }
     }
 
     /// Creates an instant from fractional seconds, rounding to the nearest
     /// microsecond. Panics on negative or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid time {secs}");
-        Instant { micros: (secs * MICROS_PER_SEC as f64).round() as u64 }
+        Instant {
+            micros: (secs * MICROS_PER_SEC as f64).round() as u64,
+        }
     }
 
     /// This instant as a whole number of microseconds.
@@ -75,19 +81,32 @@ impl Instant {
 
     /// The earlier of two instants.
     pub fn min(self, other: Instant) -> Instant {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// The later of two instants.
     pub fn max(self, other: Instant) -> Instant {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 }
 
 impl Add<Duration> for Instant {
     type Output = Instant;
     fn add(self, rhs: Duration) -> Instant {
-        Instant { micros: self.micros.checked_add(rhs.as_micros()).expect("Instant overflow") }
+        Instant {
+            micros: self
+                .micros
+                .checked_add(rhs.as_micros())
+                .expect("Instant overflow"),
+        }
     }
 }
 
@@ -100,7 +119,12 @@ impl AddAssign<Duration> for Instant {
 impl Sub<Duration> for Instant {
     type Output = Instant;
     fn sub(self, rhs: Duration) -> Instant {
-        Instant { micros: self.micros.checked_sub(rhs.as_micros()).expect("Instant underflow") }
+        Instant {
+            micros: self
+                .micros
+                .checked_sub(rhs.as_micros())
+                .expect("Instant underflow"),
+        }
     }
 }
 
@@ -134,19 +158,25 @@ impl Duration {
 
     /// Creates a duration from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Duration { micros: millis * 1_000 }
+        Duration {
+            micros: millis * 1_000,
+        }
     }
 
     /// Creates a duration from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Duration { micros: secs * MICROS_PER_SEC }
+        Duration {
+            micros: secs * MICROS_PER_SEC,
+        }
     }
 
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// microsecond. Panics on negative or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
-        Duration { micros: (secs * MICROS_PER_SEC as f64).round() as u64 }
+        Duration {
+            micros: (secs * MICROS_PER_SEC as f64).round() as u64,
+        }
     }
 
     /// This duration as a whole number of microseconds.
@@ -171,22 +201,34 @@ impl Duration {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Duration) -> Duration {
-        Duration { micros: self.micros.saturating_sub(rhs.micros) }
+        Duration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
     }
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Duration) -> Option<Duration> {
-        self.micros.checked_sub(rhs.micros).map(Duration::from_micros)
+        self.micros
+            .checked_sub(rhs.micros)
+            .map(Duration::from_micros)
     }
 
     /// The smaller of two durations.
     pub fn min(self, other: Duration) -> Duration {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// The larger of two durations.
     pub fn max(self, other: Duration) -> Duration {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Multiplies by a rational factor `num/den`, rounding to the nearest
@@ -195,14 +237,21 @@ impl Duration {
     pub fn mul_ratio(self, num: u64, den: u64) -> Duration {
         assert!(den != 0, "mul_ratio division by zero");
         let micros = (self.micros as u128 * num as u128 + den as u128 / 2) / den as u128;
-        Duration { micros: micros as u64 }
+        Duration {
+            micros: micros as u64,
+        }
     }
 }
 
 impl Add for Duration {
     type Output = Duration;
     fn add(self, rhs: Duration) -> Duration {
-        Duration { micros: self.micros.checked_add(rhs.micros).expect("Duration overflow") }
+        Duration {
+            micros: self
+                .micros
+                .checked_add(rhs.micros)
+                .expect("Duration overflow"),
+        }
     }
 }
 
@@ -215,7 +264,12 @@ impl AddAssign for Duration {
 impl Sub for Duration {
     type Output = Duration;
     fn sub(self, rhs: Duration) -> Duration {
-        Duration { micros: self.micros.checked_sub(rhs.micros).expect("Duration underflow") }
+        Duration {
+            micros: self
+                .micros
+                .checked_sub(rhs.micros)
+                .expect("Duration underflow"),
+        }
     }
 }
 
@@ -228,14 +282,18 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
     fn mul(self, rhs: u64) -> Duration {
-        Duration { micros: self.micros.checked_mul(rhs).expect("Duration overflow") }
+        Duration {
+            micros: self.micros.checked_mul(rhs).expect("Duration overflow"),
+        }
     }
 }
 
 impl Div<u64> for Duration {
     type Output = Duration;
     fn div(self, rhs: u64) -> Duration {
-        Duration { micros: self.micros / rhs }
+        Duration {
+            micros: self.micros / rhs,
+        }
     }
 }
 
@@ -300,7 +358,10 @@ mod tests {
         assert_eq!(d + d, Duration::from_millis(500));
         assert_eq!(d * 4, Duration::from_secs(1));
         assert_eq!(Duration::from_secs(1) / 8, Duration::from_millis(125));
-        assert_eq!(Duration::from_secs(3) - Duration::from_secs(1), Duration::from_secs(2));
+        assert_eq!(
+            Duration::from_secs(3) - Duration::from_secs(1),
+            Duration::from_secs(2)
+        );
     }
 
     #[test]
@@ -322,8 +383,9 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: Duration =
-            [Duration::from_secs(1), Duration::from_millis(500)].into_iter().sum();
+        let total: Duration = [Duration::from_secs(1), Duration::from_millis(500)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Duration::from_millis(1500));
     }
 
@@ -331,5 +393,37 @@ mod tests {
     fn display_formats_seconds() {
         assert_eq!(Instant::from_millis(1250).to_string(), "1.250s");
         assert_eq!(Duration::from_micros(1_000).to_string(), "0.001s");
+    }
+}
+
+/// Serialization as raw microsecond counts (enabled by the `serde`
+/// feature): an [`Instant`] or [`Duration`] is a single JSON number.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{Duration, Instant};
+    use serde::{Deserialize, FromValueError, Serialize, Value};
+
+    impl Serialize for Instant {
+        fn to_value(&self) -> Value {
+            self.as_micros().to_value()
+        }
+    }
+
+    impl Deserialize for Instant {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            u64::from_value(v).map(Instant::from_micros)
+        }
+    }
+
+    impl Serialize for Duration {
+        fn to_value(&self) -> Value {
+            self.as_micros().to_value()
+        }
+    }
+
+    impl Deserialize for Duration {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            u64::from_value(v).map(Duration::from_micros)
+        }
     }
 }

@@ -8,7 +8,9 @@
 
 use crate::origin::{HttpError, Origin};
 use crate::request::{ObjectId, Request};
+use abr_event::time::Instant;
 use abr_media::units::Bytes;
+use abr_obs::{Event, ObsHandle};
 use std::collections::HashMap;
 
 /// Aggregate cache counters.
@@ -53,6 +55,7 @@ pub struct CdnCache {
     clock: u64,
     entries: HashMap<(ObjectId, Option<(u64, u64)>), Entry>,
     stats: CacheStats,
+    obs: ObsHandle,
 }
 
 impl CdnCache {
@@ -65,7 +68,14 @@ impl CdnCache {
             clock: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: hit/miss/eviction counters, a
+    /// live hit-ratio gauge, and `cache_lookup` events while tracing.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Serves `req` through the cache: returns `(was_hit, body_size)`.
@@ -73,6 +83,17 @@ impl CdnCache {
     /// needed; objects larger than the whole cache are served but not
     /// stored).
     pub fn fetch(&mut self, origin: &Origin, req: &Request) -> Result<(bool, Bytes), HttpError> {
+        self.fetch_at(origin, req, Instant::ZERO)
+    }
+
+    /// [`CdnCache::fetch`] stamped with the simulated time of the lookup,
+    /// so traced `cache_lookup` events land on the session clock.
+    pub fn fetch_at(
+        &mut self,
+        origin: &Origin,
+        req: &Request,
+        now: Instant,
+    ) -> Result<(bool, Bytes), HttpError> {
         self.clock += 1;
         let key = req.cache_key();
         if let Some(e) = self.entries.get_mut(&key) {
@@ -80,6 +101,7 @@ impl CdnCache {
             self.stats.hits += 1;
             let size = e.size;
             self.stats.bytes_from_cache += size;
+            self.record_lookup(req, now, true, size);
             return Ok((true, size));
         }
         let size = origin.body_size(req)?;
@@ -90,9 +112,28 @@ impl CdnCache {
                 self.evict_lru();
             }
             self.used += size;
-            self.entries.insert(key, Entry { size, last_used: self.clock });
+            self.entries.insert(
+                key,
+                Entry {
+                    size,
+                    last_used: self.clock,
+                },
+            );
         }
+        self.record_lookup(req, now, false, size);
         Ok((false, size))
+    }
+
+    fn record_lookup(&self, req: &Request, now: Instant, hit: bool, size: Bytes) {
+        self.obs
+            .count(if hit { "cache.hits" } else { "cache.misses" }, 1);
+        self.obs.gauge("cache.hit_ratio", self.stats.hit_ratio());
+        self.obs.gauge("cache.used_bytes", self.used.get() as f64);
+        self.obs.emit(now, || Event::CacheLookup {
+            object: req.to_string(),
+            hit,
+            size,
+        });
     }
 
     fn evict_lru(&mut self) {
@@ -105,6 +146,7 @@ impl CdnCache {
         let e = self.entries.remove(&victim).expect("present");
         self.used -= e.size;
         self.stats.evictions += 1;
+        self.obs.count("cache.evictions", 1);
     }
 
     /// Current counters.
@@ -161,16 +203,22 @@ mod tests {
         let (o, mut c_demux) = setup();
         for chunk in 0..5 {
             // User A.
-            c_demux.fetch(&o, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-            c_demux.fetch(&o, &Origin::segment_request(TrackId::audio(1), chunk)).unwrap();
+            c_demux
+                .fetch(&o, &Origin::segment_request(TrackId::video(0), chunk))
+                .unwrap();
+            c_demux
+                .fetch(&o, &Origin::segment_request(TrackId::audio(1), chunk))
+                .unwrap();
         }
         let before = c_demux.stats();
         for chunk in 0..5 {
             // User B: video hits, audio misses.
-            let (vh, _) =
-                c_demux.fetch(&o, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-            let (ah, _) =
-                c_demux.fetch(&o, &Origin::segment_request(TrackId::audio(0), chunk)).unwrap();
+            let (vh, _) = c_demux
+                .fetch(&o, &Origin::segment_request(TrackId::video(0), chunk))
+                .unwrap();
+            let (ah, _) = c_demux
+                .fetch(&o, &Origin::segment_request(TrackId::audio(0), chunk))
+                .unwrap();
             assert!(vh, "video chunk should hit");
             assert!(!ah, "different audio misses");
         }
@@ -180,12 +228,24 @@ mod tests {
         let (o2, mut c_mux) = setup();
         for chunk in 0..5 {
             c_mux
-                .fetch(&o2, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 1), chunk }))
+                .fetch(
+                    &o2,
+                    &Request::whole(ObjectId::MuxedSegment {
+                        combo: Combo::new(0, 1),
+                        chunk,
+                    }),
+                )
                 .unwrap();
         }
         for chunk in 0..5 {
             let (hit, _) = c_mux
-                .fetch(&o2, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 0), chunk }))
+                .fetch(
+                    &o2,
+                    &Request::whole(ObjectId::MuxedSegment {
+                        combo: Combo::new(0, 0),
+                        chunk,
+                    }),
+                )
                 .unwrap();
             assert!(!hit, "muxed variants never share cache entries");
         }
@@ -243,5 +303,38 @@ mod tests {
         let bad = Origin::segment_request(TrackId::video(0), 999);
         assert!(c.fetch(&o, &bad).is_err());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn obs_records_lookups_and_hit_ratio() {
+        use abr_event::time::Instant;
+        use abr_obs::{Event, ObsHandle};
+        let (o, mut c) = setup();
+        let (obs, tracer, metrics) = ObsHandle::recording();
+        c.set_obs(obs);
+        let req = Origin::segment_request(TrackId::video(0), 0);
+        c.fetch_at(&o, &req, Instant::from_secs(1)).unwrap();
+        c.fetch_at(&o, &req, Instant::from_secs(2)).unwrap();
+        assert_eq!(metrics.counter_value("cache.misses"), 1);
+        assert_eq!(metrics.counter_value("cache.hits"), 1);
+        assert_eq!(metrics.gauge_value("cache.hit_ratio"), Some(0.5));
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        match (&events[0].event, &events[1].event) {
+            (
+                Event::CacheLookup {
+                    hit: h1, object, ..
+                },
+                Event::CacheLookup { hit: h2, .. },
+            ) => {
+                assert!(!*h1 && *h2);
+                assert!(
+                    object.contains("V1"),
+                    "object key names the track: {object}"
+                );
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+        assert_eq!(events[1].at, Instant::from_secs(2));
     }
 }

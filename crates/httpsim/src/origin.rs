@@ -32,7 +32,10 @@ impl core::fmt::Display for HttpError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             HttpError::NotFound(p) => write!(f, "404 Not Found: {p}"),
-            HttpError::RangeNotSatisfiable { requested, object_size } => write!(
+            HttpError::RangeNotSatisfiable {
+                requested,
+                object_size,
+            } => write!(
                 f,
                 "416 Range Not Satisfiable: [{}+{}] of {} B",
                 requested.0, requested.1, object_size
@@ -50,6 +53,7 @@ pub struct Origin {
     header_overhead: Bytes,
     /// Documents (manifests/playlists) by path, storing body size.
     documents: std::collections::BTreeMap<String, Bytes>,
+    obs: abr_obs::ObsHandle,
 }
 
 impl Origin {
@@ -61,7 +65,17 @@ impl Origin {
     /// An origin with explicit header overhead (use `Bytes::ZERO` for
     /// byte-exact analytical experiments).
     pub fn with_overhead(content: Content, header_overhead: Bytes) -> Origin {
-        Origin { content, header_overhead, documents: std::collections::BTreeMap::new() }
+        Origin {
+            content,
+            header_overhead,
+            documents: std::collections::BTreeMap::new(),
+            obs: abr_obs::ObsHandle::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle (request and served-byte counters).
+    pub fn set_obs(&mut self, obs: abr_obs::ObsHandle) {
+        self.obs = obs;
     }
 
     /// The content being served.
@@ -71,7 +85,8 @@ impl Origin {
 
     /// Publishes a document (manifest/playlist) body.
     pub fn publish_document(&mut self, path: &str, body: &str) {
-        self.documents.insert(path.to_string(), Bytes(body.len() as u64));
+        self.documents
+            .insert(path.to_string(), Bytes(body.len() as u64));
     }
 
     /// Size of the stored object (before ranging / overhead).
@@ -110,19 +125,21 @@ impl Origin {
     /// Response *body* size for a request (range applied).
     pub fn body_size(&self, req: &Request) -> Result<Bytes, HttpError> {
         let size = self.object_size(&req.object)?;
-        match req.range {
-            None => Ok(size),
+        let body = match req.range {
+            None => size,
             Some((offset, len)) => {
                 if offset + len.get() > size.get() {
-                    Err(HttpError::RangeNotSatisfiable {
+                    return Err(HttpError::RangeNotSatisfiable {
                         requested: (offset, len.get()),
                         object_size: size.get(),
-                    })
-                } else {
-                    Ok(len)
+                    });
                 }
+                len
             }
-        }
+        };
+        self.obs.count("origin.requests", 1);
+        self.obs.count("origin.bytes_served", body.get());
+        Ok(body)
     }
 
     /// Total on-the-wire transfer size: body plus header overhead. This is
@@ -141,7 +158,9 @@ impl Origin {
     /// track file (byte-range packaging).
     pub fn range_request(&self, track: TrackId, chunk: usize) -> Result<Request, HttpError> {
         self.check_track(track, chunk)?;
-        let offset: u64 = (0..chunk).map(|i| self.content.chunk_size(track, i).get()).sum();
+        let offset: u64 = (0..chunk)
+            .map(|i| self.content.chunk_size(track, i).get())
+            .sum();
         Ok(Request::ranged(
             ObjectId::TrackFile { track },
             offset,
@@ -174,7 +193,10 @@ mod tests {
         let o = Origin::new(Content::drama_show(1));
         let req = Origin::segment_request(TrackId::audio(0), 0);
         let body = o.body_size(&req).unwrap();
-        assert_eq!(o.transfer_size(&req).unwrap(), body + DEFAULT_HEADER_OVERHEAD);
+        assert_eq!(
+            o.transfer_size(&req).unwrap(),
+            body + DEFAULT_HEADER_OVERHEAD
+        );
     }
 
     #[test]
@@ -199,7 +221,8 @@ mod tests {
         let req = Request::whole(ObjectId::MuxedSegment { combo, chunk: 3 });
         assert_eq!(
             o.body_size(&req).unwrap(),
-            o.content().chunk_size(TrackId::video(4), 3) + o.content().chunk_size(TrackId::audio(2), 3)
+            o.content().chunk_size(TrackId::video(4), 3)
+                + o.content().chunk_size(TrackId::audio(2), 3)
         );
     }
 
@@ -207,17 +230,25 @@ mod tests {
     fn documents_publish_and_resolve() {
         let mut o = origin();
         o.publish_document("manifest.mpd", "<MPD/>");
-        let req = Request::whole(ObjectId::Document { path: "manifest.mpd".into() });
+        let req = Request::whole(ObjectId::Document {
+            path: "manifest.mpd".into(),
+        });
         assert_eq!(o.body_size(&req).unwrap(), Bytes(6));
-        let missing = Request::whole(ObjectId::Document { path: "nope".into() });
+        let missing = Request::whole(ObjectId::Document {
+            path: "nope".into(),
+        });
         assert!(matches!(o.body_size(&missing), Err(HttpError::NotFound(_))));
     }
 
     #[test]
     fn not_found_cases() {
         let o = origin();
-        assert!(o.body_size(&Origin::segment_request(TrackId::video(9), 0)).is_err());
-        assert!(o.body_size(&Origin::segment_request(TrackId::video(0), 99)).is_err());
+        assert!(o
+            .body_size(&Origin::segment_request(TrackId::video(9), 0))
+            .is_err());
+        assert!(o
+            .body_size(&Origin::segment_request(TrackId::video(0), 99))
+            .is_err());
     }
 
     #[test]
@@ -226,6 +257,9 @@ mod tests {
         let track = TrackId::audio(0);
         let size = o.content().track_bytes(track);
         let req = Request::ranged(ObjectId::TrackFile { track }, size.get() - 10, Bytes(100));
-        assert!(matches!(o.body_size(&req), Err(HttpError::RangeNotSatisfiable { .. })));
+        assert!(matches!(
+            o.body_size(&req),
+            Err(HttpError::RangeNotSatisfiable { .. })
+        ));
     }
 }

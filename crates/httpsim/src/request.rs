@@ -63,13 +63,19 @@ pub struct Request {
 impl Request {
     /// A whole-object GET.
     pub fn whole(object: ObjectId) -> Request {
-        Request { object, range: None }
+        Request {
+            object,
+            range: None,
+        }
     }
 
     /// A ranged GET.
     pub fn ranged(object: ObjectId, offset: u64, len: Bytes) -> Request {
         assert!(len.get() > 0, "empty range");
-        Request { object, range: Some((offset, len)) }
+        Request {
+            object,
+            range: Some((offset, len)),
+        }
     }
 
     /// The cache key: object plus exact range. CDNs commonly cache ranged
@@ -95,11 +101,19 @@ mod tests {
 
     #[test]
     fn display_paths() {
-        let seg = ObjectId::Segment { track: TrackId::video(2), chunk: 4 };
+        let seg = ObjectId::Segment {
+            track: TrackId::video(2),
+            chunk: 4,
+        };
         assert_eq!(seg.to_string(), "video/V3/seg-5.m4s");
-        let tf = ObjectId::TrackFile { track: TrackId::audio(0) };
+        let tf = ObjectId::TrackFile {
+            track: TrackId::audio(0),
+        };
         assert_eq!(tf.to_string(), "audio/A1/track.mp4");
-        let mx = ObjectId::MuxedSegment { combo: Combo::new(1, 2), chunk: 0 };
+        let mx = ObjectId::MuxedSegment {
+            combo: Combo::new(1, 2),
+            chunk: 0,
+        };
         assert_eq!(mx.to_string(), "muxed/V2+A3/seg-1.m4s");
         assert_eq!(
             Request::ranged(tf, 100, Bytes(50)).to_string(),
@@ -109,7 +123,9 @@ mod tests {
 
     #[test]
     fn cache_keys_distinguish_ranges() {
-        let obj = ObjectId::TrackFile { track: TrackId::video(0) };
+        let obj = ObjectId::TrackFile {
+            track: TrackId::video(0),
+        };
         let a = Request::ranged(obj.clone(), 0, Bytes(100));
         let b = Request::ranged(obj.clone(), 100, Bytes(100));
         let c = Request::whole(obj);

@@ -13,10 +13,12 @@ use abr_media::units::Bytes;
 /// Total origin bytes under demuxed packaging: every video track plus every
 /// audio track, stored once.
 pub fn demuxed_storage(content: &Content) -> Bytes {
-    let video: Bytes =
-        (0..content.video().len()).map(|i| content.track_bytes(TrackId::video(i))).sum();
-    let audio: Bytes =
-        (0..content.audio().len()).map(|i| content.track_bytes(TrackId::audio(i))).sum();
+    let video: Bytes = (0..content.video().len())
+        .map(|i| content.track_bytes(TrackId::video(i)))
+        .sum();
+    let audio: Bytes = (0..content.audio().len())
+        .map(|i| content.track_bytes(TrackId::audio(i)))
+        .sum();
     video + audio
 }
 
@@ -44,10 +46,12 @@ pub fn muxed_storage_full(content: &Content) -> Bytes {
 /// multiple audio quality levels or both".
 pub fn demuxed_storage_multilang(content: &Content, languages: usize) -> Bytes {
     assert!(languages >= 1);
-    let video: Bytes =
-        (0..content.video().len()).map(|i| content.track_bytes(TrackId::video(i))).sum();
-    let audio: Bytes =
-        (0..content.audio().len()).map(|i| content.track_bytes(TrackId::audio(i))).sum();
+    let video: Bytes = (0..content.video().len())
+        .map(|i| content.track_bytes(TrackId::video(i)))
+        .sum();
+    let audio: Bytes = (0..content.audio().len())
+        .map(|i| content.track_bytes(TrackId::audio(i)))
+        .sum();
     Bytes(video.get() + audio.get() * languages as u64)
 }
 
@@ -56,10 +60,12 @@ pub fn demuxed_storage_multilang(content: &Content, languages: usize) -> Bytes {
 /// stored track — `L·N·ΣV + M·L·ΣA`.
 pub fn muxed_storage_multilang(content: &Content, languages: usize) -> Bytes {
     assert!(languages >= 1);
-    let video: Bytes =
-        (0..content.video().len()).map(|i| content.track_bytes(TrackId::video(i))).sum();
-    let audio: Bytes =
-        (0..content.audio().len()).map(|i| content.track_bytes(TrackId::audio(i))).sum();
+    let video: Bytes = (0..content.video().len())
+        .map(|i| content.track_bytes(TrackId::video(i)))
+        .sum();
+    let audio: Bytes = (0..content.audio().len())
+        .map(|i| content.track_bytes(TrackId::audio(i)))
+        .sum();
     let n = content.audio().len() as u64;
     let m = content.video().len() as u64;
     Bytes(video.get() * n * languages as u64 + audio.get() * m * languages as u64)
@@ -104,7 +110,11 @@ mod tests {
         let sum_a: Bytes = (0..3).map(|i| c.track_bytes(TrackId::audio(i))).sum();
         assert_eq!(cmp.muxed, Bytes(3 * sum_v.get() + 6 * sum_a.get()));
         assert_eq!(cmp.demuxed, sum_v + sum_a);
-        assert!(cmp.expansion_factor() > 2.9, "factor {}", cmp.expansion_factor());
+        assert!(
+            cmp.expansion_factor() > 2.9,
+            "factor {}",
+            cmp.expansion_factor()
+        );
     }
 
     #[test]

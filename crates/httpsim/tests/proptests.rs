@@ -16,7 +16,11 @@ fn origin() -> Origin {
 /// A random request against the drama show.
 fn arb_request() -> impl Strategy<Value = Request> {
     (0usize..9, 0usize..75, any::<bool>()).prop_map(|(t, chunk, whole_track)| {
-        let track = if t < 6 { TrackId::video(t) } else { TrackId::audio(t - 6) };
+        let track = if t < 6 {
+            TrackId::video(t)
+        } else {
+            TrackId::audio(t - 6)
+        };
         if whole_track {
             Request::whole(ObjectId::TrackFile { track })
         } else {

@@ -180,14 +180,16 @@ pub fn build_media_playlist(content: &Content, id: TrackId, packaging: Packaging
                     duration: chunk_dur,
                     uri: format!("{}/{}/seg-{}.m4s", id.media, id, i + 1),
                     byterange: None,
-                    bitrate_kbps: with_bitrate_tags
-                        .then(|| content.chunk_bitrate(id, i).kbps()),
+                    bitrate_kbps: with_bitrate_tags.then(|| content.chunk_bitrate(id, i).kbps()),
                 },
             };
             entry
         })
         .collect();
-    MediaPlaylist { target_duration: chunk_dur, segments }
+    MediaPlaylist {
+        target_duration: chunk_dur,
+        segments,
+    }
 }
 
 #[cfg(test)]
@@ -201,8 +203,11 @@ mod tests {
         let c = Content::drama_show(1);
         let mpd = build_mpd(&c);
         let video = mpd.adaptation_set(MediaType::Video).unwrap();
-        let declared: Vec<u64> =
-            video.representations.iter().map(|r| r.bandwidth.kbps()).collect();
+        let declared: Vec<u64> = video
+            .representations
+            .iter()
+            .map(|r| r.bandwidth.kbps())
+            .collect();
         assert_eq!(declared, vec![111, 246, 473, 914, 1852, 3746]);
         let audio = mpd.adaptation_set(MediaType::Audio).unwrap();
         assert_eq!(audio.representations.len(), 3);
@@ -220,7 +225,10 @@ mod tests {
         assert_eq!(m.variants.len(), 18);
         // First row of Table 2: V1+A1 at 253/239 Kbps.
         assert_eq!(m.variants[0].bandwidth, BitsPerSec::from_kbps(253));
-        assert_eq!(m.variants[0].average_bandwidth, Some(BitsPerSec::from_kbps(239)));
+        assert_eq!(
+            m.variants[0].average_bandwidth,
+            Some(BitsPerSec::from_kbps(239))
+        );
         assert_eq!(m.variants[0].uri, "video/V1/playlist.m3u8");
         assert_eq!(m.variants[0].audio_group.as_deref(), Some("aud-A1"));
         // Last row: V6+A3 at 4838/3112.
@@ -235,7 +243,10 @@ mod tests {
         // Fig 3 experiment 1: A3 listed first.
         let m = build_master_playlist(&c, &combos, &[2, 0, 1]);
         assert_eq!(m.variants.len(), 6);
-        assert_eq!(m.audio_groups_in_order(), vec!["aud-A3", "aud-A1", "aud-A2"]);
+        assert_eq!(
+            m.audio_groups_in_order(),
+            vec!["aud-A3", "aud-A1", "aud-A2"]
+        );
         assert!(m.media[0].default);
         let bw: Vec<u64> = m.variants.iter().map(|v| v.bandwidth.kbps()).collect();
         assert_eq!(bw, vec![253, 395, 840, 1389, 2773, 4838]);
@@ -268,16 +279,33 @@ mod tests {
         assert_eq!(expect, c.track_bytes(id).get());
         // Derived bitrates recover the track's Table 1 stats.
         let d = m.derived_bitrates().unwrap();
-        assert!((d.avg.kbps() as i64 - 362).abs() <= 1, "avg {}", d.avg.kbps());
-        assert!((d.peak.kbps() as i64 - 641).abs() <= 1, "peak {}", d.peak.kbps());
+        assert!(
+            (d.avg.kbps() as i64 - 362).abs() <= 1,
+            "avg {}",
+            d.avg.kbps()
+        );
+        assert!(
+            (d.peak.kbps() as i64 - 641).abs() <= 1,
+            "peak {}",
+            d.peak.kbps()
+        );
     }
 
     #[test]
     fn media_playlist_segment_files_with_tags() {
         let c = Content::drama_show(1);
         let id = TrackId::audio(2);
-        let m = build_media_playlist(&c, id, Packaging::SegmentFiles { with_bitrate_tags: true });
-        assert!(m.segments.iter().all(|s| s.bitrate_kbps.is_some() && s.byterange.is_none()));
+        let m = build_media_playlist(
+            &c,
+            id,
+            Packaging::SegmentFiles {
+                with_bitrate_tags: true,
+            },
+        );
+        assert!(m
+            .segments
+            .iter()
+            .all(|s| s.bitrate_kbps.is_some() && s.byterange.is_none()));
         let d = m.derived_bitrates().unwrap();
         assert!((d.avg.kbps() as i64 - 384).abs() <= 1);
         // Roundtrip.
@@ -291,7 +319,9 @@ mod tests {
         let m = build_media_playlist(
             &c,
             TrackId::video(0),
-            Packaging::SegmentFiles { with_bitrate_tags: false },
+            Packaging::SegmentFiles {
+                with_bitrate_tags: false,
+            },
         );
         assert_eq!(m.derived_bitrates(), None);
     }

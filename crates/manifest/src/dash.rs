@@ -73,15 +73,16 @@ pub struct SegmentTemplate {
 impl Mpd {
     /// The adaptation set for a media type, if present.
     pub fn adaptation_set(&self, media: MediaType) -> Option<&AdaptationSet> {
-        self.adaptation_sets.iter().find(|a| a.content_type == media)
+        self.adaptation_sets
+            .iter()
+            .find(|a| a.content_type == media)
     }
 
     /// Serializes to MPD XML text.
     pub fn to_text(&self) -> String {
         let mut period = Element::new("Period");
         if let Some(combos) = &self.allowed_combinations {
-            let value: Vec<String> =
-                combos.iter().map(|(v, a)| format!("{v}+{a}")).collect();
+            let value: Vec<String> = combos.iter().map(|(v, a)| format!("{v}+{a}")).collect();
             period = period.child(
                 Element::new("SupplementalProperty")
                     .attr("schemeIdUri", COMBINATIONS_SCHEME)
@@ -144,8 +145,7 @@ impl Mpd {
             root.get_attr("mediaPresentationDuration")
                 .ok_or("missing mediaPresentationDuration")?,
         )?;
-        let min_buffer =
-            parse_iso8601(root.get_attr("minBufferTime").unwrap_or("PT0S"))?;
+        let min_buffer = parse_iso8601(root.get_attr("minBufferTime").unwrap_or("PT0S"))?;
         let period = root.first_child("Period").ok_or("missing Period")?;
         let mut allowed_combinations = None;
         for prop in period.children_named("SupplementalProperty") {
@@ -172,7 +172,10 @@ impl Mpd {
             };
             let mut representations = Vec::new();
             for rep in aset.children_named("Representation") {
-                let id = rep.get_attr("id").ok_or("Representation missing id")?.to_string();
+                let id = rep
+                    .get_attr("id")
+                    .ok_or("Representation missing id")?
+                    .to_string();
                 let bandwidth: u64 = rep
                     .get_attr("bandwidth")
                     .ok_or("Representation missing bandwidth")?
@@ -189,7 +192,9 @@ impl Mpd {
                     .get_attr("audioSamplingRate")
                     .map(|s| s.parse().map_err(|e| format!("bad audioSamplingRate: {e}")))
                     .transpose()?;
-                let st = rep.first_child("SegmentTemplate").ok_or("missing SegmentTemplate")?;
+                let st = rep
+                    .first_child("SegmentTemplate")
+                    .ok_or("missing SegmentTemplate")?;
                 let timescale: u64 = st
                     .get_attr("timescale")
                     .unwrap_or("1")
@@ -204,7 +209,10 @@ impl Mpd {
                     return Err("zero timescale".into());
                 }
                 let segment = SegmentTemplate {
-                    media: st.get_attr("media").ok_or("SegmentTemplate missing media")?.to_string(),
+                    media: st
+                        .get_attr("media")
+                        .ok_or("SegmentTemplate missing media")?
+                        .to_string(),
                     segment_duration: Duration::from_micros(dur_units * 1_000_000 / timescale),
                     start_number: st
                         .get_attr("startNumber")
@@ -220,16 +228,24 @@ impl Mpd {
                     segment,
                 });
             }
-            adaptation_sets.push(AdaptationSet { content_type, representations });
+            adaptation_sets.push(AdaptationSet {
+                content_type,
+                representations,
+            });
         }
-        Ok(Mpd { duration, min_buffer, adaptation_sets, allowed_combinations })
+        Ok(Mpd {
+            duration,
+            min_buffer,
+            adaptation_sets,
+            allowed_combinations,
+        })
     }
 }
 
 /// Formats a duration as ISO 8601 (`PT12.5S` style).
 fn iso8601(d: Duration) -> String {
     let micros = d.as_micros();
-    if micros % 1_000_000 == 0 {
+    if micros.is_multiple_of(1_000_000) {
         format!("PT{}S", micros / 1_000_000)
     } else {
         format!("PT{}S", d.as_secs_f64())
@@ -238,14 +254,18 @@ fn iso8601(d: Duration) -> String {
 
 /// Parses the `PT[nH][nM][n[.n]S]` subset of ISO 8601 durations.
 fn parse_iso8601(s: &str) -> Result<Duration, String> {
-    let rest = s.strip_prefix("PT").ok_or_else(|| format!("bad ISO duration `{s}`"))?;
+    let rest = s
+        .strip_prefix("PT")
+        .ok_or_else(|| format!("bad ISO duration `{s}`"))?;
     let mut total = 0.0f64;
     let mut num = String::new();
     for c in rest.chars() {
         match c {
             '0'..='9' | '.' => num.push(c),
             'H' | 'M' | 'S' => {
-                let v: f64 = num.parse().map_err(|e| format!("bad ISO duration `{s}`: {e}"))?;
+                let v: f64 = num
+                    .parse()
+                    .map_err(|e| format!("bad ISO duration `{s}`: {e}"))?;
                 total += v * match c {
                     'H' => 3600.0,
                     'M' => 60.0,
@@ -325,8 +345,20 @@ mod tests {
     #[test]
     fn adaptation_set_lookup() {
         let mpd = sample();
-        assert_eq!(mpd.adaptation_set(MediaType::Video).unwrap().representations[0].id, "V1");
-        assert_eq!(mpd.adaptation_set(MediaType::Audio).unwrap().representations[0].id, "A1");
+        assert_eq!(
+            mpd.adaptation_set(MediaType::Video)
+                .unwrap()
+                .representations[0]
+                .id,
+            "V1"
+        );
+        assert_eq!(
+            mpd.adaptation_set(MediaType::Audio)
+                .unwrap()
+                .representations[0]
+                .id,
+            "A1"
+        );
     }
 
     #[test]
@@ -335,7 +367,10 @@ mod tests {
         assert_eq!(parse_iso8601("PT300S").unwrap(), Duration::from_secs(300));
         assert_eq!(parse_iso8601("PT5M").unwrap(), Duration::from_secs(300));
         assert_eq!(parse_iso8601("PT1H30M").unwrap(), Duration::from_secs(5400));
-        assert_eq!(parse_iso8601("PT2.5S").unwrap(), Duration::from_millis(2500));
+        assert_eq!(
+            parse_iso8601("PT2.5S").unwrap(),
+            Duration::from_millis(2500)
+        );
         assert!(parse_iso8601("300").is_err());
         assert!(parse_iso8601("PT5").is_err());
     }

@@ -139,7 +139,10 @@ impl MasterPlaylist {
                     .map_err(|e| format!("bad BANDWIDTH: {e}"))?;
                 let average_bandwidth = a
                     .get("AVERAGE-BANDWIDTH")
-                    .map(|s| s.parse::<u64>().map_err(|e| format!("bad AVERAGE-BANDWIDTH: {e}")))
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| format!("bad AVERAGE-BANDWIDTH: {e}"))
+                    })
                     .transpose()?
                     .map(BitsPerSec);
                 let resolution = a
@@ -155,7 +158,9 @@ impl MasterPlaylist {
                 let parse_opt_bw = |key: &str| -> Result<Option<BitsPerSec>, String> {
                     a.get(key)
                         .map(|s| {
-                            s.parse::<u64>().map_err(|e| format!("bad {key}: {e}")).map(BitsPerSec)
+                            s.parse::<u64>()
+                                .map_err(|e| format!("bad {key}: {e}"))
+                                .map(BitsPerSec)
                         })
                         .transpose()
                 };
@@ -259,7 +264,11 @@ impl MediaPlaylist {
 
     /// Parses M3U8 media playlist text.
     pub fn parse(text: &str) -> Result<MediaPlaylist, String> {
-        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty()).peekable();
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .peekable();
         if lines.next() != Some("#EXTM3U") {
             return Err("missing #EXTM3U header".to_string());
         }
@@ -281,8 +290,12 @@ impl MediaPlaylist {
             } else if let Some(v) = line.strip_prefix("#EXT-X-BYTERANGE:") {
                 let (len, off) = v.split_once('@').ok_or("EXT-X-BYTERANGE missing offset")?;
                 cur_byterange = Some((
-                    Bytes(len.parse().map_err(|e| format!("bad byterange length: {e}"))?),
-                    off.parse().map_err(|e| format!("bad byterange offset: {e}"))?,
+                    Bytes(
+                        len.parse()
+                            .map_err(|e| format!("bad byterange length: {e}"))?,
+                    ),
+                    off.parse()
+                        .map_err(|e| format!("bad byterange offset: {e}"))?,
                 ));
             } else if let Some(v) = line.strip_prefix("#EXT-X-BITRATE:") {
                 cur_bitrate = Some(v.parse().map_err(|e| format!("bad EXT-X-BITRATE: {e}"))?);
@@ -291,8 +304,9 @@ impl MediaPlaylist {
             } else if line.starts_with('#') {
                 continue;
             } else {
-                let duration =
-                    cur_duration.take().ok_or_else(|| format!("URI `{line}` without EXTINF"))?;
+                let duration = cur_duration
+                    .take()
+                    .ok_or_else(|| format!("URI `{line}` without EXTINF"))?;
                 segments.push(SegmentEntry {
                     duration,
                     uri: line.to_string(),
@@ -331,7 +345,10 @@ impl MediaPlaylist {
         if total_micros == 0 {
             return None;
         }
-        Some(DerivedBitrates { avg: BitsPerSec((total_bits / total_micros) as u64), peak })
+        Some(DerivedBitrates {
+            avg: BitsPerSec((total_bits / total_micros) as u64),
+            peak,
+        })
     }
 }
 
@@ -381,7 +398,9 @@ fn parse_attrs(s: &str) -> Result<std::collections::BTreeMap<String, String>, St
 }
 
 fn req(a: &std::collections::BTreeMap<String, String>, key: &str) -> Result<String, String> {
-    a.get(key).cloned().ok_or_else(|| format!("missing attribute {key}"))
+    a.get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing attribute {key}"))
 }
 
 #[cfg(test)]
@@ -451,7 +470,9 @@ mod tests {
     fn master_text_shape() {
         let text = sample_master().to_text();
         assert!(text.starts_with("#EXTM3U\n"));
-        assert!(text.contains("#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID=\"aud-A3\",NAME=\"A3\",DEFAULT=YES"));
+        assert!(
+            text.contains("#EXT-X-MEDIA:TYPE=AUDIO,GROUP-ID=\"aud-A3\",NAME=\"A3\",DEFAULT=YES")
+        );
         assert!(text.contains("#EXT-X-STREAM-INF:BANDWIDTH=253000,AVERAGE-BANDWIDTH=239000,RESOLUTION=256x144,AUDIO=\"aud-A1\""));
     }
 
@@ -502,7 +523,11 @@ mod tests {
             segments: (0..3)
                 .map(|i| SegmentEntry {
                     duration: Duration::from_secs(4),
-                    uri: if byterange { "track.mp4".into() } else { format!("seg-{i}.m4s") },
+                    uri: if byterange {
+                        "track.mp4".into()
+                    } else {
+                        format!("seg-{i}.m4s")
+                    },
                     byterange: byterange.then(|| (Bytes(50_000 + i * 10_000), i * 100_000)),
                     bitrate_kbps: (!byterange).then(|| 100 + i * 20),
                 })
@@ -557,7 +582,10 @@ mod tests {
 
     #[test]
     fn media_parse_errors() {
-        assert!(MediaPlaylist::parse("#EXTM3U\nseg.m4s\n").is_err(), "URI without EXTINF");
+        assert!(
+            MediaPlaylist::parse("#EXTM3U\nseg.m4s\n").is_err(),
+            "URI without EXTINF"
+        );
         assert!(
             MediaPlaylist::parse("#EXTM3U\n#EXTINF:4,\nseg.m4s\n").is_err(),
             "missing target duration"

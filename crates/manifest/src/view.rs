@@ -39,7 +39,11 @@ fn parse_track_name(s: &str) -> Option<(MediaType, usize)> {
             if end == bytes.len() || !bytes[end].is_ascii_alphanumeric() {
                 let n: usize = s[start..end].parse().ok()?;
                 if n >= 1 {
-                    let media = if c == b'V' { MediaType::Video } else { MediaType::Audio };
+                    let media = if c == b'V' {
+                        MediaType::Video
+                    } else {
+                        MediaType::Audio
+                    };
                     best = Some((media, n - 1));
                 }
             }
@@ -92,12 +96,13 @@ impl BoundDash {
                 }
             }
         }
-        let unwrap_all = |v: Vec<Option<BitsPerSec>>, what: &str| -> Result<Vec<BitsPerSec>, String> {
-            v.into_iter()
-                .enumerate()
-                .map(|(i, b)| b.ok_or(format!("missing {what} track {}", i + 1)))
-                .collect()
-        };
+        let unwrap_all =
+            |v: Vec<Option<BitsPerSec>>, what: &str| -> Result<Vec<BitsPerSec>, String> {
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, b)| b.ok_or(format!("missing {what} track {}", i + 1)))
+                    .collect()
+            };
         let allowed_combos = mpd
             .allowed_combinations
             .as_ref()
@@ -188,8 +193,10 @@ impl BoundHls {
             if media != MediaType::Video {
                 return Err(format!("variant URI `{}` is not a video track", v.uri));
             }
-            let group =
-                v.audio_group.as_ref().ok_or_else(|| format!("variant `{}` lacks AUDIO", v.uri))?;
+            let group = v
+                .audio_group
+                .as_ref()
+                .ok_or_else(|| format!("variant `{}` lacks AUDIO", v.uri))?;
             let aidx = *group_to_audio
                 .get(group)
                 .ok_or_else(|| format!("variant references unknown audio group `{group}`"))?;
@@ -204,7 +211,12 @@ impl BoundHls {
         if variants.is_empty() {
             return Err("master playlist has no variants".to_string());
         }
-        Ok(BoundHls { variants, audio_listing, video_bitrates: None, audio_bitrates: None })
+        Ok(BoundHls {
+            variants,
+            audio_listing,
+            video_bitrates: None,
+            audio_bitrates: None,
+        })
     }
 
     /// The combinations the manifest allows, in listing order.
@@ -214,28 +226,37 @@ impl BoundHls {
 
     /// Number of distinct video rungs referenced.
     pub fn video_count(&self) -> usize {
-        self.variants.iter().map(|v| v.combo.video).max().map_or(0, |m| m + 1)
+        self.variants
+            .iter()
+            .map(|v| v.combo.video)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// Number of distinct audio rungs referenced (from the listing).
     pub fn audio_count(&self) -> usize {
-        self.audio_listing.iter().copied().max().map_or(0, |m| m + 1)
+        self.audio_listing
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// The aggregate `BANDWIDTH` of the *first* variant whose video rung is
     /// `video` — ExoPlayer's (over)estimate of that video track's bitrate
     /// under HLS (§3.2 root cause).
     pub fn first_variant_bandwidth_for_video(&self, video: usize) -> Option<BitsPerSec> {
-        self.variants.iter().find(|v| v.combo.video == video).map(|v| v.bandwidth)
+        self.variants
+            .iter()
+            .find(|v| v.combo.video == video)
+            .map(|v| v.bandwidth)
     }
 
     /// Per-track peak bitrates from the §4.1 *master playlist* extension
     /// (`VIDEO-BANDWIDTH`/`AUDIO-BANDWIDTH`), indexed by ladder rung.
     /// `None` unless every rung is covered by at least one extended
     /// variant — i.e. unless the server adopted the proposal.
-    pub fn extension_track_bitrates(
-        &self,
-    ) -> Option<(Vec<BitsPerSec>, Vec<BitsPerSec>)> {
+    pub fn extension_track_bitrates(&self) -> Option<(Vec<BitsPerSec>, Vec<BitsPerSec>)> {
         let mut video = vec![None; self.video_count()];
         let mut audio = vec![None; self.audio_count()];
         for v in &self.variants {
@@ -264,8 +285,10 @@ impl BoundHls {
             pls.iter()
                 .enumerate()
                 .map(|(i, p)| {
-                    p.derived_bitrates()
-                        .ok_or(format!("{what} playlist {} lacks bitrate information", i + 1))
+                    p.derived_bitrates().ok_or(format!(
+                        "{what} playlist {} lacks bitrate information",
+                        i + 1
+                    ))
                 })
                 .collect()
         };
@@ -288,11 +311,21 @@ mod tests {
         assert_eq!(parse_track_name("V3"), Some((MediaType::Video, 2)));
         assert_eq!(parse_track_name("A1"), Some((MediaType::Audio, 0)));
         assert_eq!(parse_track_name("aud-A2"), Some((MediaType::Audio, 1)));
-        assert_eq!(parse_track_name("video/V12/playlist.m3u8"), Some((MediaType::Video, 11)));
-        assert_eq!(parse_track_name("audio/A3/seg-5.m4s"), Some((MediaType::Audio, 2)));
+        assert_eq!(
+            parse_track_name("video/V12/playlist.m3u8"),
+            Some((MediaType::Video, 11))
+        );
+        assert_eq!(
+            parse_track_name("audio/A3/seg-5.m4s"),
+            Some((MediaType::Audio, 2))
+        );
         assert_eq!(parse_track_name("nothing"), None);
         assert_eq!(parse_track_name("V0"), None, "track numbers are 1-based");
-        assert_eq!(parse_track_name("NAVY"), None, "letters after digits break the match");
+        assert_eq!(
+            parse_track_name("NAVY"),
+            None,
+            "letters after digits break the match"
+        );
     }
 
     #[test]
@@ -330,10 +363,7 @@ mod tests {
         let c = Content::drama_show(1);
         let combos = curated_subset(c.video(), c.audio());
         let b = BoundHls::from_master(&build_master_playlist(&c, &combos, &[2, 0, 1])).unwrap();
-        assert_eq!(
-            b.first_variant_bandwidth_for_video(4).unwrap().kbps(),
-            2773
-        );
+        assert_eq!(b.first_variant_bandwidth_for_video(4).unwrap().kbps(), 2773);
         assert_eq!(b.audio_listing[0], 2, "A3 listed first");
     }
 
@@ -350,7 +380,10 @@ mod tests {
             .collect();
         b.attach_derived_bitrates(&vids, &auds).unwrap();
         let vb = b.video_bitrates.as_ref().unwrap();
-        assert!((vb[2].peak.kbps() as i64 - 641).abs() <= 1, "V3 derived peak");
+        assert!(
+            (vb[2].peak.kbps() as i64 - 641).abs() <= 1,
+            "V3 derived peak"
+        );
         let ab = b.audio_bitrates.as_ref().unwrap();
         assert!((ab[2].avg.kbps() as i64 - 384).abs() <= 1, "A3 derived avg");
     }
@@ -365,7 +398,9 @@ mod tests {
                 build_media_playlist(
                     &c,
                     TrackId::video(i),
-                    Packaging::SegmentFiles { with_bitrate_tags: false },
+                    Packaging::SegmentFiles {
+                        with_bitrate_tags: false,
+                    },
                 )
             })
             .collect();

@@ -24,7 +24,11 @@ pub struct Element {
 impl Element {
     /// A new element with no attributes or children.
     pub fn new(name: &str) -> Element {
-        Element { name: name.to_string(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Adds an attribute (builder style).
@@ -41,7 +45,10 @@ impl Element {
 
     /// First attribute value by key.
     pub fn get_attr(&self, key: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// All children with a given tag name.
@@ -81,7 +88,10 @@ impl Element {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(s: &str) -> String {
@@ -94,7 +104,10 @@ fn unescape(s: &str) -> String {
 
 /// Parses a document and returns its root element.
 pub fn parse(text: &str) -> Result<Element, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     let root = p.parse_element()?;
     p.skip_misc()?;
@@ -251,9 +264,10 @@ mod tests {
 
     #[test]
     fn build_and_serialize() {
-        let doc = Element::new("MPD")
-            .attr("type", "static")
-            .child(Element::new("Period").child(Element::new("AdaptationSet").attr("contentType", "video")));
+        let doc = Element::new("MPD").attr("type", "static").child(
+            Element::new("Period")
+                .child(Element::new("AdaptationSet").attr("contentType", "video")),
+        );
         let text = doc.to_document();
         assert!(text.starts_with("<?xml"));
         assert!(text.contains("<MPD type=\"static\">"));
@@ -268,7 +282,11 @@ mod tests {
                 Element::new("Period").child(
                     Element::new("AdaptationSet")
                         .attr("contentType", "audio")
-                        .child(Element::new("Representation").attr("id", "A1").attr("bandwidth", "128000")),
+                        .child(
+                            Element::new("Representation")
+                                .attr("id", "A1")
+                                .attr("bandwidth", "128000"),
+                        ),
                 ),
             );
         let text = doc.to_document();
@@ -302,8 +320,10 @@ mod tests {
         let el = parse("<A><B id=\"1\"/><C/><B id=\"2\"/></A>").unwrap();
         assert_eq!(el.first_child("B").unwrap().get_attr("id"), Some("1"));
         assert!(el.first_child("D").is_none());
-        let ids: Vec<_> =
-            el.children_named("B").map(|b| b.get_attr("id").unwrap()).collect();
+        let ids: Vec<_> = el
+            .children_named("B")
+            .map(|b| b.get_attr("id").unwrap())
+            .collect();
         assert_eq!(ids, vec!["1", "2"]);
     }
 

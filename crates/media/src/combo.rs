@@ -69,7 +69,11 @@ pub struct ComboBitrate {
 pub fn combo_bitrate(video: &Ladder, audio: &Ladder, combo: Combo) -> ComboBitrate {
     let v = video.get(combo.video);
     let a = audio.get(combo.audio);
-    ComboBitrate { avg: v.avg + a.avg, peak: v.peak + a.peak, declared: v.declared + a.declared }
+    ComboBitrate {
+        avg: v.avg + a.avg,
+        peak: v.peak + a.peak,
+        declared: v.declared + a.declared,
+    }
 }
 
 /// All M×N combinations sorted by ascending aggregate peak bitrate, ties by
@@ -127,7 +131,10 @@ pub fn log_staircase_rates(video: &[BitsPerSec], audio: &[BitsPerSec]) -> Vec<Co
             return vec![0.0; declared.len()];
         }
         let (llo, lhi) = (lo.ln(), hi.ln());
-        declared.iter().map(|r| ((r.bps() as f64).ln() - llo) / (lhi - llo)).collect()
+        declared
+            .iter()
+            .map(|r| ((r.bps() as f64).ln() - llo) / (lhi - llo))
+            .collect()
     }
 
     let qv = positions(video);
@@ -138,8 +145,16 @@ pub fn log_staircase_rates(video: &[BitsPerSec], audio: &[BitsPerSec]) -> Vec<Co
     let (mut i, mut j) = (0usize, 0usize);
     combos.push(Combo::new(i, j));
     while i < m - 1 || j < n - 1 {
-        let after_video = if i < m - 1 { Some((qv[i + 1] - pa[j]).abs()) } else { None };
-        let after_audio = if j < n - 1 { Some((qv[i] - pa[j + 1]).abs()) } else { None };
+        let after_video = if i < m - 1 {
+            Some((qv[i + 1] - pa[j]).abs())
+        } else {
+            None
+        };
+        let after_audio = if j < n - 1 {
+            Some((qv[i] - pa[j + 1]).abs())
+        } else {
+            None
+        };
         match (after_video, after_audio) {
             (Some(v), Some(a)) if a < v => j += 1,
             (Some(_), _) => i += 1,
@@ -215,9 +230,19 @@ mod tests {
         let v = Ladder::table1_video();
         let a = Ladder::table1_audio();
         let combos = curated_subset(&v, &a);
-        assert_eq!(names(&combos), vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]);
+        assert_eq!(
+            names(&combos),
+            vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]
+        );
         // Table 3 bitrates.
-        let expected = [(239, 253), (374, 395), (558, 840), (930, 1389), (1805, 2773), (3112, 4838)];
+        let expected = [
+            (239, 253),
+            (374, 395),
+            (558, 840),
+            (930, 1389),
+            (1805, 2773),
+            (3112, 4838),
+        ];
         for (c, (avg, peak)) in combos.iter().zip(expected.iter()) {
             let b = combo_bitrate(&v, &a, *c);
             assert_eq!(b.avg.kbps(), *avg);
@@ -260,7 +285,11 @@ mod tests {
 
     #[test]
     fn staircase_shape_invariants() {
-        for audio in [Ladder::table1_audio(), Ladder::low_audio_b(), Ladder::high_audio_c()] {
+        for audio in [
+            Ladder::table1_audio(),
+            Ladder::low_audio_b(),
+            Ladder::high_audio_c(),
+        ] {
             let v = Ladder::table1_video();
             let combos = log_staircase(&v, &audio);
             assert_eq!(combos.len(), v.len() + audio.len() - 1);
@@ -275,7 +304,10 @@ mod tests {
         let v = Ladder::table1_video();
         let b = Ladder::low_audio_b();
         let combos = log_staircase(&v, &b);
-        assert!(!combos.contains(&Combo::new(2, 2)), "V3+B3 must be excluded");
+        assert!(
+            !combos.contains(&Combo::new(2, 2)),
+            "V3+B3 must be excluded"
+        );
         let bits = combo_bitrate(&v, &b, Combo::new(2, 2));
         assert_eq!(bits.declared.kbps(), 601);
     }

@@ -33,7 +33,13 @@ impl Content {
     /// near-CBR shape (spread 0.02); each track draws from an independent
     /// child stream of `seed`, so adding a track never perturbs the sizes
     /// of the others.
-    pub fn new(video: Ladder, audio: Ladder, chunk_duration: Duration, num_chunks: usize, seed: u64) -> Self {
+    pub fn new(
+        video: Ladder,
+        audio: Ladder,
+        chunk_duration: Duration,
+        num_chunks: usize,
+        seed: u64,
+    ) -> Self {
         assert_eq!(video.media(), MediaType::Video);
         assert_eq!(audio.media(), MediaType::Audio);
         assert!(num_chunks > 0, "content needs at least one chunk");
@@ -62,23 +68,48 @@ impl Content {
                 )
             })
             .collect();
-        Content { video, audio, chunk_duration, num_chunks, video_sizes, audio_sizes }
+        Content {
+            video,
+            audio,
+            chunk_duration,
+            num_chunks,
+            video_sizes,
+            audio_sizes,
+        }
     }
 
     /// The Table 1 drama show: 6 video + 3 audio tracks, 75 chunks of 4 s
     /// (300 s ≈ the paper's "around 5 minutes").
     pub fn drama_show(seed: u64) -> Content {
-        Content::new(Ladder::table1_video(), Ladder::table1_audio(), Duration::from_secs(4), 75, seed)
+        Content::new(
+            Ladder::table1_video(),
+            Ladder::table1_audio(),
+            Duration::from_secs(4),
+            75,
+            seed,
+        )
     }
 
     /// §3.2 experiment 1: Table 1 video with the low-bitrate "B" audio set.
     pub fn drama_show_low_audio(seed: u64) -> Content {
-        Content::new(Ladder::table1_video(), Ladder::low_audio_b(), Duration::from_secs(4), 75, seed)
+        Content::new(
+            Ladder::table1_video(),
+            Ladder::low_audio_b(),
+            Duration::from_secs(4),
+            75,
+            seed,
+        )
     }
 
     /// §3.2 experiment 2: Table 1 video with the high-bitrate "C" audio set.
     pub fn drama_show_high_audio(seed: u64) -> Content {
-        Content::new(Ladder::table1_video(), Ladder::high_audio_c(), Duration::from_secs(4), 75, seed)
+        Content::new(
+            Ladder::table1_video(),
+            Ladder::high_audio_c(),
+            Duration::from_secs(4),
+            75,
+            seed,
+        )
     }
 
     /// The video ladder.
@@ -122,7 +153,11 @@ impl Content {
     /// Size in bytes of one chunk of one track. Panics on out-of-range
     /// track or chunk indices.
     pub fn chunk_size(&self, id: TrackId, chunk: usize) -> Bytes {
-        assert!(chunk < self.num_chunks, "chunk {chunk} out of range (< {})", self.num_chunks);
+        assert!(
+            chunk < self.num_chunks,
+            "chunk {chunk} out of range (< {})",
+            self.num_chunks
+        );
         match id.media {
             MediaType::Video => self.video_sizes[id.index][chunk],
             MediaType::Audio => self.audio_sizes[id.index][chunk],
@@ -131,7 +166,8 @@ impl Content {
 
     /// The bitrate one chunk realizes (size over chunk duration).
     pub fn chunk_bitrate(&self, id: TrackId, chunk: usize) -> BitsPerSec {
-        self.chunk_size(id, chunk).rate_over_micros(self.chunk_duration.as_micros())
+        self.chunk_size(id, chunk)
+            .rate_over_micros(self.chunk_duration.as_micros())
     }
 
     /// Total bytes of one whole track.
@@ -141,8 +177,7 @@ impl Content {
 
     /// All track ids, audio first then video, each ascending.
     pub fn track_ids(&self) -> Vec<TrackId> {
-        let mut ids: Vec<TrackId> =
-            (0..self.audio.len()).map(TrackId::audio).collect();
+        let mut ids: Vec<TrackId> = (0..self.audio.len()).map(TrackId::audio).collect();
         ids.extend((0..self.video.len()).map(TrackId::video));
         ids
     }
@@ -193,8 +228,7 @@ mod tests {
         let c = Content::drama_show(8);
         let id = TrackId::video(3);
         assert_eq!(a.chunk_size(id, 10), b.chunk_size(id, 10));
-        let differs =
-            (0..a.num_chunks()).any(|i| a.chunk_size(id, i) != c.chunk_size(id, i));
+        let differs = (0..a.num_chunks()).any(|i| a.chunk_size(id, i) != c.chunk_size(id, i));
         assert!(differs, "different seeds must differ somewhere");
     }
 
@@ -203,7 +237,12 @@ mod tests {
         let c = Content::drama_show(3);
         let lo = c.track_bytes(TrackId::video(0));
         let hi = c.track_bytes(TrackId::video(5));
-        assert!(hi.get() > 20 * lo.get(), "V6 total {} vs V1 total {}", hi, lo);
+        assert!(
+            hi.get() > 20 * lo.get(),
+            "V6 total {} vs V1 total {}",
+            hi,
+            lo
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl Ladder {
         assert!(!tracks.is_empty(), "empty ladder");
         for (i, t) in tracks.iter().enumerate() {
             assert_eq!(t.id.media, media, "track {} in {} ladder", t.id, media);
-            assert_eq!(t.id.index, i, "track index {} out of order (expected {i})", t.id.index);
+            assert_eq!(
+                t.id.index, i,
+                "track index {} out of order (expected {i})",
+                t.id.index
+            );
             if i > 0 {
                 assert!(
                     tracks[i - 1].declared < t.declared,
@@ -63,7 +67,11 @@ impl Ladder {
     /// Track for a [`TrackId`]; panics if the id belongs to the other media
     /// type or is out of range.
     pub fn track(&self, id: TrackId) -> &TrackInfo {
-        assert_eq!(id.media, self.media, "track {} looked up in {} ladder", id, self.media);
+        assert_eq!(
+            id.media, self.media,
+            "track {} looked up in {} ladder",
+            id, self.media
+        );
         &self.tracks[id.index]
     }
 
@@ -179,9 +187,17 @@ mod tests {
 
     #[test]
     fn b_and_c_sets_declared() {
-        let b: Vec<u64> = Ladder::low_audio_b().declared_bitrates().iter().map(|x| x.kbps()).collect();
+        let b: Vec<u64> = Ladder::low_audio_b()
+            .declared_bitrates()
+            .iter()
+            .map(|x| x.kbps())
+            .collect();
         assert_eq!(b, vec![32, 64, 128]);
-        let c: Vec<u64> = Ladder::high_audio_c().declared_bitrates().iter().map(|x| x.kbps()).collect();
+        let c: Vec<u64> = Ladder::high_audio_c()
+            .declared_bitrates()
+            .iter()
+            .map(|x| x.kbps())
+            .collect();
         assert_eq!(c, vec![196, 384, 768]);
     }
 
@@ -194,7 +210,12 @@ mod tests {
         // Budget below V1: none fit.
         assert!(l.highest_within(BitsPerSec::from_kbps(100)).is_none());
         // Huge budget: top rung.
-        assert_eq!(l.highest_within(BitsPerSec::from_kbps(99_999)).unwrap().name(), "V6");
+        assert_eq!(
+            l.highest_within(BitsPerSec::from_kbps(99_999))
+                .unwrap()
+                .name(),
+            "V6"
+        );
     }
 
     #[test]
@@ -224,6 +245,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of order")]
     fn rejects_gapped_indices() {
-        Ladder::new(MediaType::Audio, vec![TrackInfo::audio(1, 64, 67, 64, 2, 44_000)]);
+        Ladder::new(
+            MediaType::Audio,
+            vec![TrackInfo::audio(1, 64, 67, 64, 2, 44_000)],
+        );
     }
 }

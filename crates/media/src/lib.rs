@@ -31,4 +31,4 @@ pub use combo::{Combo, ComboBitrate};
 pub use content::Content;
 pub use ladder::Ladder;
 pub use track::{MediaType, TrackId, TrackInfo};
-pub use units::{Bytes, BitsPerSec};
+pub use units::{BitsPerSec, Bytes};

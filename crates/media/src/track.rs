@@ -68,12 +68,18 @@ pub struct TrackId {
 impl TrackId {
     /// Convenience constructor for an audio track id.
     pub const fn audio(index: usize) -> TrackId {
-        TrackId { media: MediaType::Audio, index }
+        TrackId {
+            media: MediaType::Audio,
+            index,
+        }
     }
 
     /// Convenience constructor for a video track id.
     pub const fn video(index: usize) -> TrackId {
-        TrackId { media: MediaType::Video, index }
+        TrackId {
+            media: MediaType::Video,
+            index,
+        }
     }
 }
 
@@ -115,7 +121,10 @@ impl TrackDetail {
     pub fn label(&self) -> String {
         match self {
             TrackDetail::Video { height, .. } => format!("{height}p"),
-            TrackDetail::Audio { channels, sample_rate } => {
+            TrackDetail::Audio {
+                channels,
+                sample_rate,
+            } => {
                 format!("{channels}ch/{}kHz", sample_rate / 1000)
             }
         }
@@ -140,13 +149,22 @@ pub struct TrackInfo {
 impl TrackInfo {
     /// Builds a video track descriptor. Bitrates in Kbps, matching the
     /// paper's tables. Panics if `avg > peak` or `declared > peak`.
-    pub fn video(index: usize, avg_kbps: u64, peak_kbps: u64, declared_kbps: u64, height: u32) -> Self {
+    pub fn video(
+        index: usize,
+        avg_kbps: u64,
+        peak_kbps: u64,
+        declared_kbps: u64,
+        height: u32,
+    ) -> Self {
         let t = TrackInfo {
             id: TrackId::video(index),
             avg: BitsPerSec::from_kbps(avg_kbps),
             peak: BitsPerSec::from_kbps(peak_kbps),
             declared: BitsPerSec::from_kbps(declared_kbps),
-            detail: TrackDetail::Video { width: height * 16 / 9, height },
+            detail: TrackDetail::Video {
+                width: height * 16 / 9,
+                height,
+            },
         };
         t.validate();
         t
@@ -166,14 +184,23 @@ impl TrackInfo {
             avg: BitsPerSec::from_kbps(avg_kbps),
             peak: BitsPerSec::from_kbps(peak_kbps),
             declared: BitsPerSec::from_kbps(declared_kbps),
-            detail: TrackDetail::Audio { channels, sample_rate },
+            detail: TrackDetail::Audio {
+                channels,
+                sample_rate,
+            },
         };
         t.validate();
         t
     }
 
     fn validate(&self) {
-        assert!(self.avg <= self.peak, "{}: avg {} > peak {}", self.id, self.avg, self.peak);
+        assert!(
+            self.avg <= self.peak,
+            "{}: avg {} > peak {}",
+            self.id,
+            self.avg,
+            self.peak
+        );
         assert!(
             self.declared <= self.peak,
             "{}: declared {} > peak {}",
@@ -182,7 +209,12 @@ impl TrackInfo {
             self.peak
         );
         assert!(self.avg.bps() > 0, "{}: zero average bitrate", self.id);
-        assert_eq!(self.detail.media(), self.id.media, "{}: detail/media mismatch", self.id);
+        assert_eq!(
+            self.detail.media(),
+            self.id.media,
+            "{}: detail/media mismatch",
+            self.id
+        );
     }
 
     /// Track name in the paper's notation ("V3", "A2").
@@ -242,5 +274,46 @@ mod tests {
     fn track_ids_order_within_media() {
         assert!(TrackId::video(0) < TrackId::video(1));
         assert!(TrackId::audio(2) < TrackId::video(0)); // audio sorts first
+    }
+}
+
+/// Serialization (enabled by the `serde` feature): a [`MediaType`] is its
+/// lowercase name, a [`TrackId`] an object `{"media": ..., "index": ...}`.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{MediaType, TrackId};
+    use serde::{Deserialize, FromValueError, Map, Serialize, Value};
+
+    impl Serialize for MediaType {
+        fn to_value(&self) -> Value {
+            Value::String(self.to_string())
+        }
+    }
+
+    impl Deserialize for MediaType {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            match v.as_str() {
+                Some("audio") => Ok(MediaType::Audio),
+                Some("video") => Ok(MediaType::Video),
+                _ => Err(FromValueError::expected("\"audio\" or \"video\"", v)),
+            }
+        }
+    }
+
+    impl Serialize for TrackId {
+        fn to_value(&self) -> Value {
+            let mut map = Map::new();
+            map.insert("media".to_string(), self.media.to_value());
+            map.insert("index".to_string(), self.index.to_value());
+            Value::Object(map)
+        }
+    }
+
+    impl Deserialize for TrackId {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            let media = MediaType::from_value(&v["media"])?;
+            let index = usize::from_value(&v["index"])?;
+            Ok(TrackId { media, index })
+        }
     }
 }

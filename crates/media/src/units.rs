@@ -224,20 +224,30 @@ mod tests {
     #[test]
     fn mul_ratio_is_floor() {
         // ExoPlayer's 75% of 900 Kbps = 675 Kbps.
-        assert_eq!(BitsPerSec::from_kbps(900).mul_ratio(3, 4), BitsPerSec::from_kbps(675));
+        assert_eq!(
+            BitsPerSec::from_kbps(900).mul_ratio(3, 4),
+            BitsPerSec::from_kbps(675)
+        );
         assert_eq!(BitsPerSec(1_001).mul_ratio(1, 2), BitsPerSec(500));
     }
 
     #[test]
     fn rate_over_micros() {
-        assert_eq!(Bytes(15_625).rate_over_micros(125_000), BitsPerSec::from_kbps(1_000));
-        assert_eq!(Bytes(125_000).rate_over_micros(1_000_000), BitsPerSec::from_kbps(1_000));
+        assert_eq!(
+            Bytes(15_625).rate_over_micros(125_000),
+            BitsPerSec::from_kbps(1_000)
+        );
+        assert_eq!(
+            Bytes(125_000).rate_over_micros(1_000_000),
+            BitsPerSec::from_kbps(1_000)
+        );
     }
 
     #[test]
     fn sums() {
-        let total: BitsPerSec =
-            [BitsPerSec::from_kbps(111), BitsPerSec::from_kbps(128)].into_iter().sum();
+        let total: BitsPerSec = [BitsPerSec::from_kbps(111), BitsPerSec::from_kbps(128)]
+            .into_iter()
+            .sum();
         assert_eq!(total, BitsPerSec::from_kbps(239));
         let sz: Bytes = [Bytes(10), Bytes(20)].into_iter().sum();
         assert_eq!(sz, Bytes(30));
@@ -253,5 +263,37 @@ mod tests {
     fn saturating_bytes() {
         assert_eq!(Bytes(5).saturating_sub(Bytes(9)), Bytes::ZERO);
         assert_eq!(Bytes(9).saturating_sub(Bytes(5)), Bytes(4));
+    }
+}
+
+/// Serialization as raw counts (enabled by the `serde` feature):
+/// [`BitsPerSec`] is its bps value, [`Bytes`] its byte count.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::{BitsPerSec, Bytes};
+    use serde::{Deserialize, FromValueError, Serialize, Value};
+
+    impl Serialize for BitsPerSec {
+        fn to_value(&self) -> Value {
+            self.bps().to_value()
+        }
+    }
+
+    impl Deserialize for BitsPerSec {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            u64::from_value(v).map(BitsPerSec)
+        }
+    }
+
+    impl Serialize for Bytes {
+        fn to_value(&self) -> Value {
+            self.get().to_value()
+        }
+    }
+
+    impl Deserialize for Bytes {
+        fn from_value(v: &Value) -> Result<Self, FromValueError> {
+            u64::from_value(v).map(Bytes)
+        }
     }
 }

@@ -35,12 +35,20 @@ pub struct VbrParams {
 impl VbrParams {
     /// Typical VBR video shape.
     pub fn video(avg: BitsPerSec, peak: BitsPerSec) -> Self {
-        VbrParams { avg, peak, spread: 0.35 }
+        VbrParams {
+            avg,
+            peak,
+            spread: 0.35,
+        }
     }
 
     /// Near-CBR audio shape.
     pub fn audio(avg: BitsPerSec, peak: BitsPerSec) -> Self {
-        VbrParams { avg, peak, spread: 0.02 }
+        VbrParams {
+            avg,
+            peak,
+            spread: 0.02,
+        }
     }
 }
 
@@ -54,9 +62,19 @@ fn chunk_bytes(rate: BitsPerSec, chunk_dur: Duration) -> u64 {
 /// Panics if `n == 0`, `avg > peak`, `spread` is outside `[0, 0.95]`, or the
 /// target total cannot accommodate the peak chunk (`peak > n × avg`, which
 /// no realistic ladder exhibits).
-pub fn chunk_sizes(params: VbrParams, chunk_dur: Duration, n: usize, rng: &mut SplitMix64) -> Vec<Bytes> {
+pub fn chunk_sizes(
+    params: VbrParams,
+    chunk_dur: Duration,
+    n: usize,
+    rng: &mut SplitMix64,
+) -> Vec<Bytes> {
     assert!(n > 0, "zero chunks");
-    assert!(params.avg <= params.peak, "avg {} > peak {}", params.avg, params.peak);
+    assert!(
+        params.avg <= params.peak,
+        "avg {} > peak {}",
+        params.avg,
+        params.peak
+    );
     assert!(
         (0.0..=0.95).contains(&params.spread),
         "spread {} outside [0, 0.95]",
@@ -88,10 +106,16 @@ pub fn chunk_sizes(params: VbrParams, chunk_dur: Duration, n: usize, rng: &mut S
     // Non-peak chunks stay strictly below the peak so the peak chunk is the
     // unique maximum — except in the (near-)CBR regime where the mean leaves
     // no room below the peak and equality is the only feasible assignment.
-    let cap = if peak_sz as f64 - rest_mean > 1.5 { peak_sz - 1 } else { peak_sz };
+    let cap = if peak_sz as f64 - rest_mean > 1.5 {
+        peak_sz - 1
+    } else {
+        peak_sz
+    };
 
     // Raw weights, normalized to hit rest_total exactly after rounding.
-    let weights: Vec<f64> = (0..rest_n).map(|_| 1.0 + eff * (2.0 * rng.next_f64() - 1.0)).collect();
+    let weights: Vec<f64> = (0..rest_n)
+        .map(|_| 1.0 + eff * (2.0 * rng.next_f64() - 1.0))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let mut sizes: Vec<u64> = weights
         .iter()
@@ -145,7 +169,10 @@ pub fn measure(sizes: &[Bytes], chunk_dur: Duration) -> MeasuredBitrates {
     let total: Bytes = sizes.iter().copied().sum();
     let avg = total.rate_over_micros(chunk_dur.as_micros() * sizes.len() as u64);
     let peak_sz = sizes.iter().copied().max().expect("non-empty");
-    MeasuredBitrates { avg, peak: peak_sz.rate_over_micros(chunk_dur.as_micros()) }
+    MeasuredBitrates {
+        avg,
+        peak: peak_sz.rate_over_micros(chunk_dur.as_micros()),
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +204,11 @@ mod tests {
         );
         assert!(sizes.iter().all(|s| s.get() > 0), "positive sizes");
         let peak_sz = sizes.iter().max().unwrap();
-        assert_eq!(sizes.iter().filter(|s| *s == peak_sz).count(), 1, "unique peak chunk");
+        assert_eq!(
+            sizes.iter().filter(|s| *s == peak_sz).count(),
+            1,
+            "unique peak chunk"
+        );
     }
 
     #[test]
@@ -221,7 +252,11 @@ mod tests {
 
     #[test]
     fn cbr_when_avg_equals_peak() {
-        let p = VbrParams { avg: BitsPerSec::from_kbps(100), peak: BitsPerSec::from_kbps(100), spread: 0.0 };
+        let p = VbrParams {
+            avg: BitsPerSec::from_kbps(100),
+            peak: BitsPerSec::from_kbps(100),
+            spread: 0.0,
+        };
         let sizes = chunk_sizes(p, CHUNK, 10, &mut SplitMix64::new(1));
         let m = measure(&sizes, CHUNK);
         assert_eq!(m.avg.kbps(), 100);
@@ -237,7 +272,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "avg")]
     fn rejects_avg_above_peak() {
-        let p = VbrParams { avg: BitsPerSec::from_kbps(200), peak: BitsPerSec::from_kbps(100), spread: 0.1 };
+        let p = VbrParams {
+            avg: BitsPerSec::from_kbps(200),
+            peak: BitsPerSec::from_kbps(100),
+            spread: 0.1,
+        };
         chunk_sizes(p, CHUNK, 10, &mut SplitMix64::new(1));
     }
 
@@ -246,7 +285,11 @@ mod tests {
     fn rejects_peak_exceeding_total() {
         // peak 10× avg with only 2 chunks: the peak chunk alone exceeds the
         // whole clip's byte budget.
-        let p = VbrParams { avg: BitsPerSec::from_kbps(100), peak: BitsPerSec::from_kbps(1000), spread: 0.1 };
+        let p = VbrParams {
+            avg: BitsPerSec::from_kbps(100),
+            peak: BitsPerSec::from_kbps(1000),
+            spread: 0.1,
+        };
         chunk_sizes(p, CHUNK, 2, &mut SplitMix64::new(1));
     }
 

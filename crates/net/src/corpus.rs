@@ -18,19 +18,43 @@ fn kbps(k: u64) -> BitsPerSec {
 /// A stable wired line (DSL/cable-like): 5 Mbps with ±5% jitter every 10 s.
 /// Mean ≈ 5 Mbps. The "easy" profile — every policy should be clean here.
 pub fn dsl_stable(total: Duration, seed: u64) -> Trace {
-    Trace::random_walk(kbps(5_000), kbps(4_500), kbps(5_500), 0.05, Duration::from_secs(10), total, seed)
+    Trace::random_walk(
+        kbps(5_000),
+        kbps(4_500),
+        kbps(5_500),
+        0.05,
+        Duration::from_secs(10),
+        total,
+        seed,
+    )
 }
 
 /// A walking-pace cellular link (LTE-like): mean ~3 Mbps, swinging between
 /// 600 Kbps and 8 Mbps with large steps every 2 s.
 pub fn lte_walk(total: Duration, seed: u64) -> Trace {
-    Trace::random_walk(kbps(3_000), kbps(600), kbps(8_000), 0.35, Duration::from_secs(2), total, seed)
+    Trace::random_walk(
+        kbps(3_000),
+        kbps(600),
+        kbps(8_000),
+        0.35,
+        Duration::from_secs(2),
+        total,
+        seed,
+    )
 }
 
 /// A congested 3G link (HSPA-like): mean ~700 Kbps between 150 Kbps and
 /// 1.8 Mbps, choppy (steps every 1.5 s).
 pub fn hspa_congested(total: Duration, seed: u64) -> Trace {
-    Trace::random_walk(kbps(700), kbps(150), kbps(1_800), 0.45, Duration::from_millis(1_500), total, seed)
+    Trace::random_walk(
+        kbps(700),
+        kbps(150),
+        kbps(1_800),
+        0.45,
+        Duration::from_millis(1_500),
+        total,
+        seed,
+    )
 }
 
 /// A commuter-bus profile: comfortable 4 Mbps runs interrupted every ~45 s

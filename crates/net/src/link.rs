@@ -19,6 +19,7 @@ use crate::profile::{DeliveryProfile, Segment};
 use crate::trace::Trace;
 use abr_event::time::{Duration, Instant};
 use abr_media::units::{BitsPerSec, Bytes};
+use abr_obs::{Event, ObsHandle};
 use std::collections::BTreeMap;
 
 /// Identifies a flow on one link. Ids ascend in open order and are never
@@ -65,6 +66,7 @@ pub struct Link {
     now: Instant,
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
+    obs: ObsHandle,
 }
 
 impl Link {
@@ -76,7 +78,20 @@ impl Link {
     /// A link whose flows start delivering `latency` after being opened
     /// (models request RTT + server think time).
     pub fn with_latency(trace: Trace, latency: Duration) -> Self {
-        Link { trace, latency, now: Instant::ZERO, flows: BTreeMap::new(), next_id: 0 }
+        Link {
+            trace,
+            latency,
+            now: Instant::ZERO,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            obs: ObsHandle::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle: busy/idle link time and per-flow
+    /// byte counters, plus `transfer_progress` events while tracing.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Current link time (advanced by [`Link::advance_to`]).
@@ -112,6 +127,9 @@ impl Link {
                 profile: DeliveryProfile::new(),
             },
         );
+        self.obs.count("link.flows_opened", 1);
+        self.obs
+            .gauge("link.pending_flows", self.flows.len() as f64);
         id
     }
 
@@ -129,7 +147,13 @@ impl Link {
     /// Returns true if the flow existed. Bytes already delivered stay
     /// delivered; the flow simply stops competing for capacity.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
-        self.flows.remove(&id).is_some()
+        let existed = self.flows.remove(&id).is_some();
+        if existed {
+            self.obs.count("link.flows_cancelled", 1);
+            self.obs
+                .gauge("link.pending_flows", self.flows.len() as f64);
+        }
+        existed
     }
 
     /// Bytes still owed to an in-progress flow (rounded up).
@@ -151,8 +175,11 @@ impl Link {
     /// pending flow can ever complete (no flows, or the schedule's final
     /// rate is zero with work outstanding).
     pub fn next_completion(&self) -> Option<Instant> {
-        let mut flows: Vec<(u128, Instant)> =
-            self.flows.values().map(|f| (f.remaining_bm, f.activate_at)).collect();
+        let mut flows: Vec<(u128, Instant)> = self
+            .flows
+            .values()
+            .map(|f| (f.remaining_bm, f.activate_at))
+            .collect();
         if flows.is_empty() {
             return None;
         }
@@ -235,9 +262,19 @@ impl Link {
             if share.bps() > 0 {
                 for id in &active_ids {
                     let rem = self.flows[id].remaining_bm;
-                    let fin =
-                        now + Duration::from_micros(rem.div_ceil(share.bps() as u128) as u64);
+                    let fin = now + Duration::from_micros(rem.div_ceil(share.bps() as u128) as u64);
                     boundary = boundary.min(fin);
+                }
+            }
+
+            // Busy/idle accounting: the link is busy over a span when at
+            // least one active flow is actually receiving capacity.
+            if boundary > now {
+                let span_us = (boundary - now).as_micros();
+                if share.bps() > 0 && !active_ids.is_empty() {
+                    self.obs.count("link.busy_us", span_us);
+                } else {
+                    self.obs.count("link.idle_us", span_us);
                 }
             }
 
@@ -250,12 +287,20 @@ impl Link {
                     if delivered >= f.remaining_bm {
                         let fin = now
                             + Duration::from_micros(
-                                f.remaining_bm.div_ceil(share.bps() as u128) as u64,
+                                f.remaining_bm.div_ceil(share.bps() as u128) as u64
                             );
                         debug_assert!(fin <= boundary);
-                        f.profile.push(Segment { start: now, end: fin, rate: share });
+                        f.profile.push(Segment {
+                            start: now,
+                            end: fin,
+                            rate: share,
+                        });
                         f.remaining_bm = 0;
                         let f = self.flows.remove(id).expect("present");
+                        self.obs.count("link.flows_completed", 1);
+                        self.obs.observe("link.flow_bytes", f.size.get() as f64);
+                        self.obs
+                            .gauge("link.pending_flows", self.flows.len() as f64);
                         done.push(Completion {
                             id: *id,
                             at: fin,
@@ -265,7 +310,21 @@ impl Link {
                         });
                     } else {
                         f.remaining_bm -= delivered;
-                        f.profile.push(Segment { start: now, end: boundary, rate: share });
+                        f.profile.push(Segment {
+                            start: now,
+                            end: boundary,
+                            rate: share,
+                        });
+                        let (size, remaining_bm) = (f.size, f.remaining_bm);
+                        self.obs.emit(boundary, || {
+                            let remaining = Bytes(remaining_bm.div_ceil(BITMICROS_PER_BYTE) as u64);
+                            Event::TransferProgress {
+                                flow: id.0,
+                                delivered: size.saturating_sub(remaining),
+                                remaining,
+                                rate: share,
+                            }
+                        });
                     }
                 }
             }
@@ -294,7 +353,10 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, id);
         assert_eq!(done[0].at, Instant::from_secs(1));
-        assert_eq!(done[0].profile.mean_throughput(), Some(BitsPerSec(8_000_000)));
+        assert_eq!(
+            done[0].profile.mean_throughput(),
+            Some(BitsPerSec(8_000_000))
+        );
     }
 
     #[test]
@@ -352,8 +414,8 @@ mod tests {
     #[test]
     fn zero_capacity_interval_pauses_delivery() {
         let trace = Trace::steps(&[
-            (Duration::from_secs(1), kbps(800)),  // 100 KB
-            (Duration::from_secs(2), kbps(0)),    // stalled
+            (Duration::from_secs(1), kbps(800)), // 100 KB
+            (Duration::from_secs(2), kbps(0)),   // stalled
             (Duration::from_secs(100), kbps(800)),
         ]);
         let mut link = Link::new(trace);
@@ -414,7 +476,7 @@ mod tests {
     fn staggered_opens_reshare() {
         let mut link = Link::new(Trace::constant(kbps(1000)));
         let a = link.open_flow(Bytes(250_000)); // solo: 2 s
-        // Let 1 s pass, then a second flow joins.
+                                                // Let 1 s pass, then a second flow joins.
         let none = link.advance_to(Instant::from_secs(1));
         assert!(none.is_empty());
         let b = link.open_flow(Bytes(125_000));
@@ -430,7 +492,12 @@ mod tests {
 
     #[test]
     fn advance_in_small_steps_equals_one_big_step() {
-        let trace = Trace::square_wave(kbps(900), kbps(300), Duration::from_secs(3), Duration::from_secs(60));
+        let trace = Trace::square_wave(
+            kbps(900),
+            kbps(300),
+            Duration::from_secs(3),
+            Duration::from_secs(60),
+        );
         let mut a = Link::new(trace.clone());
         let mut b = Link::new(trace);
         let _ = a.open_flow(Bytes(777_777));
@@ -449,7 +516,10 @@ mod tests {
     #[test]
     fn profile_total_matches_size() {
         let mut link = Link::new(Trace::square_wave(
-            kbps(731), kbps(293), Duration::from_millis(700), Duration::from_secs(600),
+            kbps(731),
+            kbps(293),
+            Duration::from_millis(700),
+            Duration::from_secs(600),
         ));
         let _ = link.open_flow(Bytes(123_457));
         let done = link.advance_to(Instant::from_secs(600));
@@ -477,5 +547,57 @@ mod tests {
     #[should_panic(expected = "zero-byte flow")]
     fn zero_byte_flow_rejected() {
         Link::new(Trace::constant(kbps(1))).open_flow(Bytes::ZERO);
+    }
+
+    #[test]
+    fn obs_counts_busy_idle_and_flow_bytes() {
+        let (obs, tracer, metrics) = ObsHandle::recording();
+        let mut link = Link::new(Trace::constant(kbps(800)));
+        link.set_obs(obs);
+        let _ = link.open_flow(Bytes(100_000)); // exactly 1 s of delivery
+        link.advance_to(Instant::from_secs(3)); // then 2 s idle
+        assert_eq!(metrics.counter_value("link.busy_us"), 1_000_000);
+        assert_eq!(metrics.counter_value("link.idle_us"), 2_000_000);
+        assert_eq!(metrics.counter_value("link.flows_opened"), 1);
+        assert_eq!(metrics.counter_value("link.flows_completed"), 1);
+        assert_eq!(metrics.gauge_value("link.pending_flows"), Some(0.0));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["link.flow_bytes"].count, 1);
+        assert_eq!(snap.histograms["link.flow_bytes"].max, 100_000.0);
+        // No boundaries interrupt a constant-rate solo flow, so no
+        // progress events — only what the counters say.
+        assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn obs_emits_progress_at_boundaries() {
+        let (obs, tracer, _) = ObsHandle::recording();
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), kbps(800)),
+            (Duration::from_secs(100), kbps(400)),
+        ]);
+        let mut link = Link::new(trace);
+        link.set_obs(obs);
+        let id = link.open_flow(Bytes(150_000));
+        // 100 KB in second 1, then 50 KB at 400 Kbps takes 1 more second.
+        let done = link.advance_to(Instant::from_secs(5));
+        assert_eq!(done[0].at, Instant::from_secs(2));
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 1, "one trace changepoint mid-flow");
+        match &events[0].event {
+            abr_obs::Event::TransferProgress {
+                flow,
+                delivered,
+                remaining,
+                rate,
+            } => {
+                assert_eq!(*flow, id.0);
+                assert_eq!(*delivered, Bytes(100_000));
+                assert_eq!(*remaining, Bytes(50_000));
+                assert_eq!(*rate, kbps(800));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(events[0].at, Instant::from_secs(1));
     }
 }

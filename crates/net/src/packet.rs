@@ -114,21 +114,18 @@ impl PacketLink {
 
     /// The next active flow in round-robin order after the cursor.
     fn next_rr(&self, at: Instant) -> Option<FlowId> {
-        let active =
-            |f: &PFlow| f.remaining > 0 && f.activate_at <= at;
-        let after = self
-            .rr_cursor
-            .and_then(|cur| {
-                self.flows
-                    .range((
-                        std::ops::Bound::Excluded(cur),
-                        std::ops::Bound::Unbounded,
-                    ))
-                    .find(|(_, f)| active(f))
-                    .map(|(id, _)| *id)
-            });
+        let active = |f: &PFlow| f.remaining > 0 && f.activate_at <= at;
+        let after = self.rr_cursor.and_then(|cur| {
+            self.flows
+                .range((std::ops::Bound::Excluded(cur), std::ops::Bound::Unbounded))
+                .find(|(_, f)| active(f))
+                .map(|(id, _)| *id)
+        });
         after.or_else(|| {
-            self.flows.iter().find(|(_, f)| active(f)).map(|(id, _)| *id)
+            self.flows
+                .iter()
+                .find(|(_, f)| active(f))
+                .map(|(id, _)| *id)
         })
     }
 
@@ -146,7 +143,10 @@ impl PacketLink {
                 self.now = svc.finish;
                 self.in_service = None;
                 self.rr_cursor = Some(svc.flow);
-                let flow = self.flows.get_mut(&svc.flow).expect("flow in service exists");
+                let flow = self
+                    .flows
+                    .get_mut(&svc.flow)
+                    .expect("flow in service exists");
                 flow.remaining -= svc.bytes;
                 if flow.remaining == 0 {
                     let f = self.flows.remove(&svc.flow).expect("present");
@@ -175,9 +175,7 @@ impl PacketLink {
                 Some(id) if rate.bps() > 0 => {
                     let flow = &self.flows[&id];
                     let bytes = flow.remaining.min(self.mtu.get());
-                    let micros = rate
-                        .micros_for_bytes(Bytes(bytes))
-                        .expect("nonzero rate");
+                    let micros = rate.micros_for_bytes(Bytes(bytes)).expect("nonzero rate");
                     self.in_service = Some(InService {
                         flow: id,
                         bytes,
@@ -263,11 +261,15 @@ mod fluid_equivalence {
         assert_eq!(p.len(), 2);
         for (fc, pc) in f.iter().zip(p.iter()) {
             assert_eq!(fc.id, pc.id);
-            let delta = fc.at.saturating_duration_since(pc.at)
-                + pc.at.saturating_duration_since(fc.at);
+            let delta =
+                fc.at.saturating_duration_since(pc.at) + pc.at.saturating_duration_since(fc.at);
             // RR vs PS divergence is bounded by a couple of packet times
             // per flow.
-            assert!(delta <= pkt_time(kbps(2_000)) * 4, "flow {:?}: delta {delta}", fc.id);
+            assert!(
+                delta <= pkt_time(kbps(2_000)) * 4,
+                "flow {:?}: delta {delta}",
+                fc.id
+            );
         }
     }
 
@@ -310,8 +312,11 @@ mod fluid_equivalence {
 
     #[test]
     fn staggered_activation_respected() {
-        let mut packet =
-            PacketLink::with_params(Trace::constant(kbps(800)), Duration::from_millis(50), DEFAULT_MTU);
+        let mut packet = PacketLink::with_params(
+            Trace::constant(kbps(800)),
+            Duration::from_millis(50),
+            DEFAULT_MTU,
+        );
         let _ = packet.open_flow(Bytes(100_000));
         let done = packet.advance_to(Instant::from_secs(10));
         assert_eq!(done.len(), 1);
@@ -324,7 +329,9 @@ mod fluid_equivalence {
         let trace = Trace::constant(kbps(1_500));
         let mut packet = PacketLink::new(trace);
         let _ = packet.open_flow(Bytes(333_333));
-        let predicted = packet.next_completion_within(Duration::from_secs(100)).unwrap();
+        let predicted = packet
+            .next_completion_within(Duration::from_secs(100))
+            .unwrap();
         let done = packet.advance_to(Instant::from_secs(100));
         assert_eq!(done[0].at, predicted);
     }

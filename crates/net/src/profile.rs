@@ -179,7 +179,10 @@ mod tests {
         // Mean over 4 s wall clock = 400 Kbps.
         assert_eq!(p.mean_throughput(), Some(BitsPerSec::from_kbps(400)));
         // No bytes inside the gap.
-        assert_eq!(p.bytes_between(Instant::from_secs(1), Instant::from_secs(3)), Bytes::ZERO);
+        assert_eq!(
+            p.bytes_between(Instant::from_secs(1), Instant::from_secs(3)),
+            Bytes::ZERO
+        );
     }
 
     #[test]

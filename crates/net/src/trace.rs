@@ -194,7 +194,10 @@ impl Trace {
             if secs < 0.0 || kbps < 0.0 {
                 return Err(format!("line {}: negative value", lineno + 1));
             }
-            points.push((Instant::from_secs_f64(secs), BitsPerSec((kbps * 1000.0).round() as u64)));
+            points.push((
+                Instant::from_secs_f64(secs),
+                BitsPerSec((kbps * 1000.0).round() as u64),
+            ));
         }
         if points.is_empty() {
             return Err("no data lines".to_string());
@@ -247,17 +250,28 @@ mod tests {
         // Changepoint instant takes the new rate.
         assert_eq!(t.rate_at(Instant::from_secs(10)), kbps(1000));
         assert_eq!(t.rate_at(Instant::from_secs(99)), kbps(1000));
-        assert_eq!(t.next_change_after(Instant::from_secs(0)), Some(Instant::from_secs(10)));
+        assert_eq!(
+            t.next_change_after(Instant::from_secs(0)),
+            Some(Instant::from_secs(10))
+        );
         assert_eq!(t.next_change_after(Instant::from_secs(10)), None);
     }
 
     #[test]
     fn square_wave_alternates() {
-        let t = Trace::square_wave(kbps(900), kbps(300), Duration::from_secs(20), Duration::from_secs(100));
+        let t = Trace::square_wave(
+            kbps(900),
+            kbps(300),
+            Duration::from_secs(20),
+            Duration::from_secs(100),
+        );
         assert_eq!(t.rate_at(Instant::from_secs(5)), kbps(900));
         assert_eq!(t.rate_at(Instant::from_secs(25)), kbps(300));
         assert_eq!(t.rate_at(Instant::from_secs(45)), kbps(900));
-        assert_eq!(t.mean_over(Instant::ZERO, Instant::from_secs(80)), kbps(600));
+        assert_eq!(
+            t.mean_over(Instant::ZERO, Instant::from_secs(80)),
+            kbps(600)
+        );
     }
 
     #[test]
@@ -280,7 +294,9 @@ mod tests {
         assert_eq!(t.rate_at(Instant::from_secs(55)), kbps(1100));
         assert_eq!(t.rate_at(Instant::from_secs(70)), kbps(480));
         // Post-warmup average is ~604 Kbps.
-        let mean = t.mean_over(Instant::from_secs(50), Instant::from_secs(300)).kbps();
+        let mean = t
+            .mean_over(Instant::from_secs(50), Instant::from_secs(300))
+            .kbps();
         assert!((590..=620).contains(&mean), "mean {mean} Kbps");
         // Shaka's filter boundary: low phases fall under 16 KB per 0.125 s
         // even solo; bursts exceed it.
@@ -291,12 +307,22 @@ mod tests {
     #[test]
     fn random_walk_stays_in_bounds_and_deterministic() {
         let a = Trace::random_walk(
-            kbps(600), kbps(200), kbps(1200), 0.3,
-            Duration::from_secs(2), Duration::from_secs(120), 7,
+            kbps(600),
+            kbps(200),
+            kbps(1200),
+            0.3,
+            Duration::from_secs(2),
+            Duration::from_secs(120),
+            7,
         );
         let b = Trace::random_walk(
-            kbps(600), kbps(200), kbps(1200), 0.3,
-            Duration::from_secs(2), Duration::from_secs(120), 7,
+            kbps(600),
+            kbps(200),
+            kbps(1200),
+            0.3,
+            Duration::from_secs(2),
+            Duration::from_secs(120),
+            7,
         );
         assert_eq!(a, b);
         for (_, r) in a.points() {
@@ -312,7 +338,10 @@ mod tests {
             (Duration::from_secs(10), kbps(0)),
         ]);
         // 5 s at 1000, 5 s at 0 → 500.
-        assert_eq!(t.mean_over(Instant::from_secs(5), Instant::from_secs(15)), kbps(500));
+        assert_eq!(
+            t.mean_over(Instant::from_secs(5), Instant::from_secs(15)),
+            kbps(500)
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! # abr-obs — structured observability for the abr-unmuxed simulator
+//!
+//! Three layers, all optional at run time and free when disabled:
+//!
+//! * **Events** ([`event`]) — a typed vocabulary of simulator happenings
+//!   (requests, transfers, cache lookups, estimate updates, policy
+//!   decisions, buffer/stall/seek lifecycle), stamped with the simulated
+//!   clock and the host wall clock.
+//! * **Tracers** ([`tracer`]) — the [`Tracer`] sink trait, the
+//!   zero-overhead [`NullTracer`], the in-memory [`RecordingTracer`], and
+//!   the [`ObsHandle`] that instrumented code holds. A disabled handle
+//!   costs one branch per site; event payloads are built lazily.
+//! * **Metrics** ([`metrics`]) — a [`MetricsRegistry`] of counters, gauges
+//!   and fixed-bucket histograms (cache hit/miss, link busy/idle time,
+//!   bytes per flow, estimator updates, decision latency in host
+//!   nanoseconds, pending-queue depth).
+//!
+//! [`export`] renders recorded traces as JSONL (one event per line,
+//! qlog-flavoured; parse it back with [`export::from_jsonl`]) or as a
+//! Chrome `trace_event` document that Perfetto opens directly.
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{Event, TracedEvent};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use tracer::{NullTracer, ObsHandle, RecordingTracer, Tracer};

@@ -1,0 +1,314 @@
+//! Lightweight metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is interior-mutable (the simulator is single-threaded) and
+//! keyed by `&'static str` so the hot path never allocates. Reading happens
+//! through an owned [`MetricsSnapshot`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds: whole decades from 10 to 1e9,
+/// wide enough for both nanosecond latencies and per-flow byte counts. A
+/// final +∞ bucket is implicit.
+pub const DEFAULT_BOUNDS: &[f64] = &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
+
+/// A fixed-bucket histogram with running sum / min / max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (+∞ implied).
+    pub fn with_bounds(bounds: &'static [f64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are rejected (counted
+    /// nowhere) so NaNs cannot poison the summary statistics.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Owned summary of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            buckets: self
+                .bounds
+                .iter()
+                .copied()
+                .chain(std::iter::once(f64::INFINITY))
+                .zip(self.counts.iter().copied())
+                .collect(),
+        }
+    }
+}
+
+/// Owned summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of (finite) observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// `(upper_bound, count)` pairs; the last bound is +∞.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (clamped to
+    /// [0, 1]); `None` when empty. Coarse by construction — bucket
+    /// resolution, not exact order statistics.
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for &(bound, n) in &self.buckets {
+            acc += n;
+            if acc >= target {
+                return Some(bound);
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b)
+    }
+}
+
+/// Interior-mutable registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+    gauges: RefCell<BTreeMap<&'static str, f64>>,
+    histograms: RefCell<BTreeMap<&'static str, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at 0 on first use).
+    pub fn count(&self, name: &'static str, delta: u64) {
+        *self.counters.borrow_mut().entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.gauges.borrow_mut().insert(name, value);
+    }
+
+    /// Records one observation into histogram `name` (created with
+    /// [`DEFAULT_BOUNDS`] on first use).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.histograms
+            .borrow_mut()
+            .entry(name)
+            .or_insert_with(|| Histogram::with_bounds(DEFAULT_BOUNDS))
+            .observe(value);
+    }
+
+    /// Pre-registers histogram `name` with custom bucket bounds (no-op if
+    /// it already exists).
+    pub fn register_histogram(&self, name: &'static str, bounds: &'static [f64]) {
+        self.histograms
+            .borrow_mut()
+            .entry(name)
+            .or_insert_with(|| Histogram::with_bounds(bounds));
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (`None` when never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.borrow().get(name).copied()
+    }
+
+    /// Owned snapshot of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .borrow()
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .borrow()
+                .iter()
+                .map(|(&k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Owned point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Flattens the snapshot into sorted `(metric, value)` display rows —
+    /// counters verbatim, gauges with 3 decimals, histograms as
+    /// `count/mean/max` sub-rows. Feed these to a table renderer.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut rows = Vec::new();
+        for (name, v) in &self.counters {
+            rows.push((name.clone(), v.to_string()));
+        }
+        for (name, v) in &self.gauges {
+            rows.push((name.clone(), format!("{v:.3}")));
+        }
+        for (name, h) in &self.histograms {
+            rows.push((format!("{name}.count"), h.count.to_string()));
+            rows.push((format!("{name}.mean"), format!("{:.1}", h.mean())));
+            rows.push((format!("{name}.max"), format!("{:.1}", h.max)));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let m = MetricsRegistry::new();
+        m.count("cache.hits", 2);
+        m.count("cache.hits", 3);
+        assert_eq!(m.counter_value("cache.hits"), 5);
+        assert_eq!(m.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge_value("depth"), None);
+        m.gauge("depth", 4.0);
+        m.gauge("depth", 2.0);
+        assert_eq!(m.gauge_value("depth"), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::with_bounds(&[10.0, 100.0]);
+        for v in [1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 500.0);
+        assert_eq!(s.buckets, vec![(10.0, 2), (100.0, 1), (f64::INFINITY, 1)]);
+        assert_eq!(s.mean(), 139.0);
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite() {
+        let mut h = Histogram::with_bounds(DEFAULT_BOUNDS);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.snapshot().count, 0);
+        h.observe(3.0);
+        assert_eq!(h.snapshot().count, 1);
+        assert!(h.snapshot().sum.is_finite());
+    }
+
+    #[test]
+    fn quantile_bound_is_bucket_resolution() {
+        let mut h = Histogram::with_bounds(&[10.0, 100.0, 1000.0]);
+        for _ in 0..90 {
+            h.observe(5.0);
+        }
+        for _ in 0..10 {
+            h.observe(500.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.5), Some(10.0));
+        assert_eq!(s.quantile_bound(0.99), Some(1000.0));
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+                buckets: vec![]
+            }
+            .quantile_bound(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn snapshot_rows_are_renderable() {
+        let m = MetricsRegistry::new();
+        m.count("a.count", 1);
+        m.gauge("b.gauge", 1.5);
+        m.observe("c.hist", 10.0);
+        let rows = m.snapshot().rows();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"a.count"));
+        assert!(names.contains(&"b.gauge"));
+        assert!(names.contains(&"c.hist.mean"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Tracer implementations and the shared observability handle.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use abr_event::time::Instant;
+
+use crate::event::{Event, TracedEvent};
+use crate::metrics::MetricsRegistry;
+
+/// Sink for structured events.
+///
+/// Implementations use interior mutability (the simulator is single-
+/// threaded and hands shared [`Rc`] handles to every subsystem).
+pub trait Tracer {
+    /// Whether this tracer wants events at all. Emitters check this before
+    /// constructing an event, so a disabled tracer costs one virtual call
+    /// and no allocation per site.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event stamped with the simulated clock.
+    fn record(&self, at: Instant, event: Event);
+}
+
+/// A tracer that drops everything.
+///
+/// [`Tracer::enabled`] returns `false`, so instrumented code skips event
+/// construction entirely — the default path adds only a branch per site
+/// (the `obs_overhead` ablation bench in `abr-bench` keeps this honest).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _at: Instant, _event: Event) {}
+}
+
+/// A tracer that captures every event in memory, stamped with a sequence
+/// number and host wall-clock nanoseconds (relative to tracer creation).
+#[derive(Debug)]
+pub struct RecordingTracer {
+    started: std::time::Instant,
+    seq: Cell<u64>,
+    events: RefCell<Vec<TracedEvent>>,
+}
+
+impl RecordingTracer {
+    /// A fresh tracer; the wall clock starts now.
+    pub fn new() -> RecordingTracer {
+        RecordingTracer {
+            started: std::time::Instant::now(),
+            seq: Cell::new(0),
+            events: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// A copy of everything captured so far, in emission order.
+    pub fn snapshot(&self) -> Vec<TracedEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Drains the captured events, leaving the tracer empty (the sequence
+    /// counter keeps running).
+    pub fn take(&self) -> Vec<TracedEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+}
+
+impl Default for RecordingTracer {
+    fn default() -> Self {
+        RecordingTracer::new()
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn record(&self, at: Instant, event: Event) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        self.events.borrow_mut().push(TracedEvent {
+            seq,
+            at,
+            wall_ns,
+            event,
+        });
+    }
+}
+
+/// The handle instrumented code holds: an optional tracer plus an optional
+/// metrics registry, cheaply cloneable so one configuration fans out to the
+/// link, caches, policies and the session driver.
+///
+/// The default handle is fully disabled; every hook degrades to a branch
+/// on `Option::None`.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    tracer: Option<Rc<dyn Tracer>>,
+    metrics: Option<Rc<MetricsRegistry>>,
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandle")
+            .field("tracer", &self.tracer.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
+}
+
+impl ObsHandle {
+    /// The disabled handle (no tracer, no metrics).
+    pub fn disabled() -> ObsHandle {
+        ObsHandle::default()
+    }
+
+    /// Attaches a tracer.
+    pub fn with_tracer(mut self, tracer: Rc<dyn Tracer>) -> ObsHandle {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a metrics registry.
+    pub fn with_metrics(mut self, metrics: Rc<MetricsRegistry>) -> ObsHandle {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// A handle wired to a fresh [`RecordingTracer`] and a fresh registry;
+    /// returns the handle plus direct references for reading results.
+    pub fn recording() -> (ObsHandle, Rc<RecordingTracer>, Rc<MetricsRegistry>) {
+        let tracer = Rc::new(RecordingTracer::new());
+        let metrics = Rc::new(MetricsRegistry::new());
+        let handle = ObsHandle::disabled()
+            .with_tracer(tracer.clone())
+            .with_metrics(metrics.clone());
+        (handle, tracer, metrics)
+    }
+
+    /// True when an active tracer is attached (a [`NullTracer`] counts as
+    /// inactive).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.as_ref().is_some_and(|t| t.enabled())
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Rc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Emits an event. The closure only runs when an enabled tracer is
+    /// attached, so payload construction (strings, vectors) is free on the
+    /// disabled path.
+    #[inline]
+    pub fn emit<F: FnOnce() -> Event>(&self, at: Instant, build: F) {
+        if let Some(t) = &self.tracer {
+            if t.enabled() {
+                t.record(at, build());
+            }
+        }
+    }
+
+    /// Increments a counter (no-op without a registry).
+    #[inline]
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(m) = &self.metrics {
+            m.count(name, delta);
+        }
+    }
+
+    /// Sets a gauge (no-op without a registry).
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(m) = &self.metrics {
+            m.gauge(name, value);
+        }
+    }
+
+    /// Records a histogram observation (no-op without a registry).
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(m) = &self.metrics {
+            m.observe(name, value);
+        }
+    }
+
+    /// Runs `f`, recording its host wall-clock duration in nanoseconds into
+    /// histogram `name` when a registry is attached. Without one, `f` runs
+    /// untimed (no clock syscalls on the disabled path).
+    #[inline]
+    pub fn time<T, F: FnOnce() -> T>(&self, name: &'static str, f: F) -> T {
+        match &self.metrics {
+            Some(m) => {
+                let t0 = std::time::Instant::now();
+                let out = f();
+                m.observe(name, t0.elapsed().as_nanos() as f64);
+                out
+            }
+            None => f(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_never_builds_events() {
+        let obs = ObsHandle::disabled();
+        let mut built = false;
+        obs.emit(Instant::ZERO, || {
+            built = true;
+            Event::StallBegin
+        });
+        assert!(!built);
+        assert!(!obs.tracing());
+    }
+
+    #[test]
+    fn null_tracer_suppresses_event_construction() {
+        let obs = ObsHandle::disabled().with_tracer(Rc::new(NullTracer));
+        let mut built = false;
+        obs.emit(Instant::ZERO, || {
+            built = true;
+            Event::StallBegin
+        });
+        assert!(!built, "NullTracer must keep the closure unevaluated");
+        assert!(!obs.tracing());
+    }
+
+    #[test]
+    fn recording_tracer_stamps_seq_and_sim_time() {
+        let (obs, tracer, _) = ObsHandle::recording();
+        assert!(obs.tracing());
+        obs.emit(Instant::from_secs(1), || Event::StallBegin);
+        obs.emit(Instant::from_secs(2), || Event::StallEnd);
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[0].at, Instant::from_secs(1));
+        assert_eq!(events[0].event, Event::StallBegin);
+        assert!(events[1].wall_ns >= events[0].wall_ns);
+    }
+
+    #[test]
+    fn take_drains_but_keeps_counting() {
+        let (obs, tracer, _) = ObsHandle::recording();
+        obs.emit(Instant::ZERO, || Event::StallBegin);
+        assert_eq!(tracer.take().len(), 1);
+        assert!(tracer.is_empty());
+        obs.emit(Instant::ZERO, || Event::StallEnd);
+        assert_eq!(tracer.snapshot()[0].seq, 1, "sequence continues after take");
+    }
+
+    #[test]
+    fn time_returns_value_and_observes() {
+        let (obs, _, metrics) = ObsHandle::recording();
+        let out = obs.time("policy.decision_ns", || 42u64);
+        assert_eq!(out, 42);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["policy.decision_ns"].count, 1);
+        // Untimed path still runs the closure.
+        assert_eq!(ObsHandle::disabled().time("x", || 7u64), 7);
+    }
+}

@@ -34,7 +34,12 @@ pub struct ChunkBuffer {
 impl ChunkBuffer {
     /// An empty buffer for `media`.
     pub fn new(media: MediaType) -> ChunkBuffer {
-        ChunkBuffer { media, queue: VecDeque::new(), head_played: Duration::ZERO, next_play_index: 0 }
+        ChunkBuffer {
+            media,
+            queue: VecDeque::new(),
+            head_played: Duration::ZERO,
+            next_play_index: 0,
+        }
     }
 
     /// The media type this buffer holds.
@@ -46,8 +51,15 @@ impl ChunkBuffer {
     /// breaks playback-order contiguity.
     pub fn push(&mut self, chunk: BufferedChunk) {
         assert_eq!(chunk.track.media, self.media, "chunk of wrong media type");
-        let expected = self.queue.back().map_or(self.next_play_index, |c| c.index + 1);
-        assert_eq!(chunk.index, expected, "non-contiguous chunk {} (expected {expected})", chunk.index);
+        let expected = self
+            .queue
+            .back()
+            .map_or(self.next_play_index, |c| c.index + 1);
+        assert_eq!(
+            chunk.index, expected,
+            "non-contiguous chunk {} (expected {expected})",
+            chunk.index
+        );
         assert!(!chunk.duration.is_zero(), "zero-duration chunk");
         self.queue.push_back(chunk);
     }
@@ -65,13 +77,19 @@ impl ChunkBuffer {
 
     /// Index of the next chunk a downloader should append.
     pub fn next_download_index(&self) -> usize {
-        self.queue.back().map_or(self.next_play_index, |c| c.index + 1)
+        self.queue
+            .back()
+            .map_or(self.next_play_index, |c| c.index + 1)
     }
 
     /// Consumes `dt` of content. Panics if `dt` exceeds the buffered level
     /// (the playback engine is responsible for clamping at boundaries).
     pub fn drain(&mut self, dt: Duration) {
-        assert!(dt <= self.level(), "drain {dt} exceeds level {}", self.level());
+        assert!(
+            dt <= self.level(),
+            "drain {dt} exceeds level {}",
+            self.level()
+        );
         let mut left = dt;
         while !left.is_zero() {
             let head = self.queue.front().expect("level guaranteed content");

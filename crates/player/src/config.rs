@@ -40,7 +40,9 @@ impl PlayerConfig {
             startup_threshold: chunk_duration,
             resume_threshold: chunk_duration,
             max_buffer: Duration::from_secs(30),
-            sync: SyncMode::ChunkLevel { tolerance: chunk_duration },
+            sync: SyncMode::ChunkLevel {
+                tolerance: chunk_duration,
+            },
         }
     }
 
@@ -61,7 +63,10 @@ impl PlayerConfig {
             "max buffer below startup threshold"
         );
         if let SyncMode::ChunkLevel { tolerance } = self.sync {
-            assert!(!tolerance.is_zero(), "zero sync tolerance deadlocks the pipelines");
+            assert!(
+                !tolerance.is_zero(),
+                "zero sync tolerance deadlocks the pipelines"
+            );
         }
     }
 }
@@ -98,7 +103,9 @@ mod tests {
     #[should_panic(expected = "zero sync tolerance")]
     fn rejects_zero_tolerance() {
         PlayerConfig {
-            sync: SyncMode::ChunkLevel { tolerance: Duration::ZERO },
+            sync: SyncMode::ChunkLevel {
+                tolerance: Duration::ZERO,
+            },
             ..PlayerConfig::default_chunked(Duration::from_secs(4))
         }
         .validate();

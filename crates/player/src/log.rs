@@ -8,6 +8,7 @@ use crate::playback::{Seek, Stall};
 use abr_event::time::{Duration, Instant};
 use abr_media::track::{MediaType, TrackId};
 use abr_media::units::{BitsPerSec, Bytes};
+use abr_obs::{Event, TracedEvent};
 
 /// One track-selection decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +67,35 @@ pub struct BufferSample {
     pub video: Duration,
 }
 
+/// A chunk that was selected more than once for the same media type —
+/// returned by [`SessionLog::try_selected_tracks`] on logs a session
+/// would never produce on its own (sessions never re-fetch a chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateSelection {
+    /// Media type with the duplicate.
+    pub media: MediaType,
+    /// Chunk index selected twice.
+    pub chunk: usize,
+    /// Ladder index of the earlier selection.
+    pub first: usize,
+    /// Ladder index of the later selection.
+    pub second: usize,
+}
+
+impl std::fmt::Display for DuplicateSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "duplicate {} selection for chunk {}: index {} then {}",
+            self.media, self.chunk, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for DuplicateSelection {}
+
 /// The complete record of one streaming session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionLog {
     /// Policy name that produced this session.
     pub policy: String,
@@ -99,17 +127,37 @@ pub struct SessionLog {
 impl SessionLog {
     /// Selections filtered to one media type.
     pub fn selections_for(&self, media: MediaType) -> impl Iterator<Item = &SelectionEvent> {
-        self.selections.iter().filter(move |s| s.track.media == media)
+        self.selections
+            .iter()
+            .filter(move |s| s.track.media == media)
     }
 
     /// Ladder index selected for each chunk of `media`, in chunk order.
-    /// Panics if a chunk was selected twice (sessions never re-fetch).
+    /// If a chunk appears twice (hand-built or merged logs — a session
+    /// never re-fetches), the later selection wins.
     pub fn selected_tracks(&self, media: MediaType) -> Vec<usize> {
         let mut out: Vec<Option<usize>> = vec![None; self.num_chunks];
         for s in self.selections_for(media) {
-            assert!(out[s.chunk].replace(s.track.index).is_none(), "duplicate selection");
+            out[s.chunk] = Some(s.track.index);
         }
         out.into_iter().flatten().collect()
+    }
+
+    /// Like [`SessionLog::selected_tracks`] but strict: reports the first
+    /// chunk selected twice instead of resolving it last-write-wins.
+    pub fn try_selected_tracks(&self, media: MediaType) -> Result<Vec<usize>, DuplicateSelection> {
+        let mut out: Vec<Option<usize>> = vec![None; self.num_chunks];
+        for s in self.selections_for(media) {
+            if let Some(first) = out[s.chunk].replace(s.track.index) {
+                return Err(DuplicateSelection {
+                    media,
+                    chunk: s.chunk,
+                    first,
+                    second: s.track.index,
+                });
+            }
+        }
+        Ok(out.into_iter().flatten().collect())
     }
 
     /// Distinct ladder indices selected for `media`.
@@ -122,12 +170,18 @@ impl SessionLog {
 
     /// Number of track switches (consecutive chunks on different rungs).
     pub fn switch_count(&self, media: MediaType) -> usize {
-        self.selected_tracks(media).windows(2).filter(|w| w[0] != w[1]).count()
+        self.selected_tracks(media)
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count()
     }
 
     /// Total rebuffering time (open stalls measured to session end).
     pub fn total_stall(&self) -> Duration {
-        self.stalls.iter().map(|s| s.duration_or(self.finished_at)).sum()
+        self.stalls
+            .iter()
+            .map(|s| s.duration_or(self.finished_at))
+            .sum()
     }
 
     /// Number of stall events.
@@ -160,8 +214,7 @@ impl SessionLog {
             let d1 = imbalance(&w[1]).as_micros() as u128;
             weighted += dt * (d0 + d1) / 2;
         }
-        let span = (self.buffer_samples.last().expect("non-empty").at
-            - self.buffer_samples[0].at)
+        let span = (self.buffer_samples.last().expect("non-empty").at - self.buffer_samples[0].at)
             .as_micros() as u128;
         if span == 0 {
             return Duration::ZERO;
@@ -171,7 +224,11 @@ impl SessionLog {
 
     /// The maximum buffer imbalance observed at any sample.
     pub fn max_buffer_imbalance(&self) -> Duration {
-        self.buffer_samples.iter().map(imbalance).max().unwrap_or(Duration::ZERO)
+        self.buffer_samples
+            .iter()
+            .map(imbalance)
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// True when every chunk of both media types was selected and the
@@ -181,7 +238,166 @@ impl SessionLog {
             && self.selected_tracks(MediaType::Audio).len() == self.num_chunks
             && self.selected_tracks(MediaType::Video).len() == self.num_chunks
     }
+
+    /// Reconstructs a session log from a recorded event trace (the events
+    /// captured by `abr_obs::RecordingTracer` during a traced run, or
+    /// parsed back from JSONL with `abr_obs::export::from_jsonl`).
+    ///
+    /// A trace from a traced session reconstructs the directly-recorded
+    /// log exactly — the integration test in `abr-bench` holds this
+    /// equality over a full replay.
+    pub fn from_trace(events: &[TracedEvent]) -> Result<SessionLog, FromTraceError> {
+        let mut log: Option<SessionLog> = None;
+        for ev in events {
+            let at = ev.at;
+            if let Event::SessionStart {
+                policy,
+                chunk_duration,
+                num_chunks,
+            } = &ev.event
+            {
+                log = Some(SessionLog {
+                    policy: policy.clone(),
+                    selections: Vec::new(),
+                    transfers: Vec::new(),
+                    buffer_samples: Vec::new(),
+                    stalls: Vec::new(),
+                    playlist_fetches: Vec::new(),
+                    seeks: Vec::new(),
+                    startup_at: None,
+                    ended_at: None,
+                    finished_at: at,
+                    chunk_duration: *chunk_duration,
+                    num_chunks: *num_chunks,
+                });
+                continue;
+            }
+            let log = log
+                .as_mut()
+                .ok_or_else(|| FromTraceError::new(ev.seq, "event before session_start"))?;
+            match &ev.event {
+                Event::TrackSelected {
+                    chunk,
+                    track,
+                    declared,
+                    avg_bitrate,
+                } => {
+                    log.selections.push(SelectionEvent {
+                        at,
+                        chunk: *chunk,
+                        track: *track,
+                        declared: *declared,
+                        avg_bitrate: *avg_bitrate,
+                    });
+                }
+                Event::TransferCompleted {
+                    track,
+                    chunk,
+                    size,
+                    opened_at,
+                    estimate_after,
+                    ..
+                } => {
+                    log.transfers.push(TransferEvent {
+                        at,
+                        chunk: *chunk,
+                        track: *track,
+                        size: *size,
+                        duration: at - *opened_at,
+                        estimate_after: *estimate_after,
+                    });
+                }
+                Event::BufferStateChange { audio, video } => {
+                    log.buffer_samples.push(BufferSample {
+                        at,
+                        audio: *audio,
+                        video: *video,
+                    });
+                }
+                Event::StallBegin => log.stalls.push(Stall {
+                    start: at,
+                    end: None,
+                }),
+                Event::StallEnd => {
+                    let stall = log
+                        .stalls
+                        .last_mut()
+                        .filter(|s| s.end.is_none())
+                        .ok_or_else(|| {
+                            FromTraceError::new(ev.seq, "stall_end without open stall")
+                        })?;
+                    stall.end = Some(at);
+                }
+                Event::SeekStarted { from, to } => {
+                    log.seeks.push(Seek {
+                        at,
+                        from: *from,
+                        to: *to,
+                        resumed: None,
+                    });
+                }
+                Event::SeekResumed => {
+                    let seek = log
+                        .seeks
+                        .last_mut()
+                        .filter(|s| s.resumed.is_none())
+                        .ok_or_else(|| {
+                            FromTraceError::new(ev.seq, "seek_resumed without open seek")
+                        })?;
+                    seek.resumed = Some(at);
+                }
+                Event::PlaylistFetch {
+                    track,
+                    requested_at,
+                } => {
+                    log.playlist_fetches.push(PlaylistFetchEvent {
+                        track: *track,
+                        requested_at: *requested_at,
+                        completed_at: at,
+                    });
+                }
+                Event::PlaybackStarted => log.startup_at = Some(at),
+                Event::PlaybackEnded => log.ended_at = Some(at),
+                Event::SessionEnd => log.finished_at = at,
+                // Network/cache/policy detail events carry no log rows.
+                Event::SessionStart { .. }
+                | Event::RequestIssued { .. }
+                | Event::TransferProgress { .. }
+                | Event::CacheLookup { .. }
+                | Event::EstimateUpdated { .. }
+                | Event::PolicyDecision { .. } => {}
+            }
+        }
+        log.ok_or_else(|| FromTraceError::new(0, "trace has no session_start"))
+    }
 }
+
+/// Error from [`SessionLog::from_trace`]: the trace is not a well-formed
+/// session history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromTraceError {
+    /// Sequence number of the offending event (0 for an empty trace).
+    pub seq: u64,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl FromTraceError {
+    fn new(seq: u64, message: &str) -> FromTraceError {
+        FromTraceError {
+            seq,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for FromTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace event {}: {}", self.seq, self.message)
+    }
+}
+
+impl std::error::Error for FromTraceError {}
 
 fn imbalance(s: &BufferSample) -> Duration {
     if s.audio >= s.video {
@@ -189,6 +405,70 @@ fn imbalance(s: &BufferSample) -> Duration {
     } else {
         s.video - s.audio
     }
+}
+
+/// Serialization of session records (enabled by the `serde` feature):
+/// each event row becomes a JSON object, a [`SessionLog`] an object of
+/// arrays plus the scalar session fields.
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+    use serde::{Map, Serialize, Value};
+
+    macro_rules! impl_struct_serialize {
+        ($ty:ty { $($field:ident),+ $(,)? }) => {
+            impl Serialize for $ty {
+                fn to_value(&self) -> Value {
+                    let mut map = Map::new();
+                    $( map.insert(stringify!($field).to_string(), self.$field.to_value()); )+
+                    Value::Object(map)
+                }
+            }
+        };
+    }
+
+    impl_struct_serialize!(SelectionEvent {
+        at,
+        chunk,
+        track,
+        declared,
+        avg_bitrate
+    });
+    impl_struct_serialize!(TransferEvent {
+        at,
+        chunk,
+        track,
+        size,
+        duration,
+        estimate_after
+    });
+    impl_struct_serialize!(PlaylistFetchEvent {
+        track,
+        requested_at,
+        completed_at
+    });
+    impl_struct_serialize!(BufferSample { at, audio, video });
+    impl_struct_serialize!(Stall { start, end });
+    impl_struct_serialize!(Seek {
+        at,
+        from,
+        to,
+        resumed
+    });
+    impl_struct_serialize!(SessionLog {
+        policy,
+        selections,
+        transfers,
+        buffer_samples,
+        stalls,
+        playlist_fetches,
+        seeks,
+        startup_at,
+        ended_at,
+        finished_at,
+        chunk_duration,
+        num_chunks,
+    });
 }
 
 #[cfg(test)]
@@ -258,8 +538,14 @@ mod tests {
     fn stall_totals_count_open_stalls() {
         let mut log = empty_log();
         log.stalls = vec![
-            Stall { start: Instant::from_secs(10), end: Some(Instant::from_secs(13)) },
-            Stall { start: Instant::from_secs(90), end: None },
+            Stall {
+                start: Instant::from_secs(10),
+                end: Some(Instant::from_secs(13)),
+            },
+            Stall {
+                start: Instant::from_secs(90),
+                end: None,
+            },
         ];
         assert_eq!(log.stall_count(), 2);
         // 3 s closed + 10 s open (to finished_at = 100).
@@ -270,8 +556,16 @@ mod tests {
     fn imbalance_integral() {
         let mut log = empty_log();
         log.buffer_samples = vec![
-            BufferSample { at: Instant::ZERO, audio: Duration::from_secs(10), video: Duration::from_secs(10) },
-            BufferSample { at: Instant::from_secs(10), audio: Duration::from_secs(30), video: Duration::from_secs(10) },
+            BufferSample {
+                at: Instant::ZERO,
+                audio: Duration::from_secs(10),
+                video: Duration::from_secs(10),
+            },
+            BufferSample {
+                at: Instant::from_secs(10),
+                audio: Duration::from_secs(30),
+                video: Duration::from_secs(10),
+            },
         ];
         // Imbalance ramps 0 → 20 s over 10 s: mean 10 s, max 20 s.
         assert_eq!(log.mean_buffer_imbalance(), Duration::from_secs(10));
@@ -292,13 +586,130 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate selection")]
-    fn duplicate_selection_panics() {
+    fn duplicate_selection_resolves_last_write_wins() {
         let mut log = empty_log();
         log.selections = vec![
             sel(0, 0, TrackId::video(0), 100),
             sel(1, 0, TrackId::video(1), 100),
         ];
-        log.selected_tracks(MediaType::Video);
+        assert_eq!(log.selected_tracks(MediaType::Video), vec![1]);
+        let err = log.try_selected_tracks(MediaType::Video).unwrap_err();
+        assert_eq!(err.chunk, 0);
+        assert_eq!((err.first, err.second), (0, 1));
+        assert!(err
+            .to_string()
+            .contains("duplicate video selection for chunk 0"));
+        // Clean logs agree between the strict and lenient accessors.
+        log.selections.pop();
+        assert_eq!(
+            log.try_selected_tracks(MediaType::Video).unwrap(),
+            log.selected_tracks(MediaType::Video)
+        );
+    }
+
+    #[test]
+    fn from_trace_reconstructs_rows() {
+        use abr_event::time::Instant as I;
+        let mk = |seq, at, event| TracedEvent {
+            seq,
+            at,
+            wall_ns: 0,
+            event,
+        };
+        let events = vec![
+            mk(
+                0,
+                I::ZERO,
+                Event::SessionStart {
+                    policy: "test".into(),
+                    chunk_duration: Duration::from_secs(4),
+                    num_chunks: 3,
+                },
+            ),
+            mk(
+                1,
+                I::ZERO,
+                Event::TrackSelected {
+                    chunk: 0,
+                    track: TrackId::video(1),
+                    declared: BitsPerSec::from_kbps(246),
+                    avg_bitrate: BitsPerSec::from_kbps(240),
+                },
+            ),
+            mk(
+                2,
+                I::from_secs(1),
+                Event::TransferCompleted {
+                    flow: 0,
+                    track: TrackId::video(1),
+                    chunk: 0,
+                    size: Bytes(120_000),
+                    opened_at: I::ZERO,
+                    estimate_after: Some(BitsPerSec::from_kbps(960)),
+                },
+            ),
+            mk(
+                3,
+                I::from_secs(1),
+                Event::BufferStateChange {
+                    audio: Duration::from_secs(4),
+                    video: Duration::from_secs(4),
+                },
+            ),
+            mk(4, I::from_secs(2), Event::PlaybackStarted),
+            mk(5, I::from_secs(6), Event::StallBegin),
+            mk(6, I::from_secs(8), Event::StallEnd),
+            mk(
+                7,
+                I::from_secs(9),
+                Event::PlaylistFetch {
+                    track: TrackId::audio(0),
+                    requested_at: I::from_secs(8),
+                },
+            ),
+            mk(8, I::from_secs(12), Event::PlaybackEnded),
+            mk(9, I::from_secs(12), Event::SessionEnd),
+        ];
+        let log = SessionLog::from_trace(&events).unwrap();
+        assert_eq!(log.policy, "test");
+        assert_eq!(log.selections.len(), 1);
+        assert_eq!(log.transfers[0].duration, Duration::from_secs(1));
+        assert_eq!(
+            log.transfers[0].estimate_after,
+            Some(BitsPerSec::from_kbps(960))
+        );
+        assert_eq!(log.buffer_samples.len(), 1);
+        assert_eq!(
+            log.stalls,
+            vec![Stall {
+                start: I::from_secs(6),
+                end: Some(I::from_secs(8))
+            }]
+        );
+        assert_eq!(log.playlist_fetches[0].completed_at, I::from_secs(9));
+        assert_eq!(log.startup_at, Some(I::from_secs(2)));
+        assert_eq!(log.ended_at, Some(I::from_secs(12)));
+        assert_eq!(log.finished_at, I::from_secs(12));
+        assert_eq!(log.total_stall(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn from_trace_rejects_malformed_traces() {
+        let mk = |seq, event| TracedEvent {
+            seq,
+            at: Instant::ZERO,
+            wall_ns: 0,
+            event,
+        };
+        assert!(SessionLog::from_trace(&[]).is_err());
+        let err = SessionLog::from_trace(&[mk(0, Event::StallBegin)]).unwrap_err();
+        assert!(err.message.contains("before session_start"));
+        let start = Event::SessionStart {
+            policy: "t".into(),
+            chunk_duration: Duration::from_secs(4),
+            num_chunks: 1,
+        };
+        let err = SessionLog::from_trace(&[mk(0, start), mk(1, Event::StallEnd)]).unwrap_err();
+        assert!(err.message.contains("stall_end without open stall"));
     }
 }

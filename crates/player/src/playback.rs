@@ -40,7 +40,9 @@ pub struct Stall {
 impl Stall {
     /// Stall length, measured to `session_end` if never resumed.
     pub fn duration_or(&self, session_end: Instant) -> Duration {
-        self.end.unwrap_or(session_end).saturating_duration_since(self.start)
+        self.end
+            .unwrap_or(session_end)
+            .saturating_duration_since(self.start)
     }
 }
 
@@ -136,7 +138,12 @@ impl PlaybackEngine {
                 stall.end = Some(now);
             }
         }
-        self.seeks.push(Seek { at: now, from: self.position, to, resumed: None });
+        self.seeks.push(Seek {
+            at: now,
+            from: self.position,
+            to,
+            resumed: None,
+        });
         self.position = to;
         self.state = PlayState::Seeking;
     }
@@ -145,24 +152,41 @@ impl PlaybackEngine {
     /// moment the scarcer buffer runs dry (stall or end of content).
     /// `None` unless playing — startup/resume transitions are driven by
     /// chunk arrivals, not by time.
-    pub fn next_boundary(&self, now: Instant, audio: &ChunkBuffer, video: &ChunkBuffer) -> Option<Instant> {
+    pub fn next_boundary(
+        &self,
+        now: Instant,
+        audio: &ChunkBuffer,
+        video: &ChunkBuffer,
+    ) -> Option<Instant> {
         if self.state != PlayState::Playing {
             return None;
         }
-        let runway = audio.level().min(video.level()).min(self.total - self.position);
+        let runway = audio
+            .level()
+            .min(video.level())
+            .min(self.total - self.position);
         Some(now + runway)
     }
 
     /// Advances playout from `from` to `to`, draining both buffers. The
     /// caller must not advance past [`PlaybackEngine::next_boundary`]; at
     /// the boundary the state transition (stall or end) is taken exactly.
-    pub fn advance(&mut self, from: Instant, to: Instant, audio: &mut ChunkBuffer, video: &mut ChunkBuffer) {
+    pub fn advance(
+        &mut self,
+        from: Instant,
+        to: Instant,
+        audio: &mut ChunkBuffer,
+        video: &mut ChunkBuffer,
+    ) {
         assert!(to >= from, "time reversal");
         if self.state != PlayState::Playing {
             return;
         }
         let dt = to - from;
-        let runway = audio.level().min(video.level()).min(self.total - self.position);
+        let runway = audio
+            .level()
+            .min(video.level())
+            .min(self.total - self.position);
         assert!(
             dt <= runway,
             "advance {dt} past playback boundary (runway {runway}); caller must step to next_boundary"
@@ -175,7 +199,10 @@ impl PlaybackEngine {
             self.ended_at = Some(to);
         } else if audio.is_empty() || video.is_empty() {
             self.state = PlayState::Stalled;
-            self.stalls.push(Stall { start: to, end: None });
+            self.stalls.push(Stall {
+                start: to,
+                end: None,
+            });
         }
     }
 
@@ -224,7 +251,10 @@ mod tests {
     const CHUNK: Duration = Duration::from_secs(4);
 
     fn buffers() -> (ChunkBuffer, ChunkBuffer) {
-        (ChunkBuffer::new(MediaType::Audio), ChunkBuffer::new(MediaType::Video))
+        (
+            ChunkBuffer::new(MediaType::Audio),
+            ChunkBuffer::new(MediaType::Video),
+        )
     }
 
     fn push(b: &mut ChunkBuffer, index: usize) {
@@ -232,7 +262,11 @@ mod tests {
             MediaType::Audio => TrackId::audio(0),
             MediaType::Video => TrackId::video(0),
         };
-        b.push(BufferedChunk { index, track, duration: CHUNK });
+        b.push(BufferedChunk {
+            index,
+            track,
+            duration: CHUNK,
+        });
     }
 
     fn engine() -> PlaybackEngine {
@@ -267,7 +301,11 @@ mod tests {
         assert_eq!(p.state(), PlayState::Stalled);
         assert_eq!(p.stalls().len(), 1);
         assert_eq!(p.stalls()[0].start, Instant::from_secs(4));
-        assert_eq!(a.level(), Duration::from_secs(4), "audio retains content while stalled");
+        assert_eq!(
+            a.level(),
+            Duration::from_secs(4),
+            "audio retains content while stalled"
+        );
     }
 
     #[test]
@@ -284,7 +322,10 @@ mod tests {
         p.try_start(Instant::from_secs(7), &a, &v);
         assert_eq!(p.state(), PlayState::Playing);
         assert_eq!(p.stalls()[0].end, Some(Instant::from_secs(7)));
-        assert_eq!(p.total_stall(Instant::from_secs(100)), Duration::from_secs(3));
+        assert_eq!(
+            p.total_stall(Instant::from_secs(100)),
+            Duration::from_secs(3)
+        );
     }
 
     #[test]
@@ -334,7 +375,10 @@ mod tests {
         p.advance(Instant::ZERO, Instant::from_secs(3), &mut a, &mut v);
         assert_eq!(p.state(), PlayState::Playing);
         assert_eq!(p.position(), Duration::from_secs(3));
-        assert_eq!(p.next_boundary(Instant::from_secs(3), &a, &v), Some(Instant::from_secs(8)));
+        assert_eq!(
+            p.next_boundary(Instant::from_secs(3), &a, &v),
+            Some(Instant::from_secs(8))
+        );
     }
 
     #[test]
@@ -389,7 +433,11 @@ mod tests {
         a.flush_to(2);
         v.flush_to(2);
         p.seek(Instant::from_secs(6), Duration::from_secs(8));
-        assert_eq!(p.stalls()[0].end, Some(Instant::from_secs(6)), "stall closed by the seek");
+        assert_eq!(
+            p.stalls()[0].end,
+            Some(Instant::from_secs(6)),
+            "stall closed by the seek"
+        );
         assert_eq!(p.state(), PlayState::Seeking);
     }
 

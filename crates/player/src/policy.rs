@@ -101,6 +101,13 @@ pub trait AbrPolicy {
     fn debug_estimate(&self) -> Option<BitsPerSec> {
         None
     }
+
+    /// Hands the policy an observability handle. Instrumented policies
+    /// store it and emit `estimate_updated` / `policy_decision` events;
+    /// the default implementation ignores it.
+    fn set_obs(&mut self, obs: &abr_obs::ObsHandle) {
+        let _ = obs;
+    }
 }
 
 /// Per-chunk-position decision lock for joint policies.
@@ -181,7 +188,10 @@ mod tests {
             window_busy: Duration::from_secs(1),
         };
         assert_eq!(rec.throughput(), Some(BitsPerSec::from_kbps(1000)));
-        let instant = TransferRecord { completed_at: Instant::from_secs(10), ..rec };
+        let instant = TransferRecord {
+            completed_at: Instant::from_secs(10),
+            ..rec
+        };
         assert_eq!(instant.throughput(), None);
     }
 
@@ -200,7 +210,10 @@ mod tests {
             playing: false,
         };
         assert_eq!(p.select(&ctx), TrackId::video(2));
-        let actx = SelectionContext { media: MediaType::Audio, ..ctx };
+        let actx = SelectionContext {
+            media: MediaType::Audio,
+            ..ctx
+        };
         assert_eq!(p.select(&actx), TrackId::audio(1));
         assert_eq!(p.name(), "fixed");
         assert_eq!(p.debug_estimate(), None);
@@ -220,7 +233,10 @@ mod tests {
             playing: true,
         };
         assert_eq!(ctx.level_for_decision(), Duration::from_secs(2));
-        let v = SelectionContext { media: MediaType::Video, ..ctx };
+        let v = SelectionContext {
+            media: MediaType::Video,
+            ..ctx
+        };
         assert_eq!(v.level_for_decision(), Duration::from_secs(9));
     }
 }

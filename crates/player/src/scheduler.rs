@@ -40,7 +40,10 @@ pub fn due_fetches(
     num_chunks: usize,
 ) -> Vec<MediaType> {
     let mut out = Vec::with_capacity(2);
-    let pair = [(MediaType::Audio, audio, video), (MediaType::Video, video, audio)];
+    let pair = [
+        (MediaType::Audio, audio, video),
+        (MediaType::Video, video, audio),
+    ];
     for (media, me, other) in pair {
         if me.in_flight || me.exhausted(num_chunks) {
             continue;
@@ -74,10 +77,16 @@ mod tests {
     }
 
     fn pipe(in_flight: bool, next_chunk: usize, level_secs: u64) -> PipelineState {
-        PipelineState { in_flight, next_chunk, level: Duration::from_secs(level_secs) }
+        PipelineState {
+            in_flight,
+            next_chunk,
+            level: Duration::from_secs(level_secs),
+        }
     }
 
-    const CHUNKED: SyncMode = SyncMode::ChunkLevel { tolerance: Duration::from_secs(4) };
+    const CHUNKED: SyncMode = SyncMode::ChunkLevel {
+        tolerance: Duration::from_secs(4),
+    };
 
     #[test]
     fn both_start_empty() {
@@ -103,13 +112,23 @@ mod tests {
 
     #[test]
     fn independent_ignores_peer() {
-        let due = due_fetches(&cfg(SyncMode::Independent), pipe(false, 5, 20), pipe(false, 0, 0), 75);
+        let due = due_fetches(
+            &cfg(SyncMode::Independent),
+            pipe(false, 5, 20),
+            pipe(false, 0, 0),
+            75,
+        );
         assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
     }
 
     #[test]
     fn max_buffer_gates() {
-        let due = due_fetches(&cfg(SyncMode::Independent), pipe(false, 9, 30), pipe(false, 9, 29), 75);
+        let due = due_fetches(
+            &cfg(SyncMode::Independent),
+            pipe(false, 9, 30),
+            pipe(false, 9, 29),
+            75,
+        );
         assert_eq!(due, vec![MediaType::Video]);
     }
 

@@ -17,6 +17,7 @@ use abr_event::time::{Duration, Instant};
 use abr_httpsim::origin::Origin;
 use abr_media::track::{MediaType, TrackId};
 use abr_net::link::{FlowId, Link};
+use abr_obs::{Event, ObsHandle};
 use std::collections::BTreeMap;
 
 /// Extra first-byte delay for a request routed through the edge cache (if
@@ -25,11 +26,15 @@ fn edge_delay(
     edge: &mut Option<EdgeCache>,
     origin: &Origin,
     req: &abr_httpsim::request::Request,
+    now: Instant,
 ) -> Duration {
     match edge {
         None => Duration::ZERO,
         Some(e) => {
-            let (hit, _) = e.cache.fetch(origin, req).expect("request already validated");
+            let (hit, _) = e
+                .cache
+                .fetch_at(origin, req, now)
+                .expect("request already validated");
             if hit {
                 Duration::ZERO
             } else {
@@ -83,7 +88,12 @@ enum Pending {
         then: Option<ChunkFetch>,
     },
     /// A pre-combined audio+video chunk (muxed delivery, §1).
-    Muxed { video: TrackId, audio: TrackId, chunk: usize, opened_at: Instant },
+    Muxed {
+        video: TrackId,
+        audio: TrackId,
+        chunk: usize,
+        opened_at: Instant,
+    },
 }
 
 impl Pending {
@@ -152,12 +162,18 @@ pub struct Session {
     edge: Option<EdgeCache>,
     /// Scheduled user seeks: (wall time, target media position), sorted.
     seeks: Vec<(Instant, Duration)>,
+    obs: ObsHandle,
 }
 
 impl Session {
     /// Builds a session. The default simulation deadline is 20× the content
     /// duration plus two minutes — hit only by pathologically starved runs.
-    pub fn new(origin: Origin, link: Link, policy: Box<dyn AbrPolicy>, config: PlayerConfig) -> Session {
+    pub fn new(
+        origin: Origin,
+        link: Link,
+        policy: Box<dyn AbrPolicy>,
+        config: PlayerConfig,
+    ) -> Session {
         config.validate();
         let deadline = Instant::ZERO + origin.content().duration() * 20 + Duration::from_secs(120);
         Session {
@@ -168,11 +184,25 @@ impl Session {
             deadline,
             playlist_fetch: PlaylistFetch::Preloaded,
             playlist_sizes: BTreeMap::new(),
-            packaging: abr_manifest::build::Packaging::SegmentFiles { with_bitrate_tags: false },
+            packaging: abr_manifest::build::Packaging::SegmentFiles {
+                with_bitrate_tags: false,
+            },
             delivery: DeliveryMode::Demuxed,
             edge: None,
             seeks: Vec::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. The session distributes it to the
+    /// link, the origin, the edge cache, and the policy, and emits the full
+    /// lifecycle event stream ([`Event::SessionStart`] through
+    /// [`Event::SessionEnd`]) plus live metrics while it runs. A trace
+    /// recorded this way reconstructs the [`SessionLog`] exactly via
+    /// [`SessionLog::from_trace`].
+    pub fn with_obs(mut self, obs: ObsHandle) -> Session {
+        self.obs = obs;
+        self
     }
 
     /// Schedules forward user seeks: at each wall-clock instant, jump the
@@ -236,7 +266,10 @@ impl Session {
                 let req = abr_httpsim::request::Request::whole(
                     abr_httpsim::request::ObjectId::Document { path },
                 );
-                let size = self.origin.transfer_size(&req).expect("published just above");
+                let size = self
+                    .origin
+                    .transfer_size(&req)
+                    .expect("published just above");
                 self.playlist_sizes.insert(id, size);
             }
         }
@@ -262,6 +295,14 @@ impl Session {
         let content = self.origin.content().clone();
         let chunk_duration = content.chunk_duration();
         let num_chunks = content.num_chunks();
+
+        let obs = self.obs.clone();
+        self.link.set_obs(obs.clone());
+        self.origin.set_obs(obs.clone());
+        if let Some(e) = &mut self.edge {
+            e.cache.set_obs(obs.clone());
+        }
+        self.policy.set_obs(&obs);
 
         let mut audio_buf = ChunkBuffer::new(MediaType::Audio);
         let mut video_buf = ChunkBuffer::new(MediaType::Video);
@@ -292,6 +333,11 @@ impl Session {
         };
         let mut now = Instant::ZERO;
         let mut meter_last = Instant::ZERO;
+        obs.emit(Instant::ZERO, || Event::SessionStart {
+            policy: log.policy.clone(),
+            chunk_duration,
+            num_chunks,
+        });
 
         // Issues every due fetch at `now`; returns true if any was issued.
         macro_rules! schedule {
@@ -299,8 +345,7 @@ impl Session {
                 // Under eager fetching, adaptation waits for every playlist.
                 let gated = self.playlist_fetch == PlaylistFetch::Eager
                     && playlists_ready.len() < total_tracks;
-                let in_flight =
-                    |media: MediaType| pending.values().any(|p| p.media() == media);
+                let in_flight = |media: MediaType| pending.values().any(|p| p.media() == media);
                 let pipes = |buf: &ChunkBuffer, media: MediaType| PipelineState {
                     in_flight: in_flight(media),
                     next_chunk: buf.next_download_index(),
@@ -338,7 +383,7 @@ impl Session {
                         current_video,
                         playing: playback.state() == PlayState::Playing,
                     };
-                    let track = self.policy.select(&ctx);
+                    let track = obs.time("policy.decision_ns", || self.policy.select(&ctx));
                     assert_eq!(track.media, media, "policy returned wrong media type");
                     assert!(
                         track.index < content.ladder(media).len(),
@@ -356,11 +401,21 @@ impl Session {
                         declared: info.declared,
                         avg_bitrate: info.avg,
                     });
+                    obs.emit(now, || Event::TrackSelected {
+                        chunk,
+                        track,
+                        declared: info.declared,
+                        avg_bitrate: info.avg,
+                    });
                     if self.delivery == DeliveryMode::Muxed {
                         // Ask the policy for the paired audio component too
                         // (joint policies return the same combination).
-                        let actx = SelectionContext { media: MediaType::Audio, ..ctx };
-                        let audio_track = self.policy.select(&actx);
+                        let actx = SelectionContext {
+                            media: MediaType::Audio,
+                            ..ctx
+                        };
+                        let audio_track =
+                            obs.time("policy.decision_ns", || self.policy.select(&actx));
                         assert_eq!(audio_track.media, MediaType::Audio);
                         current_audio = Some(audio_track.index);
                         let ainfo = content.track(audio_track);
@@ -371,14 +426,25 @@ impl Session {
                             declared: ainfo.declared,
                             avg_bitrate: ainfo.avg,
                         });
-                        let combo =
-                            abr_media::combo::Combo::new(track.index, audio_track.index);
+                        obs.emit(now, || Event::TrackSelected {
+                            chunk,
+                            track: audio_track,
+                            declared: ainfo.declared,
+                            avg_bitrate: ainfo.avg,
+                        });
+                        let combo = abr_media::combo::Combo::new(track.index, audio_track.index);
                         let req = abr_httpsim::request::Request::whole(
                             abr_httpsim::request::ObjectId::MuxedSegment { combo, chunk },
                         );
                         let size = self.origin.transfer_size(&req).expect("valid muxed chunk");
-                        let extra = edge_delay(&mut self.edge, &self.origin, &req);
+                        let extra = edge_delay(&mut self.edge, &self.origin, &req, now);
                         let flow = self.link.open_flow_after(size, extra);
+                        obs.emit(now, || Event::RequestIssued {
+                            flow: flow.0,
+                            track: None,
+                            chunk: Some(chunk),
+                            size,
+                        });
                         pending.insert(
                             flow,
                             Pending::Muxed {
@@ -390,7 +456,12 @@ impl Session {
                         );
                         continue;
                     }
-                    let fetch = ChunkFetch { media, track, chunk, opened_at: now };
+                    let fetch = ChunkFetch {
+                        media,
+                        track,
+                        chunk,
+                        opened_at: now,
+                    };
                     if self.playlist_fetch == PlaylistFetch::Lazy
                         && !playlists_ready.contains(&track)
                     {
@@ -398,9 +469,19 @@ impl Session {
                         // must wait for this track's playlist round trip.
                         let size = self.playlist_sizes[&track];
                         let flow = self.link.open_flow(size);
+                        obs.emit(now, || Event::RequestIssued {
+                            flow: flow.0,
+                            track: Some(track),
+                            chunk: None,
+                            size,
+                        });
                         pending.insert(
                             flow,
-                            Pending::Playlist { track, requested_at: now, then: Some(fetch) },
+                            Pending::Playlist {
+                                track,
+                                requested_at: now,
+                                then: Some(fetch),
+                            },
                         );
                     } else {
                         let req = match self.packaging {
@@ -412,12 +493,22 @@ impl Session {
                                 Origin::segment_request(track, chunk)
                             }
                         };
-                        let size = self.origin.transfer_size(&req).expect("valid chunk request");
-                        let extra = edge_delay(&mut self.edge, &self.origin, &req);
+                        let size = self
+                            .origin
+                            .transfer_size(&req)
+                            .expect("valid chunk request");
+                        let extra = edge_delay(&mut self.edge, &self.origin, &req, now);
                         let flow = self.link.open_flow_after(size, extra);
+                        obs.emit(now, || Event::RequestIssued {
+                            flow: flow.0,
+                            track: Some(track),
+                            chunk: Some(chunk),
+                            size,
+                        });
                         pending.insert(flow, Pending::Chunk(fetch));
                     }
                 }
+                obs.gauge("session.pending_requests", pending.len() as f64);
             }};
         }
 
@@ -425,6 +516,10 @@ impl Session {
             () => {
                 log.buffer_samples.push(BufferSample {
                     at: now,
+                    audio: audio_buf.level(),
+                    video: video_buf.level(),
+                });
+                obs.emit(now, || Event::BufferStateChange {
                     audio: audio_buf.level(),
                     video: video_buf.level(),
                 });
@@ -437,7 +532,20 @@ impl Session {
             for track in content.track_ids() {
                 let size = self.playlist_sizes[&track];
                 let flow = self.link.open_flow(size);
-                pending.insert(flow, Pending::Playlist { track, requested_at: now, then: None });
+                obs.emit(now, || Event::RequestIssued {
+                    flow: flow.0,
+                    track: Some(track),
+                    chunk: None,
+                    size,
+                });
+                pending.insert(
+                    flow,
+                    Pending::Playlist {
+                        track,
+                        requested_at: now,
+                        then: None,
+                    },
+                );
             }
         }
         schedule!();
@@ -454,17 +562,20 @@ impl Session {
             // target (plus 1 ms so the strict `level < max_buffer` gate in
             // the scheduler passes).
             let refill = if playback.state() == PlayState::Playing {
-                [(&audio_buf, MediaType::Audio), (&video_buf, MediaType::Video)]
-                    .into_iter()
-                    .filter(|(buf, media)| {
-                        !pending.values().any(|p| p.media() == *media)
-                            && buf.next_download_index() < num_chunks
-                            && buf.level() >= self.config.max_buffer
-                    })
-                    .map(|(buf, _)| {
-                        now + (buf.level() - self.config.max_buffer) + Duration::from_millis(1)
-                    })
-                    .min()
+                [
+                    (&audio_buf, MediaType::Audio),
+                    (&video_buf, MediaType::Video),
+                ]
+                .into_iter()
+                .filter(|(buf, media)| {
+                    !pending.values().any(|p| p.media() == *media)
+                        && buf.next_download_index() < num_chunks
+                        && buf.level() >= self.config.max_buffer
+                })
+                .map(|(buf, _)| {
+                    now + (buf.level() - self.config.max_buffer) + Duration::from_millis(1)
+                })
+                .min()
             } else {
                 None
             };
@@ -474,7 +585,11 @@ impl Session {
             } else {
                 None
             };
-            let t = match [completion, boundary, refill, seek_at].into_iter().flatten().min() {
+            let t = match [completion, boundary, refill, seek_at]
+                .into_iter()
+                .flatten()
+                .min()
+            {
                 Some(t) => t,
                 None => break, // starved: stalled with a dead link
             };
@@ -485,8 +600,16 @@ impl Session {
             // Playout first (consumes pre-existing buffer content over
             // [now, t]); completions arriving at t are usable from t on.
             let completions = self.link.advance_to(t);
+            let state_before_advance = playback.state();
             playback.advance(now, t, &mut audio_buf, &mut video_buf);
             now = t;
+            if state_before_advance == PlayState::Playing {
+                match playback.state() {
+                    PlayState::Stalled => obs.emit(now, || Event::StallBegin),
+                    PlayState::Ended => obs.emit(now, || Event::PlaybackEnded),
+                    _ => {}
+                }
+            }
 
             // Aggregate bandwidth-meter window (all flows, completed and
             // still in flight) since the previous completion event —
@@ -523,7 +646,12 @@ impl Session {
 
             for c in completions {
                 let p = match pending.remove(&c.id).expect("completion for unknown flow") {
-                    Pending::Muxed { video, audio, chunk, opened_at } => {
+                    Pending::Muxed {
+                        video,
+                        audio,
+                        chunk,
+                        opened_at,
+                    } => {
                         audio_buf.push(BufferedChunk {
                             index: chunk,
                             track: audio,
@@ -542,27 +670,52 @@ impl Session {
                             opened_at,
                             completed_at: c.at,
                             profile: c.profile,
-                            window_bytes: if first_completion { window_bytes } else { abr_media::units::Bytes::ZERO },
-                            window_busy: if first_completion { window_busy } else { Duration::ZERO },
+                            window_bytes: if first_completion {
+                                window_bytes
+                            } else {
+                                abr_media::units::Bytes::ZERO
+                            },
+                            window_busy: if first_completion {
+                                window_busy
+                            } else {
+                                Duration::ZERO
+                            },
                         };
                         first_completion = false;
                         self.policy.on_transfer(&record);
+                        let estimate_after = self.policy.debug_estimate();
                         log.transfers.push(TransferEvent {
                             at: c.at,
                             chunk,
                             track: video,
                             size: c.size,
                             duration: c.at.saturating_duration_since(opened_at),
-                            estimate_after: self.policy.debug_estimate(),
+                            estimate_after,
+                        });
+                        obs.emit(c.at, || Event::TransferCompleted {
+                            flow: c.id.0,
+                            track: video,
+                            chunk,
+                            size: c.size,
+                            opened_at,
+                            estimate_after,
                         });
                         continue;
                     }
-                    Pending::Playlist { track, requested_at, then } => {
+                    Pending::Playlist {
+                        track,
+                        requested_at,
+                        then,
+                    } => {
                         playlists_ready.insert(track);
                         log.playlist_fetches.push(crate::log::PlaylistFetchEvent {
                             track,
                             requested_at,
                             completed_at: c.at,
+                        });
+                        obs.emit(c.at, || Event::PlaylistFetch {
+                            track,
+                            requested_at,
                         });
                         if let Some(fetch) = then {
                             // A seek may have flushed past this position.
@@ -583,13 +736,24 @@ impl Session {
                                     Origin::segment_request(fetch.track, fetch.chunk)
                                 }
                             };
-                            let size =
-                                self.origin.transfer_size(&req).expect("valid chunk request");
-                            let extra = edge_delay(&mut self.edge, &self.origin, &req);
+                            let size = self
+                                .origin
+                                .transfer_size(&req)
+                                .expect("valid chunk request");
+                            let extra = edge_delay(&mut self.edge, &self.origin, &req, c.at);
                             let flow = self.link.open_flow_after(size, extra);
+                            obs.emit(c.at, || Event::RequestIssued {
+                                flow: flow.0,
+                                track: Some(fetch.track),
+                                chunk: Some(fetch.chunk),
+                                size,
+                            });
                             pending.insert(
                                 flow,
-                                Pending::Chunk(ChunkFetch { opened_at: c.at, ..fetch }),
+                                Pending::Chunk(ChunkFetch {
+                                    opened_at: c.at,
+                                    ..fetch
+                                }),
                             );
                         }
                         continue;
@@ -600,7 +764,11 @@ impl Session {
                     MediaType::Audio => &mut audio_buf,
                     MediaType::Video => &mut video_buf,
                 };
-                buf.push(BufferedChunk { index: p.chunk, track: p.track, duration: chunk_duration });
+                buf.push(BufferedChunk {
+                    index: p.chunk,
+                    track: p.track,
+                    duration: chunk_duration,
+                });
                 let (wb, wd) = if first_completion {
                     (window_bytes, window_busy)
                 } else {
@@ -619,15 +787,25 @@ impl Session {
                     window_busy: wd,
                 };
                 self.policy.on_transfer(&record);
+                let estimate_after = self.policy.debug_estimate();
                 log.transfers.push(TransferEvent {
                     at: c.at,
                     chunk: p.chunk,
                     track: p.track,
                     size: c.size,
                     duration: c.at.saturating_duration_since(p.opened_at),
-                    estimate_after: self.policy.debug_estimate(),
+                    estimate_after,
+                });
+                obs.emit(c.at, || Event::TransferCompleted {
+                    flow: c.id.0,
+                    track: p.track,
+                    chunk: p.chunk,
+                    size: c.size,
+                    opened_at: p.opened_at,
+                    estimate_after,
                 });
             }
+            obs.gauge("session.pending_requests", pending.len() as f64);
 
             // Apply any due seek: flush buffers, drop in-flight chunk
             // requests, reposition the playhead at a chunk boundary.
@@ -636,8 +814,7 @@ impl Session {
                     break;
                 }
                 seek_queue.pop_front();
-                let chunk_idx =
-                    (target.as_micros() / chunk_duration.as_micros()) as usize;
+                let chunk_idx = (target.as_micros() / chunk_duration.as_micros()) as usize;
                 let aligned = chunk_duration * chunk_idx as u64;
                 if playback.state() == PlayState::Ended
                     || chunk_idx >= num_chunks
@@ -658,14 +835,33 @@ impl Session {
                 }
                 audio_buf.flush_to(chunk_idx);
                 video_buf.flush_to(chunk_idx);
+                if playback.state() == PlayState::Stalled {
+                    // The seek closes the open stall (the rebuffering that
+                    // follows is accounted to the seek).
+                    obs.emit(now, || Event::StallEnd);
+                }
+                obs.emit(now, || Event::SeekStarted {
+                    from: playback.position(),
+                    to: aligned,
+                });
                 playback.seek(now, aligned);
             }
 
+            let state_before_start = playback.state();
             playback.try_start(now, &audio_buf, &video_buf);
+            if playback.state() == PlayState::Playing {
+                match state_before_start {
+                    PlayState::Startup => obs.emit(now, || Event::PlaybackStarted),
+                    PlayState::Stalled => obs.emit(now, || Event::StallEnd),
+                    PlayState::Seeking => obs.emit(now, || Event::SeekResumed),
+                    _ => {}
+                }
+            }
             schedule!();
             sample!();
         }
 
+        obs.emit(now, || Event::SessionEnd);
         log.startup_at = playback.startup_at();
         log.ended_at = playback.ended_at();
         log.stalls = playback.stalls().to_vec();
@@ -700,7 +896,9 @@ mod tests {
         Session::new(origin, link, Box::new(FixedPolicy { video, audio }), config).run()
     }
 
-    const CHUNKED: SyncMode = SyncMode::ChunkLevel { tolerance: Duration::from_secs(4) };
+    const CHUNKED: SyncMode = SyncMode::ChunkLevel {
+        tolerance: Duration::from_secs(4),
+    };
 
     #[test]
     fn ample_bandwidth_plays_clean() {
@@ -767,9 +965,14 @@ mod tests {
         // 1 Kbps: nothing meaningful ever downloads.
         let link = Link::new(Trace::constant(kbps(1)));
         let config = PlayerConfig::default_chunked(content.chunk_duration());
-        let log = Session::new(origin, link, Box::new(FixedPolicy { video: 0, audio: 0 }), config)
-            .with_deadline(Instant::from_secs(600))
-            .run();
+        let log = Session::new(
+            origin,
+            link,
+            Box::new(FixedPolicy { video: 0, audio: 0 }),
+            config,
+        )
+        .with_deadline(Instant::from_secs(600))
+        .run();
         assert!(!log.completed());
         assert!(log.finished_at <= Instant::from_secs(600));
     }
@@ -783,10 +986,7 @@ mod tests {
     fn run_with_playlists(mode: PlaylistFetch, video: usize, audio: usize) -> SessionLog {
         let content = Content::drama_show(1);
         let origin = Origin::with_overhead(content.clone(), Bytes(320));
-        let link = Link::with_latency(
-            Trace::constant(kbps(2_000)),
-            Duration::from_millis(40),
-        );
+        let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(40));
         let config = PlayerConfig::default_chunked(content.chunk_duration());
         Session::new(origin, link, Box::new(FixedPolicy { video, audio }), config)
             .with_playlist_fetch(mode, abr_manifest::build::Packaging::SingleFile)
@@ -799,8 +999,12 @@ mod tests {
         assert!(log.completed());
         // 6 video + 3 audio playlists, all before the first chunk arrives.
         assert_eq!(log.playlist_fetches.len(), 9);
-        let last_playlist =
-            log.playlist_fetches.iter().map(|p| p.completed_at).max().unwrap();
+        let last_playlist = log
+            .playlist_fetches
+            .iter()
+            .map(|p| p.completed_at)
+            .max()
+            .unwrap();
         let first_chunk = log.transfers.first().unwrap().at;
         assert!(last_playlist <= first_chunk, "playlists land before chunks");
         // And startup is later than a preloaded run's.
@@ -820,7 +1024,12 @@ mod tests {
         // The first chunk request was deferred behind the playlist
         // round trip: first transfer completes after the playlist did.
         let first_chunk = log.transfers.first().unwrap().at;
-        let first_playlist = log.playlist_fetches.iter().map(|p| p.completed_at).min().unwrap();
+        let first_playlist = log
+            .playlist_fetches
+            .iter()
+            .map(|p| p.completed_at)
+            .min()
+            .unwrap();
         assert!(first_chunk > first_playlist);
         // Startup also trails the preloaded run.
         let preloaded = run_with_playlists(PlaylistFetch::Preloaded, 2, 1);
@@ -834,9 +1043,14 @@ mod tests {
         let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(20));
         let config = PlayerConfig::default_chunked(content.chunk_duration());
         // At t=30 s, jump to media position 200 s (chunk 50).
-        let log = Session::new(origin, link, Box::new(FixedPolicy { video: 1, audio: 0 }), config)
-            .with_seeks(vec![(Instant::from_secs(30), Duration::from_secs(200))])
-            .run();
+        let log = Session::new(
+            origin,
+            link,
+            Box::new(FixedPolicy { video: 1, audio: 0 }),
+            config,
+        )
+        .with_seeks(vec![(Instant::from_secs(30), Duration::from_secs(200))])
+        .run();
         assert_eq!(log.seeks.len(), 1);
         let seek = log.seeks[0];
         assert_eq!(seek.at, Instant::from_secs(30));
@@ -868,12 +1082,17 @@ mod tests {
         let link = Link::new(Trace::constant(kbps(2_000)));
         let config = PlayerConfig::default_chunked(content.chunk_duration());
         // Backward / past-the-end seeks are dropped.
-        let log = Session::new(origin, link, Box::new(FixedPolicy { video: 0, audio: 0 }), config)
-            .with_seeks(vec![
-                (Instant::from_secs(100), Duration::from_secs(4)),   // behind the playhead
-                (Instant::from_secs(120), Duration::from_secs(400)), // past the end
-            ])
-            .run();
+        let log = Session::new(
+            origin,
+            link,
+            Box::new(FixedPolicy { video: 0, audio: 0 }),
+            config,
+        )
+        .with_seeks(vec![
+            (Instant::from_secs(100), Duration::from_secs(4)), // behind the playhead
+            (Instant::from_secs(120), Duration::from_secs(400)), // past the end
+        ])
+        .run();
         assert!(log.seeks.is_empty());
         assert!(log.completed());
     }
@@ -885,8 +1104,12 @@ mod tests {
             let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
             let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(10));
             let config = PlayerConfig::default_chunked(content.chunk_duration());
-            let mut s =
-                Session::new(origin, link, Box::new(FixedPolicy { video: 1, audio: 0 }), config);
+            let mut s = Session::new(
+                origin,
+                link,
+                Box::new(FixedPolicy { video: 1, audio: 0 }),
+                config,
+            );
             if let Some(e) = edge {
                 s = s.with_edge_cache(e);
             }
@@ -908,7 +1131,10 @@ mod tests {
         assert!(none.is_none());
         // Miss penalties delay startup and finish.
         assert!(cold.startup_at.unwrap() > warm.startup_at.unwrap());
-        assert_eq!(warm.startup_at, control.startup_at, "hits cost nothing extra");
+        assert_eq!(
+            warm.startup_at, control.startup_at,
+            "hits cost nothing extra"
+        );
         assert!(cold.finished_at >= warm.finished_at);
     }
 
@@ -918,9 +1144,14 @@ mod tests {
         let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
         let link = Link::new(Trace::constant(kbps(2_000)));
         let config = PlayerConfig::default_chunked(content.chunk_duration());
-        let log = Session::new(origin, link, Box::new(FixedPolicy { video: 1, audio: 0 }), config)
-            .with_delivery(DeliveryMode::Muxed)
-            .run();
+        let log = Session::new(
+            origin,
+            link,
+            Box::new(FixedPolicy { video: 1, audio: 0 }),
+            config,
+        )
+        .with_delivery(DeliveryMode::Muxed)
+        .run();
         assert!(log.completed());
         // One transfer per chunk position, not two.
         assert_eq!(log.transfers.len(), 75);
@@ -945,11 +1176,18 @@ mod tests {
             let origin = Origin::with_overhead(content.clone(), Bytes(320));
             let link = Link::with_latency(Trace::constant(kbps(1_500)), Duration::from_millis(20));
             let config = PlayerConfig::default_chunked(content.chunk_duration());
-            Session::new(origin, link, Box::new(FixedPolicy { video: 1, audio: 0 }), config)
-                .with_packaging(packaging)
-                .run()
+            Session::new(
+                origin,
+                link,
+                Box::new(FixedPolicy { video: 1, audio: 0 }),
+                config,
+            )
+            .with_packaging(packaging)
+            .run()
         };
-        let seg = mk(abr_manifest::build::Packaging::SegmentFiles { with_bitrate_tags: false });
+        let seg = mk(abr_manifest::build::Packaging::SegmentFiles {
+            with_bitrate_tags: false,
+        });
         let rng = mk(abr_manifest::build::Packaging::SingleFile);
         assert_eq!(seg.transfers.len(), rng.transfers.len());
         for (a, b) in seg.transfers.iter().zip(rng.transfers.iter()) {
@@ -980,7 +1218,13 @@ mod tests {
                 Duration::from_millis(20),
             );
             let config = PlayerConfig::default_chunked(content.chunk_duration());
-            Session::new(origin, link, Box::new(FixedPolicy { video: 2, audio: 1 }), config).run()
+            Session::new(
+                origin,
+                link,
+                Box::new(FixedPolicy { video: 2, audio: 1 }),
+                config,
+            )
+            .run()
         };
         let a = run_once();
         let b = run_once();
@@ -996,6 +1240,9 @@ mod tests {
     fn buffer_samples_monotone_in_time() {
         let log = run_fixed(1_500, 2, 0, CHUNKED);
         assert!(log.buffer_samples.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(log.buffer_samples.len() > 150, "a sample per event at least");
+        assert!(
+            log.buffer_samples.len() > 150,
+            "a sample per event at least"
+        );
     }
 }

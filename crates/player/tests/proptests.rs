@@ -24,12 +24,10 @@ proptest! {
     #[test]
     fn buffer_conservation(ops in proptest::collection::vec((1u64..8_000, 0u64..100), 1..60)) {
         let mut buf = ChunkBuffer::new(MediaType::Video);
-        let mut next_index = 0usize;
         let mut pushed = 0u64;
         let mut drained = 0u64;
-        for (push_ms, drain_pct) in ops {
+        for (next_index, (push_ms, drain_pct)) in ops.into_iter().enumerate() {
             buf.push(chunk(next_index, push_ms));
-            next_index += 1;
             pushed += push_ms;
             let level_ms = buf.level().as_millis();
             let want = level_ms * drain_pct / 100;

@@ -30,11 +30,20 @@ pub struct ContentProfile {
 impl ContentProfile {
     /// Equal weighting — the default, used when nothing is known about the
     /// content.
-    pub const NEUTRAL: ContentProfile = ContentProfile { video_weight: 1.0, audio_weight: 1.0 };
+    pub const NEUTRAL: ContentProfile = ContentProfile {
+        video_weight: 1.0,
+        audio_weight: 1.0,
+    };
     /// A concert or music show: audio bits count double.
-    pub const MUSIC_SHOW: ContentProfile = ContentProfile { video_weight: 1.0, audio_weight: 2.0 };
+    pub const MUSIC_SHOW: ContentProfile = ContentProfile {
+        video_weight: 1.0,
+        audio_weight: 2.0,
+    };
     /// An action movie: video bits count double.
-    pub const ACTION_MOVIE: ContentProfile = ContentProfile { video_weight: 2.0, audio_weight: 1.0 };
+    pub const ACTION_MOVIE: ContentProfile = ContentProfile {
+        video_weight: 2.0,
+        audio_weight: 1.0,
+    };
 }
 
 /// Composite QoE model weights, after Yin et al. \[25\]: per-chunk quality is
@@ -53,7 +62,11 @@ pub struct QoeWeights {
 
 impl Default for QoeWeights {
     fn default() -> Self {
-        QoeWeights { switch_penalty: 1.0, stall_penalty: 4.3, startup_penalty: 1.0 }
+        QoeWeights {
+            switch_penalty: 1.0,
+            stall_penalty: 4.3,
+            startup_penalty: 1.0,
+        }
     }
 }
 
@@ -100,7 +113,11 @@ pub fn summarize_weighted(log: &SessionLog, w: QoeWeights) -> QoeSummary {
 
 /// Computes the summary with a §2.1 content-type profile weighting the
 /// audio and video components of the quality term.
-pub fn summarize_for_content(log: &SessionLog, w: QoeWeights, profile: ContentProfile) -> QoeSummary {
+pub fn summarize_for_content(
+    log: &SessionLog,
+    w: QoeWeights,
+    profile: ContentProfile,
+) -> QoeSummary {
     let wall = log.finished_at.as_secs_f64().max(1e-9);
     let total_stall = log.total_stall();
 
@@ -109,7 +126,10 @@ pub fn summarize_for_content(log: &SessionLog, w: QoeWeights, profile: ContentPr
     let video = log.selected_tracks(MediaType::Video);
     let per_chunk_mbps: Vec<f64> = chunk_qualities_weighted(log, profile);
     let quality: f64 = per_chunk_mbps.iter().sum::<f64>() / per_chunk_mbps.len().max(1) as f64;
-    let switching: f64 = per_chunk_mbps.windows(2).map(|p| (p[1] - p[0]).abs()).sum::<f64>()
+    let switching: f64 = per_chunk_mbps
+        .windows(2)
+        .map(|p| (p[1] - p[0]).abs())
+        .sum::<f64>()
         / per_chunk_mbps.len().max(1) as f64;
     let startup = log.startup_at.map(|t| t.as_secs_f64()).unwrap_or(wall);
     let score = quality
@@ -126,10 +146,22 @@ pub fn summarize_for_content(log: &SessionLog, w: QoeWeights, profile: ContentPr
         stall_count: log.stall_count(),
         total_stall,
         rebuffer_ratio: total_stall.as_secs_f64() / wall,
-        mean_video_kbps: log.mean_selected_avg_bitrate(MediaType::Video).map_or(0, |b| b.kbps()),
-        mean_audio_kbps: log.mean_selected_avg_bitrate(MediaType::Audio).map_or(0, |b| b.kbps()),
-        video_switches: if video.len() >= 2 { log.switch_count(MediaType::Video) } else { 0 },
-        audio_switches: if audio.len() >= 2 { log.switch_count(MediaType::Audio) } else { 0 },
+        mean_video_kbps: log
+            .mean_selected_avg_bitrate(MediaType::Video)
+            .map_or(0, |b| b.kbps()),
+        mean_audio_kbps: log
+            .mean_selected_avg_bitrate(MediaType::Audio)
+            .map_or(0, |b| b.kbps()),
+        video_switches: if video.len() >= 2 {
+            log.switch_count(MediaType::Video)
+        } else {
+            0
+        },
+        audio_switches: if audio.len() >= 2 {
+            log.switch_count(MediaType::Audio)
+        } else {
+            0
+        },
         mean_imbalance: log.mean_buffer_imbalance(),
         max_imbalance: log.max_buffer_imbalance(),
         score,
@@ -196,7 +228,11 @@ pub fn distinct_combos(log: &SessionLog) -> Vec<Combo> {
 /// Chunks whose selected combination is not in `allowed` — the §3.2
 /// "disobeying the manifest" measure.
 pub fn off_manifest_chunks(log: &SessionLog, allowed: &[Combo]) -> usize {
-    combos_used(log).into_iter().filter(|(c, _)| !allowed.contains(c)).map(|(_, n)| n).sum()
+    combos_used(log)
+        .into_iter()
+        .filter(|(c, _)| !allowed.contains(c))
+        .map(|(_, n)| n)
+        .sum()
 }
 
 #[cfg(test)]
@@ -254,7 +290,11 @@ mod tests {
         let log = three_chunk_log();
         assert_eq!(
             combos_used(&log),
-            vec![(Combo::new(1, 0), 1), (Combo::new(1, 1), 1), (Combo::new(2, 1), 1)]
+            vec![
+                (Combo::new(1, 0), 1),
+                (Combo::new(1, 1), 1),
+                (Combo::new(2, 1), 1)
+            ]
         );
         assert_eq!(
             distinct_combos(&log),
@@ -282,8 +322,10 @@ mod tests {
     #[test]
     fn summary_basics() {
         let mut log = three_chunk_log();
-        log.stalls =
-            vec![Stall { start: Instant::from_secs(5), end: Some(Instant::from_secs(7)) }];
+        log.stalls = vec![Stall {
+            start: Instant::from_secs(5),
+            end: Some(Instant::from_secs(7)),
+        }];
         let s = summarize(&log);
         assert_eq!(s.stall_count, 1);
         assert_eq!(s.total_stall, Duration::from_secs(2));
@@ -300,8 +342,10 @@ mod tests {
     fn stalls_reduce_score() {
         let clean = summarize(&three_chunk_log());
         let mut stalled_log = three_chunk_log();
-        stalled_log.stalls =
-            vec![Stall { start: Instant::from_secs(5), end: Some(Instant::from_secs(9)) }];
+        stalled_log.stalls = vec![Stall {
+            start: Instant::from_secs(5),
+            end: Some(Instant::from_secs(9)),
+        }];
         let stalled = summarize(&stalled_log);
         assert!(stalled.score < clean.score);
     }
@@ -357,10 +401,16 @@ mod tests {
         let w = QoeWeights::default();
         let music_a = summarize_for_content(&audio_heavy, w, ContentProfile::MUSIC_SHOW);
         let music_v = summarize_for_content(&video_heavy, w, ContentProfile::MUSIC_SHOW);
-        assert!(music_a.score > music_v.score, "music favors the audio-heavy pick");
+        assert!(
+            music_a.score > music_v.score,
+            "music favors the audio-heavy pick"
+        );
         let action_a = summarize_for_content(&audio_heavy, w, ContentProfile::ACTION_MOVIE);
         let action_v = summarize_for_content(&video_heavy, w, ContentProfile::ACTION_MOVIE);
-        assert!(action_v.score > action_a.score, "action favors the video-heavy pick");
+        assert!(
+            action_v.score > action_a.score,
+            "action favors the video-heavy pick"
+        );
         // Neutral weighting ties them (identical total bitrate).
         let na = summarize(&audio_heavy);
         let nv = summarize(&video_heavy);

@@ -40,8 +40,16 @@ fn make_log(picks: &[(usize, usize)], stalls: &[(u64, u64)]) -> SessionLog {
         selections,
         transfers: vec![],
         buffer_samples: vec![
-            BufferSample { at: Instant::ZERO, audio: Duration::ZERO, video: Duration::ZERO },
-            BufferSample { at: finished, audio: Duration::ZERO, video: Duration::ZERO },
+            BufferSample {
+                at: Instant::ZERO,
+                audio: Duration::ZERO,
+                video: Duration::ZERO,
+            },
+            BufferSample {
+                at: finished,
+                audio: Duration::ZERO,
+                video: Duration::ZERO,
+            },
         ],
         stalls: stalls
             .iter()

@@ -40,7 +40,12 @@ fn tv_curation() -> Vec<Combo> {
 /// 6-inch screen), stereo audio only (headphones), spare bits go to
 /// stability, not rungs the device can't show.
 fn phone_curation() -> Vec<Combo> {
-    vec![Combo::new(0, 0), Combo::new(1, 0), Combo::new(2, 0), Combo::new(3, 0)]
+    vec![
+        Combo::new(0, 0),
+        Combo::new(1, 0),
+        Combo::new(2, 0),
+        Combo::new(3, 0),
+    ]
 }
 
 fn main() {
@@ -93,6 +98,9 @@ fn main() {
     println!(
         "\n(DASH MPD emitted for the same content has {} representations and,\n\
          per the standard, no way to name a single allowed combination.)",
-        mpd.adaptation_sets.iter().map(|a| a.representations.len()).sum::<usize>()
+        mpd.adaptation_sets
+            .iter()
+            .map(|a| a.representations.len())
+            .sum::<usize>()
     );
 }

@@ -36,13 +36,21 @@ fn main() {
 
     let mut cache = CdnCache::new(Bytes(1 << 32));
     for chunk in 0..n {
-        cache.fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-        cache.fetch(&origin, &Origin::segment_request(TrackId::audio(1), chunk)).unwrap();
+        cache
+            .fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk))
+            .unwrap();
+        cache
+            .fetch(&origin, &Origin::segment_request(TrackId::audio(1), chunk))
+            .unwrap();
     }
     let after_a = cache.stats();
     for chunk in 0..n {
-        cache.fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk)).unwrap();
-        cache.fetch(&origin, &Origin::segment_request(TrackId::audio(0), chunk)).unwrap();
+        cache
+            .fetch(&origin, &Origin::segment_request(TrackId::video(0), chunk))
+            .unwrap();
+        cache
+            .fetch(&origin, &Origin::segment_request(TrackId::audio(0), chunk))
+            .unwrap();
     }
     let demux = cache.stats();
     println!(
@@ -55,19 +63,30 @@ fn main() {
     let mut cache = CdnCache::new(Bytes(1 << 32));
     for chunk in 0..n {
         cache
-            .fetch(&origin, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 1), chunk }))
+            .fetch(
+                &origin,
+                &Request::whole(ObjectId::MuxedSegment {
+                    combo: Combo::new(0, 1),
+                    chunk,
+                }),
+            )
             .unwrap();
     }
     for chunk in 0..n {
         cache
-            .fetch(&origin, &Request::whole(ObjectId::MuxedSegment { combo: Combo::new(0, 0), chunk }))
+            .fetch(
+                &origin,
+                &Request::whole(ObjectId::MuxedSegment {
+                    combo: Combo::new(0, 0),
+                    chunk,
+                }),
+            )
             .unwrap();
     }
     let mux = cache.stats();
     println!(
         "  muxed:   user B hit {} of {} requests; every V1+A1 chunk came from the origin",
-        mux.hits,
-        n,
+        mux.hits, n,
     );
 
     // And the long-tail view: ten users, each picking a random-ish audio.
@@ -80,7 +99,10 @@ fn main() {
                 .fetch(&origin, &Origin::segment_request(TrackId::video(3), chunk))
                 .unwrap();
             let (_, _) = cache
-                .fetch(&origin, &Origin::segment_request(TrackId::audio(user % 3), chunk))
+                .fetch(
+                    &origin,
+                    &Origin::segment_request(TrackId::audio(user % 3), chunk),
+                )
                 .unwrap();
         }
     }

@@ -30,7 +30,13 @@ use abr_unmuxed::qoe;
 /// A concert recording: Table-1 video ladder, high-end audio ladder
 /// (the "C" set: 196/384/768 Kbps — 768 is Dolby-Atmos-class, §1).
 fn concert() -> Content {
-    Content::new(Ladder::table1_video(), Ladder::high_audio_c(), Duration::from_secs(4), 75, 77)
+    Content::new(
+        Ladder::table1_video(),
+        Ladder::high_audio_c(),
+        Duration::from_secs(4),
+        75,
+        77,
+    )
 }
 
 /// Audio-priority curation: never drop below the middle audio rung once
@@ -78,8 +84,7 @@ fn stream(content: &Content, allowed: &[Combo], label: &str) -> SessionLog {
     let log = Session::new(origin, link, Box::new(policy), config).run();
     let q = qoe::summarize(&log);
     // §2.1: a concert is audio-priority content — score it that way.
-    let music =
-        summarize_for_content(&log, QoeWeights::default(), ContentProfile::MUSIC_SHOW);
+    let music = summarize_for_content(&log, QoeWeights::default(), ContentProfile::MUSIC_SHOW);
     println!(
         "{label:<16} video {:>4} Kbps  audio {:>4} Kbps  stalls {}  switches {:>2}  QoE {:.2}  music-QoE {:.2}",
         q.mean_video_kbps,
@@ -96,7 +101,12 @@ fn main() {
     let content = concert();
     println!(
         "concert content: audio ladder {:?} Kbps (Dolby-Atmos-class top rung)\n",
-        content.audio().declared_bitrates().iter().map(|b| b.kbps()).collect::<Vec<_>>()
+        content
+            .audio()
+            .declared_bitrates()
+            .iter()
+            .map(|b| b.kbps())
+            .collect::<Vec<_>>()
     );
     println!("steady 1.6 Mbps link, best-practice player, three curations:\n");
 

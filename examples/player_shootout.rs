@@ -31,8 +31,14 @@ fn main() {
     let curated = curated_subset(content.video(), content.audio());
 
     let traces: Vec<(&str, Trace)> = vec![
-        ("700 Kbps fixed", Trace::constant(BitsPerSec::from_kbps(700))),
-        ("1.5 Mbps fixed", Trace::constant(BitsPerSec::from_kbps(1500))),
+        (
+            "700 Kbps fixed",
+            Trace::constant(BitsPerSec::from_kbps(700)),
+        ),
+        (
+            "1.5 Mbps fixed",
+            Trace::constant(BitsPerSec::from_kbps(1500)),
+        ),
         (
             "random walk ~600 Kbps",
             Trace::fig3_varying_600k(Duration::from_secs(3600)),
@@ -61,7 +67,9 @@ fn main() {
             let sync = if which == 2 {
                 SyncMode::Independent
             } else {
-                SyncMode::ChunkLevel { tolerance: content.chunk_duration() }
+                SyncMode::ChunkLevel {
+                    tolerance: content.chunk_duration(),
+                }
             };
             let config = PlayerConfig {
                 sync,

@@ -61,11 +61,21 @@ fn main() {
     let q = qoe::summarize(&log);
     println!("\n--- session results ({}) ---", q.policy);
     println!("completed:        {}", q.completed);
-    println!("startup delay:    {:?}", q.startup_delay.map(|d| d.to_string()));
-    println!("stalls:           {} ({:.1}s total)", q.stall_count, q.total_stall.as_secs_f64());
+    println!(
+        "startup delay:    {:?}",
+        q.startup_delay.map(|d| d.to_string())
+    );
+    println!(
+        "stalls:           {} ({:.1}s total)",
+        q.stall_count,
+        q.total_stall.as_secs_f64()
+    );
     println!("mean video:       {} Kbps", q.mean_video_kbps);
     println!("mean audio:       {} Kbps", q.mean_audio_kbps);
-    println!("switches (v/a):   {}/{}", q.video_switches, q.audio_switches);
+    println!(
+        "switches (v/a):   {}/{}",
+        q.video_switches, q.audio_switches
+    );
     println!("max buffer skew:  {:.1}s", q.max_imbalance.as_secs_f64());
     println!("QoE score:        {:.2}", q.score);
     println!("\ncombinations played:");

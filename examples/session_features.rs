@@ -35,7 +35,12 @@ fn main() {
             Duration::from_millis(40),
         );
         let config = PlayerConfig::default_chunked(content.chunk_duration());
-        Session::new(origin, link, Box::new(BestPracticePolicy::from_hls(&view)), config)
+        Session::new(
+            origin,
+            link,
+            Box::new(BestPracticePolicy::from_hls(&view)),
+            config,
+        )
     };
 
     // 1. A seek: watch 40 s, then skip to the 4-minute mark.

@@ -1,0 +1,72 @@
+//! Trace a session: re-run the Fig 4(b) Shaka scenario with the
+//! observability layer attached, write the event stream to
+//! `results/f4b.trace.jsonl`, and print the busiest metrics.
+//!
+//! ```sh
+//! cargo run --example trace_session
+//! ```
+//!
+//! The emitted JSONL is lossless: `SessionLog::from_trace` rebuilds the
+//! full session history from it (the `trace_roundtrip` integration test
+//! in `abr-bench` holds that equality). Convert the same events with
+//! `obs::export::to_chrome_trace` to open the session in Perfetto.
+
+use abr_unmuxed::core::ShakaPolicy;
+use abr_unmuxed::event::time::Duration;
+use abr_unmuxed::httpsim::origin::Origin;
+use abr_unmuxed::manifest::build::build_master_playlist;
+use abr_unmuxed::manifest::view::BoundHls;
+use abr_unmuxed::media::combo::all_combos;
+use abr_unmuxed::media::content::Content;
+use abr_unmuxed::media::units::Bytes;
+use abr_unmuxed::net::link::Link;
+use abr_unmuxed::net::trace::Trace;
+use abr_unmuxed::obs::{export, ObsHandle};
+use abr_unmuxed::player::{PlayerConfig, Session, SessionLog};
+
+fn main() {
+    // The Fig 4(b) setup: Shaka over H_all, dynamic mean-600 Kbps trace.
+    let content = Content::drama_show(2019);
+    let combos = all_combos(content.video(), content.audio());
+    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
+    let view = BoundHls::from_master(&master).expect("self-built playlist binds");
+    let policy = ShakaPolicy::hls(&view);
+
+    // Attach a recording tracer + metrics registry and run.
+    let (obs, tracer, metrics) = ObsHandle::recording();
+    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+    let link = Link::with_latency(
+        Trace::fig4b_varying_600k(Duration::from_secs(3600)),
+        Duration::from_millis(20),
+    );
+    let config = PlayerConfig::default_chunked(content.chunk_duration());
+    let log = Session::new(origin, link, Box::new(policy), config)
+        .with_obs(obs)
+        .run();
+
+    // Export the trace and prove it reconstructs the session exactly.
+    let events = tracer.take();
+    let jsonl = export::to_jsonl(&events);
+    let replayed = SessionLog::from_trace(&export::from_jsonl(&jsonl).expect("parses"))
+        .expect("trace reconstructs the session");
+    assert_eq!(replayed, log, "the trace is the session");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/f4b.trace.jsonl", &jsonl).expect("write trace");
+    println!(
+        "traced {} events over {:.1}s of simulated playback -> results/f4b.trace.jsonl",
+        events.len(),
+        log.finished_at.as_secs_f64(),
+    );
+    println!(
+        "session: {} stalls, {:.1}s rebuffering (Fig 4b's under- then over-estimation)",
+        log.stall_count(),
+        log.total_stall().as_secs_f64(),
+    );
+
+    // The five busiest metrics, by the registry's own display rows.
+    println!("\ntop metrics:");
+    for (name, value) in metrics.snapshot().rows().into_iter().take(5) {
+        println!("  {name:<26} {value}");
+    }
+}

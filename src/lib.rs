@@ -20,6 +20,7 @@
 //! | [`player`] | `abr-player` | buffers, playback engine, streaming session |
 //! | [`core`] | `abr-core` | bandwidth estimators and ABR policies |
 //! | [`qoe`] | `abr-qoe` | QoE metrics and session scoring |
+//! | [`obs`] | `abr-obs` | event tracing, metrics, JSONL/Chrome exporters |
 
 #![forbid(unsafe_code)]
 
@@ -29,5 +30,6 @@ pub use abr_httpsim as httpsim;
 pub use abr_manifest as manifest;
 pub use abr_media as media;
 pub use abr_net as net;
+pub use abr_obs as obs;
 pub use abr_player as player;
 pub use abr_qoe as qoe;

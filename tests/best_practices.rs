@@ -33,7 +33,9 @@ fn run(content: &Content, policy: Box<dyn AbrPolicy>, trace: Trace, sync: SyncMo
 }
 
 fn chunked(content: &Content) -> SyncMode {
-    SyncMode::ChunkLevel { tolerance: content.chunk_duration() }
+    SyncMode::ChunkLevel {
+        tolerance: content.chunk_duration(),
+    }
 }
 
 fn hls_sub(content: &Content, audio_order: &[usize]) -> BoundHls {
@@ -51,8 +53,18 @@ fn bp_adapts_audio_where_exoplayer_hls_stalls() {
     let view = hls_sub(&content, &[2, 0, 1]); // A3 listed first — same as Fig 3
     let trace = Trace::fig3_varying_600k(Duration::from_secs(3600));
 
-    let exo = run(&content, Box::new(ExoPlayerPolicy::hls(&view)), trace.clone(), chunked(&content));
-    let bp = run(&content, Box::new(BestPracticePolicy::from_hls(&view)), trace, chunked(&content));
+    let exo = run(
+        &content,
+        Box::new(ExoPlayerPolicy::hls(&view)),
+        trace.clone(),
+        chunked(&content),
+    );
+    let bp = run(
+        &content,
+        Box::new(BestPracticePolicy::from_hls(&view)),
+        trace,
+        chunked(&content),
+    );
 
     assert!(bp.completed());
     assert!(
@@ -78,7 +90,12 @@ fn bp_never_selects_off_manifest() {
         Trace::fig3_varying_600k(Duration::from_secs(3600)),
         Trace::fig4b_varying_600k(Duration::from_secs(3600)),
     ] {
-        let log = run(&content, Box::new(BestPracticePolicy::from_hls(&view)), trace, chunked(&content));
+        let log = run(
+            &content,
+            Box::new(BestPracticePolicy::from_hls(&view)),
+            trace,
+            chunked(&content),
+        );
         assert_eq!(qoe::off_manifest_chunks(&log, &allowed), 0);
     }
 }
@@ -95,8 +112,18 @@ fn bp_beats_shaka_on_stalls_and_qoe() {
     let view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
     let trace = Trace::fig4b_varying_600k(Duration::from_secs(3600));
 
-    let shaka = run(&content, Box::new(ShakaPolicy::hls(&view)), trace.clone(), SyncMode::Independent);
-    let bp = run(&content, Box::new(BestPracticePolicy::from_hls(&view)), trace, chunked(&content));
+    let shaka = run(
+        &content,
+        Box::new(ShakaPolicy::hls(&view)),
+        trace.clone(),
+        SyncMode::Independent,
+    );
+    let bp = run(
+        &content,
+        Box::new(BestPracticePolicy::from_hls(&view)),
+        trace,
+        chunked(&content),
+    );
 
     assert!(
         bp.total_stall() * 4 < shaka.total_stall(),
@@ -123,7 +150,11 @@ fn bp_hysteresis_suppresses_fluctuation() {
     let noisy: Vec<u64> = (0..40).map(|i| 500 + 75 - (i * 37) % 150).collect();
     let shaka_picks: std::collections::BTreeSet<String> = noisy
         .iter()
-        .map(|&k| shaka.choice_for_estimate(BitsPerSec::from_kbps(k)).to_string())
+        .map(|&k| {
+            shaka
+                .choice_for_estimate(BitsPerSec::from_kbps(k))
+                .to_string()
+        })
         .collect();
     assert!(
         shaka_picks.len() >= 3,
@@ -136,8 +167,7 @@ fn bp_hysteresis_suppresses_fluctuation() {
     // 395 ≤ max(est), so once settled there it never moves.
     let mut bp = BestPracticePolicy::from_hls(&view);
     let mut picks = std::collections::BTreeSet::new();
-    let mut chunk = 0usize;
-    for &kbps in noisy.iter().cycle().take(120) {
+    for (chunk, &kbps) in noisy.iter().cycle().take(120).enumerate() {
         feed_estimate_sample(&mut bp, kbps);
         let ctx = abr_unmuxed::player::policy::SelectionContext {
             now: abr_unmuxed::event::time::Instant::from_secs(chunk as u64 * 4),
@@ -154,9 +184,12 @@ fn bp_hysteresis_suppresses_fluctuation() {
         if chunk > 20 {
             picks.insert(v.index); // ignore the initial climb
         }
-        chunk += 1;
     }
-    assert_eq!(picks.len(), 1, "best practice settles on one rung: {picks:?}");
+    assert_eq!(
+        picks.len(),
+        1,
+        "best practice settles on one rung: {picks:?}"
+    );
 }
 
 fn feed_estimate_sample(p: &mut BestPracticePolicy, kbps: u64) {
@@ -185,7 +218,12 @@ fn bp_balances_buffers_vs_dashjs() {
     let curated = curated_subset(content.video(), content.audio());
     let trace = Trace::constant(BitsPerSec::from_kbps(900));
 
-    let dashjs = run(&content, Box::new(DashJsPolicy::new(&dview)), trace.clone(), SyncMode::Independent);
+    let dashjs = run(
+        &content,
+        Box::new(DashJsPolicy::new(&dview)),
+        trace.clone(),
+        SyncMode::Independent,
+    );
     let bp = run(
         &content,
         Box::new(BestPracticePolicy::from_dash(&dview, &curated)),
@@ -220,5 +258,9 @@ fn bp_converges_to_top_combo_with_headroom() {
     // Climbs monotonically and finishes at the top rung.
     assert!(tracks.windows(2).all(|w| w[1] >= w[0]), "monotone climb");
     assert_eq!(*tracks.last().unwrap(), 5, "reaches V6");
-    assert_eq!(*log.selected_tracks(MediaType::Audio).last().unwrap(), 2, "reaches A3");
+    assert_eq!(
+        *log.selected_tracks(MediaType::Audio).last().unwrap(),
+        2,
+        "reaches A3"
+    );
 }

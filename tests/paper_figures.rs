@@ -45,7 +45,9 @@ fn run(
 }
 
 fn chunked(content: &Content) -> SyncMode {
-    SyncMode::ChunkLevel { tolerance: content.chunk_duration() }
+    SyncMode::ChunkLevel {
+        tolerance: content.chunk_duration(),
+    }
 }
 
 /// Fig 2(a): audio set B at 900 Kbps → V3+B2 dominates, V3+B3 excluded.
@@ -53,7 +55,10 @@ fn chunked(content: &Content) -> SyncMode {
 fn fig2a_exoplayer_picks_v3_b2() {
     let content = Content::drama_show_low_audio(SEED);
     let policy = ExoPlayerPolicy::dash(&dash_view(&content));
-    assert!(!policy.combinations().contains(&Combo::new(2, 2)), "V3+B3 excluded");
+    assert!(
+        !policy.combinations().contains(&Combo::new(2, 2)),
+        "V3+B3 excluded"
+    );
     let log = run(
         &content,
         Box::new(policy),
@@ -62,8 +67,16 @@ fn fig2a_exoplayer_picks_v3_b2() {
         Duration::from_secs(30),
     );
     assert!(log.completed());
-    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
-    assert_eq!(dominant.0, Combo::new(2, 1), "V3+B2 dominates, got {}", dominant.0);
+    let dominant = qoe::combos_used(&log)
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .unwrap();
+    assert_eq!(
+        dominant.0,
+        Combo::new(2, 1),
+        "V3+B2 dominates, got {}",
+        dominant.0
+    );
     assert!(dominant.1 >= 70, "steady selection ({} chunks)", dominant.1);
 }
 
@@ -79,8 +92,16 @@ fn fig2b_exoplayer_picks_v2_c2() {
         chunked(&content),
         Duration::from_secs(30),
     );
-    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
-    assert_eq!(dominant.0, Combo::new(1, 1), "V2+C2 dominates, got {}", dominant.0);
+    let dominant = qoe::combos_used(&log)
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .unwrap();
+    assert_eq!(
+        dominant.0,
+        Combo::new(1, 1),
+        "V2+C2 dominates, got {}",
+        dominant.0
+    );
     // The audio eats more bits than the video — the paper's complaint.
     let q = qoe::summarize(&log);
     assert!(q.mean_audio_kbps > q.mean_video_kbps);
@@ -110,9 +131,16 @@ fn fig3_exoplayer_hls_pins_audio_and_stalls() {
         log.num_chunks,
         "every selected combination violates H_sub"
     );
-    assert!(log.stall_count() >= 3, "repeated stalls, got {}", log.stall_count());
+    assert!(
+        log.stall_count() >= 3,
+        "repeated stalls, got {}",
+        log.stall_count()
+    );
     let stall = log.total_stall().as_secs_f64();
-    assert!((15.0..120.0).contains(&stall), "tens of seconds of rebuffering, got {stall:.1}");
+    assert!(
+        (15.0..120.0).contains(&stall),
+        "tens of seconds of rebuffering, got {stall:.1}"
+    );
 }
 
 /// §3.2 second HLS experiment: A1 first at 5 Mbps → pinned at A1, clean
@@ -154,11 +182,21 @@ fn fig4a_shaka_estimate_stuck_at_default() {
     );
     assert!(log.completed());
     for t in &log.transfers {
-        assert_eq!(t.estimate_after.unwrap().kbps(), 500, "estimate pinned to default");
+        assert_eq!(
+            t.estimate_after.unwrap().kbps(),
+            500,
+            "estimate pinned to default"
+        );
     }
-    let dominant = qoe::combos_used(&log).into_iter().max_by_key(|&(_, n)| n).unwrap();
+    let dominant = qoe::combos_used(&log)
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .unwrap();
     assert_eq!(dominant.0, Combo::new(1, 1), "V2+A2");
-    assert_eq!(dominant.1, log.num_chunks, "no fluctuation at a constant estimate");
+    assert_eq!(
+        dominant.1, log.num_chunks,
+        "no fluctuation at a constant estimate"
+    );
 }
 
 /// Fig 4(b): the bursty trace → estimate first at the (over-optimistic)
@@ -182,15 +220,29 @@ fn fig4b_shaka_under_then_overestimates() {
         .iter()
         .filter_map(|t| t.estimate_after.map(|e| (t.at.as_secs_f64(), e.kbps())))
         .collect();
-    let early_max = estimates.iter().filter(|(t, _)| *t < 50.0).map(|&(_, e)| e).max().unwrap();
+    let early_max = estimates
+        .iter()
+        .filter(|(t, _)| *t < 50.0)
+        .map(|&(_, e)| e)
+        .max()
+        .unwrap();
     let late_max = estimates.iter().map(|&(_, e)| e).max().unwrap();
     assert_eq!(early_max, 500, "default until the first burst");
-    assert!(late_max > 1000, "overestimation after bursts, got {late_max}");
+    assert!(
+        late_max > 1000,
+        "overestimation after bursts, got {late_max}"
+    );
     let used = qoe::distinct_combos(&log);
     assert!(used.contains(&Combo::new(1, 1)), "V2+A2 early");
-    assert!(used.contains(&Combo::new(2, 2)), "V3+A3 after overestimation");
+    assert!(
+        used.contains(&Combo::new(2, 2)),
+        "V3+A3 after overestimation"
+    );
     let stall = log.total_stall().as_secs_f64();
-    assert!((20.0..150.0).contains(&stall), "tens of seconds of rebuffering, got {stall:.1}");
+    assert!(
+        (20.0..150.0).contains(&stall),
+        "tens of seconds of rebuffering, got {stall:.1}"
+    );
 }
 
 /// §3.3 fluctuation: estimates between 300 and 700 Kbps flip the pure
@@ -204,7 +256,11 @@ fn fig4x_shaka_fluctuation_set() {
     let policy = ShakaPolicy::hls(&view);
     let picks: std::collections::BTreeSet<String> = (300..=700)
         .step_by(10)
-        .map(|k| policy.choice_for_estimate(BitsPerSec::from_kbps(k)).to_string())
+        .map(|k| {
+            policy
+                .choice_for_estimate(BitsPerSec::from_kbps(k))
+                .to_string()
+        })
         .collect();
     for expected in ["V1+A2", "V2+A1", "V2+A2", "V1+A3", "V2+A3"] {
         assert!(picks.contains(expected), "sweep must hit {expected}");

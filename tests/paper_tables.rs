@@ -29,14 +29,19 @@ fn table2_via_hls_roundtrip() {
     let view = BoundHls::from_master(&MasterPlaylist::parse(&text).unwrap()).unwrap();
     assert_eq!(view.variants.len(), 18);
     let expected_peaks = [
-        253, 318, 395, 460, 510, 652, 775, 840, 1032, 1324, 1389, 1581, 2516, 2581, 2773,
-        4581, 4646, 4838,
+        253, 318, 395, 460, 510, 652, 775, 840, 1032, 1324, 1389, 1581, 2516, 2581, 2773, 4581,
+        4646, 4838,
     ];
     let expected_avgs = [
-        239, 307, 374, 442, 495, 630, 490, 558, 746, 862, 930, 1118, 1549, 1617, 1805, 2856,
-        2924, 3112,
+        239, 307, 374, 442, 495, 630, 490, 558, 746, 862, 930, 1118, 1549, 1617, 1805, 2856, 2924,
+        3112,
     ];
-    for ((v, &peak), &avg) in view.variants.iter().zip(&expected_peaks).zip(&expected_avgs) {
+    for ((v, &peak), &avg) in view
+        .variants
+        .iter()
+        .zip(&expected_peaks)
+        .zip(&expected_avgs)
+    {
         assert_eq!(v.bandwidth.kbps(), peak);
         assert_eq!(v.average_bandwidth.unwrap().kbps(), avg);
     }
@@ -49,7 +54,10 @@ fn table3_curated_subset_values() {
     let content = Content::drama_show(1);
     let combos = curated_subset(content.video(), content.audio());
     let names: Vec<String> = combos.iter().map(|c| c.to_string()).collect();
-    assert_eq!(names, vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]);
+    assert_eq!(
+        names,
+        vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]
+    );
     let rows: Vec<(u64, u64)> = combos
         .iter()
         .map(|&c| {
@@ -59,7 +67,14 @@ fn table3_curated_subset_values() {
         .collect();
     assert_eq!(
         rows,
-        vec![(239, 253), (374, 395), (558, 840), (930, 1389), (1805, 2773), (3112, 4838)]
+        vec![
+            (239, 253),
+            (374, 395),
+            (558, 840),
+            (930, 1389),
+            (1805, 2773),
+            (3112, 4838)
+        ]
     );
 }
 

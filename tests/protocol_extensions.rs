@@ -48,7 +48,11 @@ fn dash_combinations_extension_end_to_end() {
     assert_eq!(view.allowed_combos.as_deref(), Some(combos.as_slice()));
 
     let policy = BestPracticePolicy::from_dash_extension(&view).unwrap();
-    let log = run(&content, Box::new(policy), Trace::fig3_varying_600k(Duration::from_secs(3600)));
+    let log = run(
+        &content,
+        Box::new(policy),
+        Trace::fig3_varying_600k(Duration::from_secs(3600)),
+    );
     assert!(log.completed());
     assert_eq!(qoe::off_manifest_chunks(&log, &combos), 0);
 }
@@ -67,17 +71,21 @@ fn hls_bitrate_extension_fixes_fig3() {
             .unwrap(),
     )
     .unwrap();
-    let stock = run(&content, Box::new(ExoPlayerPolicy::hls(&stock_view)), trace.clone());
+    let stock = run(
+        &content,
+        Box::new(ExoPlayerPolicy::hls(&stock_view)),
+        trace.clone(),
+    );
 
     // Extended: same listing order, plus per-track bitrates.
     let ext_view = BoundHls::from_master(
-        &MasterPlaylist::parse(
-            &build_master_playlist_ext(&content, &combos, &[2, 0, 1]).to_text(),
-        )
-        .unwrap(),
+        &MasterPlaylist::parse(&build_master_playlist_ext(&content, &combos, &[2, 0, 1]).to_text())
+            .unwrap(),
     )
     .unwrap();
-    let (v, a) = ext_view.extension_track_bitrates().expect("extension present");
+    let (v, a) = ext_view
+        .extension_track_bitrates()
+        .expect("extension present");
     assert_eq!(v.len(), 6);
     assert_eq!(a[2].kbps(), 391, "A3 peak");
     let fixed = run(
@@ -106,7 +114,8 @@ fn second_level_playlist_workaround_equivalent() {
     let content = Content::drama_show(SEED);
     let combos = curated_subset(content.video(), content.audio());
     let master = build_master_playlist(&content, &combos, &[2, 0, 1]);
-    let mut view = BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
+    let mut view =
+        BoundHls::from_master(&MasterPlaylist::parse(&master.to_text()).unwrap()).unwrap();
     let vids: Vec<_> = (0..6)
         .map(|i| build_media_playlist(&content, TrackId::video(i), Packaging::SingleFile))
         .collect();
@@ -141,9 +150,14 @@ fn lazy_playlist_fetching_costs_startup() {
             Duration::from_millis(100),
         );
         let config = PlayerConfig::default_chunked(content.chunk_duration());
-        Session::new(origin, link, Box::new(BestPracticePolicy::from_hls(&view)), config)
-            .with_playlist_fetch(mode, Packaging::SingleFile)
-            .run()
+        Session::new(
+            origin,
+            link,
+            Box::new(BestPracticePolicy::from_hls(&view)),
+            config,
+        )
+        .with_playlist_fetch(mode, Packaging::SingleFile)
+        .run()
     };
     let preloaded = mk(PlaylistFetch::Preloaded);
     let lazy = mk(PlaylistFetch::Lazy);
@@ -152,7 +166,10 @@ fn lazy_playlist_fetching_costs_startup() {
     assert!(!lazy.playlist_fetches.is_empty());
     assert_eq!(eager.playlist_fetches.len(), 9, "all tracks prefetched");
     assert!(lazy.startup_at.unwrap() > preloaded.startup_at.unwrap());
-    assert!(eager.startup_at.unwrap() > lazy.startup_at.unwrap(), "eager front-loads more");
+    assert!(
+        eager.startup_at.unwrap() > lazy.startup_at.unwrap(),
+        "eager front-loads more"
+    );
     // All complete regardless.
     assert!(preloaded.completed() && lazy.completed() && eager.completed());
 }
@@ -175,7 +192,11 @@ fn bba_baseline_plays_within_curation() {
     );
     assert!(log.completed());
     assert_eq!(qoe::off_manifest_chunks(&log, &combos), 0);
-    assert_eq!(*log.selected_tracks(MediaType::Video).last().unwrap(), 5, "climbs to V6");
+    assert_eq!(
+        *log.selected_tracks(MediaType::Video).last().unwrap(),
+        5,
+        "climbs to V6"
+    );
     // And on a starving link, BBA camps in the reservoir at the bottom.
     let low = run(
         &content,
@@ -185,7 +206,10 @@ fn bba_baseline_plays_within_curation() {
     let video = low.selected_tracks(MediaType::Video);
     // BBA oscillates across the reservoir boundary on a barely-sufficient
     // link, but stays confined to the bottom rungs, with V1 the mode.
-    assert!(video.iter().all(|&v| v <= 2), "confined to the bottom rungs: {video:?}");
+    assert!(
+        video.iter().all(|&v| v <= 2),
+        "confined to the bottom rungs: {video:?}"
+    );
     let v1_count = video.iter().filter(|&&v| v == 0).count();
     for rung in 1..=5usize {
         let c = video.iter().filter(|&&v| v == rung).count();

@@ -33,7 +33,12 @@ fn session(content: &Content, view: &BoundHls, kbps: u64) -> Session {
         Duration::from_millis(20),
     );
     let config = PlayerConfig::default_chunked(content.chunk_duration());
-    Session::new(origin, link, Box::new(BestPracticePolicy::from_hls(view)), config)
+    Session::new(
+        origin,
+        link,
+        Box::new(BestPracticePolicy::from_hls(view)),
+        config,
+    )
 }
 
 /// A forward seek with an adaptive policy: selections stay in the allowed
@@ -91,17 +96,24 @@ fn edge_cache_with_adaptive_policy() {
         cache: CdnCache::new(Bytes(1 << 32)),
         miss_penalty: Duration::from_millis(100),
     };
-    let (first, warmed) = session(&content, &view, 2_000).with_edge_cache(edge).run_with_edge();
+    let (first, warmed) = session(&content, &view, 2_000)
+        .with_edge_cache(edge)
+        .run_with_edge();
     let warmed = warmed.unwrap();
     let cold_misses = warmed.cache.stats().misses;
     assert!(first.completed());
     assert_eq!(warmed.cache.stats().hits, 0, "cold cache");
-    let (second, warmed) = session(&content, &view, 2_000).with_edge_cache(warmed).run_with_edge();
+    let (second, warmed) = session(&content, &view, 2_000)
+        .with_edge_cache(warmed)
+        .run_with_edge();
     assert!(second.completed());
     let stats = warmed.unwrap().cache.stats();
     // Deterministic simulator + same settings → identical request streams:
     // the second viewer hits on everything.
-    assert_eq!(stats.hits, cold_misses, "second viewer fully served from the edge");
+    assert_eq!(
+        stats.hits, cold_misses,
+        "second viewer fully served from the edge"
+    );
 }
 
 /// Muxed delivery with Shaka over H_all: zero imbalance even for a player
@@ -127,7 +139,11 @@ fn muxed_delivery_with_shaka() {
         .run();
     assert!(log.completed());
     assert_eq!(log.max_buffer_imbalance(), Duration::ZERO);
-    assert_eq!(log.transfers.len(), content.num_chunks(), "one flow per position");
+    assert_eq!(
+        log.transfers.len(),
+        content.num_chunks(),
+        "one flow per position"
+    );
 }
 
 /// Scale guard: a two-hour movie (1800 chunks) streams through the full
@@ -154,9 +170,14 @@ fn two_hour_movie_simulates_fast() {
         Duration::from_millis(20),
     );
     let config = PlayerConfig::default_chunked(content.chunk_duration());
-    let log = Session::new(origin, link, Box::new(BestPracticePolicy::from_hls(&view)), config)
-        .with_deadline(abr_unmuxed::event::time::Instant::from_secs(30_000))
-        .run();
+    let log = Session::new(
+        origin,
+        link,
+        Box::new(BestPracticePolicy::from_hls(&view)),
+        config,
+    )
+    .with_deadline(abr_unmuxed::event::time::Instant::from_secs(30_000))
+    .run();
     assert!(log.completed());
     assert_eq!(log.transfers.len(), 3600);
     assert_eq!(log.stall_count(), 0);

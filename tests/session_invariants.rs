@@ -13,10 +13,10 @@ use abr_unmuxed::media::units::{BitsPerSec, Bytes};
 use abr_unmuxed::net::link::Link;
 use abr_unmuxed::net::trace::Trace;
 use abr_unmuxed::player::config::{PlayerConfig, SyncMode};
-use abr_unmuxed::player::session::{DeliveryMode, PlaylistFetch};
 use abr_unmuxed::player::policy::AbrPolicy;
-use abr_unmuxed::player::SessionLog;
+use abr_unmuxed::player::session::{DeliveryMode, PlaylistFetch};
 use abr_unmuxed::player::Session;
+use abr_unmuxed::player::SessionLog;
 use proptest::prelude::*;
 
 fn any_policy(which: u8, content: &Content) -> Box<dyn AbrPolicy> {
@@ -49,7 +49,11 @@ fn check_invariants_modal(log: &SessionLog, content: &Content, muxed: bool) {
         };
         assert_eq!(chunks, sorted, "{media} chunks fetched in order");
         chunks.dedup();
-        assert_eq!(chunks.len(), log.selections_for(media).count(), "no duplicate fetches");
+        assert_eq!(
+            chunks.len(),
+            log.selections_for(media).count(),
+            "no duplicate fetches"
+        );
     }
     // 2. Transfer sizes match the content model exactly (chunk body plus
     //    the 320-byte header overhead these sessions configure). Muxed
@@ -67,9 +71,7 @@ fn check_invariants_modal(log: &SessionLog, content: &Content, muxed: bool) {
             let a = audio[t.chunk].expect("audio selected for the position");
             assert_eq!(
                 t.size,
-                content.chunk_size(t.track, t.chunk)
-                    + content.chunk_size(a, t.chunk)
-                    + Bytes(320),
+                content.chunk_size(t.track, t.chunk) + content.chunk_size(a, t.chunk) + Bytes(320),
                 "muxed size conservation"
             );
         }
@@ -94,8 +96,14 @@ fn check_invariants_modal(log: &SessionLog, content: &Content, muxed: bool) {
     if let Some(ended) = log.ended_at {
         assert!(log.completed());
         assert!(ended <= log.finished_at);
-        assert_eq!(log.selections_for(MediaType::Audio).count(), content.num_chunks());
-        assert_eq!(log.selections_for(MediaType::Video).count(), content.num_chunks());
+        assert_eq!(
+            log.selections_for(MediaType::Audio).count(),
+            content.num_chunks()
+        );
+        assert_eq!(
+            log.selections_for(MediaType::Video).count(),
+            content.num_chunks()
+        );
     }
     // 5. Startup precedes every stall.
     if let (Some(start), Some(stall)) = (log.startup_at, log.stalls.first()) {

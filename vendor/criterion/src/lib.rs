@@ -1,0 +1,227 @@
+//! # mini-criterion — offline vendored stand-in for `criterion`
+//!
+//! This build environment has no crates-io access, so the workspace vendors
+//! a minimal wall-clock benchmark harness under the `criterion` name. It
+//! keeps the call-site surface this workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], `criterion_group!` /
+//! `criterion_main!` — and reports median / mean / min per benchmark on
+//! stdout. There are no statistical comparisons, plots or saved baselines.
+//!
+//! Benchmarks honour the standard libtest-style filter: `cargo bench foo`
+//! runs only benchmarks whose `group/name` id contains `foo`, and
+//! `--test`-mode flags passed by `cargo test --benches` (`--include-ignored`
+//! etc.) are ignored.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites may use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, passed to every target function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        // `cargo bench` passes --bench; without it (e.g. `cargo test` running
+        // a harness=false bench target) run each routine once, like criterion.
+        let test_mode = !args.iter().any(|a| a == "--bench");
+        Criterion {
+            filter,
+            sample_size: 60,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, routine: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        self.run_one(name, sample_size, routine);
+    }
+
+    fn run_one(&mut self, id: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let (sample_size, warmup) = if self.test_mode {
+            (1, 0)
+        } else {
+            (sample_size, 3)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            warmup,
+        };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("{id}: ok");
+        } else {
+            report(id, &mut bencher.samples);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, routine: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(&id, sample_size, routine);
+    }
+
+    /// Finishes the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warmup: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration sample per invocation after
+    /// a short warm-up.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.warmup {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{id:<50} (routine never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{id:<50} median {} | mean {} | min {} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark target functions under one name (API parity with
+/// criterion; the name is just an identifier for [`criterion_main!`]).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_honour_sample_size() {
+        let mut criterion = Criterion {
+            filter: None,
+            sample_size: 60,
+            test_mode: false,
+        };
+        let mut ran = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(5);
+            group.bench_function("count_calls", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        // 3 warm-up + 5 timed invocations.
+        assert_eq!(ran, 8);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut criterion = Criterion {
+            filter: Some("nomatch".into()),
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut ran = false;
+        criterion.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything usable as a collection length specification.
+pub trait SizeRange {
+    /// Picks a length from this specification.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.next_in_range(self.start as u64, self.end as u64) as usize
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.next_in_range(*self.start() as u64, *self.end() as u64 + 1) as usize
+    }
+}
+
+/// A strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_follow_spec() {
+        let mut rng = TestRng::from_name("vec_lengths");
+        let bounded = vec(0u64..5, 2..6);
+        let inclusive = vec(0u64..5, 1..=3);
+        for _ in 0..200 {
+            let v = bounded.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let w = inclusive.generate(&mut rng);
+            assert!((1..=3).contains(&w.len()));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! # mini-proptest — offline vendored stand-in for `proptest`
+//!
+//! This build environment has no crates-io access, so the workspace vendors
+//! a minimal property-testing harness under the `proptest` name. It keeps
+//! the call-site surface this workspace uses — `proptest!`, `prop_assert*`,
+//! `any::<T>()`, range and tuple strategies, `proptest::collection::vec`,
+//! `.prop_map(..)` and `ProptestConfig::with_cases` — but generates inputs
+//! with a deterministic per-test RNG and has **no shrinking**: a failing
+//! case panics with the standard assertion message instead of a minimized
+//! counterexample.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (deterministic per test name; no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let run = || -> Result<(), String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(msg) = run() {
+                    panic!("proptest case {case}/{} failed: {msg}", config.cases);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside `proptest!`, reporting the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u64> {
+        (1u64..100).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_stay_in_bounds(n in 5u64..10, x in 0.0f64..1.0, k in 1usize..=4) {
+            prop_assert!((5..10).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..=4).contains(&k));
+        }
+
+        fn tuples_and_any(pair in (1u32..5, any::<bool>()), seed in any::<u64>()) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 5);
+            prop_assert_eq!(seed, seed);
+        }
+
+        fn vec_and_prop_map(
+            v in crate::collection::vec((1u64..30, 0u64..5_000), 1..12),
+            d in doubled(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert_eq!(d % 2, 0);
+            prop_assert_ne!(d, 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("same");
+        let mut b = crate::test_runner::TestRng::from_name("same");
+        let strat = crate::collection::vec(0u64..1000, 3..20);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

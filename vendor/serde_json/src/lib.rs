@@ -1,0 +1,198 @@
+//! # mini-serde_json — offline vendored stand-in for `serde_json`
+//!
+//! JSON text formatting and parsing over the vendored mini-`serde` data
+//! model ([`Value`]). Implements the surface this workspace uses: the
+//! [`json!`] macro (string-literal keys, arbitrary expression values),
+//! [`to_string`] / [`to_string_pretty`], and [`from_str`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use serde::value::{Map, Number, Value};
+
+mod parse;
+
+pub use parse::from_str;
+
+/// Error type for serialization and parsing.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from JSON-ish syntax. Object keys must be string
+/// literals; values may be arbitrary expressions convertible via
+/// [`Value::from`] (nest further `json!` calls for literal sub-objects).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Converts any [`serde::Serialize`] value into the [`Value`] data model
+/// (what `serde_json::to_value` does upstream; also backs the [`json!`]
+/// macro, so its operands may be owned values or references).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+                write_value(o, x, indent, d)
+            })
+        }
+        Value::Object(map) => write_seq(
+            out,
+            map.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), d| {
+                write_escaped(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(out, indent, depth + 1);
+        write_item(out, item, depth + 1);
+    }
+    if !empty {
+        newline(out, indent, depth);
+    }
+    out.push(brackets.1);
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_arrays_exprs() {
+        let n = 3u64;
+        let v = json!({
+            "a": n,
+            "b": [1, 2, 3],
+            "c": "text".to_string(),
+            "nested": json!({ "x": 1.5 }),
+            "opt": None::<u64>,
+        });
+        assert_eq!(v["a"], json!(3));
+        assert_eq!(v["b"][2], json!(3));
+        assert_eq!(v["nested"]["x"].as_f64(), Some(1.5));
+        assert!(v["opt"].is_null());
+    }
+
+    #[test]
+    fn compact_and_pretty_text() {
+        let v = json!({ "b": [1, 2], "a": "x\"y" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":"x\"y","b":[1,2]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": \"x\\\"y\""));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({
+            "a": json!([json!(1), json!(-2), json!(2.5), json!(true), json!(null), json!("s")]),
+            "o": json!({"k": "v"}),
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+}
