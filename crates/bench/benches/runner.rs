@@ -1,0 +1,44 @@
+//! Criterion benches for the parallel sweep runner: the same work at
+//! `jobs = 1` vs `jobs = cores`, so `cargo bench` tracks the speedup the
+//! worker pool buys (and its overhead on single-core hosts). The
+//! correctness half — byte-identical output at every jobs value — lives
+//! in `tests/parallel_determinism.rs`; this file only times it.
+
+use abr_bench::experiments::{all_ids, run_jobs};
+use abr_bench::runner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+    let cores = runner::available_cores();
+    // Always bench the threaded path, even on one core (overhead check).
+    let levels = if cores > 1 { [1, cores] } else { [1, 2] };
+    for jobs in levels {
+        let name = format!("exp-all-jobs{jobs}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let ids = all_ids();
+                let lens = runner::run_indexed(ids.len(), jobs, |i| {
+                    run_jobs(black_box(ids[i]), 1)
+                        .expect("known experiment id")
+                        .text
+                        .len()
+                });
+                black_box(lens.iter().sum::<usize>())
+            })
+        });
+        let name = format!("bp1-sweep-jobs{jobs}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let result = run_jobs(black_box("bp1"), jobs).expect("bp1 exists");
+                black_box(result.text.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -1,18 +1,28 @@
 //! Experiment runner CLI.
 //!
 //! ```text
-//! exp --list            list experiment ids
-//! exp --id f4a          run one experiment, print the regenerated figure
-//! exp --all [--json D]  run everything; optionally write JSON to dir D
+//! exp --list                     list experiment ids
+//! exp --id f4a                   run one experiment, print the figure
+//! exp --all [--json D]           run everything; optionally write JSON to D
+//! exp --all --jobs 4             ... sharded over 4 workers (same bytes)
 //!
-//! Observability (single-session experiments only, with --id):
+//! Observability (with --id):
 //! exp --id f4b --trace out.jsonl    write the event trace as JSONL
 //! exp --id f4b --chrome out.json    write a Chrome trace_event document
 //! exp --id f4b --metrics            print the metrics registry summary
+//! exp --id bp1 --trace bp1.trace.jsonl --jobs 4
+//!     sweeps write one file per session: bp1.0.trace.jsonl, bp1.1... —
+//!     identical at every --jobs value (runner determinism contract)
 //! ```
+//!
+//! `--jobs N` shards work across `min(N, cores)` workers. The default
+//! comes from the `ABR_JOBS` environment variable (else 1, fully serial).
+//! Output is byte-identical regardless of the worker count; the
+//! `parallel_determinism` integration suite holds that contract.
 
-use abr_bench::experiments::{all_ids, run, traced_session};
+use abr_bench::experiments::{all_ids, run_jobs, traced_sessions, ExperimentResult};
 use abr_bench::report::table;
+use abr_bench::runner;
 use std::io::Write as _;
 
 fn main() {
@@ -24,6 +34,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut metrics = false;
+    let mut jobs = runner::jobs_from_env();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +73,16 @@ fn main() {
                 );
             }
             "--metrics" => metrics = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--jobs needs a value"))
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+            }
             other => usage(&format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -91,8 +112,17 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create json dir");
     }
 
-    for id in ids {
-        let Some(result) = run(id) else {
+    // `--all` shards across experiment ids (each internally serial, to
+    // avoid nested pools); `--id` shards within the experiment's own
+    // sweep. Results come back in id order either way.
+    let results: Vec<Option<ExperimentResult>> = if run_all {
+        runner::run_indexed(ids.len(), jobs, |i| run_jobs(ids[i], 1))
+    } else {
+        ids.iter().map(|id| run_jobs(id, jobs)).collect()
+    };
+
+    for (id, result) in ids.iter().zip(results) {
+        let Some(result) = result else {
             eprintln!("unknown experiment `{id}`; try --list");
             std::process::exit(2);
         };
@@ -110,43 +140,71 @@ fn main() {
             println!("[json written to {path}]\n");
         }
         if wants_obs {
-            let Some((_log, events, snapshot)) = traced_session(id) else {
+            let Some(outcomes) = traced_sessions(id, jobs) else {
                 eprintln!(
-                    "experiment `{id}` is a table or multi-session sweep; \
-                     no single session to trace"
+                    "experiment `{id}` is a pure table or shares state across \
+                     sessions; nothing to trace"
                 );
                 std::process::exit(2);
             };
-            if let Some(path) = &trace_path {
-                if let Err(e) = std::fs::write(path, abr_obs::export::to_jsonl(&events)) {
-                    eprintln!("error: cannot write trace to `{path}`: {e}");
-                    std::process::exit(1);
+            let multi = outcomes.len() > 1;
+            for (n, outcome) in outcomes.iter().enumerate() {
+                if let Some(path) = &trace_path {
+                    let path = session_path(path, n, multi);
+                    if let Err(e) =
+                        std::fs::write(&path, abr_obs::export::to_jsonl(&outcome.events))
+                    {
+                        eprintln!("error: cannot write trace to `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "[{} events ({}) written to {path}]",
+                        outcome.events.len(),
+                        outcome.label
+                    );
                 }
-                println!("[{} events written to {path}]", events.len());
-            }
-            if let Some(path) = &chrome_path {
-                if let Err(e) = std::fs::write(path, abr_obs::export::to_chrome_trace(&events)) {
-                    eprintln!("error: cannot write chrome trace to `{path}`: {e}");
-                    std::process::exit(1);
+                if let Some(path) = &chrome_path {
+                    let path = session_path(path, n, multi);
+                    if let Err(e) =
+                        std::fs::write(&path, abr_obs::export::to_chrome_trace(&outcome.events))
+                    {
+                        eprintln!("error: cannot write chrome trace to `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("[chrome trace ({}) written to {path}]", outcome.label);
                 }
-                println!("[chrome trace written to {path}]");
             }
             if metrics {
-                let rows: Vec<Vec<String>> = snapshot
-                    .rows()
-                    .into_iter()
-                    .map(|(k, v)| vec![k, v])
-                    .collect();
+                let merged = runner::merged_metrics(&outcomes);
+                let rows: Vec<Vec<String>> =
+                    merged.rows().into_iter().map(|(k, v)| vec![k, v]).collect();
                 println!("{}", table(&["Metric", "Value"], &rows));
             }
         }
     }
 }
 
+/// Per-session artifact path for sweeps: inserts the session index after
+/// the file stem, `results/bp1.trace.jsonl` → `results/bp1.0.trace.jsonl`.
+/// Single-session experiments keep the path exactly as given.
+fn session_path(path: &str, n: usize, multi: bool) -> String {
+    if !multi {
+        return path.to_string();
+    }
+    let (dir, file) = match path.rfind('/') {
+        Some(cut) => (&path[..=cut], &path[cut + 1..]),
+        None => ("", path),
+    };
+    match file.find('.') {
+        Some(dot) => format!("{dir}{}.{n}{}", &file[..dot], &file[dot..]),
+        None => format!("{dir}{file}.{n}"),
+    }
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: exp (--list | --id <experiment> | --all) [--json <dir>]\n\
+        "usage: exp (--list | --id <experiment> | --all) [--json <dir>] [--jobs <n>]\n\
          \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]  (with --id)"
     );
     std::process::exit(2);

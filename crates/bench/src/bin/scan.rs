@@ -1,4 +1,8 @@
 //! Seed scan helper for trace calibration (not part of the experiment set).
+//!
+//! `scan [--jobs N]` shards the seed sweep across workers via the
+//! deterministic runner; output lines stay in seed order at any N.
+use abr_bench::runner;
 use abr_bench::setup::*;
 use abr_core::ExoPlayerPolicy;
 use abr_event::time::Duration;
@@ -6,8 +10,11 @@ use abr_media::units::BitsPerSec;
 use abr_net::trace::Trace;
 
 fn main() {
+    let jobs = runner::jobs_from_args_or_env();
     let content = drama();
-    for seed in [0xF163u64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+    let seeds = [0xF163u64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+    let lines = runner::run_indexed(seeds.len(), jobs, |i| {
+        let seed = seeds[i];
         let trace = Trace::random_walk(
             BitsPerSec::from_kbps(600),
             BitsPerSec::from_kbps(150),
@@ -24,13 +31,16 @@ fn main() {
         let view = hls_sub_view(&content, &[2, 0, 1]);
         let policy = ExoPlayerPolicy::hls(&view);
         let log = run_session(&content, PlayerKind::ExoPlayer, Box::new(policy), trace);
-        println!(
+        format!(
             "seed {seed:#x}: mean(0-400s)={} stalls={} rebuf={:.1}s finished={:.0}s completed={}",
             mean.kbps(),
             log.stall_count(),
             log.total_stall().as_secs_f64(),
             log.finished_at.as_secs_f64(),
             log.completed()
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

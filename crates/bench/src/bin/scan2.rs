@@ -1,4 +1,8 @@
 //! Fluctuation-regime scan (calibration helper).
+//!
+//! `scan2 [--jobs N]` shards the seed sweep across workers via the
+//! deterministic runner; output lines stay in seed order at any N.
+use abr_bench::runner;
 use abr_bench::setup::*;
 use abr_core::{BestPracticePolicy, ShakaPolicy};
 use abr_event::time::Duration;
@@ -7,8 +11,11 @@ use abr_media::units::BitsPerSec;
 use abr_net::trace::Trace;
 
 fn main() {
+    let jobs = runner::jobs_from_args_or_env();
     let content = drama();
-    for seed in [1u64, 2, 3, 4, 5] {
+    let seeds = [1u64, 2, 3, 4, 5];
+    let lines = runner::run_indexed(seeds.len(), jobs, |i| {
+        let seed = seeds[i];
         let trace = Trace::random_walk(
             BitsPerSec::from_kbps(2200),
             BitsPerSec::from_kbps(1200),
@@ -34,9 +41,12 @@ fn main() {
         let sw = |l: &abr_player::SessionLog| {
             l.switch_count(MediaType::Video) + l.switch_count(MediaType::Audio)
         };
-        println!("seed {seed}: shaka sw={} stalls={} rebuf={:.1} | bp sw={} stalls={} rebuf={:.1} | qoe {:.2} vs {:.2}",
+        format!("seed {seed}: shaka sw={} stalls={} rebuf={:.1} | bp sw={} stalls={} rebuf={:.1} | qoe {:.2} vs {:.2}",
             sw(&shaka), shaka.stall_count(), shaka.total_stall().as_secs_f64(),
             sw(&bp), bp.stall_count(), bp.total_stall().as_secs_f64(),
-            abr_qoe::summarize(&shaka).score, abr_qoe::summarize(&bp).score);
+            abr_qoe::summarize(&shaka).score, abr_qoe::summarize(&bp).score)
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

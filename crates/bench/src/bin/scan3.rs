@@ -1,4 +1,8 @@
 //! BBA tail-behavior debug (calibration helper).
+//!
+//! Accepts `--jobs N` like the other scan binaries (a single session, so
+//! the runner degenerates to the serial path).
+use abr_bench::runner;
 use abr_bench::setup::*;
 use abr_core::BbaPolicy;
 use abr_media::track::MediaType;
@@ -6,14 +10,18 @@ use abr_media::units::BitsPerSec;
 use abr_net::trace::Trace;
 
 fn main() {
+    let jobs = runner::jobs_from_args_or_env();
     let content = drama();
-    let view = hls_sub_view(&content, &[0, 1, 2]);
-    let log = run_session(
-        &content,
-        PlayerKind::BestPractice,
-        Box::new(BbaPolicy::from_hls(&view)),
-        Trace::constant(BitsPerSec::from_kbps(8000)),
-    );
+    let logs = runner::run_indexed(1, jobs, |_| {
+        let view = hls_sub_view(&content, &[0, 1, 2]);
+        run_session(
+            &content,
+            PlayerKind::BestPractice,
+            Box::new(BbaPolicy::from_hls(&view)),
+            Trace::constant(BitsPerSec::from_kbps(8000)),
+        )
+    });
+    let log = &logs[0];
     let v = log.selected_tracks(MediaType::Video);
     println!("video tail: {:?}", &v[60..]);
     for s in log.buffer_samples.iter().rev().take(8) {

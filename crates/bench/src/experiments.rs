@@ -2,6 +2,7 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes.
 
 use crate::report::{ascii_plot, table, Series};
+use crate::runner::{self, SessionOutcome, SessionSpec};
 use crate::setup::*;
 use abr_core::{BestPracticePolicy, DashJsPolicy, ExoPlayerPolicy, ShakaPolicy};
 use abr_event::time::Duration;
@@ -39,8 +40,18 @@ pub fn all_ids() -> Vec<&'static str> {
     ]
 }
 
-/// Runs one experiment by id.
+/// Runs one experiment by id, with the worker count taken from the
+/// `ABR_JOBS` environment variable (default 1 — fully serial). CI runs
+/// the whole suite a second time under `ABR_JOBS=2`; results are
+/// byte-identical by the runner's determinism contract.
 pub fn run(id: &str) -> Option<ExperimentResult> {
+    run_jobs(id, runner::jobs_from_env())
+}
+
+/// Runs one experiment by id, sharding its internal session sweep (if it
+/// has one) across `min(jobs, cores)` workers. Output is byte-identical
+/// at every `jobs` value — `tests/parallel_determinism.rs` holds this.
+pub fn run_jobs(id: &str, jobs: usize) -> Option<ExperimentResult> {
     Some(match id {
         "t1" => t1(),
         "t2" => t2(),
@@ -50,37 +61,31 @@ pub fn run(id: &str) -> Option<ExperimentResult> {
         "f3a" => f3a(),
         "f3b" => f3b(),
         "f3x" => f3x(),
-        "f3fix" => f3fix(),
+        "f3fix" => f3fix(jobs),
         "f4a" => f4a(),
         "f4b" => f4b(),
         "f4x" => f4x(),
         "f5a" => f5a(),
         "f5b" => f5b(),
-        "bp1" => bp1(),
-        "bp2" => bp2(),
+        "bp1" => bp1(jobs),
+        "bp2" => bp2(jobs),
         "bp3" => bp3(),
-        "bp4" => bp4(),
-        "bp5" => bp5(),
+        "bp4" => bp4(jobs),
+        "bp5" => bp5(jobs),
         "m1" => m1(),
-        "m2" => m2(),
+        "m2" => m2(jobs),
         "m3" => m3(),
         _ => return None,
     })
 }
 
-/// Re-runs the single canonical session underlying an experiment with a
-/// recording tracer and metrics attached (the `exp --trace/--chrome/
-/// --metrics` path). Returns `None` for experiments that are pure tables
-/// or multi-session sweeps — there is no one session to trace.
-pub fn traced_session(
-    id: &str,
-) -> Option<(
-    SessionLog,
-    Vec<abr_obs::TracedEvent>,
-    abr_obs::MetricsSnapshot,
-)> {
-    Some(match id {
-        "f2a" | "f2b" => {
+/// One observed session of the canonical-figure set: runs the session
+/// named by `(id, arm)` under a deterministic recording `ObsHandle`.
+/// Everything is rebuilt inside the call (content, views, policy), so
+/// the function is a pure closure body for a [`SessionSpec`] job.
+fn observed_session(id: &str, arm: usize) -> SessionOutcome {
+    SessionOutcome::from_obs(match (id, arm) {
+        ("f2a", _) | ("f2b", _) => {
             let content = if id == "f2b" {
                 drama_high_audio()
             } else {
@@ -95,7 +100,7 @@ pub fn traced_session(
                 Trace::constant(BitsPerSec::from_kbps(900)),
             )
         }
-        "f3a" | "f3b" => {
+        ("f3a", _) | ("f3b", _) => {
             let content = drama();
             let view = hls_sub_view(&content, &[2, 0, 1]);
             let policy = ExoPlayerPolicy::hls(&view);
@@ -106,7 +111,7 @@ pub fn traced_session(
                 Trace::fig3_varying_600k(Duration::from_secs(3600)),
             )
         }
-        "f3x" => {
+        ("f3x", _) => {
             let content = drama();
             let view = hls_sub_view(&content, &[0, 1, 2]);
             let policy = ExoPlayerPolicy::hls(&view);
@@ -117,7 +122,40 @@ pub fn traced_session(
                 Trace::constant(BitsPerSec::from_kbps(5000)),
             )
         }
-        "f4a" => {
+        ("f3fix", arm) => {
+            use abr_manifest::build::build_master_playlist_ext;
+            use abr_manifest::view::BoundHls;
+            use abr_manifest::MasterPlaylist;
+            use abr_player::policy::AbrPolicy;
+
+            let content = drama();
+            let trace = Trace::fig3_varying_600k(Duration::from_secs(3600));
+            let stock_view = hls_sub_view(&content, &[2, 0, 1]);
+            let (kind, policy): (PlayerKind, Box<dyn AbrPolicy>) = match arm {
+                0 => (
+                    PlayerKind::ExoPlayer,
+                    Box::new(ExoPlayerPolicy::hls(&stock_view)),
+                ),
+                1 => {
+                    let combos = curated_subset(content.video(), content.audio());
+                    let ext_master = build_master_playlist_ext(&content, &combos, &[2, 0, 1]);
+                    let ext_view = BoundHls::from_master(
+                        &MasterPlaylist::parse(&ext_master.to_text()).expect("parses"),
+                    )
+                    .expect("binds");
+                    (
+                        PlayerKind::ExoPlayer,
+                        Box::new(ExoPlayerPolicy::hls_fixed(&ext_view).expect("extension present")),
+                    )
+                }
+                _ => (
+                    PlayerKind::BestPractice,
+                    Box::new(BestPracticePolicy::from_hls(&stock_view)),
+                ),
+            };
+            run_session_obs(&content, kind, policy, trace)
+        }
+        ("f4a", _) => {
             let content = drama();
             let view = hls_all_view(&content);
             let policy = ShakaPolicy::hls(&view);
@@ -128,7 +166,7 @@ pub fn traced_session(
                 Trace::constant(BitsPerSec::from_kbps(1000)),
             )
         }
-        "f4b" => {
+        ("f4b", _) => {
             let content = drama();
             let view = hls_all_view(&content);
             let policy = ShakaPolicy::hls(&view);
@@ -139,7 +177,7 @@ pub fn traced_session(
                 Trace::fig4b_varying_600k(Duration::from_secs(3600)),
             )
         }
-        "f5a" | "f5b" => {
+        ("f5a", _) | ("f5b", _) => {
             let content = drama();
             let view = dash_view(&content);
             let policy = DashJsPolicy::new(&view);
@@ -150,8 +188,110 @@ pub fn traced_session(
                 Trace::constant(BitsPerSec::from_kbps(700)),
             )
         }
+        ("bp1", arm) => {
+            let (_, trace, kind) = bp1_grid().swap_remove(arm);
+            let content = drama();
+            let policy = dash_policy(kind, &content);
+            run_session_obs(&content, kind, policy, trace)
+        }
+        ("bp5", arm) => {
+            let (_, trace, kind) = bp5_grid().swap_remove(arm);
+            let content = drama();
+            let policy = dash_policy(kind, &content);
+            run_session_obs(&content, kind, policy, trace)
+        }
+        _ => unreachable!("observed_session called with untraceable id {id}"),
+    })
+}
+
+/// The per-session specs behind an experiment's `--trace/--chrome/
+/// --metrics` path, in a stable authored order. Single-session figures
+/// yield one spec; the sweep experiments (`f3fix`, `bp1`, `bp5`) yield
+/// one spec per grid cell so tracing a sweep writes per-session files.
+/// Returns `None` for pure tables and for the stateful experiments
+/// (`bp3`, `m1`, `m3`) whose sessions share cache/storage state and
+/// cannot be observed independently.
+pub fn session_specs(id: &str) -> Option<Vec<SessionSpec>> {
+    fn single(id: &'static str, label: &str) -> Vec<SessionSpec> {
+        vec![SessionSpec::new(
+            format!("{id}/{label}"),
+            SEED,
+            0,
+            move |_rng| observed_session(id, 0),
+        )]
+    }
+    Some(match id {
+        "f2a" => single("f2a", "exoplayer-dash-900k"),
+        "f2b" => single("f2b", "exoplayer-dash-900k"),
+        "f3a" => single("f3a", "exoplayer-hls-varying600k"),
+        "f3b" => single("f3b", "exoplayer-hls-varying600k"),
+        "f3x" => single("f3x", "exoplayer-hls-5m"),
+        "f4a" => single("f4a", "shaka-hls-1m"),
+        "f4b" => single("f4b", "shaka-hls-varying600k"),
+        "f5a" => single("f5a", "dashjs-700k"),
+        "f5b" => single("f5b", "dashjs-700k"),
+        "f3fix" => ["stock-exoplayer-hls", "exoplayer-hls-fixed", "bestpractice"]
+            .iter()
+            .enumerate()
+            .map(|(arm, name)| {
+                SessionSpec::new(format!("f3fix/{name}"), SEED, arm as u64, move |_rng| {
+                    observed_session("f3fix", arm)
+                })
+            })
+            .collect(),
+        "bp1" => bp1_grid()
+            .into_iter()
+            .enumerate()
+            .map(|(arm, (tname, _, kind))| {
+                SessionSpec::new(
+                    format!("bp1/{tname}/{kind:?}"),
+                    SEED,
+                    arm as u64,
+                    move |_rng| observed_session("bp1", arm),
+                )
+            })
+            .collect(),
+        "bp5" => bp5_grid()
+            .into_iter()
+            .enumerate()
+            .map(|(arm, (tname, _, kind))| {
+                SessionSpec::new(
+                    format!("bp5/{tname}/{kind:?}"),
+                    SEED,
+                    arm as u64,
+                    move |_rng| observed_session("bp5", arm),
+                )
+            })
+            .collect(),
         _ => return None,
     })
+}
+
+/// Runs an experiment's traceable sessions (see [`session_specs`]) across
+/// `min(jobs, cores)` workers; outcomes come back in spec order, so the
+/// emitted per-session artifacts are identical at every `jobs` value.
+pub fn traced_sessions(id: &str, jobs: usize) -> Option<Vec<SessionOutcome>> {
+    let specs = session_specs(id)?;
+    Some(runner::run_specs(&specs, jobs))
+}
+
+/// Re-runs the single canonical session underlying an experiment with a
+/// recording tracer and metrics attached. Returns `None` for experiments
+/// that are pure tables or multi-session sweeps — for those, use
+/// [`traced_sessions`], which traces every session of the sweep.
+pub fn traced_session(
+    id: &str,
+) -> Option<(
+    SessionLog,
+    Vec<abr_obs::TracedEvent>,
+    abr_obs::MetricsSnapshot,
+)> {
+    let specs = session_specs(id)?;
+    if specs.len() != 1 {
+        return None;
+    }
+    let outcome = specs[0].run();
+    Some((outcome.log, outcome.events, outcome.metrics))
 }
 
 // ---------------------------------------------------------------------
@@ -538,10 +678,11 @@ fn f3x() -> ExperimentResult {
 /// HLS (pinned audio) versus (a) the repaired HLS path fed per-track
 /// bitrates via the proposed master-playlist extension and (b) the
 /// best-practice player on the same manifest.
-fn f3fix() -> ExperimentResult {
+fn f3fix(jobs: usize) -> ExperimentResult {
     use abr_manifest::build::build_master_playlist_ext;
     use abr_manifest::view::BoundHls;
     use abr_manifest::MasterPlaylist;
+    use abr_player::policy::AbrPolicy;
 
     let content = drama();
     let trace = Trace::fig3_varying_600k(Duration::from_secs(3600));
@@ -554,38 +695,33 @@ fn f3fix() -> ExperimentResult {
         BoundHls::from_master(&MasterPlaylist::parse(&ext_master.to_text()).expect("parses"))
             .expect("binds");
 
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    let runs: Vec<(&str, abr_player::SessionLog)> = vec![
+    type PolicyThunk<'a> = Box<dyn Fn() -> Box<dyn AbrPolicy> + Send + Sync + 'a>;
+    let arms: Vec<(&'static str, PlayerKind, PolicyThunk<'_>)> = vec![
         (
             "stock exoplayer-hls",
-            run_session(
-                &content,
-                PlayerKind::ExoPlayer,
-                Box::new(ExoPlayerPolicy::hls(&stock_view)),
-                trace.clone(),
-            ),
+            PlayerKind::ExoPlayer,
+            Box::new(|| Box::new(ExoPlayerPolicy::hls(&stock_view)) as Box<dyn AbrPolicy>),
         ),
         (
             "exoplayer-hls-fixed (§4.1 ext)",
-            run_session(
-                &content,
-                PlayerKind::ExoPlayer,
-                Box::new(ExoPlayerPolicy::hls_fixed(&ext_view).expect("extension present")),
-                trace.clone(),
-            ),
+            PlayerKind::ExoPlayer,
+            Box::new(|| {
+                Box::new(ExoPlayerPolicy::hls_fixed(&ext_view).expect("extension present"))
+                    as Box<dyn AbrPolicy>
+            }),
         ),
         (
             "bestpractice (same manifest)",
-            run_session(
-                &content,
-                PlayerKind::BestPractice,
-                Box::new(BestPracticePolicy::from_hls(&stock_view)),
-                trace,
-            ),
+            PlayerKind::BestPractice,
+            Box::new(|| Box::new(BestPracticePolicy::from_hls(&stock_view)) as Box<dyn AbrPolicy>),
         ),
     ];
-    for (label, log) in &runs {
+    let logs = runner::run_indexed(arms.len(), jobs, |i| {
+        run_session(&content, arms[i].1, (arms[i].2)(), trace.clone())
+    });
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for ((label, _, _), log) in arms.iter().zip(&logs) {
         let q = abr_qoe::summarize(log);
         let audio_used: Vec<String> = log
             .distinct_tracks(MediaType::Audio)
@@ -897,10 +1033,11 @@ fn f5b() -> ExperimentResult {
 // Best practices (§4) — the paper's future work, evaluated
 // ---------------------------------------------------------------------
 
-/// BP1: the four policies over DASH on four traces; QoE table.
-fn bp1() -> ExperimentResult {
-    let content = drama();
-    let traces: Vec<(&str, Trace)> = vec![
+/// The BP1 sweep grid — `(trace name, trace, player kind)` in row order.
+/// Shared by the table generator and the traced-session path so both
+/// enumerate exactly the same sessions.
+fn bp1_grid() -> Vec<(&'static str, Trace, PlayerKind)> {
+    let traces: Vec<(&'static str, Trace)> = vec![
         ("700k fixed", Trace::constant(BitsPerSec::from_kbps(700))),
         ("900k fixed", Trace::constant(BitsPerSec::from_kbps(900))),
         ("1M fixed", Trace::constant(BitsPerSec::from_kbps(1000))),
@@ -917,14 +1054,31 @@ fn bp1() -> ExperimentResult {
         PlayerKind::Mpc,
         PlayerKind::BestPractice,
     ];
+    let mut grid = Vec::new();
+    for (tname, trace) in &traces {
+        for kind in kinds {
+            grid.push((*tname, trace.clone(), kind));
+        }
+    }
+    grid
+}
+
+/// BP1: the four policies over DASH on four traces; QoE table.
+fn bp1(jobs: usize) -> ExperimentResult {
+    let content = drama();
+    let grid = bp1_grid();
+    let logs = runner::run_indexed(grid.len(), jobs, |i| {
+        let (_, trace, kind) = &grid[i];
+        run_session(&content, *kind, dash_policy(*kind, &content), trace.clone())
+    });
     let allowed = curated_subset(content.video(), content.audio());
     let mut rows = Vec::new();
     let mut jrows = Vec::new();
-    for (tname, trace) in &traces {
-        for kind in kinds {
-            let log = run_session(&content, kind, dash_policy(kind, &content), trace.clone());
-            let q = abr_qoe::summarize(&log);
-            let off = abr_qoe::off_manifest_chunks(&log, &allowed);
+    for ((tname, _, _), log) in grid.iter().zip(&logs) {
+        {
+            let tname = *tname;
+            let q = abr_qoe::summarize(log);
+            let off = abr_qoe::off_manifest_chunks(log, &allowed);
             rows.push(vec![
                 tname.to_string(),
                 q.policy.clone(),
@@ -976,13 +1130,11 @@ fn bp1() -> ExperimentResult {
 
 /// BP2: ablation of §4.2 chunk-level prefetch balancing — the
 /// best-practice policy with synchronized vs independent pipelines.
-fn bp2() -> ExperimentResult {
+fn bp2(jobs: usize) -> ExperimentResult {
     let content = drama();
     let view = hls_sub_view(&content, &[0, 1, 2]);
     let trace = Trace::fig3_varying_600k(Duration::from_secs(3600));
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (label, sync) in [
+    let modes = [
         (
             "chunk-level sync",
             SyncMode::ChunkLevel {
@@ -990,14 +1142,19 @@ fn bp2() -> ExperimentResult {
             },
         ),
         ("independent", SyncMode::Independent),
-    ] {
+    ];
+    let logs = runner::run_indexed(modes.len(), jobs, |i| {
         let policy = Box::new(BestPracticePolicy::from_hls(&view));
         let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
         let link = abr_net::link::Link::with_latency(trace.clone(), Duration::from_millis(20));
         let mut config = player_config(PlayerKind::BestPractice, content.chunk_duration());
-        config.sync = sync;
-        let log = abr_player::Session::new(origin, link, policy, config).run();
-        let q = abr_qoe::summarize(&log);
+        config.sync = modes[i].1;
+        abr_player::Session::new(origin, link, policy, config).run()
+    });
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for ((label, _), log) in modes.iter().zip(&logs) {
+        let q = abr_qoe::summarize(log);
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", q.score),
@@ -1091,27 +1248,30 @@ fn bp3() -> ExperimentResult {
 /// BP4: §4.1 footnote 2 — "we suggest avoiding the practice of 'lazy'
 /// fetching". Preloaded vs eager vs lazy playlist fetching, same policy,
 /// same trace, on a high-latency (200 ms) link where round trips matter.
-fn bp4() -> ExperimentResult {
+fn bp4(jobs: usize) -> ExperimentResult {
     use abr_player::session::PlaylistFetch;
 
     let content = drama();
     let view = hls_sub_view(&content, &[0, 1, 2]);
     let trace = Trace::fig3_varying_600k(Duration::from_secs(3600));
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (label, mode) in [
+    let modes = [
         ("preloaded (out-of-band)", PlaylistFetch::Preloaded),
         ("eager (§4.1 suggestion)", PlaylistFetch::Eager),
         ("lazy (§4.1 warns against)", PlaylistFetch::Lazy),
-    ] {
+    ];
+    let logs = runner::run_indexed(modes.len(), jobs, |i| {
         let policy = Box::new(BestPracticePolicy::from_hls(&view));
         let origin = Origin::with_overhead(content.clone(), Bytes(320));
         let link = abr_net::link::Link::with_latency(trace.clone(), Duration::from_millis(200));
         let config = player_config(PlayerKind::BestPractice, content.chunk_duration());
-        let log = abr_player::Session::new(origin, link, policy, config)
-            .with_playlist_fetch(mode, abr_manifest::build::Packaging::SingleFile)
-            .run();
-        let q = abr_qoe::summarize(&log);
+        abr_player::Session::new(origin, link, policy, config)
+            .with_playlist_fetch(modes[i].1, abr_manifest::build::Packaging::SingleFile)
+            .run()
+    });
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for ((label, _), log) in modes.iter().zip(&logs) {
+        let q = abr_qoe::summarize(log);
         rows.push(vec![
             label.to_string(),
             log.playlist_fetches.len().to_string(),
@@ -1272,26 +1432,29 @@ fn m1() -> ExperimentResult {
 /// coordination problem entirely: one flow per position, buffers in
 /// lockstep, whole-link visibility for per-flow estimators. Same Shaka
 /// policy, same 2 Mbps link, both delivery modes.
-fn m2() -> ExperimentResult {
+fn m2(jobs: usize) -> ExperimentResult {
     use abr_player::session::DeliveryMode;
 
     let content = drama();
     let view = hls_all_view(&content);
     let trace = Trace::constant(BitsPerSec::from_kbps(2_000));
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
-    for (label, mode) in [
+    let modes = [
         ("demuxed", DeliveryMode::Demuxed),
         ("muxed", DeliveryMode::Muxed),
-    ] {
+    ];
+    let logs = runner::run_indexed(modes.len(), jobs, |i| {
         let policy = Box::new(ShakaPolicy::hls(&view));
         let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
         let link = abr_net::link::Link::with_latency(trace.clone(), Duration::from_millis(20));
         let config = player_config(PlayerKind::Shaka, content.chunk_duration());
-        let log = abr_player::Session::new(origin, link, policy, config)
-            .with_delivery(mode)
-            .run();
-        let q = abr_qoe::summarize(&log);
+        abr_player::Session::new(origin, link, policy, config)
+            .with_delivery(modes[i].1)
+            .run()
+    });
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for ((label, _), log) in modes.iter().zip(&logs) {
+        let q = abr_qoe::summarize(log);
         let final_estimate = log
             .transfers
             .last()
@@ -1442,8 +1605,9 @@ fn m3() -> ExperimentResult {
 /// (DSL, LTE walk, congested HSPA, bus commute, elevator outage, and the
 /// two paper profiles). One row per (profile, policy); the compact score
 /// column is what a regression dashboard would track.
-fn bp5() -> ExperimentResult {
-    let content = drama();
+/// The BP5 sweep grid — every named corpus profile × every policy, in row
+/// order. Shared by the table generator and the traced-session path.
+fn bp5_grid() -> Vec<(&'static str, Trace, PlayerKind)> {
     let kinds = [
         PlayerKind::ExoPlayer,
         PlayerKind::Shaka,
@@ -1452,30 +1616,44 @@ fn bp5() -> ExperimentResult {
         PlayerKind::Mpc,
         PlayerKind::BestPractice,
     ];
-    let mut rows = Vec::new();
-    let mut jrows = Vec::new();
+    let mut grid = Vec::new();
     for (name, trace) in abr_net::corpus::all(Duration::from_secs(3600), SEED) {
         for kind in kinds {
-            let log = run_session(&content, kind, dash_policy(kind, &content), trace.clone());
-            let q = abr_qoe::summarize(&log);
-            rows.push(vec![
-                name.to_string(),
-                q.policy.clone(),
-                format!("{:.2}", q.score),
-                q.stall_count.to_string(),
-                format!("{:.1}", q.total_stall.as_secs_f64()),
-                q.mean_video_kbps.to_string(),
-                q.mean_audio_kbps.to_string(),
-                (q.video_switches + q.audio_switches).to_string(),
-            ]);
-            jrows.push(json!({
-                "trace": name,
-                "policy": q.policy,
-                "score": q.score,
-                "stalls": q.stall_count,
-                "total_stall_s": q.total_stall.as_secs_f64(),
-            }));
+            grid.push((name, trace.clone(), kind));
         }
+    }
+    grid
+}
+
+fn bp5(jobs: usize) -> ExperimentResult {
+    let content = drama();
+    let grid = bp5_grid();
+    let logs = runner::run_indexed(grid.len(), jobs, |i| {
+        let (_, trace, kind) = &grid[i];
+        run_session(&content, *kind, dash_policy(*kind, &content), trace.clone())
+    });
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for ((name, _, _), log) in grid.iter().zip(&logs) {
+        let name = *name;
+        let q = abr_qoe::summarize(log);
+        rows.push(vec![
+            name.to_string(),
+            q.policy.clone(),
+            format!("{:.2}", q.score),
+            q.stall_count.to_string(),
+            format!("{:.1}", q.total_stall.as_secs_f64()),
+            q.mean_video_kbps.to_string(),
+            q.mean_audio_kbps.to_string(),
+            (q.video_switches + q.audio_switches).to_string(),
+        ]);
+        jrows.push(json!({
+            "trace": name,
+            "policy": q.policy,
+            "score": q.score,
+            "stalls": q.stall_count,
+            "total_stall_s": q.total_stall.as_secs_f64(),
+        }));
     }
     let text = table(
         &[

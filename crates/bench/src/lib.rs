@@ -10,9 +10,14 @@
 //! * [`report`] — fixed-width tables and ASCII time-series plots.
 //! * [`experiments`] — one function per experiment id (`t1`…`m1`);
 //!   [`experiments::run`] dispatches by id, the `exp` binary is the CLI.
+//! * [`runner`] — the deterministic parallel sweep engine: a scoped-thread
+//!   worker pool that shards session specs across `min(jobs, cores)`
+//!   workers and merges results in spec order, proven bit-identical to
+//!   serial by `tests/parallel_determinism.rs`.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 pub mod setup;

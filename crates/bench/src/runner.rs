@@ -1,0 +1,303 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every multi-session artifact in this repo (the `exp --all` set, the
+//! BP sweeps, the scan binaries, the Criterion groups) is a pure function
+//! of its session specs: content synthesis, traces and policies all seed
+//! their own RNG streams, and the simulated clock never observes the host.
+//! That makes wall-clock parallelism safe *if and only if* two rules hold,
+//! and this module is the one place they are enforced (DESIGN.md §10):
+//!
+//! 1. **Seed derivation is scheduling-blind.** A session's random stream
+//!    is [`SplitMix64::for_stream`]`(spec.seed, spec.stream)` — a pure
+//!    function of the spec, never of worker identity, pool size or the
+//!    order in which workers claim work.
+//! 2. **Results merge in spec order.** Workers return `(index, outcome)`
+//!    through a channel; the pool re-assembles the output vector by index,
+//!    so downstream tables, JSON artifacts and merged metrics are
+//!    byte-identical at any `--jobs` value.
+//!
+//! The pool is `std::thread::scope` over `min(jobs, cores)` workers
+//! pulling indices from an atomic counter — no dependencies, no work
+//! stealing, no ordering hazards. `tests/parallel_determinism.rs` holds
+//! the contract: representative experiments run at `--jobs 1/2/8` must
+//! produce identical `SessionLog`s, JSON artifacts and merged metrics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use abr_event::rng::SplitMix64;
+use abr_obs::{MetricsSnapshot, TracedEvent};
+use abr_player::SessionLog;
+
+/// Number of cores the host exposes (at least 1).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count to `min(jobs, cores)`, floor 1. Use
+/// this when *defaulting* a jobs value; [`run_indexed`] honors an
+/// explicit request above the core count (the OS time-slices, and by the
+/// determinism contract the output cannot depend on worker count — that
+/// is also what lets the differential suite exercise real thread
+/// interleavings on single-core CI runners).
+pub fn effective_jobs(requested: usize) -> usize {
+    requested.clamp(1, available_cores())
+}
+
+/// The default worker count: the `ABR_JOBS` environment variable when set
+/// to a positive integer, else 1 (serial). This is how CI runs the whole
+/// existing test suite under parallelism without every call site growing
+/// a flag.
+pub fn jobs_from_env() -> usize {
+    std::env::var("ABR_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Jobs for the small calibration binaries: a `--jobs N` argument when
+/// present, else [`jobs_from_env`]. (The `exp` CLI does its own argument
+/// parsing and only uses the env fallback.)
+pub fn jobs_from_args_or_env() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for pair in args.windows(2) {
+        if pair[0] == "--jobs" {
+            if let Ok(n) = pair[1].parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    jobs_from_env()
+}
+
+/// Runs `f(0..n)` across `min(jobs, n)` scoped workers and returns the
+/// results **in index order**, regardless of completion order. With
+/// `jobs <= 1` (or a single item) it degenerates to the serial loop, so
+/// the serial path and the parallel path are the same code shape and any
+/// divergence between them is a bug in `f`, not in scheduling.
+///
+/// `f` must be a pure function of its index (plus captured immutable
+/// state); the differential suite exists to catch violations. A panic in
+/// any worker propagates out of the scope — a sweep never silently drops
+/// a session.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in rx {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("worker dropped index {i}")))
+        .collect()
+}
+
+/// Everything a session run sends back across the worker boundary. All
+/// fields are plain owned data (`Send`); nothing here aliases worker
+/// state.
+pub struct SessionOutcome {
+    /// The spec's label, `<experiment>/<session>` by convention.
+    pub label: String,
+    /// The session's directly-recorded log.
+    pub log: SessionLog,
+    /// The captured event trace (deterministic stamping — `wall_ns` 0).
+    pub events: Vec<TracedEvent>,
+    /// The session's private metrics registry, snapshotted.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SessionOutcome {
+    /// Wraps the `(log, events, metrics)` triple a
+    /// `run_session_obs`-style runner returns. The label is left empty;
+    /// [`SessionSpec::run`] stamps the spec's own label on, so a job
+    /// closure never has to repeat its spec's identity.
+    pub fn from_obs(parts: (SessionLog, Vec<TracedEvent>, MetricsSnapshot)) -> SessionOutcome {
+        SessionOutcome {
+            label: String::new(),
+            log: parts.0,
+            events: parts.1,
+            metrics: parts.2,
+        }
+    }
+}
+
+/// One session of a sweep: a stable identity (label, seed, stream) plus
+/// the job that realises it. The job receives the spec's derived RNG —
+/// [`SplitMix64::for_stream`]`(seed, stream)` — as its only source of
+/// randomness, so the stream a session sees is fixed at spec-construction
+/// time, not at scheduling time.
+pub struct SessionSpec {
+    /// Human-readable identity, `<experiment>/<session>` by convention.
+    pub label: String,
+    /// Base seed (usually the experiment-wide content seed).
+    pub seed: u64,
+    /// Stable stream index within the sweep (position in the spec list at
+    /// construction time — *not* any runtime ordering).
+    pub stream: u64,
+    job: Box<dyn Fn(&mut SplitMix64) -> SessionOutcome + Send + Sync>,
+}
+
+impl SessionSpec {
+    /// A new spec. `stream` must be stable across runs (use the spec's
+    /// position in the authored sweep, or any other value derived from
+    /// the sweep definition alone).
+    pub fn new<F>(label: impl Into<String>, seed: u64, stream: u64, job: F) -> SessionSpec
+    where
+        F: Fn(&mut SplitMix64) -> SessionOutcome + Send + Sync + 'static,
+    {
+        SessionSpec {
+            label: label.into(),
+            seed,
+            stream,
+            job: Box::new(job),
+        }
+    }
+
+    /// The spec's derived RNG stream (order-independent; see
+    /// `crates/event/tests/proptests.rs`).
+    pub fn rng(&self) -> SplitMix64 {
+        SplitMix64::for_stream(self.seed, self.stream)
+    }
+
+    /// Runs the session serially, in the calling thread. The outcome's
+    /// label is stamped from the spec.
+    pub fn run(&self) -> SessionOutcome {
+        let mut outcome = (self.job)(&mut self.rng());
+        outcome.label = self.label.clone();
+        outcome
+    }
+}
+
+impl std::fmt::Debug for SessionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionSpec")
+            .field("label", &self.label)
+            .field("seed", &self.seed)
+            .field("stream", &self.stream)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shards `specs` across `min(jobs, cores)` workers and returns outcomes
+/// **in spec order**.
+pub fn run_specs(specs: &[SessionSpec], jobs: usize) -> Vec<SessionOutcome> {
+    run_indexed(specs.len(), jobs, |i| specs[i].run())
+}
+
+/// Merges per-session metrics snapshots in spec order (the deterministic
+/// ordered merge behind `exp --metrics` on sweeps).
+pub fn merged_metrics(outcomes: &[SessionOutcome]) -> MetricsSnapshot {
+    MetricsSnapshot::merge_ordered(outcomes.iter().map(|o| &o.metrics))
+}
+
+/// Compile-time proof that everything crossing the worker boundary is
+/// `Send`, and that the shared inputs job closures capture by reference
+/// are `Sync` — the "no hidden shared state" half of the determinism
+/// contract. If a future change threads an `Rc` or raw pointer through
+/// any of these types, this module stops compiling instead of the pool
+/// going racy.
+#[allow(dead_code)]
+fn static_send_sync_assertions() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    // Crosses the channel:
+    send::<SessionOutcome>();
+    send::<SessionLog>();
+    send::<Vec<TracedEvent>>();
+    send::<MetricsSnapshot>();
+    // Captured by job closures:
+    sync::<abr_media::content::Content>();
+    sync::<abr_net::trace::Trace>();
+    sync::<abr_manifest::view::BoundDash>();
+    sync::<abr_manifest::view::BoundHls>();
+    sync::<abr_player::config::PlayerConfig>();
+    // NOT asserted Send: Origin, Link, Session, ObsHandle — they hold
+    // session-private `Rc` state and are constructed inside the worker
+    // that runs them, never transported across threads.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed(37, jobs, |i| i * i);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_runs_every_index_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let out = run_indexed(100, 8, |i| {
+            seen.lock().unwrap().push(i);
+            i
+        });
+        assert_eq!(out.len(), 100);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(seen.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(0), 1);
+        assert!(effective_jobs(usize::MAX) <= available_cores());
+        assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn spec_rng_ignores_execution_order() {
+        let mk = |stream: u64| {
+            SessionSpec::new(format!("s{stream}"), 2019, stream, |_rng| unreachable!())
+        };
+        let forward: Vec<u64> = (0..8).map(|s| mk(s).rng().next_u64()).collect();
+        let backward: Vec<u64> = (0..8).rev().map(|s| mk(s).rng().next_u64()).collect();
+        let reversed: Vec<u64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        // Sibling streams are distinct.
+        assert_eq!(forward.iter().collect::<HashSet<_>>().len(), forward.len());
+    }
+}

@@ -144,13 +144,20 @@ pub fn run_session(
 /// event stream and a metrics snapshot. This is the runner behind the
 /// `exp --trace/--chrome/--metrics` flags and the trace-replay
 /// integration test.
+///
+/// Observation is *deterministic* ([`ObsHandle::deterministic_recording`]):
+/// `wall_ns` stamps are 0 and host-clock timing histograms are disabled,
+/// so the returned events and snapshot are a pure function of the session
+/// — the property the golden-artifact and parallel-determinism suites
+/// assert. Wall-clock profiling remains available by wiring
+/// [`ObsHandle::recording`] manually (the `obs_overhead` ablation does).
 pub fn run_session_obs(
     content: &Content,
     kind: PlayerKind,
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
 ) -> (SessionLog, Vec<TracedEvent>, MetricsSnapshot) {
-    let (obs, tracer, metrics) = ObsHandle::recording();
+    let (obs, tracer, metrics) = ObsHandle::deterministic_recording();
     let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
     let link = Link::with_latency(trace, Duration::from_millis(20));
     let config = player_config(kind, content.chunk_duration());

@@ -1,0 +1,126 @@
+//! CLI-level coverage of `exp --trace/--chrome/--metrics` on sweep
+//! experiments: sweeps used to be an error; they now write one artifact
+//! per session (`<stem>.<n>.<ext>`), identically at any `--jobs` value.
+
+use std::path::Path;
+use std::process::Command;
+
+fn exp() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_exp"));
+    // The test asserts explicit --jobs behavior; shield it from the
+    // environment default.
+    cmd.env_remove("ABR_JOBS");
+    cmd
+}
+
+fn tmp(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_trace");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir.join(name).to_str().expect("utf-8 path").to_string()
+}
+
+#[test]
+fn sweep_trace_writes_per_session_files() {
+    let base = tmp("f3fix.trace.jsonl");
+    let out = exp()
+        .args(["--id", "f3fix", "--trace", &base, "--jobs", "8"])
+        .output()
+        .expect("run exp");
+    assert!(
+        out.status.success(),
+        "exp failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Three arms → three per-session files; the bare path is not written.
+    assert!(!Path::new(&base).exists(), "sweep must not write {base}");
+    for n in 0..3 {
+        let path = tmp(&format!("f3fix.{n}.trace.jsonl"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing per-session trace {path}: {e}"));
+        let first = text.lines().next().expect("non-empty trace");
+        assert!(
+            first.contains("\"name\":\"session_start\""),
+            "trace {path} must start with session_start, got: {first}"
+        );
+        assert!(
+            !text.contains("\"wall_ns\":1")
+                && !text.contains("\"wall_ns\":2")
+                && !text.contains("\"wall_ns\":3"),
+            "deterministic stamping: wall_ns must be 0 in {path}"
+        );
+    }
+    assert!(
+        !Path::new(&tmp("f3fix.3.trace.jsonl")).exists(),
+        "only one file per session"
+    );
+}
+
+#[test]
+fn sweep_trace_is_jobs_invariant() {
+    for (jobs, prefix) in [("1", "serial"), ("8", "parallel")] {
+        let base = tmp(&format!("{prefix}.trace.jsonl"));
+        let out = exp()
+            .args(["--id", "f3fix", "--trace", &base, "--jobs", jobs])
+            .output()
+            .expect("run exp");
+        assert!(out.status.success());
+    }
+    for n in 0..3 {
+        let serial = std::fs::read_to_string(tmp(&format!("serial.{n}.trace.jsonl"))).unwrap();
+        let parallel = std::fs::read_to_string(tmp(&format!("parallel.{n}.trace.jsonl"))).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "per-session trace {n} differs between --jobs 1 and --jobs 8"
+        );
+    }
+}
+
+#[test]
+fn single_session_trace_keeps_exact_path() {
+    let path = tmp("f4a.trace.jsonl");
+    let out = exp()
+        .args(["--id", "f4a", "--trace", &path])
+        .output()
+        .expect("run exp");
+    assert!(out.status.success());
+    assert!(
+        Path::new(&path).exists(),
+        "single-session experiments write the path as given"
+    );
+    assert!(!Path::new(&tmp("f4a.0.trace.jsonl")).exists());
+}
+
+#[test]
+fn sweep_chrome_and_metrics_work() {
+    let chrome = tmp("bp5.chrome.json");
+    let out = exp()
+        .args([
+            "--id",
+            "bp5",
+            "--chrome",
+            &chrome,
+            "--metrics",
+            "--jobs",
+            "4",
+        ])
+        .output()
+        .expect("run exp");
+    assert!(
+        out.status.success(),
+        "exp failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Metric"), "merged metrics table printed");
+    let first = std::fs::read_to_string(tmp("bp5.0.chrome.json")).expect("per-session chrome");
+    assert!(first.starts_with("{") || first.starts_with("["));
+}
+
+#[test]
+fn untraceable_experiment_still_errors() {
+    let out = exp()
+        .args(["--id", "t1", "--trace", &tmp("t1.trace.jsonl")])
+        .output()
+        .expect("run exp");
+    assert!(!out.status.success(), "t1 has no sessions to trace");
+}

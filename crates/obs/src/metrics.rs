@@ -98,6 +98,43 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Folds `other` into `self`: counts, sums and per-bucket tallies add;
+    /// min/max widen. Buckets are aligned by upper bound, so histograms
+    /// recorded with different bound sets merge into the union of their
+    /// buckets. An empty side contributes nothing (its 0/0 min/max
+    /// sentinels are not real observations).
+    ///
+    /// Merging is commutative and associative over observation multisets,
+    /// which is what lets the parallel sweep runner combine per-session
+    /// registries in **spec order** and get the same snapshot any worker
+    /// count produces.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &(bound, n) in &other.buckets {
+            match self
+                .buckets
+                .iter_mut()
+                .find(|(b, _)| b.total_cmp(&bound).is_eq())
+            {
+                Some((_, count)) => *count += n,
+                None => {
+                    self.buckets.push((bound, n));
+                    self.buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+                }
+            }
+        }
+    }
+
     /// Upper bound of the bucket containing quantile `q` (clamped to
     /// [0, 1]); `None` when empty. Coarse by construction — bucket
     /// resolution, not exact order statistics.
@@ -207,6 +244,50 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value (last-write-wins, matching [`MetricsRegistry::gauge`]), and
+    /// histograms merge bucket-wise via [`HistogramSnapshot::merge`].
+    ///
+    /// Because gauges are order-sensitive, a *deterministic* combined view
+    /// of many per-session snapshots must fold them in a stable order —
+    /// use [`MetricsSnapshot::merge_ordered`], which the parallel sweep
+    /// runner feeds in session-spec order regardless of which worker
+    /// finished first.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| HistogramSnapshot {
+                    count: 0,
+                    sum: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                    buckets: Vec::new(),
+                })
+                .merge(h);
+        }
+    }
+
+    /// Merges a sequence of snapshots left to right into one combined
+    /// snapshot. The iteration order is the determinism contract: callers
+    /// pass parts in a stable order (the sweep runner uses session-spec
+    /// order), so the result is independent of completion order.
+    pub fn merge_ordered<'a, I: IntoIterator<Item = &'a MetricsSnapshot>>(
+        parts: I,
+    ) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for part in parts {
+            out.merge_from(part);
+        }
+        out
+    }
+
     /// Flattens the snapshot into sorted `(metric, value)` display rows —
     /// counters verbatim, gauges with 3 decimals, histograms as
     /// `count/mean/max` sub-rows. Feed these to a table renderer.
@@ -297,6 +378,68 @@ mod tests {
             .quantile_bound(0.5),
             None
         );
+    }
+
+    #[test]
+    fn histogram_merge_adds_and_widens() {
+        let mut a = Histogram::with_bounds(&[10.0, 100.0]);
+        a.observe(5.0);
+        a.observe(50.0);
+        let mut b = Histogram::with_bounds(&[10.0, 100.0]);
+        b.observe(1.0);
+        b.observe(500.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.min, 1.0);
+        assert_eq!(merged.max, 500.0);
+        assert_eq!(merged.sum, 556.0);
+        assert_eq!(
+            merged.buckets,
+            vec![(10.0, 2), (100.0, 1), (f64::INFINITY, 1)]
+        );
+        // Empty sides are identities on both ends.
+        let empty = Histogram::with_bounds(&[10.0]).snapshot();
+        let mut lhs = empty.clone();
+        lhs.merge(&merged);
+        assert_eq!(lhs, merged);
+        let mut rhs = merged.clone();
+        rhs.merge(&empty);
+        assert_eq!(rhs, merged);
+    }
+
+    #[test]
+    fn histogram_merge_unions_disjoint_bounds() {
+        let mut a = Histogram::with_bounds(&[10.0]);
+        a.observe(5.0);
+        let mut b = Histogram::with_bounds(&[20.0]);
+        b.observe(15.0);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(
+            merged.buckets,
+            vec![(10.0, 1), (20.0, 1), (f64::INFINITY, 0)]
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_ordered_is_order_stable() {
+        let mk = |hits: u64, depth: f64| {
+            let m = MetricsRegistry::new();
+            m.count("cache.hits", hits);
+            m.gauge("queue.depth", depth);
+            m.observe("bytes", hits as f64);
+            m.snapshot()
+        };
+        let parts = [mk(1, 1.0), mk(2, 2.0), mk(3, 3.0)];
+        let merged = MetricsSnapshot::merge_ordered(&parts);
+        assert_eq!(merged.counters["cache.hits"], 6);
+        // Gauges: last in spec order wins, whatever order parts finished.
+        assert_eq!(merged.gauges["queue.depth"], 3.0);
+        assert_eq!(merged.histograms["bytes"].count, 3);
+        assert_eq!(merged.histograms["bytes"].sum, 6.0);
+        // Same parts, same order → identical result (pure function).
+        assert_eq!(merged.rows(), MetricsSnapshot::merge_ordered(&parts).rows());
     }
 
     #[test]

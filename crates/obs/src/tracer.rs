@@ -45,6 +45,9 @@ impl Tracer for NullTracer {
 #[derive(Debug)]
 pub struct RecordingTracer {
     started: std::time::Instant,
+    /// When false, `wall_ns` is stamped as 0 instead of the host clock, so
+    /// two runs of the same simulation capture byte-identical traces.
+    stamp_wall: bool,
     seq: Cell<u64>,
     events: RefCell<Vec<TracedEvent>>,
 }
@@ -54,8 +57,21 @@ impl RecordingTracer {
     pub fn new() -> RecordingTracer {
         RecordingTracer {
             started: std::time::Instant::now(),
+            stamp_wall: true,
             seq: Cell::new(0),
             events: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A tracer whose captures are a pure function of the simulation:
+    /// `wall_ns` is always 0. This is the mode behind reproducible trace
+    /// artifacts (golden files, the parallel determinism suite) — the
+    /// host clock is the one field that would otherwise differ between
+    /// two runs of an identical session.
+    pub fn deterministic() -> RecordingTracer {
+        RecordingTracer {
+            stamp_wall: false,
+            ..RecordingTracer::new()
         }
     }
 
@@ -91,7 +107,11 @@ impl Tracer for RecordingTracer {
     fn record(&self, at: Instant, event: Event) {
         let seq = self.seq.get();
         self.seq.set(seq + 1);
-        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let wall_ns = if self.stamp_wall {
+            self.started.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         self.events.borrow_mut().push(TracedEvent {
             seq,
             at,
@@ -107,10 +127,25 @@ impl Tracer for RecordingTracer {
 ///
 /// The default handle is fully disabled; every hook degrades to a branch
 /// on `Option::None`.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ObsHandle {
     tracer: Option<Rc<dyn Tracer>>,
     metrics: Option<Rc<MetricsRegistry>>,
+    /// When false, [`ObsHandle::time`] runs its closure untimed and records
+    /// nothing: host-clock histograms (`*_ns`) are the one metrics family
+    /// that cannot be deterministic, so the reproducible-artifact mode
+    /// drops them at the source.
+    host_timing: bool,
+}
+
+impl Default for ObsHandle {
+    fn default() -> Self {
+        ObsHandle {
+            tracer: None,
+            metrics: None,
+            host_timing: true,
+        }
+    }
 }
 
 impl std::fmt::Debug for ObsHandle {
@@ -148,6 +183,23 @@ impl ObsHandle {
         let handle = ObsHandle::disabled()
             .with_tracer(tracer.clone())
             .with_metrics(metrics.clone());
+        (handle, tracer, metrics)
+    }
+
+    /// Like [`ObsHandle::recording`], but everything captured is a pure
+    /// function of the simulation: the tracer stamps `wall_ns = 0`
+    /// ([`RecordingTracer::deterministic`]) and host-clock timing
+    /// histograms are disabled. Two identical sessions observed through
+    /// this handle yield byte-identical traces and metrics snapshots —
+    /// the mode the parallel sweep runner and the golden-artifact tests
+    /// run under (DESIGN.md §10).
+    pub fn deterministic_recording() -> (ObsHandle, Rc<RecordingTracer>, Rc<MetricsRegistry>) {
+        let tracer = Rc::new(RecordingTracer::deterministic());
+        let metrics = Rc::new(MetricsRegistry::new());
+        let mut handle = ObsHandle::disabled()
+            .with_tracer(tracer.clone())
+            .with_metrics(metrics.clone());
+        handle.host_timing = false;
         (handle, tracer, metrics)
     }
 
@@ -200,10 +252,14 @@ impl ObsHandle {
     }
 
     /// Runs `f`, recording its host wall-clock duration in nanoseconds into
-    /// histogram `name` when a registry is attached. Without one, `f` runs
-    /// untimed (no clock syscalls on the disabled path).
+    /// histogram `name` when a registry is attached. Without one — or on a
+    /// deterministic handle ([`ObsHandle::deterministic_recording`]) —
+    /// `f` runs untimed (no clock syscalls on the disabled path).
     #[inline]
     pub fn time<T, F: FnOnce() -> T>(&self, name: &'static str, f: F) -> T {
+        if !self.host_timing {
+            return f();
+        }
         match &self.metrics {
             Some(m) => {
                 let t0 = std::time::Instant::now();
@@ -267,6 +323,24 @@ mod tests {
         assert!(tracer.is_empty());
         obs.emit(Instant::ZERO, || Event::StallEnd);
         assert_eq!(tracer.snapshot()[0].seq, 1, "sequence continues after take");
+    }
+
+    #[test]
+    fn deterministic_recording_is_wall_clock_free() {
+        let (obs, tracer, metrics) = ObsHandle::deterministic_recording();
+        assert!(obs.tracing());
+        obs.emit(Instant::from_secs(1), || Event::StallBegin);
+        obs.emit(Instant::from_secs(2), || Event::StallEnd);
+        let events = tracer.snapshot();
+        assert!(events.iter().all(|e| e.wall_ns == 0), "wall_ns must be 0");
+        assert_eq!((events[0].seq, events[1].seq), (0, 1));
+        // Host timing is off, but the closure still runs and other metrics
+        // still record.
+        assert_eq!(obs.time("policy.decision_ns", || 9u64), 9);
+        obs.count("cache.hits", 1);
+        let snap = metrics.snapshot();
+        assert!(!snap.histograms.contains_key("policy.decision_ns"));
+        assert_eq!(snap.counters["cache.hits"], 1);
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! cargo run --example trace_session
 //! ```
 //!
+//! This writes byte-for-byte what `exp --id f4b --trace
+//! results/f4b.trace.jsonl` writes — the checked-in golden that
+//! `tests/golden_artifacts.rs` pins. Observation is *deterministic*
+//! (`ObsHandle::deterministic_recording`): `wall_ns` stamps are 0 and
+//! host-clock histograms are off, so the trace is a pure function of the
+//! session (DESIGN.md §10). Swap in `ObsHandle::recording()` to profile
+//! with real wall-clock stamps instead.
+//!
 //! The emitted JSONL is lossless: `SessionLog::from_trace` rebuilds the
 //! full session history from it (the `trace_roundtrip` integration test
 //! in `abr-bench` holds that equality). Convert the same events with
@@ -15,6 +23,7 @@ use abr_unmuxed::core::ShakaPolicy;
 use abr_unmuxed::event::time::Duration;
 use abr_unmuxed::httpsim::origin::Origin;
 use abr_unmuxed::manifest::build::build_master_playlist;
+use abr_unmuxed::manifest::hls::MasterPlaylist;
 use abr_unmuxed::manifest::view::BoundHls;
 use abr_unmuxed::media::combo::all_combos;
 use abr_unmuxed::media::content::Content;
@@ -22,24 +31,36 @@ use abr_unmuxed::media::units::Bytes;
 use abr_unmuxed::net::link::Link;
 use abr_unmuxed::net::trace::Trace;
 use abr_unmuxed::obs::{export, ObsHandle};
+use abr_unmuxed::player::config::SyncMode;
 use abr_unmuxed::player::{PlayerConfig, Session, SessionLog};
 
 fn main() {
     // The Fig 4(b) setup: Shaka over H_all, dynamic mean-600 Kbps trace.
+    // The playlist is round-tripped through its textual form, exactly as
+    // the experiment harness does.
     let content = Content::drama_show(2019);
     let combos = all_combos(content.video(), content.audio());
-    let master = build_master_playlist(&content, &combos, &[0, 1, 2]);
-    let view = BoundHls::from_master(&master).expect("self-built playlist binds");
+    let text = build_master_playlist(&content, &combos, &[0, 1, 2]).to_text();
+    let view = BoundHls::from_master(&MasterPlaylist::parse(&text).expect("parses"))
+        .expect("self-built playlist binds");
     let policy = ShakaPolicy::hls(&view);
 
-    // Attach a recording tracer + metrics registry and run.
-    let (obs, tracer, metrics) = ObsHandle::recording();
+    // Attach a deterministic recording tracer + metrics registry and run.
+    let (obs, tracer, metrics) = ObsHandle::deterministic_recording();
     let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
     let link = Link::with_latency(
         Trace::fig4b_varying_600k(Duration::from_secs(3600)),
         Duration::from_millis(20),
     );
-    let config = PlayerConfig::default_chunked(content.chunk_duration());
+    // Shaka's defaults: shallow 10 s buffering goal, independent
+    // pipelines (`abr_bench::setup::player_config`).
+    let chunk = content.chunk_duration();
+    let config = PlayerConfig {
+        startup_threshold: chunk,
+        resume_threshold: chunk,
+        max_buffer: Duration::from_secs(10),
+        sync: SyncMode::Independent,
+    };
     let log = Session::new(origin, link, Box::new(policy), config)
         .with_obs(obs)
         .run();

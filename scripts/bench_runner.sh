@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Times `exp --all` at --jobs 1 vs --jobs <N> (default: all cores) and
+# records the wall-clock numbers into BENCH_runner.json — the speedup
+# record for the deterministic parallel sweep engine (DESIGN.md §10).
+# CI runs this on every push; the checked-in file is the most recent
+# local snapshot (note its host_cores when reading the speedup).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p abr-bench --bin exp >/dev/null 2>&1
+EXP=target/release/exp
+N="${1:-$(nproc)}"
+
+t() {
+    local s e
+    s=$(date +%s.%N)
+    "$@" >/dev/null
+    e=$(date +%s.%N)
+    awk "BEGIN{printf \"%.3f\", $e - $s}"
+}
+
+# Warm once (binary + page cache), then take best-of-3 per level.
+"$EXP" --all >/dev/null
+best() {
+    local b=""
+    for _ in 1 2 3; do
+        local x
+        x=$(t "$@")
+        if [ -z "$b" ] || awk "BEGIN{exit !($x < $b)}"; then b=$x; fi
+    done
+    echo "$b"
+}
+
+T1=$(best "$EXP" --all --jobs 1)
+TN=$(best "$EXP" --all --jobs "$N")
+SP=$(awk "BEGIN{printf \"%.2f\", $T1/$TN}")
+
+cat > BENCH_runner.json <<EOF
+{
+  "benchmark": "exp --all wall-clock, serial vs parallel sweep runner",
+  "host_cores": $(nproc),
+  "jobs_parallel": $N,
+  "exp_all_jobs1_s": $T1,
+  "exp_all_jobsN_s": $TN,
+  "speedup": $SP,
+  "best_of": 3
+}
+EOF
+cat BENCH_runner.json

@@ -1,0 +1,81 @@
+//! Golden-artifact regression tests: the checked-in `results/` artifacts
+//! must match what the code regenerates, on every `cargo test`.
+//!
+//! Two artifacts are pinned:
+//! * `results/f4b.trace.jsonl` — the full event trace of the F4b session
+//!   (deterministic stamping: `wall_ns` is 0, see DESIGN.md §10), exactly
+//!   what `exp --id f4b --trace results/f4b.trace.jsonl` writes.
+//! * `results/f4b.json` — the F4b structured summary, exactly what
+//!   `exp --id f4b --json results` writes.
+//!
+//! After an *intentional* behavior change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_artifacts
+//! ```
+//!
+//! then review the diff with `git diff results/` before committing — the
+//! update path writes whatever the code now produces, so the review is
+//! the only check that the change was really intended.
+
+use abr_bench::experiments::{run_jobs, traced_sessions};
+use abr_obs::export::to_jsonl;
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn update_goldens() -> bool {
+    std::env::var("UPDATE_GOLDENS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Compares `actual` against the checked-in golden at `rel`, naming the
+/// first diverging line; with `UPDATE_GOLDENS=1`, rewrites the golden
+/// instead.
+fn check_golden(rel: &str, actual: &str) {
+    let path = repo_path(rel);
+    if update_goldens() {
+        std::fs::write(&path, actual).expect("rewrite golden");
+        eprintln!("[golden `{rel}` regenerated]");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden `{rel}`: {e}"));
+    if expected == actual {
+        return;
+    }
+    for (n, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        if want != got {
+            panic!(
+                "golden `{rel}` diverges at line {}:\n  golden: {want}\n  actual: {got}\n\
+                 if this change is intentional, regenerate with \
+                 `UPDATE_GOLDENS=1 cargo test --test golden_artifacts` and review `git diff results/`",
+                n + 1
+            );
+        }
+    }
+    panic!(
+        "golden `{rel}`: line count {} (golden) vs {} (actual), common prefix identical\n\
+         if this change is intentional, regenerate with \
+         `UPDATE_GOLDENS=1 cargo test --test golden_artifacts` and review `git diff results/`",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+#[test]
+fn f4b_trace_matches_golden() {
+    let outcomes = traced_sessions("f4b", 1).expect("f4b is traceable");
+    assert_eq!(outcomes.len(), 1, "f4b is a single-session experiment");
+    check_golden("results/f4b.trace.jsonl", &to_jsonl(&outcomes[0].events));
+}
+
+#[test]
+fn f4b_json_matches_golden() {
+    let result = run_jobs("f4b", 1).expect("f4b exists");
+    let actual = serde_json::to_string_pretty(&result.json).expect("serialize");
+    check_golden("results/f4b.json", &actual);
+}
