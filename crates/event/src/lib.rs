@@ -22,6 +22,6 @@ pub mod queue;
 pub mod rng;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue};
 pub use rng::SplitMix64;
-pub use time::{Duration, Instant};
+pub use time::{busy_union, Duration, Instant};

@@ -5,10 +5,29 @@
 //! scheduled for the same instant therefore always pop in the order they
 //! were pushed — the property that keeps multi-flow simulations (several
 //! downloads completing at the same microsecond) reproducible.
+//!
+//! # Tie-break semantics
+//!
+//! The queue is a strict priority queue over `(at, seq)`:
+//!
+//! 1. **Earlier timestamps pop first.** Time never runs backwards: popping
+//!    advances [`EventQueue::now`], and scheduling before `now` panics.
+//! 2. **Within one timestamp, insertion order wins (FIFO).** The `seq`
+//!    counter is assigned at [`EventQueue::schedule`] time and never reused,
+//!    including across cancellations — cancelling an entry does not renumber
+//!    or reorder anything else.
+//! 3. **Cancellation is exact.** [`EventQueue::cancel`] removes exactly the
+//!    entry whose [`EventKey`] it is handed; a key is invalidated once its
+//!    entry pops or is cancelled, and cancelling it again is a no-op that
+//!    returns `false`.
+//!
+//! These three rules make a simulation's event order a pure function of the
+//! schedule/cancel call sequence — the foundation of the workspace's
+//! bit-reproducibility contract (DESIGN.md §10).
 
 use crate::time::Instant;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// One scheduled entry: reversed ordering so the `BinaryHeap` max-heap pops
 /// the *earliest* event first.
@@ -36,9 +55,23 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A priority queue of timestamped events with deterministic tie-breaking.
+/// Handle to one scheduled entry, returned by [`EventQueue::schedule`] and
+/// consumed by [`EventQueue::cancel`]. Keys are unique for the lifetime of
+/// the queue (never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey(u64);
+
+/// A priority queue of timestamped events with deterministic tie-breaking
+/// (see the module docs for the exact semantics).
+///
+/// Cancellation is lazy: cancelled entries stay in the heap as tombstones
+/// and are skipped on pop, so both `schedule` and `cancel` stay `O(log n)`.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Seqs of live (scheduled, not popped, not cancelled) entries.
+    live: BTreeSet<u64>,
+    /// Seqs of cancelled-but-not-yet-popped entries (tombstones).
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     now: Instant,
 }
@@ -54,6 +87,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            live: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             now: Instant::ZERO,
         }
@@ -65,9 +100,10 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Schedules `event` to fire at `at`. Panics if `at` is in the past —
+    /// Schedules `event` to fire at `at` and returns a key that can later
+    /// [`cancel`](EventQueue::cancel) it. Panics if `at` is in the past —
     /// scheduling backwards in time is always a logic error.
-    pub fn schedule(&mut self, at: Instant, event: E) {
+    pub fn schedule(&mut self, at: Instant, event: E) -> EventKey {
         assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -76,30 +112,56 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.live.insert(seq);
+        EventKey(seq)
     }
 
-    /// Removes and returns the earliest event, advancing the clock to its
-    /// timestamp. Returns `None` when the queue is empty.
+    /// Cancels the entry behind `key`. Returns `true` if the entry was
+    /// still pending; `false` if it already popped or was already
+    /// cancelled. Cancellation never disturbs the ordering of other
+    /// entries.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, advancing the clock to
+    /// its timestamp. Cancelled entries are skipped (and dropped). Returns
+    /// `None` when no live events remain.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // tombstone: discard and keep looking
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.live.remove(&entry.seq);
+            return Some((entry.at, entry.event));
+        }
+        None
     }
 
-    /// Timestamp of the next event without popping it.
+    /// Timestamp of the next live event without popping it.
     pub fn peek_time(&self) -> Option<Instant> {
-        self.heap.peek().map(|e| e.at)
+        self.heap
+            .iter()
+            .filter(|e| !self.cancelled.contains(&e.seq))
+            .map(|e| e.at)
+            .min()
     }
 
-    /// Number of pending events.
+    /// Number of pending (live) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live.len()
     }
 
-    /// True if no events are pending.
+    /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -170,5 +232,58 @@ mod tests {
         // Scheduling relative to the advanced clock works.
         q.schedule(q.now() + Duration::from_secs(1), "second");
         assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn cancelled_events_never_pop() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(Instant::from_secs(1), "a");
+        let b = q.schedule(Instant::from_secs(2), "b");
+        let _c = q.schedule(Instant::from_secs(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn cancel_is_exact_and_idempotent() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_secs(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel is a no-op");
+        assert!(q.pop().is_none());
+        // A popped key can no longer be cancelled.
+        let b = q.schedule(Instant::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancelling_one_tie_preserves_fifo_of_the_rest() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_secs(4);
+        let keys: Vec<EventKey> = (0..5).map(|i| q.schedule(t, i)).collect();
+        assert!(q.cancel(keys[2]));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_secs(1), "a");
+        q.schedule(Instant::from_secs(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.peek_time(), Some(Instant::from_secs(2)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cancel_rejects_unknown_key() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        // A key that was never handed out (seq beyond next_seq).
+        assert!(!q.cancel(EventKey(42)));
     }
 }

@@ -309,6 +309,36 @@ impl core::iter::Sum for Duration {
     }
 }
 
+/// Total length of the union of (possibly overlapping, possibly unsorted)
+/// `[start, end)` intervals — the "busy time" of a resource given the spans
+/// it was occupied. Intervals with `end <= start` contribute nothing.
+///
+/// Used by the player's bandwidth meter (union of concurrent delivery
+/// segments in a measurement window) and by report code deriving link busy
+/// time from transfer logs.
+pub fn busy_union(mut intervals: Vec<(Instant, Instant)>) -> Duration {
+    intervals.sort();
+    let mut total = Duration::ZERO;
+    let mut cur: Option<(Instant, Instant)> = None;
+    for (lo, hi) in intervals {
+        if hi <= lo {
+            continue;
+        }
+        match cur {
+            Some((clo, chi)) if lo <= chi => cur = Some((clo, chi.max(hi))),
+            Some((clo, chi)) => {
+                total += chi - clo;
+                cur = Some((lo, hi));
+            }
+            None => cur = Some((lo, hi)),
+        }
+    }
+    if let Some((clo, chi)) = cur {
+        total += chi - clo;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +423,55 @@ mod tests {
     fn display_formats_seconds() {
         assert_eq!(Instant::from_millis(1250).to_string(), "1.250s");
         assert_eq!(Duration::from_micros(1_000).to_string(), "0.001s");
+    }
+
+    fn iv(lo: u64, hi: u64) -> (Instant, Instant) {
+        (Instant::from_secs(lo), Instant::from_secs(hi))
+    }
+
+    #[test]
+    fn busy_union_empty_and_single() {
+        assert_eq!(busy_union(vec![]), Duration::ZERO);
+        assert_eq!(busy_union(vec![iv(2, 5)]), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn busy_union_merges_overlaps() {
+        // [0,4) ∪ [2,6) ∪ [5,7) = [0,7).
+        assert_eq!(
+            busy_union(vec![iv(0, 4), iv(2, 6), iv(5, 7)]),
+            Duration::from_secs(7)
+        );
+        // Containment: [1,9) swallows [2,3).
+        assert_eq!(busy_union(vec![iv(2, 3), iv(1, 9)]), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn busy_union_counts_gaps_once() {
+        // [0,2) and [5,6): total 3, not 6.
+        assert_eq!(busy_union(vec![iv(5, 6), iv(0, 2)]), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn busy_union_touching_intervals_merge() {
+        // [0,2) ∪ [2,4): adjacent, union is 4 with no double-count.
+        assert_eq!(busy_union(vec![iv(0, 2), iv(2, 4)]), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn busy_union_ignores_degenerate_intervals() {
+        assert_eq!(
+            busy_union(vec![iv(3, 3), iv(1, 2), iv(9, 4)]),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn busy_union_is_order_independent() {
+        let a = vec![iv(0, 3), iv(7, 9), iv(2, 5)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(busy_union(a), busy_union(b));
     }
 }
 

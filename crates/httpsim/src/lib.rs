@@ -10,6 +10,9 @@
 //! * [`cache`] — an LRU CDN cache keyed by `(object, range)`, with hit/miss
 //!   and byte accounting. Reproduces the §1 motivation: demuxed tracks give
 //!   cross-user cache hits that muxed M×N packaging cannot.
+//! * [`edge`] — the [`edge::TransferPath`] trait (what sits between player
+//!   and origin) and the miss-penalty [`edge::EdgeCache`] path built on the
+//!   CDN cache.
 //! * [`storage`] — origin storage accounting for muxed (M×N) versus demuxed
 //!   (M+N) packaging.
 
@@ -17,10 +20,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod edge;
 pub mod origin;
 pub mod request;
 pub mod storage;
 
 pub use cache::{CacheStats, CdnCache};
+pub use edge::{EdgeCache, TransferPath};
 pub use origin::Origin;
 pub use request::{ObjectId, Request};

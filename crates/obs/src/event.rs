@@ -140,6 +140,12 @@ pub enum Event {
         /// When the playlist request was issued.
         requested_at: Instant,
     },
+    /// A live playlist-refresh timer fired and the session re-requested its
+    /// media playlists (emitted by the engine's refresh-tick handler).
+    PlaylistRefreshTick {
+        /// Number of playlist refetches issued by this tick.
+        refetched: usize,
+    },
     /// The session ended (deadline, starvation, or playback end).
     SessionEnd,
 }
@@ -165,6 +171,7 @@ impl Event {
             Event::SeekStarted { .. } => "seek_started",
             Event::SeekResumed => "seek_resumed",
             Event::PlaylistFetch { .. } => "playlist_fetch",
+            Event::PlaylistRefreshTick { .. } => "playlist_refresh_tick",
             Event::SessionEnd => "session_end",
         }
     }

@@ -1,0 +1,381 @@
+//! The discrete-event engine behind a [`crate::session::Session`].
+//!
+//! All virtual-time advancement goes through one typed
+//! [`abr_event::EventQueue`]: each loop iteration (re-)arms one scheduled
+//! entry per wake class — transfer completion, playback boundary, buffer
+//! refill, due seek — pops the earliest event, and runs a uniform
+//! simulation step at its timestamp. Stale wakes are cancelled by
+//! [`abr_event::EventKey`] before re-arming, so the queue never holds more
+//! than one live entry per class (plus the deadline sentinel and the
+//! optional live playlist-refresh tick).
+//!
+//! The deadline is a sentinel event scheduled once at `deadline + 1 µs`:
+//! any event at or before the deadline outranks it, and when it does pop
+//! the engine stops without advancing session time — reproducing both the
+//! "ran past the deadline" and the "starved with a dead link" exits of a
+//! plain two-instant loop, byte for byte.
+
+use crate::buffer::ChunkBuffer;
+use crate::config::PlayerConfig;
+use crate::log::{BufferSample, SessionLog};
+use crate::playback::{PlayState, PlaybackEngine};
+use crate::policy::AbrPolicy;
+use crate::session::{DeliveryMode, PlaylistFetch};
+use crate::transfer::FlightBoard;
+use abr_event::time::{Duration, Instant};
+use abr_event::{EventKey, EventQueue};
+use abr_httpsim::edge::EdgeCache;
+use abr_httpsim::origin::Origin;
+use abr_media::content::Content;
+use abr_media::track::{MediaType, TrackId};
+use abr_media::units::Bytes;
+use abr_net::link::Link;
+use abr_obs::{Event, ObsHandle};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The typed event vocabulary of the session engine. Every way virtual
+/// time can advance is one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SessionEvent {
+    /// The link's earliest in-flight transfer finishes.
+    TransferComplete,
+    /// Playback reaches the instant the scarcer buffer runs dry (or the
+    /// presentation ends).
+    PlaybackBoundary,
+    /// An idle pipeline's buffer drains back below the target and may
+    /// fetch again.
+    BufferRefill,
+    /// A scheduled user seek comes due.
+    SeekDue,
+    /// The simulation deadline sentinel (scheduled once, never re-armed).
+    Deadline,
+    /// A live playlist-refresh timer fires (only with
+    /// [`crate::session::Session::with_playlist_refresh`]).
+    PlaylistRefresh,
+}
+
+/// The live [`EventKey`] per re-armable wake class. Each is cancelled and
+/// re-scheduled every iteration so exactly one entry per class is live.
+#[derive(Debug, Default)]
+pub(crate) struct ArmedWakes {
+    completion: Option<EventKey>,
+    boundary: Option<EventKey>,
+    refill: Option<EventKey>,
+    seek: Option<EventKey>,
+}
+
+/// A running session: every piece of mutable state behind
+/// [`crate::session::Session::run`], advanced exclusively by popping the
+/// event queue. Construction happens in `session.rs`
+/// (`Session::into_engine`); behavior is split by layer — queue dispatch
+/// here, transfer bookkeeping in `transfer.rs`, fetch scheduling in
+/// `fetch.rs`.
+pub(crate) struct Engine {
+    // Immutable session shape.
+    pub(crate) content: Content,
+    pub(crate) chunk_duration: Duration,
+    pub(crate) num_chunks: usize,
+    pub(crate) total_tracks: usize,
+    pub(crate) config: PlayerConfig,
+    pub(crate) deadline: Instant,
+    pub(crate) delivery: DeliveryMode,
+    pub(crate) packaging: abr_manifest::build::Packaging,
+    pub(crate) playlist_fetch: PlaylistFetch,
+    pub(crate) playlist_sizes: BTreeMap<TrackId, Bytes>,
+    pub(crate) refresh_period: Option<Duration>,
+    // Components.
+    pub(crate) origin: Origin,
+    pub(crate) link: Link,
+    pub(crate) policy: Box<dyn AbrPolicy>,
+    pub(crate) edge: Option<EdgeCache>,
+    pub(crate) audio_buf: ChunkBuffer,
+    pub(crate) video_buf: ChunkBuffer,
+    pub(crate) playback: PlaybackEngine,
+    pub(crate) flights: FlightBoard,
+    pub(crate) seek_queue: VecDeque<(Instant, Duration)>,
+    pub(crate) current_audio: Option<usize>,
+    pub(crate) current_video: Option<usize>,
+    pub(crate) playlists_ready: BTreeSet<TrackId>,
+    // The clock.
+    pub(crate) queue: EventQueue<SessionEvent>,
+    pub(crate) wakes: ArmedWakes,
+    pub(crate) now: Instant,
+    // Outputs.
+    pub(crate) log: SessionLog,
+    pub(crate) obs: ObsHandle,
+}
+
+impl Engine {
+    /// Runs the session to completion (content fully played, starvation,
+    /// or deadline) and returns the log plus the possibly-warmed edge
+    /// cache.
+    pub(crate) fn run(mut self) -> (SessionLog, Option<EdgeCache>) {
+        self.start();
+        loop {
+            if self.playback.state() == PlayState::Ended {
+                break;
+            }
+            self.arm_wakes();
+            let Some((t, ev)) = self.queue.pop() else {
+                break; // nothing left, not even the deadline sentinel
+            };
+            match ev {
+                SessionEvent::Deadline => break,
+                SessionEvent::PlaylistRefresh => self.on_refresh_tick(t),
+                SessionEvent::TransferComplete
+                | SessionEvent::PlaybackBoundary
+                | SessionEvent::BufferRefill
+                | SessionEvent::SeekDue => self.step(t),
+            }
+        }
+        self.finish()
+    }
+
+    /// Emits the session-start lifecycle, distributes the obs handle,
+    /// plants the deadline sentinel (and first refresh tick), issues eager
+    /// playlist prefetches, and runs the t = 0 scheduling round.
+    fn start(&mut self) {
+        let obs = self.obs.clone();
+        self.link.set_obs(obs.clone());
+        self.origin.set_obs(obs.clone());
+        if let Some(e) = &mut self.edge {
+            e.cache.set_obs(obs.clone());
+        }
+        self.policy.set_obs(&obs);
+        obs.emit(Instant::ZERO, || Event::SessionStart {
+            policy: self.log.policy.clone(),
+            chunk_duration: self.chunk_duration,
+            num_chunks: self.num_chunks,
+        });
+        // The sentinel is scheduled first, so its seq breaks any tie at
+        // `deadline + 1 µs` in its favor: events *at* the deadline still
+        // process, anything later never does.
+        self.queue.schedule(
+            self.deadline + Duration::from_micros(1),
+            SessionEvent::Deadline,
+        );
+        if let Some(period) = self.refresh_period {
+            self.queue
+                .schedule(Instant::ZERO + period, SessionEvent::PlaylistRefresh);
+        }
+        if self.playlist_fetch == PlaylistFetch::Eager {
+            for track in self.content.track_ids() {
+                self.open_playlist_fetch(track, Instant::ZERO, None);
+            }
+        }
+        self.schedule_fetches();
+        self.sample();
+    }
+
+    /// Re-arms the four wake classes against current state. Each class's
+    /// previous entry is cancelled first, so the queue holds at most one
+    /// live entry per class and a stale wake can never fire.
+    fn arm_wakes(&mut self) {
+        let completion = self.link.next_completion();
+        let boundary = self
+            .playback
+            .next_boundary(self.now, &self.audio_buf, &self.video_buf);
+        // When a pipeline is idle only because its buffer is at the
+        // target, wake up the moment playout drains it back below the
+        // target (plus 1 ms so the strict `level < max_buffer` gate in
+        // the scheduler passes).
+        let refill = if self.playback.state() == PlayState::Playing {
+            [
+                (&self.audio_buf, MediaType::Audio),
+                (&self.video_buf, MediaType::Video),
+            ]
+            .into_iter()
+            .filter(|(buf, media)| {
+                !self.flights.in_flight(*media)
+                    && buf.next_download_index() < self.num_chunks
+                    && buf.level() >= self.config.max_buffer
+            })
+            .map(|(buf, _)| {
+                self.now + (buf.level() - self.config.max_buffer) + Duration::from_millis(1)
+            })
+            .min()
+        } else {
+            None
+        };
+        // A pending seek is an event once playback has started.
+        let seek = if self.playback.startup_at().is_some() {
+            self.seek_queue.front().map(|&(at, _)| at.max(self.now))
+        } else {
+            None
+        };
+        Self::rearm(
+            &mut self.queue,
+            &mut self.wakes.completion,
+            completion,
+            SessionEvent::TransferComplete,
+        );
+        Self::rearm(
+            &mut self.queue,
+            &mut self.wakes.boundary,
+            boundary,
+            SessionEvent::PlaybackBoundary,
+        );
+        Self::rearm(
+            &mut self.queue,
+            &mut self.wakes.refill,
+            refill,
+            SessionEvent::BufferRefill,
+        );
+        Self::rearm(
+            &mut self.queue,
+            &mut self.wakes.seek,
+            seek,
+            SessionEvent::SeekDue,
+        );
+    }
+
+    /// Cancels a wake class's previous entry (if any) and schedules the
+    /// fresh one.
+    fn rearm(
+        queue: &mut EventQueue<SessionEvent>,
+        slot: &mut Option<EventKey>,
+        at: Option<Instant>,
+        ev: SessionEvent,
+    ) {
+        if let Some(key) = slot.take() {
+            queue.cancel(key);
+        }
+        *slot = at.map(|t| queue.schedule(t, ev));
+    }
+
+    /// One simulation step at `t`: advance the link and playout, fold in
+    /// completions, apply due seeks, (re)start playback, schedule fetches,
+    /// sample buffers. Every popped wake — whichever class won the queue —
+    /// runs this same step, which is what makes the engine equivalent to
+    /// the min-of-candidates loop it replaced.
+    fn step(&mut self, t: Instant) {
+        // Playout first (consumes pre-existing buffer content over
+        // [now, t]); completions arriving at t are usable from t on.
+        let completions = self.link.advance_to(t);
+        let state_before_advance = self.playback.state();
+        self.playback
+            .advance(self.now, t, &mut self.audio_buf, &mut self.video_buf);
+        self.now = t;
+        if state_before_advance == PlayState::Playing {
+            match self.playback.state() {
+                PlayState::Stalled => self.obs.emit(t, || Event::StallBegin),
+                PlayState::Ended => self.obs.emit(t, || Event::PlaybackEnded),
+                _ => {}
+            }
+        }
+        self.on_completions(completions);
+        self.obs.gauge(
+            "session.pending_requests",
+            self.flights.pending.len() as f64,
+        );
+        self.apply_due_seeks();
+        let state_before_start = self.playback.state();
+        self.playback
+            .try_start(self.now, &self.audio_buf, &self.video_buf);
+        if self.playback.state() == PlayState::Playing {
+            match state_before_start {
+                PlayState::Startup => self.obs.emit(self.now, || Event::PlaybackStarted),
+                PlayState::Stalled => self.obs.emit(self.now, || Event::StallEnd),
+                PlayState::Seeking => self.obs.emit(self.now, || Event::SeekResumed),
+                _ => {}
+            }
+        }
+        self.schedule_fetches();
+        self.sample();
+    }
+
+    /// Applies every due seek: flush buffers, drop in-flight chunk
+    /// requests, reposition the playhead at a chunk boundary.
+    fn apply_due_seeks(&mut self) {
+        while let Some(&(at, target)) = self.seek_queue.front() {
+            if at > self.now || self.playback.startup_at().is_none() {
+                break;
+            }
+            self.seek_queue.pop_front();
+            let chunk_idx = (target.as_micros() / self.chunk_duration.as_micros()) as usize;
+            let aligned = self.chunk_duration * chunk_idx as u64;
+            if self.playback.state() == PlayState::Ended
+                || chunk_idx >= self.num_chunks
+                || aligned <= self.playback.position()
+            {
+                continue; // not a forward seek anymore: ignore
+            }
+            // Drop in-flight chunk transfers (playlist fetches keep
+            // running; their deferred chunks are re-validated on arrival).
+            let stale: Vec<abr_net::link::FlowId> = self
+                .flights
+                .pending
+                .iter()
+                .filter(|(_, p)| !matches!(p, crate::transfer::Pending::Playlist { .. }))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stale {
+                self.flights.pending.remove(&id);
+                self.link.cancel_flow(id);
+            }
+            self.audio_buf.flush_to(chunk_idx);
+            self.video_buf.flush_to(chunk_idx);
+            if self.playback.state() == PlayState::Stalled {
+                // The seek closes the open stall (the rebuffering that
+                // follows is accounted to the seek).
+                self.obs.emit(self.now, || Event::StallEnd);
+            }
+            self.obs.emit(self.now, || Event::SeekStarted {
+                from: self.playback.position(),
+                to: aligned,
+            });
+            self.playback.seek(self.now, aligned);
+        }
+    }
+
+    /// A live playlist-refresh timer fired: run a normal step at the tick
+    /// time, then re-poll the media playlists of the currently selected
+    /// tracks and arm the next tick. The poll flows share the per-media
+    /// request pipelines, so a slow poll visibly delays that pipeline's
+    /// next chunk — the live-streaming overhead this feature measures.
+    fn on_refresh_tick(&mut self, t: Instant) {
+        self.step(t);
+        let targets = [
+            self.current_audio.map(TrackId::audio),
+            self.current_video.map(TrackId::video),
+        ];
+        let mut refetched = 0usize;
+        for track in targets.into_iter().flatten() {
+            if self.playlist_sizes.contains_key(&track) {
+                self.open_playlist_fetch(track, t, None);
+                refetched += 1;
+            }
+        }
+        self.obs
+            .emit(t, || Event::PlaylistRefreshTick { refetched });
+        if let Some(period) = self.refresh_period {
+            self.queue
+                .schedule(t + period, SessionEvent::PlaylistRefresh);
+        }
+    }
+
+    /// Records the current buffer levels in the log and the trace.
+    fn sample(&mut self) {
+        self.log.buffer_samples.push(BufferSample {
+            at: self.now,
+            audio: self.audio_buf.level(),
+            video: self.video_buf.level(),
+        });
+        self.obs.emit(self.now, || Event::BufferStateChange {
+            audio: self.audio_buf.level(),
+            video: self.video_buf.level(),
+        });
+    }
+
+    /// Emits the session-end event, fills the summary fields, and hands
+    /// back the log plus the edge cache.
+    fn finish(mut self) -> (SessionLog, Option<EdgeCache>) {
+        self.obs.emit(self.now, || Event::SessionEnd);
+        self.log.startup_at = self.playback.startup_at();
+        self.log.ended_at = self.playback.ended_at();
+        self.log.stalls = self.playback.stalls().to_vec();
+        self.log.seeks = self.playback.seeks().to_vec();
+        self.log.finished_at = self.now;
+        (self.log, self.edge)
+    }
+}

@@ -15,19 +15,28 @@
 //!   empties (§2.1).
 //! * [`policy`] — the `AbrPolicy` trait and the transfer records fed to it.
 //! * [`scheduler`] — which media to fetch next, and when.
-//! * [`session`] — the event loop gluing link + origin + buffers + policy.
+//! * [`session`] — the public facade: builds a session and runs it.
 //! * [`log`] — selection/transfer/buffer/stall records for the figures.
+//!
+//! Behind the facade, the run itself is a typed discrete-event engine
+//! split by layer across three private modules: `engine` (the
+//! [`abr_event::EventQueue`] dispatch loop and time advancement),
+//! `transfer` (in-flight requests, edge-cache delay, bandwidth meter) and
+//! `fetch` (scheduler/policy interaction). See DESIGN.md §3.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod config;
+mod engine;
+mod fetch;
 pub mod log;
 pub mod playback;
 pub mod policy;
 pub mod scheduler;
 pub mod session;
+mod transfer;
 
 pub use config::{PlayerConfig, SyncMode};
 pub use log::SessionLog;

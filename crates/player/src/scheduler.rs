@@ -133,6 +133,38 @@ mod tests {
     }
 
     #[test]
+    fn tolerance_boundary_is_exclusive() {
+        // Exactly at `peer level + tolerance` the leader pauses (the gate
+        // is `>=`): audio at 10 s vs video at 6 s with 4 s tolerance.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 3, 10), pipe(false, 2, 6), 75);
+        assert_eq!(due, vec![MediaType::Video]);
+        // One microsecond under the boundary, both proceed.
+        let just_under = PipelineState {
+            level: Duration::from_secs(10) - Duration::from_micros(1),
+            ..pipe(false, 3, 10)
+        };
+        let due = due_fetches(&cfg(CHUNKED), just_under, pipe(false, 2, 6), 75);
+        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+        // The gate is symmetric: video equally far ahead pauses too.
+        let due = due_fetches(&cfg(CHUNKED), pipe(false, 2, 6), pipe(false, 3, 10), 75);
+        assert_eq!(due, vec![MediaType::Audio]);
+    }
+
+    #[test]
+    fn both_in_flight_yields_nothing() {
+        let due = due_fetches(&cfg(CHUNKED), pipe(true, 4, 12), pipe(true, 3, 10), 75);
+        assert!(due.is_empty());
+        // Same under independent pipelines: in-flight always blocks.
+        let due = due_fetches(
+            &cfg(SyncMode::Independent),
+            pipe(true, 4, 12),
+            pipe(true, 3, 10),
+            75,
+        );
+        assert!(due.is_empty());
+    }
+
+    #[test]
     fn exhausted_pipeline_stops_and_releases_peer() {
         // Audio fetched everything; video far behind must not be blocked.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 75, 28), pipe(false, 40, 2), 75);

@@ -1,123 +1,30 @@
-//! The streaming session: event loop gluing link, origin, buffers,
-//! playback and policy.
+//! The streaming session: public configuration facade over the
+//! discrete-event engine.
 //!
 //! One session streams one piece of content through one policy over one
-//! link and produces a [`SessionLog`]. The loop advances virtual time to
-//! the next of: a transfer completion (from the fluid link's exact solver)
-//! or a playback boundary (the instant the scarcer buffer runs dry). All
-//! state transitions happen at exact instants; nothing is polled.
+//! link and produces a [`SessionLog`]. [`Session`] itself is only the
+//! builder: `run` hands the configured parts to the engine (`engine.rs`),
+//! which advances virtual time exclusively by popping a typed
+//! [`abr_event::EventQueue`] — transfer completions, playback boundaries,
+//! buffer refills, seeks, playlist-refresh ticks and the deadline are all
+//! events. All state transitions happen at exact instants; nothing is
+//! polled.
 
-use crate::buffer::{BufferedChunk, ChunkBuffer};
 use crate::config::PlayerConfig;
-use crate::log::{BufferSample, SelectionEvent, SessionLog, TransferEvent};
-use crate::playback::{PlayState, PlaybackEngine};
-use crate::policy::{AbrPolicy, SelectionContext, TransferRecord};
-use crate::scheduler::{due_fetches, PipelineState};
+use crate::engine::{ArmedWakes, Engine};
+use crate::log::SessionLog;
+use crate::playback::PlaybackEngine;
+use crate::policy::AbrPolicy;
+use crate::transfer::FlightBoard;
 use abr_event::time::{Duration, Instant};
+use abr_event::EventQueue;
 use abr_httpsim::origin::Origin;
 use abr_media::track::{MediaType, TrackId};
-use abr_net::link::{FlowId, Link};
-use abr_obs::{Event, ObsHandle};
+use abr_net::link::Link;
+use abr_obs::ObsHandle;
 use std::collections::BTreeMap;
 
-/// Extra first-byte delay for a request routed through the edge cache (if
-/// any): zero on a hit, the miss penalty on a miss (which warms the cache).
-fn edge_delay(
-    edge: &mut Option<EdgeCache>,
-    origin: &Origin,
-    req: &abr_httpsim::request::Request,
-    now: Instant,
-) -> Duration {
-    match edge {
-        None => Duration::ZERO,
-        Some(e) => {
-            let (hit, _) = e
-                .cache
-                .fetch_at(origin, req, now)
-                .expect("request already validated");
-            if hit {
-                Duration::ZERO
-            } else {
-                e.miss_penalty
-            }
-        }
-    }
-}
-
-/// Total length of the union of (possibly overlapping) intervals.
-fn busy_union(mut intervals: Vec<(Instant, Instant)>) -> Duration {
-    intervals.sort();
-    let mut total = Duration::ZERO;
-    let mut cur: Option<(Instant, Instant)> = None;
-    for (lo, hi) in intervals {
-        match cur {
-            Some((clo, chi)) if lo <= chi => cur = Some((clo, chi.max(hi))),
-            Some((clo, chi)) => {
-                total += chi - clo;
-                cur = Some((lo, hi));
-            }
-            None => cur = Some((lo, hi)),
-        }
-    }
-    if let Some((clo, chi)) = cur {
-        total += chi - clo;
-    }
-    total
-}
-
-/// A chunk request in flight.
-#[derive(Debug, Clone, Copy)]
-struct ChunkFetch {
-    media: MediaType,
-    track: TrackId,
-    chunk: usize,
-    opened_at: Instant,
-}
-
-/// A request in flight: a media chunk, or a second-level playlist that
-/// must land before a chunk request can be issued (§4.1 lazy fetching) or
-/// before adaptation starts (eager prefetch).
-#[derive(Debug, Clone, Copy)]
-enum Pending {
-    Chunk(ChunkFetch),
-    Playlist {
-        track: TrackId,
-        requested_at: Instant,
-        /// The chunk request to issue once the playlist arrives (`None`
-        /// for eager prefetches, which are not tied to a chunk).
-        then: Option<ChunkFetch>,
-    },
-    /// A pre-combined audio+video chunk (muxed delivery, §1).
-    Muxed {
-        video: TrackId,
-        audio: TrackId,
-        chunk: usize,
-        opened_at: Instant,
-    },
-}
-
-impl Pending {
-    fn media(&self) -> MediaType {
-        match self {
-            Pending::Chunk(c) => c.media,
-            Pending::Playlist { track, .. } => track.media,
-            // The muxed pipeline is driven through the video lane.
-            Pending::Muxed { .. } => MediaType::Video,
-        }
-    }
-}
-
-/// An edge cache between the player and the origin: cache misses pay an
-/// extra origin round trip before the first byte (the mechanism behind
-/// the §1 claim that demuxing improves CDN effectiveness).
-#[derive(Debug)]
-pub struct EdgeCache {
-    /// The cache (persisting across sessions lets experiments model a
-    /// second viewer hitting a warmed edge).
-    pub cache: abr_httpsim::cache::CdnCache,
-    /// Extra first-byte delay on a cache miss (edge → origin round trip).
-    pub miss_penalty: Duration,
-}
+pub use abr_httpsim::edge::EdgeCache;
 
 /// How content is packaged for delivery (§1's muxed-vs-demuxed axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +67,7 @@ pub struct Session {
     packaging: abr_manifest::build::Packaging,
     delivery: DeliveryMode,
     edge: Option<EdgeCache>,
+    refresh_period: Option<Duration>,
     /// Scheduled user seeks: (wall time, target media position), sorted.
     seeks: Vec<(Instant, Duration)>,
     obs: ObsHandle,
@@ -189,6 +97,7 @@ impl Session {
             },
             delivery: DeliveryMode::Demuxed,
             edge: None,
+            refresh_period: None,
             seeks: Vec::new(),
             obs: ObsHandle::disabled(),
         }
@@ -196,9 +105,9 @@ impl Session {
 
     /// Attaches an observability handle. The session distributes it to the
     /// link, the origin, the edge cache, and the policy, and emits the full
-    /// lifecycle event stream ([`Event::SessionStart`] through
-    /// [`Event::SessionEnd`]) plus live metrics while it runs. A trace
-    /// recorded this way reconstructs the [`SessionLog`] exactly via
+    /// lifecycle event stream ([`abr_obs::Event::SessionStart`] through
+    /// [`abr_obs::Event::SessionEnd`]) plus live metrics while it runs. A
+    /// trace recorded this way reconstructs the [`SessionLog`] exactly via
     /// [`SessionLog::from_trace`].
     pub fn with_obs(mut self, obs: ObsHandle) -> Session {
         self.obs = obs;
@@ -257,67 +166,73 @@ impl Session {
     ) -> Session {
         self.playlist_fetch = mode;
         if mode != PlaylistFetch::Preloaded {
-            let content = self.origin.content().clone();
-            for id in content.track_ids() {
-                let playlist = abr_manifest::build::build_media_playlist(&content, id, packaging);
-                let path = abr_manifest::build::playlist_uri(id);
-                let body = playlist.to_text();
-                self.origin.publish_document(&path, &body);
-                let req = abr_httpsim::request::Request::whole(
-                    abr_httpsim::request::ObjectId::Document { path },
-                );
-                let size = self
-                    .origin
-                    .transfer_size(&req)
-                    .expect("published just above");
-                self.playlist_sizes.insert(id, size);
-            }
+            self.publish_playlists(packaging);
         }
         self
+    }
+
+    /// Enables live-style playlist refresh: every `period`, the player
+    /// re-fetches the media playlists of its currently selected audio and
+    /// video tracks (the polling a live HLS client performs to discover
+    /// new segments). Poll transfers share the per-media request pipelines
+    /// with chunk fetches, so slow polls measurably delay chunks — each
+    /// tick is traced as [`abr_obs::Event::PlaylistRefreshTick`]. Off by
+    /// default; VoD sessions are unaffected unless this is called.
+    pub fn with_playlist_refresh(
+        mut self,
+        period: Duration,
+        packaging: abr_manifest::build::Packaging,
+    ) -> Session {
+        assert!(period > Duration::ZERO, "refresh period must be positive");
+        self.refresh_period = Some(period);
+        if self.playlist_sizes.is_empty() {
+            self.publish_playlists(packaging);
+        }
+        self
+    }
+
+    /// Builds and publishes every track's media playlist at the origin and
+    /// records its transfer size (idempotent in effect: sizes are simply
+    /// overwritten with identical values if already published).
+    fn publish_playlists(&mut self, packaging: abr_manifest::build::Packaging) {
+        let content = self.origin.content().clone();
+        for id in content.track_ids() {
+            let playlist = abr_manifest::build::build_media_playlist(&content, id, packaging);
+            let path = abr_manifest::build::playlist_uri(id);
+            let body = playlist.to_text();
+            self.origin.publish_document(&path, &body);
+            let req =
+                abr_httpsim::request::Request::whole(abr_httpsim::request::ObjectId::Document {
+                    path,
+                });
+            let size = self
+                .origin
+                .transfer_size(&req)
+                .expect("published just above");
+            self.playlist_sizes.insert(id, size);
+        }
     }
 
     /// Like [`Session::run`], but also returns the (now warmed) edge cache
     /// so a follow-up session can reuse it.
     pub fn run_with_edge(self) -> (SessionLog, Option<EdgeCache>) {
-        let mut me = self;
-        let log = me.run_inner();
-        (log, me.edge.take())
+        self.into_engine().run()
     }
 
     /// Runs to completion (content fully played, starvation, or deadline)
     /// and returns the session log.
     pub fn run(self) -> SessionLog {
-        let mut me = self;
-        me.run_inner()
+        self.into_engine().run().0
     }
 
-    fn run_inner(&mut self) -> SessionLog {
+    /// Consumes the builder into a ready-to-run engine.
+    fn into_engine(self) -> Engine {
         let content = self.origin.content().clone();
         let chunk_duration = content.chunk_duration();
         let num_chunks = content.num_chunks();
-
-        let obs = self.obs.clone();
-        self.link.set_obs(obs.clone());
-        self.origin.set_obs(obs.clone());
-        if let Some(e) = &mut self.edge {
-            e.cache.set_obs(obs.clone());
-        }
-        self.policy.set_obs(&obs);
-
-        let mut audio_buf = ChunkBuffer::new(MediaType::Audio);
-        let mut video_buf = ChunkBuffer::new(MediaType::Video);
-        let mut playback = PlaybackEngine::new(
-            content.duration(),
-            self.config.startup_threshold,
-            self.config.resume_threshold,
-        );
-        let mut pending: BTreeMap<FlowId, Pending> = BTreeMap::new();
-        let mut playlists_ready: std::collections::BTreeSet<TrackId> =
-            std::collections::BTreeSet::new();
         let total_tracks = content.track_ids().len();
-        let mut current_audio: Option<usize> = None;
-        let mut current_video: Option<usize> = None;
-        let mut log = SessionLog {
+        let duration = content.duration();
+        let log = SessionLog {
             policy: self.policy.name().to_string(),
             selections: Vec::new(),
             transfers: Vec::new(),
@@ -331,918 +246,39 @@ impl Session {
             chunk_duration,
             num_chunks,
         };
-        let mut now = Instant::ZERO;
-        let mut meter_last = Instant::ZERO;
-        obs.emit(Instant::ZERO, || Event::SessionStart {
-            policy: log.policy.clone(),
+        Engine {
+            content,
             chunk_duration,
             num_chunks,
-        });
-
-        // Issues every due fetch at `now`; returns true if any was issued.
-        macro_rules! schedule {
-            () => {{
-                // Under eager fetching, adaptation waits for every playlist.
-                let gated = self.playlist_fetch == PlaylistFetch::Eager
-                    && playlists_ready.len() < total_tracks;
-                let in_flight = |media: MediaType| pending.values().any(|p| p.media() == media);
-                let pipes = |buf: &ChunkBuffer, media: MediaType| PipelineState {
-                    in_flight: in_flight(media),
-                    next_chunk: buf.next_download_index(),
-                    level: buf.level(),
-                };
-                let mut due = if gated {
-                    Vec::new()
-                } else {
-                    due_fetches(
-                        &self.config,
-                        pipes(&audio_buf, MediaType::Audio),
-                        pipes(&video_buf, MediaType::Video),
-                        num_chunks,
-                    )
-                };
-                if self.delivery == DeliveryMode::Muxed {
-                    // One pipeline: each muxed transfer fills both buffers,
-                    // so only the video pipeline issues requests.
-                    due.retain(|m| *m == MediaType::Video);
-                }
-                for media in due {
-                    let buf = match media {
-                        MediaType::Audio => &audio_buf,
-                        MediaType::Video => &video_buf,
-                    };
-                    let chunk = buf.next_download_index();
-                    let ctx = SelectionContext {
-                        now,
-                        media,
-                        chunk,
-                        audio_level: audio_buf.level(),
-                        video_level: video_buf.level(),
-                        chunk_duration,
-                        current_audio,
-                        current_video,
-                        playing: playback.state() == PlayState::Playing,
-                    };
-                    let track = obs.time("policy.decision_ns", || self.policy.select(&ctx));
-                    assert_eq!(track.media, media, "policy returned wrong media type");
-                    assert!(
-                        track.index < content.ladder(media).len(),
-                        "policy selected out-of-ladder track {track}"
-                    );
-                    match media {
-                        MediaType::Audio => current_audio = Some(track.index),
-                        MediaType::Video => current_video = Some(track.index),
-                    }
-                    let info = content.track(track);
-                    log.selections.push(SelectionEvent {
-                        at: now,
-                        chunk,
-                        track,
-                        declared: info.declared,
-                        avg_bitrate: info.avg,
-                    });
-                    obs.emit(now, || Event::TrackSelected {
-                        chunk,
-                        track,
-                        declared: info.declared,
-                        avg_bitrate: info.avg,
-                    });
-                    if self.delivery == DeliveryMode::Muxed {
-                        // Ask the policy for the paired audio component too
-                        // (joint policies return the same combination).
-                        let actx = SelectionContext {
-                            media: MediaType::Audio,
-                            ..ctx
-                        };
-                        let audio_track =
-                            obs.time("policy.decision_ns", || self.policy.select(&actx));
-                        assert_eq!(audio_track.media, MediaType::Audio);
-                        current_audio = Some(audio_track.index);
-                        let ainfo = content.track(audio_track);
-                        log.selections.push(SelectionEvent {
-                            at: now,
-                            chunk,
-                            track: audio_track,
-                            declared: ainfo.declared,
-                            avg_bitrate: ainfo.avg,
-                        });
-                        obs.emit(now, || Event::TrackSelected {
-                            chunk,
-                            track: audio_track,
-                            declared: ainfo.declared,
-                            avg_bitrate: ainfo.avg,
-                        });
-                        let combo = abr_media::combo::Combo::new(track.index, audio_track.index);
-                        let req = abr_httpsim::request::Request::whole(
-                            abr_httpsim::request::ObjectId::MuxedSegment { combo, chunk },
-                        );
-                        let size = self.origin.transfer_size(&req).expect("valid muxed chunk");
-                        let extra = edge_delay(&mut self.edge, &self.origin, &req, now);
-                        let flow = self.link.open_flow_after(size, extra);
-                        obs.emit(now, || Event::RequestIssued {
-                            flow: flow.0,
-                            track: None,
-                            chunk: Some(chunk),
-                            size,
-                        });
-                        pending.insert(
-                            flow,
-                            Pending::Muxed {
-                                video: track,
-                                audio: audio_track,
-                                chunk,
-                                opened_at: now,
-                            },
-                        );
-                        continue;
-                    }
-                    let fetch = ChunkFetch {
-                        media,
-                        track,
-                        chunk,
-                        opened_at: now,
-                    };
-                    if self.playlist_fetch == PlaylistFetch::Lazy
-                        && !playlists_ready.contains(&track)
-                    {
-                        // §4.1's warned-against practice: the chunk request
-                        // must wait for this track's playlist round trip.
-                        let size = self.playlist_sizes[&track];
-                        let flow = self.link.open_flow(size);
-                        obs.emit(now, || Event::RequestIssued {
-                            flow: flow.0,
-                            track: Some(track),
-                            chunk: None,
-                            size,
-                        });
-                        pending.insert(
-                            flow,
-                            Pending::Playlist {
-                                track,
-                                requested_at: now,
-                                then: Some(fetch),
-                            },
-                        );
-                    } else {
-                        let req = match self.packaging {
-                            abr_manifest::build::Packaging::SingleFile => self
-                                .origin
-                                .range_request(track, chunk)
-                                .expect("valid chunk range"),
-                            abr_manifest::build::Packaging::SegmentFiles { .. } => {
-                                Origin::segment_request(track, chunk)
-                            }
-                        };
-                        let size = self
-                            .origin
-                            .transfer_size(&req)
-                            .expect("valid chunk request");
-                        let extra = edge_delay(&mut self.edge, &self.origin, &req, now);
-                        let flow = self.link.open_flow_after(size, extra);
-                        obs.emit(now, || Event::RequestIssued {
-                            flow: flow.0,
-                            track: Some(track),
-                            chunk: Some(chunk),
-                            size,
-                        });
-                        pending.insert(flow, Pending::Chunk(fetch));
-                    }
-                }
-                obs.gauge("session.pending_requests", pending.len() as f64);
-            }};
+            total_tracks,
+            deadline: self.deadline,
+            delivery: self.delivery,
+            packaging: self.packaging,
+            playlist_fetch: self.playlist_fetch,
+            playlist_sizes: self.playlist_sizes,
+            refresh_period: self.refresh_period,
+            origin: self.origin,
+            link: self.link,
+            policy: self.policy,
+            edge: self.edge,
+            audio_buf: crate::buffer::ChunkBuffer::new(MediaType::Audio),
+            video_buf: crate::buffer::ChunkBuffer::new(MediaType::Video),
+            playback: PlaybackEngine::new(
+                duration,
+                self.config.startup_threshold,
+                self.config.resume_threshold,
+            ),
+            config: self.config,
+            flights: FlightBoard::default(),
+            seek_queue: self.seeks.into_iter().collect(),
+            current_audio: None,
+            current_video: None,
+            playlists_ready: std::collections::BTreeSet::new(),
+            queue: EventQueue::new(),
+            wakes: ArmedWakes::default(),
+            now: Instant::ZERO,
+            log,
+            obs: self.obs,
         }
-
-        macro_rules! sample {
-            () => {
-                log.buffer_samples.push(BufferSample {
-                    at: now,
-                    audio: audio_buf.level(),
-                    video: video_buf.level(),
-                });
-                obs.emit(now, || Event::BufferStateChange {
-                    audio: audio_buf.level(),
-                    video: video_buf.level(),
-                });
-            };
-        }
-
-        let mut seek_queue: std::collections::VecDeque<(Instant, Duration)> =
-            self.seeks.drain(..).collect();
-        if self.playlist_fetch == PlaylistFetch::Eager {
-            for track in content.track_ids() {
-                let size = self.playlist_sizes[&track];
-                let flow = self.link.open_flow(size);
-                obs.emit(now, || Event::RequestIssued {
-                    flow: flow.0,
-                    track: Some(track),
-                    chunk: None,
-                    size,
-                });
-                pending.insert(
-                    flow,
-                    Pending::Playlist {
-                        track,
-                        requested_at: now,
-                        then: None,
-                    },
-                );
-            }
-        }
-        schedule!();
-        sample!();
-
-        loop {
-            if playback.state() == PlayState::Ended {
-                break;
-            }
-            let completion = self.link.next_completion();
-            let boundary = playback.next_boundary(now, &audio_buf, &video_buf);
-            // When a pipeline is idle only because its buffer is at the
-            // target, wake up the moment playout drains it back below the
-            // target (plus 1 ms so the strict `level < max_buffer` gate in
-            // the scheduler passes).
-            let refill = if playback.state() == PlayState::Playing {
-                [
-                    (&audio_buf, MediaType::Audio),
-                    (&video_buf, MediaType::Video),
-                ]
-                .into_iter()
-                .filter(|(buf, media)| {
-                    !pending.values().any(|p| p.media() == *media)
-                        && buf.next_download_index() < num_chunks
-                        && buf.level() >= self.config.max_buffer
-                })
-                .map(|(buf, _)| {
-                    now + (buf.level() - self.config.max_buffer) + Duration::from_millis(1)
-                })
-                .min()
-            } else {
-                None
-            };
-            // A pending seek is an event once playback has started.
-            let seek_at = if playback.startup_at().is_some() {
-                seek_queue.front().map(|&(at, _)| at.max(now))
-            } else {
-                None
-            };
-            let t = match [completion, boundary, refill, seek_at]
-                .into_iter()
-                .flatten()
-                .min()
-            {
-                Some(t) => t,
-                None => break, // starved: stalled with a dead link
-            };
-            if t > self.deadline {
-                break;
-            }
-
-            // Playout first (consumes pre-existing buffer content over
-            // [now, t]); completions arriving at t are usable from t on.
-            let completions = self.link.advance_to(t);
-            let state_before_advance = playback.state();
-            playback.advance(now, t, &mut audio_buf, &mut video_buf);
-            now = t;
-            if state_before_advance == PlayState::Playing {
-                match playback.state() {
-                    PlayState::Stalled => obs.emit(now, || Event::StallBegin),
-                    PlayState::Ended => obs.emit(now, || Event::PlaybackEnded),
-                    _ => {}
-                }
-            }
-
-            // Aggregate bandwidth-meter window (all flows, completed and
-            // still in flight) since the previous completion event —
-            // ExoPlayer-style global accounting.
-            let (window_bytes, window_busy) = if completions.is_empty() {
-                (abr_media::units::Bytes::ZERO, Duration::ZERO)
-            } else {
-                let mut bytes = abr_media::units::Bytes::ZERO;
-                let mut intervals: Vec<(Instant, Instant)> = Vec::new();
-                {
-                    let mut take = |profile: &abr_net::profile::DeliveryProfile| {
-                        bytes += profile.bytes_between(meter_last, now);
-                        for s in profile.segments() {
-                            let lo = s.start.max(meter_last);
-                            let hi = s.end.min(now);
-                            if lo < hi {
-                                intervals.push((lo, hi));
-                            }
-                        }
-                    };
-                    for c in &completions {
-                        take(&c.profile);
-                    }
-                    for id in pending.keys() {
-                        if let Some(p) = self.link.flow_profile(*id) {
-                            take(p);
-                        }
-                    }
-                }
-                meter_last = now;
-                (bytes, busy_union(intervals))
-            };
-            let mut first_completion = true;
-
-            for c in completions {
-                let p = match pending.remove(&c.id).expect("completion for unknown flow") {
-                    Pending::Muxed {
-                        video,
-                        audio,
-                        chunk,
-                        opened_at,
-                    } => {
-                        audio_buf.push(BufferedChunk {
-                            index: chunk,
-                            track: audio,
-                            duration: chunk_duration,
-                        });
-                        video_buf.push(BufferedChunk {
-                            index: chunk,
-                            track: video,
-                            duration: chunk_duration,
-                        });
-                        let record = TransferRecord {
-                            media: MediaType::Video,
-                            track: video,
-                            chunk,
-                            size: c.size,
-                            opened_at,
-                            completed_at: c.at,
-                            profile: c.profile,
-                            window_bytes: if first_completion {
-                                window_bytes
-                            } else {
-                                abr_media::units::Bytes::ZERO
-                            },
-                            window_busy: if first_completion {
-                                window_busy
-                            } else {
-                                Duration::ZERO
-                            },
-                        };
-                        first_completion = false;
-                        self.policy.on_transfer(&record);
-                        let estimate_after = self.policy.debug_estimate();
-                        log.transfers.push(TransferEvent {
-                            at: c.at,
-                            chunk,
-                            track: video,
-                            size: c.size,
-                            duration: c.at.saturating_duration_since(opened_at),
-                            estimate_after,
-                        });
-                        obs.emit(c.at, || Event::TransferCompleted {
-                            flow: c.id.0,
-                            track: video,
-                            chunk,
-                            size: c.size,
-                            opened_at,
-                            estimate_after,
-                        });
-                        continue;
-                    }
-                    Pending::Playlist {
-                        track,
-                        requested_at,
-                        then,
-                    } => {
-                        playlists_ready.insert(track);
-                        log.playlist_fetches.push(crate::log::PlaylistFetchEvent {
-                            track,
-                            requested_at,
-                            completed_at: c.at,
-                        });
-                        obs.emit(c.at, || Event::PlaylistFetch {
-                            track,
-                            requested_at,
-                        });
-                        if let Some(fetch) = then {
-                            // A seek may have flushed past this position.
-                            let buf = match fetch.media {
-                                MediaType::Audio => &audio_buf,
-                                MediaType::Video => &video_buf,
-                            };
-                            if fetch.chunk != buf.next_download_index() {
-                                continue;
-                            }
-                            // Issue the deferred chunk request now.
-                            let req = match self.packaging {
-                                abr_manifest::build::Packaging::SingleFile => self
-                                    .origin
-                                    .range_request(fetch.track, fetch.chunk)
-                                    .expect("valid chunk range"),
-                                abr_manifest::build::Packaging::SegmentFiles { .. } => {
-                                    Origin::segment_request(fetch.track, fetch.chunk)
-                                }
-                            };
-                            let size = self
-                                .origin
-                                .transfer_size(&req)
-                                .expect("valid chunk request");
-                            let extra = edge_delay(&mut self.edge, &self.origin, &req, c.at);
-                            let flow = self.link.open_flow_after(size, extra);
-                            obs.emit(c.at, || Event::RequestIssued {
-                                flow: flow.0,
-                                track: Some(fetch.track),
-                                chunk: Some(fetch.chunk),
-                                size,
-                            });
-                            pending.insert(
-                                flow,
-                                Pending::Chunk(ChunkFetch {
-                                    opened_at: c.at,
-                                    ..fetch
-                                }),
-                            );
-                        }
-                        continue;
-                    }
-                    Pending::Chunk(f) => f,
-                };
-                let buf = match p.media {
-                    MediaType::Audio => &mut audio_buf,
-                    MediaType::Video => &mut video_buf,
-                };
-                buf.push(BufferedChunk {
-                    index: p.chunk,
-                    track: p.track,
-                    duration: chunk_duration,
-                });
-                let (wb, wd) = if first_completion {
-                    (window_bytes, window_busy)
-                } else {
-                    (abr_media::units::Bytes::ZERO, Duration::ZERO)
-                };
-                first_completion = false;
-                let record = TransferRecord {
-                    media: p.media,
-                    track: p.track,
-                    chunk: p.chunk,
-                    size: c.size,
-                    opened_at: p.opened_at,
-                    completed_at: c.at,
-                    profile: c.profile,
-                    window_bytes: wb,
-                    window_busy: wd,
-                };
-                self.policy.on_transfer(&record);
-                let estimate_after = self.policy.debug_estimate();
-                log.transfers.push(TransferEvent {
-                    at: c.at,
-                    chunk: p.chunk,
-                    track: p.track,
-                    size: c.size,
-                    duration: c.at.saturating_duration_since(p.opened_at),
-                    estimate_after,
-                });
-                obs.emit(c.at, || Event::TransferCompleted {
-                    flow: c.id.0,
-                    track: p.track,
-                    chunk: p.chunk,
-                    size: c.size,
-                    opened_at: p.opened_at,
-                    estimate_after,
-                });
-            }
-            obs.gauge("session.pending_requests", pending.len() as f64);
-
-            // Apply any due seek: flush buffers, drop in-flight chunk
-            // requests, reposition the playhead at a chunk boundary.
-            while let Some(&(at, target)) = seek_queue.front() {
-                if at > now || playback.startup_at().is_none() {
-                    break;
-                }
-                seek_queue.pop_front();
-                let chunk_idx = (target.as_micros() / chunk_duration.as_micros()) as usize;
-                let aligned = chunk_duration * chunk_idx as u64;
-                if playback.state() == PlayState::Ended
-                    || chunk_idx >= num_chunks
-                    || aligned <= playback.position()
-                {
-                    continue; // not a forward seek anymore: ignore
-                }
-                // Drop in-flight chunk transfers (playlist fetches keep
-                // running; their deferred chunks are re-validated below).
-                let stale: Vec<FlowId> = pending
-                    .iter()
-                    .filter(|(_, p)| !matches!(p, Pending::Playlist { .. }))
-                    .map(|(id, _)| *id)
-                    .collect();
-                for id in stale {
-                    pending.remove(&id);
-                    self.link.cancel_flow(id);
-                }
-                audio_buf.flush_to(chunk_idx);
-                video_buf.flush_to(chunk_idx);
-                if playback.state() == PlayState::Stalled {
-                    // The seek closes the open stall (the rebuffering that
-                    // follows is accounted to the seek).
-                    obs.emit(now, || Event::StallEnd);
-                }
-                obs.emit(now, || Event::SeekStarted {
-                    from: playback.position(),
-                    to: aligned,
-                });
-                playback.seek(now, aligned);
-            }
-
-            let state_before_start = playback.state();
-            playback.try_start(now, &audio_buf, &video_buf);
-            if playback.state() == PlayState::Playing {
-                match state_before_start {
-                    PlayState::Startup => obs.emit(now, || Event::PlaybackStarted),
-                    PlayState::Stalled => obs.emit(now, || Event::StallEnd),
-                    PlayState::Seeking => obs.emit(now, || Event::SeekResumed),
-                    _ => {}
-                }
-            }
-            schedule!();
-            sample!();
-        }
-
-        obs.emit(now, || Event::SessionEnd);
-        log.startup_at = playback.startup_at();
-        log.ended_at = playback.ended_at();
-        log.stalls = playback.stalls().to_vec();
-        log.seeks = playback.seeks().to_vec();
-        log.finished_at = now;
-        log
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::SyncMode;
-    use crate::log::SessionLog;
-    use crate::policy::FixedPolicy;
-    use abr_media::content::Content;
-    use abr_media::units::{BitsPerSec, Bytes};
-    use abr_net::trace::Trace;
-
-    fn kbps(k: u64) -> BitsPerSec {
-        BitsPerSec::from_kbps(k)
-    }
-
-    fn run_fixed(rate_kbps: u64, video: usize, audio: usize, sync: SyncMode) -> SessionLog {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-        let link = Link::new(Trace::constant(kbps(rate_kbps)));
-        let config = PlayerConfig {
-            sync,
-            ..PlayerConfig::default_chunked(content.chunk_duration())
-        };
-        Session::new(origin, link, Box::new(FixedPolicy { video, audio }), config).run()
-    }
-
-    const CHUNKED: SyncMode = SyncMode::ChunkLevel {
-        tolerance: Duration::from_secs(4),
-    };
-
-    #[test]
-    fn ample_bandwidth_plays_clean() {
-        // V1+A1 needs ~239 Kbps average; 5 Mbps is overkill.
-        let log = run_fixed(5_000, 0, 0, CHUNKED);
-        assert!(log.completed(), "must play to the end");
-        assert_eq!(log.stall_count(), 0);
-        assert_eq!(log.selected_tracks(MediaType::Video), vec![0; 75]);
-        assert_eq!(log.selected_tracks(MediaType::Audio), vec![0; 75]);
-        assert!(log.startup_at.unwrap() < Instant::from_secs(2));
-        assert_eq!(log.ended_at, Some(log.finished_at));
-    }
-
-    #[test]
-    fn starved_session_stalls() {
-        // V6+A3 averages ~3.1 Mbps; a 500 Kbps link must rebuffer heavily.
-        let log = run_fixed(500, 5, 2, CHUNKED);
-        assert!(log.stall_count() > 0, "starved run must stall");
-        assert!(log.total_stall() > Duration::from_secs(60));
-    }
-
-    #[test]
-    fn buffers_stay_balanced_with_chunk_sync() {
-        let log = run_fixed(2_000, 2, 1, CHUNKED);
-        assert!(log.completed());
-        // With one-chunk tolerance the imbalance can never exceed ~2 chunks.
-        assert!(
-            log.max_buffer_imbalance() <= Duration::from_secs(9),
-            "imbalance {}",
-            log.max_buffer_imbalance()
-        );
-    }
-
-    #[test]
-    fn independent_mode_unbalances_buffers() {
-        // Audio (A2, 196 Kbps) downloads far faster than video (V5,
-        // 1421 Kbps) on a tight link: without sync, audio races ahead.
-        let log = run_fixed(2_000, 4, 1, SyncMode::Independent);
-        assert!(
-            log.max_buffer_imbalance() > Duration::from_secs(12),
-            "imbalance {}",
-            log.max_buffer_imbalance()
-        );
-    }
-
-    #[test]
-    fn every_chunk_transferred_exactly_once() {
-        let log = run_fixed(3_000, 1, 0, CHUNKED);
-        assert_eq!(log.transfers.len(), 150);
-        let mut audio_chunks: Vec<usize> = log
-            .transfers
-            .iter()
-            .filter(|t| t.track.media == MediaType::Audio)
-            .map(|t| t.chunk)
-            .collect();
-        audio_chunks.sort_unstable();
-        assert_eq!(audio_chunks, (0..75).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn deadline_cuts_off_starved_runs() {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-        // 1 Kbps: nothing meaningful ever downloads.
-        let link = Link::new(Trace::constant(kbps(1)));
-        let config = PlayerConfig::default_chunked(content.chunk_duration());
-        let log = Session::new(
-            origin,
-            link,
-            Box::new(FixedPolicy { video: 0, audio: 0 }),
-            config,
-        )
-        .with_deadline(Instant::from_secs(600))
-        .run();
-        assert!(!log.completed());
-        assert!(log.finished_at <= Instant::from_secs(600));
-    }
-
-    #[test]
-    fn preloaded_playlists_cost_nothing() {
-        let log = run_fixed(2_000, 1, 0, CHUNKED);
-        assert!(log.playlist_fetches.is_empty());
-    }
-
-    fn run_with_playlists(mode: PlaylistFetch, video: usize, audio: usize) -> SessionLog {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes(320));
-        let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(40));
-        let config = PlayerConfig::default_chunked(content.chunk_duration());
-        Session::new(origin, link, Box::new(FixedPolicy { video, audio }), config)
-            .with_playlist_fetch(mode, abr_manifest::build::Packaging::SingleFile)
-            .run()
-    }
-
-    #[test]
-    fn eager_fetches_every_playlist_before_startup() {
-        let log = run_with_playlists(PlaylistFetch::Eager, 1, 0);
-        assert!(log.completed());
-        // 6 video + 3 audio playlists, all before the first chunk arrives.
-        assert_eq!(log.playlist_fetches.len(), 9);
-        let last_playlist = log
-            .playlist_fetches
-            .iter()
-            .map(|p| p.completed_at)
-            .max()
-            .unwrap();
-        let first_chunk = log.transfers.first().unwrap().at;
-        assert!(last_playlist <= first_chunk, "playlists land before chunks");
-        // And startup is later than a preloaded run's.
-        let preloaded = run_with_playlists(PlaylistFetch::Preloaded, 1, 0);
-        assert!(log.startup_at.unwrap() > preloaded.startup_at.unwrap());
-    }
-
-    #[test]
-    fn lazy_fetches_only_used_tracks_and_delays_their_first_chunk() {
-        let log = run_with_playlists(PlaylistFetch::Lazy, 2, 1);
-        assert!(log.completed());
-        // A fixed policy touches exactly one video + one audio track.
-        assert_eq!(log.playlist_fetches.len(), 2);
-        let tracks: Vec<TrackId> = log.playlist_fetches.iter().map(|p| p.track).collect();
-        assert!(tracks.contains(&TrackId::video(2)));
-        assert!(tracks.contains(&TrackId::audio(1)));
-        // The first chunk request was deferred behind the playlist
-        // round trip: first transfer completes after the playlist did.
-        let first_chunk = log.transfers.first().unwrap().at;
-        let first_playlist = log
-            .playlist_fetches
-            .iter()
-            .map(|p| p.completed_at)
-            .min()
-            .unwrap();
-        assert!(first_chunk > first_playlist);
-        // Startup also trails the preloaded run.
-        let preloaded = run_with_playlists(PlaylistFetch::Preloaded, 2, 1);
-        assert!(log.startup_at.unwrap() > preloaded.startup_at.unwrap());
-    }
-
-    #[test]
-    fn forward_seek_skips_content_and_resumes() {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-        let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(20));
-        let config = PlayerConfig::default_chunked(content.chunk_duration());
-        // At t=30 s, jump to media position 200 s (chunk 50).
-        let log = Session::new(
-            origin,
-            link,
-            Box::new(FixedPolicy { video: 1, audio: 0 }),
-            config,
-        )
-        .with_seeks(vec![(Instant::from_secs(30), Duration::from_secs(200))])
-        .run();
-        assert_eq!(log.seeks.len(), 1);
-        let seek = log.seeks[0];
-        assert_eq!(seek.at, Instant::from_secs(30));
-        assert_eq!(seek.to, Duration::from_secs(200));
-        assert!(seek.resumed.is_some(), "playback resumed after the seek");
-        // Playback reached the end even though the middle was skipped.
-        assert!(log.ended_at.is_some());
-        // Chunks in the skipped region were never selected.
-        let video_chunks: std::collections::BTreeSet<usize> = log
-            .selections
-            .iter()
-            .filter(|s| s.track.media == MediaType::Video)
-            .map(|s| s.chunk)
-            .collect();
-        assert!(video_chunks.contains(&0));
-        assert!(video_chunks.contains(&50));
-        assert!(video_chunks.contains(&74));
-        // The deep-skip region (selected-before-seek prefix aside) has a
-        // hole: chunk 45 was neither buffered nor fetched after the flush.
-        assert!(!video_chunks.contains(&45) || seek.at > Instant::from_secs(170));
-        // Wall time saved: the session ends well before a full watch.
-        assert!(log.finished_at < Instant::from_secs(240));
-    }
-
-    #[test]
-    fn stale_seeks_are_ignored() {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-        let link = Link::new(Trace::constant(kbps(2_000)));
-        let config = PlayerConfig::default_chunked(content.chunk_duration());
-        // Backward / past-the-end seeks are dropped.
-        let log = Session::new(
-            origin,
-            link,
-            Box::new(FixedPolicy { video: 0, audio: 0 }),
-            config,
-        )
-        .with_seeks(vec![
-            (Instant::from_secs(100), Duration::from_secs(4)), // behind the playhead
-            (Instant::from_secs(120), Duration::from_secs(400)), // past the end
-        ])
-        .run();
-        assert!(log.seeks.is_empty());
-        assert!(log.completed());
-    }
-
-    #[test]
-    fn edge_cache_misses_slow_the_cold_session() {
-        let content = Content::drama_show(1);
-        let mk = |edge: Option<EdgeCache>| {
-            let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-            let link = Link::with_latency(Trace::constant(kbps(2_000)), Duration::from_millis(10));
-            let config = PlayerConfig::default_chunked(content.chunk_duration());
-            let mut s = Session::new(
-                origin,
-                link,
-                Box::new(FixedPolicy { video: 1, audio: 0 }),
-                config,
-            );
-            if let Some(e) = edge {
-                s = s.with_edge_cache(e);
-            }
-            s.run_with_edge()
-        };
-        // Cold edge: every request misses and pays 80 ms to the origin.
-        let cold_edge = EdgeCache {
-            cache: abr_httpsim::cache::CdnCache::new(Bytes(1 << 32)),
-            miss_penalty: Duration::from_millis(80),
-        };
-        let (cold, warmed) = mk(Some(cold_edge));
-        let warmed = warmed.expect("edge returned");
-        assert_eq!(warmed.cache.stats().misses, 150, "every chunk missed");
-        // Warm edge (second viewer, same tracks): every request hits.
-        let (warm, warmed2) = mk(Some(warmed));
-        assert_eq!(warmed2.unwrap().cache.stats().hits, 150);
-        // And a no-edge control.
-        let (control, none) = mk(None);
-        assert!(none.is_none());
-        // Miss penalties delay startup and finish.
-        assert!(cold.startup_at.unwrap() > warm.startup_at.unwrap());
-        assert_eq!(
-            warm.startup_at, control.startup_at,
-            "hits cost nothing extra"
-        );
-        assert!(cold.finished_at >= warm.finished_at);
-    }
-
-    #[test]
-    fn muxed_delivery_fills_both_buffers_in_lockstep() {
-        let content = Content::drama_show(1);
-        let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-        let link = Link::new(Trace::constant(kbps(2_000)));
-        let config = PlayerConfig::default_chunked(content.chunk_duration());
-        let log = Session::new(
-            origin,
-            link,
-            Box::new(FixedPolicy { video: 1, audio: 0 }),
-            config,
-        )
-        .with_delivery(DeliveryMode::Muxed)
-        .run();
-        assert!(log.completed());
-        // One transfer per chunk position, not two.
-        assert_eq!(log.transfers.len(), 75);
-        // Both selections logged per position.
-        assert_eq!(log.selections.len(), 150);
-        // Perfectly balanced buffers by construction.
-        assert_eq!(log.max_buffer_imbalance(), Duration::ZERO);
-        // Transfer sizes are the sum of both components.
-        for t in &log.transfers {
-            let expect = content.chunk_size(TrackId::video(1), t.chunk)
-                + content.chunk_size(TrackId::audio(0), t.chunk);
-            assert_eq!(t.size, expect);
-        }
-    }
-
-    #[test]
-    fn byte_range_packaging_is_timing_identical() {
-        // §4.1: the two packaging modes carry the same bytes; the session
-        // timeline must be identical to the microsecond.
-        let content = Content::drama_show(1);
-        let mk = |packaging| {
-            let origin = Origin::with_overhead(content.clone(), Bytes(320));
-            let link = Link::with_latency(Trace::constant(kbps(1_500)), Duration::from_millis(20));
-            let config = PlayerConfig::default_chunked(content.chunk_duration());
-            Session::new(
-                origin,
-                link,
-                Box::new(FixedPolicy { video: 1, audio: 0 }),
-                config,
-            )
-            .with_packaging(packaging)
-            .run()
-        };
-        let seg = mk(abr_manifest::build::Packaging::SegmentFiles {
-            with_bitrate_tags: false,
-        });
-        let rng = mk(abr_manifest::build::Packaging::SingleFile);
-        assert_eq!(seg.transfers.len(), rng.transfers.len());
-        for (a, b) in seg.transfers.iter().zip(rng.transfers.iter()) {
-            assert_eq!(a.at, b.at);
-            assert_eq!(a.size, b.size);
-        }
-        assert_eq!(seg.startup_at, rng.startup_at);
-        assert_eq!(seg.ended_at, rng.ended_at);
-    }
-
-    #[test]
-    fn sessions_are_bit_reproducible() {
-        // The determinism claim, end to end: identical inputs produce
-        // identical logs, selection by selection and stall by stall.
-        let run_once = || {
-            let content = Content::drama_show(99);
-            let origin = Origin::with_overhead(content.clone(), Bytes(320));
-            let link = Link::with_latency(
-                Trace::random_walk(
-                    kbps(900),
-                    kbps(200),
-                    kbps(2_000),
-                    0.4,
-                    Duration::from_secs(3),
-                    Duration::from_secs(3600),
-                    5,
-                ),
-                Duration::from_millis(20),
-            );
-            let config = PlayerConfig::default_chunked(content.chunk_duration());
-            Session::new(
-                origin,
-                link,
-                Box::new(FixedPolicy { video: 2, audio: 1 }),
-                config,
-            )
-            .run()
-        };
-        let a = run_once();
-        let b = run_once();
-        assert_eq!(a.selections, b.selections);
-        assert_eq!(a.transfers, b.transfers);
-        assert_eq!(a.stalls, b.stalls);
-        assert_eq!(a.buffer_samples, b.buffer_samples);
-        assert_eq!(a.startup_at, b.startup_at);
-        assert_eq!(a.finished_at, b.finished_at);
-    }
-
-    #[test]
-    fn buffer_samples_monotone_in_time() {
-        let log = run_fixed(1_500, 2, 0, CHUNKED);
-        assert!(log.buffer_samples.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(
-            log.buffer_samples.len() > 150,
-            "a sample per event at least"
-        );
     }
 }

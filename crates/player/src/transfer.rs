@@ -1,0 +1,350 @@
+//! The transfer layer: in-flight requests, flow bookkeeping, edge-cache
+//! delay and the aggregate bandwidth meter.
+//!
+//! Everything between "the policy picked a track" and "a chunk landed in a
+//! buffer" lives here: building the HTTP request for the configured
+//! packaging, charging the edge cache's first-byte delay (via
+//! [`abr_httpsim::edge::TransferPath`]), opening the link flow, tracking
+//! what each flow carries, and folding completions back into buffers,
+//! policy estimator feed and the session log.
+
+use crate::buffer::BufferedChunk;
+use crate::engine::Engine;
+use crate::log::TransferEvent;
+use crate::policy::TransferRecord;
+use abr_event::time::{busy_union, Duration, Instant};
+use abr_httpsim::edge::TransferPath;
+use abr_httpsim::origin::Origin;
+use abr_httpsim::request::Request;
+use abr_media::track::{MediaType, TrackId};
+use abr_media::units::Bytes;
+use abr_net::link::{Completion, FlowId};
+use abr_obs::Event;
+use std::collections::BTreeMap;
+
+/// A chunk request in flight.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkFetch {
+    pub(crate) media: MediaType,
+    pub(crate) track: TrackId,
+    pub(crate) chunk: usize,
+    pub(crate) opened_at: Instant,
+}
+
+/// A request in flight: a media chunk, or a second-level playlist that
+/// must land before a chunk request can be issued (§4.1 lazy fetching) or
+/// before adaptation starts (eager prefetch).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Pending {
+    Chunk(ChunkFetch),
+    Playlist {
+        track: TrackId,
+        requested_at: Instant,
+        /// The chunk request to issue once the playlist arrives (`None`
+        /// for eager prefetches and live refresh polls, which are not tied
+        /// to a chunk).
+        then: Option<ChunkFetch>,
+    },
+    /// A pre-combined audio+video chunk (muxed delivery, §1).
+    Muxed {
+        video: TrackId,
+        audio: TrackId,
+        chunk: usize,
+        opened_at: Instant,
+    },
+}
+
+impl Pending {
+    pub(crate) fn media(&self) -> MediaType {
+        match self {
+            Pending::Chunk(c) => c.media,
+            Pending::Playlist { track, .. } => track.media,
+            // The muxed pipeline is driven through the video lane.
+            Pending::Muxed { .. } => MediaType::Video,
+        }
+    }
+}
+
+/// In-flight transfer bookkeeping: which flow carries what, plus the
+/// aggregate bandwidth-meter state.
+#[derive(Debug, Default)]
+pub(crate) struct FlightBoard {
+    /// Requests currently on the link, keyed by flow.
+    pub(crate) pending: BTreeMap<FlowId, Pending>,
+    /// Left edge of the next bandwidth-meter window (the time of the
+    /// previous completion event).
+    pub(crate) meter_last: Instant,
+}
+
+impl FlightBoard {
+    /// True if any pending request drives the given media pipeline.
+    pub(crate) fn in_flight(&self, media: MediaType) -> bool {
+        self.pending.values().any(|p| p.media() == media)
+    }
+}
+
+impl Engine {
+    /// Builds the origin request for a chunk under the configured packaging.
+    pub(crate) fn chunk_request(&self, track: TrackId, chunk: usize) -> Request {
+        match self.packaging {
+            abr_manifest::build::Packaging::SingleFile => self
+                .origin
+                .range_request(track, chunk)
+                .expect("valid chunk range"),
+            abr_manifest::build::Packaging::SegmentFiles { .. } => {
+                Origin::segment_request(track, chunk)
+            }
+        }
+    }
+
+    /// Opens a link flow for `req` at `at`, charging the transfer path's
+    /// first-byte delay (edge-cache hit/miss), and records it as pending.
+    pub(crate) fn open_transfer(
+        &mut self,
+        req: &Request,
+        at: Instant,
+        obs_track: Option<TrackId>,
+        obs_chunk: Option<usize>,
+        pending: Pending,
+    ) {
+        let size = self
+            .origin
+            .transfer_size(req)
+            .expect("valid transfer request");
+        let extra = self.edge.first_byte_delay(&self.origin, req, at);
+        let flow = self.link.open_flow_after(size, extra);
+        self.obs.emit(at, || Event::RequestIssued {
+            flow: flow.0,
+            track: obs_track,
+            chunk: obs_chunk,
+            size,
+        });
+        self.flights.pending.insert(flow, pending);
+    }
+
+    /// Opens a playlist fetch for `track` at `at`. Playlist requests skip
+    /// the edge cache (master/media playlists are served from the CDN shell
+    /// in this model) and may carry a deferred chunk request (`then`).
+    pub(crate) fn open_playlist_fetch(
+        &mut self,
+        track: TrackId,
+        at: Instant,
+        then: Option<ChunkFetch>,
+    ) {
+        let size = self.playlist_sizes[&track];
+        let flow = self.link.open_flow(size);
+        self.obs.emit(at, || Event::RequestIssued {
+            flow: flow.0,
+            track: Some(track),
+            chunk: None,
+            size,
+        });
+        self.flights.pending.insert(
+            flow,
+            Pending::Playlist {
+                track,
+                requested_at: at,
+                then,
+            },
+        );
+    }
+
+    /// Aggregate bandwidth-meter window (all flows, completed and still in
+    /// flight) since the previous completion event — ExoPlayer-style global
+    /// accounting. Advances the meter edge only when completions arrived.
+    pub(crate) fn meter_window(&mut self, completions: &[Completion]) -> (Bytes, Duration) {
+        if completions.is_empty() {
+            return (Bytes::ZERO, Duration::ZERO);
+        }
+        let meter_last = self.flights.meter_last;
+        let now = self.now;
+        let mut bytes = Bytes::ZERO;
+        let mut intervals: Vec<(Instant, Instant)> = Vec::new();
+        {
+            let mut take = |profile: &abr_net::profile::DeliveryProfile| {
+                bytes += profile.bytes_between(meter_last, now);
+                for s in profile.segments() {
+                    let lo = s.start.max(meter_last);
+                    let hi = s.end.min(now);
+                    if lo < hi {
+                        intervals.push((lo, hi));
+                    }
+                }
+            };
+            for c in completions {
+                take(&c.profile);
+            }
+            for id in self.flights.pending.keys() {
+                if let Some(p) = self.link.flow_profile(*id) {
+                    take(p);
+                }
+            }
+        }
+        self.flights.meter_last = now;
+        (bytes, busy_union(intervals))
+    }
+
+    /// Folds a batch of link completions into buffers, the policy's
+    /// estimator feed, the session log and the trace. The first *chunk*
+    /// completion of the batch carries the whole meter window; playlist
+    /// completions re-issue their deferred chunk requests instead.
+    pub(crate) fn on_completions(&mut self, completions: Vec<Completion>) {
+        let (window_bytes, window_busy) = self.meter_window(&completions);
+        let mut first_completion = true;
+        for c in completions {
+            let p = match self
+                .flights
+                .pending
+                .remove(&c.id)
+                .expect("completion for unknown flow")
+            {
+                Pending::Muxed {
+                    video,
+                    audio,
+                    chunk,
+                    opened_at,
+                } => {
+                    self.audio_buf.push(BufferedChunk {
+                        index: chunk,
+                        track: audio,
+                        duration: self.chunk_duration,
+                    });
+                    self.video_buf.push(BufferedChunk {
+                        index: chunk,
+                        track: video,
+                        duration: self.chunk_duration,
+                    });
+                    let record = TransferRecord {
+                        media: MediaType::Video,
+                        track: video,
+                        chunk,
+                        size: c.size,
+                        opened_at,
+                        completed_at: c.at,
+                        profile: c.profile,
+                        window_bytes: if first_completion {
+                            window_bytes
+                        } else {
+                            Bytes::ZERO
+                        },
+                        window_busy: if first_completion {
+                            window_busy
+                        } else {
+                            Duration::ZERO
+                        },
+                    };
+                    first_completion = false;
+                    self.ingest_transfer(record, c.id, c.at);
+                    continue;
+                }
+                Pending::Playlist {
+                    track,
+                    requested_at,
+                    then,
+                } => {
+                    self.on_playlist_arrival(track, requested_at, c.at, then);
+                    continue;
+                }
+                Pending::Chunk(f) => f,
+            };
+            let buf = match p.media {
+                MediaType::Audio => &mut self.audio_buf,
+                MediaType::Video => &mut self.video_buf,
+            };
+            buf.push(BufferedChunk {
+                index: p.chunk,
+                track: p.track,
+                duration: self.chunk_duration,
+            });
+            let (wb, wd) = if first_completion {
+                (window_bytes, window_busy)
+            } else {
+                (Bytes::ZERO, Duration::ZERO)
+            };
+            first_completion = false;
+            let record = TransferRecord {
+                media: p.media,
+                track: p.track,
+                chunk: p.chunk,
+                size: c.size,
+                opened_at: p.opened_at,
+                completed_at: c.at,
+                profile: c.profile,
+                window_bytes: wb,
+                window_busy: wd,
+            };
+            self.ingest_transfer(record, c.id, c.at);
+        }
+    }
+
+    /// Feeds one completed chunk transfer to the policy and appends the
+    /// log row and trace event.
+    fn ingest_transfer(&mut self, record: TransferRecord, flow: FlowId, at: Instant) {
+        let (track, chunk, size, opened_at) =
+            (record.track, record.chunk, record.size, record.opened_at);
+        self.policy.on_transfer(&record);
+        let estimate_after = self.policy.debug_estimate();
+        self.log.transfers.push(TransferEvent {
+            at,
+            chunk,
+            track,
+            size,
+            duration: at.saturating_duration_since(opened_at),
+            estimate_after,
+        });
+        self.obs.emit(at, || Event::TransferCompleted {
+            flow: flow.0,
+            track,
+            chunk,
+            size,
+            opened_at,
+            estimate_after,
+        });
+    }
+
+    /// A playlist landed: mark the track ready, record the fetch, and
+    /// issue the deferred chunk request (if any, and still wanted — a seek
+    /// may have flushed past its position).
+    fn on_playlist_arrival(
+        &mut self,
+        track: TrackId,
+        requested_at: Instant,
+        at: Instant,
+        then: Option<ChunkFetch>,
+    ) {
+        self.playlists_ready.insert(track);
+        self.log
+            .playlist_fetches
+            .push(crate::log::PlaylistFetchEvent {
+                track,
+                requested_at,
+                completed_at: at,
+            });
+        self.obs.emit(at, || Event::PlaylistFetch {
+            track,
+            requested_at,
+        });
+        if let Some(fetch) = then {
+            // A seek may have flushed past this position.
+            let buf = match fetch.media {
+                MediaType::Audio => &self.audio_buf,
+                MediaType::Video => &self.video_buf,
+            };
+            if fetch.chunk != buf.next_download_index() {
+                return;
+            }
+            // Issue the deferred chunk request now.
+            let req = self.chunk_request(fetch.track, fetch.chunk);
+            self.open_transfer(
+                &req,
+                at,
+                Some(fetch.track),
+                Some(fetch.chunk),
+                Pending::Chunk(ChunkFetch {
+                    opened_at: at,
+                    ..fetch
+                }),
+            );
+        }
+    }
+}
