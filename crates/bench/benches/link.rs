@@ -1,0 +1,93 @@
+//! LinkSim hot-path benches: `advance_to` over a dense trace,
+//! `next_completion` hammered the way the session engine calls it (once
+//! per event), and a full session run on top. These are the benchmarks
+//! `scripts/bench_sim.sh` snapshots into `BENCH_sim.json`.
+
+use abr_bench::setup::{dash_policy, drama, run_session, PlayerKind};
+use abr_event::time::{Duration, Instant};
+use abr_media::units::{BitsPerSec, Bytes};
+use abr_net::link::Link;
+use abr_net::trace::Trace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A 600-changepoint bounded random walk around 5 Mbps.
+fn dense_trace() -> Trace {
+    Trace::random_walk(
+        BitsPerSec::from_kbps(5_000),
+        BitsPerSec::from_kbps(1_000),
+        BitsPerSec::from_kbps(10_000),
+        0.5,
+        Duration::from_secs(1),
+        Duration::from_secs(600),
+        42,
+    )
+}
+
+fn link_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link");
+
+    // One long flow pushed across ~600 trace changepoints in 2400 small
+    // advance_to steps: stresses the per-span boundary scan and the
+    // rate-trace lookup path.
+    let dense = dense_trace();
+    group.bench_function("advance_to_dense_trace", |b| {
+        b.iter(|| {
+            let mut link = Link::new(dense.clone());
+            let _ = link.open_flow(Bytes(200_000_000));
+            let mut done = 0;
+            for ms in (0..600_000u64).step_by(250) {
+                done += link.advance_to(Instant::from_millis(ms + 250)).len();
+            }
+            black_box(done)
+        })
+    });
+
+    // The session-engine pattern: `next_completion` before every event,
+    // small time steps, a steady population of four concurrent flows over
+    // a fast square wave. 5000 next_completion calls per iteration.
+    let wave = Trace::square_wave(
+        BitsPerSec::from_kbps(4_000),
+        BitsPerSec::from_kbps(1_500),
+        Duration::from_millis(250),
+        Duration::from_secs(120),
+    );
+    group.bench_function("next_completion_engine_loop", |b| {
+        b.iter(|| {
+            let mut link = Link::new(wave.clone());
+            let mut opened = 0u32;
+            let mut done = 0usize;
+            for step in 0..5_000u64 {
+                while link.pending_count() < 4 && opened < 400 {
+                    let _ = link.open_flow(Bytes(50_000));
+                    opened += 1;
+                }
+                black_box(link.next_completion());
+                done += link.advance_to(Instant::from_millis((step + 1) * 20)).len();
+            }
+            black_box(done)
+        })
+    });
+    group.finish();
+
+    let content = drama();
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    // End-to-end: everything above plus the player loop, on the paper's
+    // Fig 4(b) varying trace.
+    group.bench_function("bestpractice_fig4b_600s", |b| {
+        b.iter(|| {
+            let log = run_session(
+                &content,
+                PlayerKind::BestPractice,
+                dash_policy(PlayerKind::BestPractice, &content),
+                Trace::fig4b_varying_600k(Duration::from_secs(600)),
+            );
+            black_box(log.transfers.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, link_hot_path);
+criterion_main!(benches);

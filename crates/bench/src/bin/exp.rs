@@ -5,6 +5,8 @@
 //! exp --id f4a                   run one experiment, print the figure
 //! exp --all [--json D]           run everything; optionally write JSON to D
 //! exp --all --jobs 4             ... sharded over 4 workers (same bytes)
+//! exp mc --seeds 25 --jobs 4     Monte Carlo fleet sweep (corpus x policies
+//!                                x seeds); --json F writes the aggregate
 //!
 //! Observability (with --id):
 //! exp --id f4b --trace out.jsonl    write the event trace as JSONL
@@ -27,6 +29,9 @@ use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("mc") {
+        return run_mc_cli(&args[1..]);
+    }
     let mut id: Option<String> = None;
     let mut run_all = false;
     let mut list = false;
@@ -152,7 +157,7 @@ fn main() {
                 if let Some(path) = &trace_path {
                     let path = session_path(path, n, multi);
                     if let Err(e) =
-                        std::fs::write(&path, abr_obs::export::to_jsonl(&outcome.events))
+                        write_streamed(&path, |w| abr_obs::export::write_jsonl(&outcome.events, w))
                     {
                         eprintln!("error: cannot write trace to `{path}`: {e}");
                         std::process::exit(1);
@@ -165,9 +170,9 @@ fn main() {
                 }
                 if let Some(path) = &chrome_path {
                     let path = session_path(path, n, multi);
-                    if let Err(e) =
-                        std::fs::write(&path, abr_obs::export::to_chrome_trace(&outcome.events))
-                    {
+                    if let Err(e) = write_streamed(&path, |w| {
+                        abr_obs::export::write_chrome_trace(&outcome.events, w)
+                    }) {
                         eprintln!("error: cannot write chrome trace to `{path}`: {e}");
                         std::process::exit(1);
                     }
@@ -182,6 +187,75 @@ fn main() {
             }
         }
     }
+}
+
+/// `exp mc [--seeds N] [--jobs J] [--json FILE]` — the Monte Carlo fleet
+/// sweep: full trace corpus × every policy × N seeds on the deterministic
+/// runner. The default seed count yields a four-digit session total; the
+/// aggregate is byte-identical at every `--jobs` value.
+fn run_mc_cli(args: &[String]) {
+    let mut seeds: u64 = 25;
+    let mut jobs = runner::jobs_from_env();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--seeds needs a value"))
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--seeds needs a positive integer"));
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--jobs needs a value"))
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--json needs a value"))
+                        .clone(),
+                );
+            }
+            other => usage(&format!("unknown `mc` flag `{other}`")),
+        }
+        i += 1;
+    }
+    let result = abr_bench::mc::run_mc(seeds, jobs);
+    println!("=== mc — Monte Carlo fleet sweep ===");
+    println!("{}", result.text);
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create mc json file");
+        f.write_all(
+            serde_json::to_string_pretty(&result.json)
+                .expect("serialize")
+                .as_bytes(),
+        )
+        .expect("write mc json");
+        println!("[json written to {path}]");
+    }
+}
+
+/// Streams an exporter into a buffered file writer and flushes it, so
+/// large traces never materialize a second in-memory copy.
+fn write_streamed(
+    path: &str,
+    emit: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    emit(&mut w)?;
+    w.flush()
 }
 
 /// Per-session artifact path for sweeps: inserts the session index after
@@ -205,7 +279,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: exp (--list | --id <experiment> | --all) [--json <dir>] [--jobs <n>]\n\
-         \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]  (with --id)"
+         \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]  (with --id)\n\
+         \x20  exp mc [--seeds <n>] [--jobs <n>] [--json <file>]   Monte Carlo fleet sweep"
     );
     std::process::exit(2);
 }

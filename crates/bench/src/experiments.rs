@@ -305,7 +305,7 @@ fn t1() -> ExperimentResult {
     let c = drama();
     let mut rows = Vec::new();
     let mut json_tracks = Vec::new();
-    for id in c.track_ids() {
+    for &id in c.track_ids() {
         let t = c.track(id);
         let sizes: Vec<Bytes> = (0..c.num_chunks()).map(|i| c.chunk_size(id, i)).collect();
         let m = measure(&sizes, c.chunk_duration());

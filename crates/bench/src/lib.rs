@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod mc;
 pub mod report;
 pub mod runner;
 pub mod setup;

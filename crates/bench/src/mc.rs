@@ -1,0 +1,306 @@
+//! Monte Carlo fleet sweep: the scale workload behind `exp mc`.
+//!
+//! Runs the full trace corpus × every policy (the six player emulations
+//! plus the data-saver [`CappedPolicy`] wrapper) × `seeds` independent
+//! content/trace realizations on the deterministic parallel runner —
+//! thousands of sessions at the default seed count. The report aggregates
+//! QoE per (trace, policy) cell across seeds; `scripts/bench_sim.sh` times
+//! this sweep for `BENCH_sim.json`.
+//!
+//! Determinism: the grid is authored up front in a fixed order (seed-major,
+//! then corpus order, then policy order) and sharded with
+//! [`runner::run_indexed`], so the aggregate is byte-identical at every
+//! `--jobs` value. Per-seed realizations derive from the experiment-wide
+//! [`SEED`] by offset, never from host state.
+
+use crate::report::table;
+use crate::runner;
+use crate::setup::{dash_policy, drama, run_session, PlayerKind, SEED};
+use abr_core::{BestPracticePolicy, CappedPolicy};
+use abr_event::time::Duration;
+use abr_media::combo::{combo_bitrate, curated_subset, Combo};
+use abr_media::content::Content;
+use abr_media::units::BitsPerSec;
+use abr_player::policy::AbrPolicy;
+use abr_qoe::QoeSummary;
+use serde_json::{json, Value};
+
+/// The policy arms of the sweep, in column order: the six player
+/// emulations plus the capped best-practice wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McPolicy {
+    /// One of the standard player emulations.
+    Kind(PlayerKind),
+    /// Best-practice wrapped in a data-saver cap (Kbps).
+    Capped(u64),
+}
+
+impl McPolicy {
+    /// Column label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            McPolicy::Kind(kind) => format!("{kind:?}"),
+            McPolicy::Capped(kbps) => format!("Capped{kbps}"),
+        }
+    }
+
+    /// Which player configuration the arm runs under.
+    fn player_kind(&self) -> PlayerKind {
+        match self {
+            McPolicy::Kind(kind) => *kind,
+            McPolicy::Capped(_) => PlayerKind::BestPractice,
+        }
+    }
+
+    /// Builds the arm's policy over `content`.
+    fn policy(&self, content: &Content) -> Box<dyn AbrPolicy> {
+        match self {
+            McPolicy::Kind(kind) => dash_policy(*kind, content),
+            McPolicy::Capped(kbps) => {
+                let allowed = curated_subset(content.video(), content.audio());
+                let inner = {
+                    let view = crate::setup::dash_view(content);
+                    Box::new(BestPracticePolicy::from_dash(&view, &allowed))
+                };
+                let pairs: Vec<(Combo, BitsPerSec)> = allowed
+                    .iter()
+                    .map(|&c| {
+                        (
+                            c,
+                            combo_bitrate(content.video(), content.audio(), c).declared,
+                        )
+                    })
+                    .collect();
+                Box::new(CappedPolicy::new(
+                    inner,
+                    pairs,
+                    BitsPerSec::from_kbps(*kbps),
+                ))
+            }
+        }
+    }
+}
+
+/// The seven policy arms, in column order.
+pub fn mc_policies() -> Vec<McPolicy> {
+    vec![
+        McPolicy::Kind(PlayerKind::ExoPlayer),
+        McPolicy::Kind(PlayerKind::Shaka),
+        McPolicy::Kind(PlayerKind::DashJs),
+        McPolicy::Kind(PlayerKind::Bba),
+        McPolicy::Kind(PlayerKind::Mpc),
+        McPolicy::Kind(PlayerKind::BestPractice),
+        McPolicy::Capped(2500),
+    ]
+}
+
+/// Trace length for corpus realizations: long enough to cover the 300 s
+/// clip plus worst-case stalls on the outage profiles.
+const TRACE_SECS: u64 = 900;
+
+/// One cell of the session grid.
+#[derive(Debug, Clone, Copy)]
+struct McCell {
+    /// Per-seed realization index, `0..seeds`.
+    realization: u64,
+    /// Index into [`abr_net::corpus::all`].
+    trace: usize,
+    /// Index into [`mc_policies`].
+    policy: usize,
+}
+
+/// Aggregate of one (trace, policy) cell across realizations.
+#[derive(Debug, Clone, Default)]
+struct CellStats {
+    n: usize,
+    score_sum: f64,
+    score_min: f64,
+    stall_count: usize,
+    stall_secs: f64,
+    video_kbps_sum: u64,
+    incomplete: usize,
+}
+
+impl CellStats {
+    fn fold(&mut self, q: &QoeSummary) {
+        if self.n == 0 || q.score < self.score_min {
+            self.score_min = q.score;
+        }
+        self.n += 1;
+        self.score_sum += q.score;
+        self.stall_count += q.stall_count;
+        self.stall_secs += q.total_stall.as_secs_f64();
+        self.video_kbps_sum += q.mean_video_kbps;
+        if !q.completed {
+            self.incomplete += 1;
+        }
+    }
+}
+
+/// The result of one Monte Carlo sweep: the rendered aggregate plus the
+/// structured report `exp mc --json` writes.
+pub struct McResult {
+    /// The aggregate table.
+    pub text: String,
+    /// Structured per-cell stats plus sweep metadata.
+    pub json: Value,
+    /// Total sessions run.
+    pub sessions: usize,
+}
+
+/// Runs the fleet sweep: `seeds` realizations of (full corpus × all
+/// policies), sharded over `min(jobs, cores)` workers. Deterministic at
+/// every `jobs` value.
+pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
+    assert!(seeds > 0, "mc sweep needs at least one seed");
+    let corpus_names: Vec<&'static str> =
+        abr_net::corpus::all(Duration::from_secs(TRACE_SECS), SEED)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+    let policies = mc_policies();
+    let mut grid: Vec<McCell> = Vec::new();
+    for realization in 0..seeds {
+        for trace in 0..corpus_names.len() {
+            for policy in 0..policies.len() {
+                grid.push(McCell {
+                    realization,
+                    trace,
+                    policy,
+                });
+            }
+        }
+    }
+
+    let summaries: Vec<QoeSummary> = runner::run_indexed(grid.len(), jobs, |i| {
+        let cell = grid[i];
+        // Each realization gets its own content cut and trace draw,
+        // derived by offset from the experiment-wide seed.
+        let seed = SEED.wrapping_add(cell.realization);
+        let content = if cell.realization == 0 {
+            drama()
+        } else {
+            Content::drama_show(seed)
+        };
+        let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), seed)
+            .swap_remove(cell.trace)
+            .1;
+        let arm = policies[cell.policy];
+        let log = run_session(&content, arm.player_kind(), arm.policy(&content), trace);
+        abr_qoe::summarize(&log)
+    });
+
+    let mut cells: Vec<CellStats> = vec![CellStats::default(); corpus_names.len() * policies.len()];
+    for (cell, q) in grid.iter().zip(&summaries) {
+        cells[cell.trace * policies.len() + cell.policy].fold(q);
+    }
+
+    let mut rows = Vec::new();
+    let mut jrows = Vec::new();
+    for (t, tname) in corpus_names.iter().enumerate() {
+        for (p, arm) in policies.iter().enumerate() {
+            let s = &cells[t * policies.len() + p];
+            let mean_score = s.score_sum / s.n as f64;
+            rows.push(vec![
+                tname.to_string(),
+                arm.label(),
+                format!("{mean_score:.2}"),
+                format!("{:.2}", s.score_min),
+                format!("{:.2}", s.stall_count as f64 / s.n as f64),
+                format!("{:.1}", s.stall_secs / s.n as f64),
+                (s.video_kbps_sum / s.n as u64).to_string(),
+                s.incomplete.to_string(),
+            ]);
+            jrows.push(json!({
+                "trace": *tname,
+                "policy": arm.label(),
+                "seeds": s.n,
+                "mean_score": mean_score,
+                "min_score": s.score_min,
+                "mean_stalls": s.stall_count as f64 / s.n as f64,
+                "mean_stall_s": s.stall_secs / s.n as f64,
+                "mean_video_kbps": s.video_kbps_sum / s.n as u64,
+                "incomplete": s.incomplete,
+            }));
+        }
+    }
+    let sessions = grid.len();
+    let header = format!(
+        "{} seeds x {} traces x {} policies = {} sessions\n",
+        seeds,
+        corpus_names.len(),
+        policies.len(),
+        sessions
+    );
+    let text = format!(
+        "{header}{}",
+        table(
+            &[
+                "Trace",
+                "Policy",
+                "QoE mean",
+                "QoE min",
+                "Stalls/run",
+                "Stall s",
+                "Video Kbps",
+                "Incomplete",
+            ],
+            &rows,
+        )
+    );
+    McResult {
+        text,
+        json: json!({
+            "seeds": seeds,
+            "traces": corpus_names.len(),
+            "policies": policies.len(),
+            "sessions": sessions,
+            "trace_secs": TRACE_SECS,
+            "rows": jrows,
+        }),
+        sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_runs_and_aggregates() {
+        let r = run_mc(1, 1);
+        assert_eq!(r.sessions, 7 * 7);
+        let rows = r.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 49);
+        for row in rows {
+            assert_eq!(row["seeds"], 1u64);
+            assert!(row["mean_score"].as_f64().is_some());
+        }
+        assert!(r.text.contains("1 seeds x 7 traces x 7 policies"));
+    }
+
+    #[test]
+    fn sweep_is_jobs_invariant() {
+        // The determinism contract: the aggregate is byte-identical no
+        // matter how the grid is sharded.
+        let serial = run_mc(2, 1);
+        let sharded = run_mc(2, 4);
+        assert_eq!(serial.text, sharded.text);
+        assert_eq!(
+            serde_json::to_string(&serial.json).unwrap(),
+            serde_json::to_string(&sharded.json).unwrap()
+        );
+    }
+
+    #[test]
+    fn capped_arm_respects_its_budget() {
+        let r = run_mc(1, 1);
+        let rows = r.json["rows"].as_array().unwrap();
+        for row in rows {
+            if row["policy"] == "Capped2500" {
+                let kbps = row["mean_video_kbps"].as_u64().unwrap();
+                assert!(kbps <= 2500, "capped arm averaged {kbps} Kbps");
+            }
+        }
+    }
+}

@@ -317,10 +317,18 @@ impl core::iter::Sum for Duration {
 /// segments in a measurement window) and by report code deriving link busy
 /// time from transfer logs.
 pub fn busy_union(mut intervals: Vec<(Instant, Instant)>) -> Duration {
+    busy_union_in_place(&mut intervals)
+}
+
+/// [`busy_union`] over a caller-owned scratch buffer: sorts `intervals` in
+/// place and leaves the sorted contents behind, so hot paths (the player's
+/// bandwidth meter runs once per engine round) can reuse one allocation
+/// forever — clear, refill, and call this again.
+pub fn busy_union_in_place(intervals: &mut [(Instant, Instant)]) -> Duration {
     intervals.sort();
     let mut total = Duration::ZERO;
     let mut cur: Option<(Instant, Instant)> = None;
-    for (lo, hi) in intervals {
+    for &(lo, hi) in intervals.iter() {
         if hi <= lo {
             continue;
         }

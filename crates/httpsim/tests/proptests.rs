@@ -74,7 +74,7 @@ proptest! {
     #[test]
     fn ranges_partition_track_files(seed in any::<u64>()) {
         let origin = Origin::with_overhead(Content::drama_show(seed), Bytes::ZERO);
-        for id in origin.content().track_ids() {
+        for &id in origin.content().track_ids() {
             let mut next_offset = 0u64;
             for chunk in 0..origin.content().num_chunks() {
                 let req = origin.range_request(id, chunk).unwrap();

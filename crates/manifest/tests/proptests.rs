@@ -119,7 +119,7 @@ proptest! {
         } else {
             Packaging::SegmentFiles { with_bitrate_tags: true }
         };
-        for id in content.track_ids() {
+        for &id in content.track_ids() {
             let pl = build_media_playlist(&content, id, packaging);
             let back = MediaPlaylist::parse(&pl.to_text()).unwrap();
             prop_assert_eq!(&back, &pl);
@@ -140,7 +140,7 @@ proptest! {
     /// Byte ranges tile every track file exactly.
     #[test]
     fn byteranges_tile(content in arb_content()) {
-        for id in content.track_ids() {
+        for &id in content.track_ids() {
             let pl = build_media_playlist(&content, id, Packaging::SingleFile);
             let mut offset = 0u64;
             for seg in &pl.segments {

@@ -24,6 +24,19 @@ pub struct Content {
     video_sizes: Vec<Vec<Bytes>>,
     /// `audio_sizes[track][chunk]`.
     audio_sizes: Vec<Vec<Bytes>>,
+    /// Whole-track byte totals, precomputed at build time.
+    video_totals: Vec<Bytes>,
+    audio_totals: Vec<Bytes>,
+    /// Cached id list: audio first then video, each ascending.
+    ids: Vec<TrackId>,
+}
+
+/// Sums each track's chunk sizes once, at build time.
+fn track_totals(sizes: &[Vec<Bytes>]) -> Vec<Bytes> {
+    sizes
+        .iter()
+        .map(|chunks| chunks.iter().copied().sum())
+        .collect()
 }
 
 impl Content {
@@ -44,7 +57,7 @@ impl Content {
         assert_eq!(audio.media(), MediaType::Audio);
         assert!(num_chunks > 0, "content needs at least one chunk");
         let mut rng = SplitMix64::new(seed);
-        let video_sizes = video
+        let video_sizes: Vec<Vec<Bytes>> = video
             .iter()
             .map(|t| {
                 let mut child = rng.split();
@@ -56,7 +69,7 @@ impl Content {
                 )
             })
             .collect();
-        let audio_sizes = audio
+        let audio_sizes: Vec<Vec<Bytes>> = audio
             .iter()
             .map(|t| {
                 let mut child = rng.split();
@@ -68,6 +81,10 @@ impl Content {
                 )
             })
             .collect();
+        let video_totals = track_totals(&video_sizes);
+        let audio_totals = track_totals(&audio_sizes);
+        let mut ids: Vec<TrackId> = (0..audio.len()).map(TrackId::audio).collect();
+        ids.extend((0..video.len()).map(TrackId::video));
         Content {
             video,
             audio,
@@ -75,6 +92,9 @@ impl Content {
             num_chunks,
             video_sizes,
             audio_sizes,
+            video_totals,
+            audio_totals,
+            ids,
         }
     }
 
@@ -170,16 +190,18 @@ impl Content {
             .rate_over_micros(self.chunk_duration.as_micros())
     }
 
-    /// Total bytes of one whole track.
+    /// Total bytes of one whole track (precomputed at build time).
     pub fn track_bytes(&self, id: TrackId) -> Bytes {
-        (0..self.num_chunks).map(|c| self.chunk_size(id, c)).sum()
+        match id.media {
+            MediaType::Video => self.video_totals[id.index],
+            MediaType::Audio => self.audio_totals[id.index],
+        }
     }
 
-    /// All track ids, audio first then video, each ascending.
-    pub fn track_ids(&self) -> Vec<TrackId> {
-        let mut ids: Vec<TrackId> = (0..self.audio.len()).map(TrackId::audio).collect();
-        ids.extend((0..self.video.len()).map(TrackId::video));
-        ids
+    /// All track ids, audio first then video, each ascending — a cached
+    /// slice, so iterating it allocates nothing.
+    pub fn track_ids(&self) -> &[TrackId] {
+        &self.ids
     }
 }
 
@@ -202,7 +224,7 @@ mod tests {
     #[test]
     fn every_track_calibrated_to_table1() {
         let c = Content::drama_show(42);
-        for id in c.track_ids() {
+        for &id in c.track_ids() {
             let t = c.track(id).clone();
             let sizes: Vec<Bytes> = (0..c.num_chunks()).map(|i| c.chunk_size(id, i)).collect();
             let m = measure(&sizes, c.chunk_duration());

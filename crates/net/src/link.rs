@@ -16,11 +16,16 @@
 //! transfer finishes when its *last byte* lands.
 
 use crate::profile::{DeliveryProfile, Segment};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceCursor};
 use abr_event::time::{Duration, Instant};
 use abr_media::units::{BitsPerSec, Bytes};
 use abr_obs::{Event, ObsHandle};
 use std::collections::BTreeMap;
+
+/// Segment capacity every new flow's [`DeliveryProfile`] is pre-sized to:
+/// most transfers see only a handful of share changes, so the common case
+/// never reallocates mid-delivery.
+const PROFILE_SEGMENT_HINT: usize = 4;
 
 /// Identifies a flow on one link. Ids ascend in open order and are never
 /// reused.
@@ -35,8 +40,13 @@ const BITMICROS_PER_BYTE: u128 = 8 * 1_000_000;
 
 #[derive(Debug, Clone)]
 struct Flow {
-    /// Remaining work in bit-microseconds (`bytes × 8 × 10⁶`).
-    remaining_bm: u128,
+    /// While the flow awaits activation: its total work in
+    /// bit-microseconds (`bytes × 8 × 10⁶`). Once active: its *finish
+    /// key* — the link's cumulative drain counter at activation plus the
+    /// work, so that `remaining = work_bm - Link::drained` at any later
+    /// instant. Every active flow drains at the same rate (equal share),
+    /// which is what makes one global counter exact per flow.
+    work_bm: u128,
     size: Bytes,
     opened_at: Instant,
     activate_at: Instant,
@@ -59,6 +69,13 @@ pub struct Completion {
 }
 
 /// A shared bottleneck link with a piecewise-constant capacity schedule.
+///
+/// The solver is amortized-O(1) and allocation-free per event: active
+/// flows live in persistent sorted vectors (id order for delivery, finish
+/// key order for min-remaining queries), a global drain counter stands in
+/// for per-flow subtraction, and a monotone [`TraceCursor`] replaces the
+/// binary search per rate lookup. See DESIGN.md §Performance for the
+/// invariants.
 #[derive(Debug, Clone)]
 pub struct Link {
     trace: Trace,
@@ -67,6 +84,21 @@ pub struct Link {
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
     obs: ObsHandle,
+    /// Cumulative per-flow drain (bit-µs) applied to every active flow
+    /// since the link was created. An active flow's remaining work is
+    /// `flow.work_bm - drained` (see [`Flow::work_bm`]).
+    drained: u128,
+    /// Active flow ids, ascending — the delivery iteration order, which
+    /// also fixes the emission order of `TransferProgress` events.
+    active: Vec<FlowId>,
+    /// Active flows keyed by `(finish key, id)`, ascending: the front is
+    /// the next flow to finish, making min-remaining an O(1) query.
+    by_finish: Vec<(u128, FlowId)>,
+    /// Flows awaiting activation, keyed by `(activate_at, id)`, ascending.
+    waiting: Vec<(Instant, FlowId)>,
+    /// Monotone rate-schedule cursor for `advance_to`; `next_completion`
+    /// lookaheads copy it so predictions never perturb its position.
+    cursor: TraceCursor,
 }
 
 impl Link {
@@ -85,6 +117,11 @@ impl Link {
             flows: BTreeMap::new(),
             next_id: 0,
             obs: ObsHandle::disabled(),
+            drained: 0,
+            active: Vec::new(),
+            by_finish: Vec::new(),
+            waiting: Vec::new(),
+            cursor: TraceCursor::new(),
         }
     }
 
@@ -117,16 +154,34 @@ impl Link {
         assert!(size.get() > 0, "zero-byte flow");
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        let work = size.get() as u128 * BITMICROS_PER_BYTE;
+        let activate_at = self.now + self.latency + extra;
+        let instantly_active = activate_at <= self.now;
         self.flows.insert(
             id,
             Flow {
-                remaining_bm: size.get() as u128 * BITMICROS_PER_BYTE,
+                work_bm: if instantly_active {
+                    self.drained + work
+                } else {
+                    work
+                },
                 size,
                 opened_at: self.now,
-                activate_at: self.now + self.latency + extra,
-                profile: DeliveryProfile::new(),
+                activate_at,
+                profile: DeliveryProfile::with_capacity(PROFILE_SEGMENT_HINT),
             },
         );
+        if instantly_active {
+            // Ids ascend, so the new flow always sorts last.
+            self.active.push(id);
+            let key = (self.drained + work, id);
+            let at = self.by_finish.binary_search(&key).unwrap_err();
+            self.by_finish.insert(at, key);
+        } else {
+            let key = (activate_at, id);
+            let at = self.waiting.binary_search(&key).unwrap_err();
+            self.waiting.insert(at, key);
+        }
         self.obs.count("link.flows_opened", 1);
         self.obs
             .gauge("link.pending_flows", self.flows.len() as f64);
@@ -147,186 +202,255 @@ impl Link {
     /// Returns true if the flow existed. Bytes already delivered stay
     /// delivered; the flow simply stops competing for capacity.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
-        let existed = self.flows.remove(&id).is_some();
-        if existed {
-            self.obs.count("link.flows_cancelled", 1);
-            self.obs
-                .gauge("link.pending_flows", self.flows.len() as f64);
+        let Some(f) = self.flows.remove(&id) else {
+            return false;
+        };
+        if let Ok(at) = self.waiting.binary_search(&(f.activate_at, id)) {
+            self.waiting.remove(at);
+        } else {
+            self.drop_active(id, f.work_bm);
         }
-        existed
+        self.obs.count("link.flows_cancelled", 1);
+        self.obs
+            .gauge("link.pending_flows", self.flows.len() as f64);
+        true
+    }
+
+    /// Removes an active flow from both sorted indices.
+    fn drop_active(&mut self, id: FlowId, key: u128) {
+        let at = self.active.binary_search(&id).expect("active flow indexed");
+        self.active.remove(at);
+        let at = self
+            .by_finish
+            .binary_search(&(key, id))
+            .expect("active flow keyed");
+        self.by_finish.remove(at);
+    }
+
+    /// True if the flow has not yet started delivering. (A flow whose
+    /// activation instant equals `now` may still sit in the waiting queue
+    /// until the next `advance_to`; it has drained nothing either way.)
+    fn is_waiting(&self, f: &Flow, id: FlowId) -> bool {
+        self.waiting.binary_search(&(f.activate_at, id)).is_ok()
+    }
+
+    /// Remaining work of a live flow in bit-microseconds.
+    fn remaining_bm(&self, f: &Flow, id: FlowId) -> u128 {
+        if self.is_waiting(f, id) {
+            f.work_bm
+        } else {
+            f.work_bm - self.drained
+        }
     }
 
     /// Bytes still owed to an in-progress flow (rounded up).
     pub fn flow_remaining(&self, id: FlowId) -> Option<Bytes> {
         self.flows
             .get(&id)
-            .map(|f| Bytes(f.remaining_bm.div_ceil(BITMICROS_PER_BYTE) as u64))
-    }
-
-    /// The instantaneous per-flow share if `n` flows were active at `t`.
-    fn share_at(&self, t: Instant, n: usize) -> BitsPerSec {
-        if n == 0 {
-            return BitsPerSec::ZERO;
-        }
-        BitsPerSec(self.trace.rate_at(t).bps() / n as u64)
+            .map(|f| Bytes(self.remaining_bm(f, id).div_ceil(BITMICROS_PER_BYTE) as u64))
     }
 
     /// Exact instant of the earliest future completion, or `None` if no
     /// pending flow can ever complete (no flows, or the schedule's final
     /// rate is zero with work outstanding).
+    ///
+    /// Allocation-free lookahead: because every active flow drains at the
+    /// same rate, only the *minimum* remaining work matters, and it only
+    /// shrinks by the shared drain or drops when a waiting flow activates
+    /// — O(1) work per boundary instead of a scan over all flows. No flow
+    /// other than the eventual answer can complete during the lookahead
+    /// (the minimum completes first), so the active *set* never shrinks
+    /// before the function returns.
     pub fn next_completion(&self) -> Option<Instant> {
-        let mut flows: Vec<(u128, Instant)> = self
-            .flows
-            .values()
-            .map(|f| (f.remaining_bm, f.activate_at))
-            .collect();
-        if flows.is_empty() {
+        if self.flows.is_empty() {
             return None;
         }
         let mut t = self.now;
+        let mut cursor = self.cursor;
+        let mut n_active = self.active.len();
+        let mut min_rem: Option<u128> = self.by_finish.first().map(|&(k, _)| k - self.drained);
+        // Waiting flows activate in queue order; fold each into the
+        // running minimum as the lookahead crosses its activation.
+        // (A flow whose activation instant equals `now` may still be
+        // queued; it has drained nothing, so its full work is exact.)
+        let mut widx = 0;
+        while let Some(&(a, id)) = self.waiting.get(widx) {
+            if a > t {
+                break;
+            }
+            let r0 = self.flows[&id].work_bm;
+            min_rem = Some(min_rem.map_or(r0, |m| m.min(r0)));
+            n_active += 1;
+            widx += 1;
+        }
         loop {
-            let active = flows.iter().filter(|(r, a)| *r > 0 && *a <= t).count();
-            let share = self.share_at(t, active);
+            let rate = cursor.rate_at(&self.trace, t).bps();
+            let share = if n_active == 0 {
+                0
+            } else {
+                rate / n_active as u64
+            };
             // Candidate boundaries: next activation, next trace change,
             // earliest completion under current share.
-            let mut boundary: Option<Instant> = None;
-            let mut fold = |c: Instant| {
+            let mut boundary: Option<Instant> = self.waiting.get(widx).map(|&(a, _)| a);
+            if let Some(c) = cursor.next_change_after(&self.trace, t) {
                 boundary = Some(boundary.map_or(c, |b: Instant| b.min(c)));
-            };
-            for (r, a) in &flows {
-                if *r > 0 && *a > t {
-                    fold(*a);
-                }
             }
-            if let Some(c) = self.trace.next_change_after(t) {
-                fold(c);
-            }
-            if active > 0 && share.bps() > 0 {
-                let min_remaining = flows
-                    .iter()
-                    .filter(|(r, a)| *r > 0 && *a <= t)
-                    .map(|(r, _)| *r)
-                    .min()
-                    .expect("active flows exist");
-                let done =
-                    t + Duration::from_micros(min_remaining.div_ceil(share.bps() as u128) as u64);
-                if boundary.is_none_or(|b| done <= b) {
-                    return Some(done);
+            if share > 0 {
+                if let Some(mr) = min_rem {
+                    let done = t + Duration::from_micros(mr.div_ceil(share as u128) as u64);
+                    if boundary.is_none_or(|b| done <= b) {
+                        return Some(done);
+                    }
                 }
             }
             let Some(b) = boundary else {
                 // No rate changes, no activations, nothing deliverable.
                 return None;
             };
-            // Deliver up to the boundary and continue (exact integer
-            // arithmetic; completions inside the span were handled above).
-            if active > 0 && share.bps() > 0 {
-                let d = share.bps() as u128 * (b - t).as_micros() as u128;
-                for (r, a) in flows.iter_mut() {
-                    if *r > 0 && *a <= t {
-                        *r = r.saturating_sub(d);
-                    }
+            if share > 0 {
+                if let Some(mr) = min_rem.as_mut() {
+                    // `done > b` above guarantees the drain cannot reach
+                    // the minimum inside this span.
+                    *mr -= share as u128 * (b - t).as_micros() as u128;
                 }
             }
             t = b;
+            while let Some(&(a, id)) = self.waiting.get(widx) {
+                if a > t {
+                    break;
+                }
+                let r0 = self.flows[&id].work_bm;
+                min_rem = Some(min_rem.map_or(r0, |m| m.min(r0)));
+                n_active += 1;
+                widx += 1;
+            }
         }
     }
 
     /// Advances link time to `t`, integrating deliveries, and returns the
     /// flows that completed at or before `t`, ordered by completion time
     /// then flow id. Panics if `t` is in the past.
+    ///
+    /// Allocation-free per span: the active set is maintained
+    /// incrementally across calls (no per-span id collection), the
+    /// earliest completion comes from the finish-key index in O(1), and
+    /// rate lookups ride the monotone trace cursor.
     pub fn advance_to(&mut self, t: Instant) -> Vec<Completion> {
         assert!(t >= self.now, "advance into the past: {t} < {}", self.now);
         let mut done = Vec::new();
         while self.now < t {
             let now = self.now;
-            let active_ids: Vec<FlowId> = self
-                .flows
-                .iter()
-                .filter(|(_, f)| f.remaining_bm > 0 && f.activate_at <= now)
-                .map(|(id, _)| *id)
-                .collect();
-            let share = self.share_at(now, active_ids.len());
+            // Promote flows whose activation instant has arrived. (Spans
+            // always break at activation instants, so promotion at the
+            // top of each span is exhaustive.)
+            while let Some(&(a, id)) = self.waiting.first() {
+                if a > now {
+                    break;
+                }
+                self.waiting.remove(0);
+                let f = self.flows.get_mut(&id).expect("waiting flow exists");
+                f.work_bm += self.drained;
+                let key = (f.work_bm, id);
+                let at = self.by_finish.binary_search(&key).unwrap_err();
+                self.by_finish.insert(at, key);
+                let at = self.active.binary_search(&id).unwrap_err();
+                self.active.insert(at, id);
+            }
+
+            let n = self.active.len();
+            let rate = self.cursor.rate_at(&self.trace, now).bps();
+            let share = if n == 0 { 0 } else { rate / n as u64 };
 
             // Boundary: min of t, next activation, next trace change, and
             // the earliest completion at the current share.
             let mut boundary = t;
-            for f in self.flows.values() {
-                if f.remaining_bm > 0 && f.activate_at > now {
-                    boundary = boundary.min(f.activate_at);
-                }
+            if let Some(&(a, _)) = self.waiting.first() {
+                boundary = boundary.min(a);
             }
-            if let Some(c) = self.trace.next_change_after(now) {
+            if let Some(c) = self.cursor.next_change_after(&self.trace, now) {
                 boundary = boundary.min(c);
             }
-            if share.bps() > 0 {
-                for id in &active_ids {
-                    let rem = self.flows[id].remaining_bm;
-                    let fin = now + Duration::from_micros(rem.div_ceil(share.bps() as u128) as u64);
+            if share > 0 {
+                if let Some(&(key, _)) = self.by_finish.first() {
+                    let min_rem = key - self.drained;
+                    let fin = now + Duration::from_micros(min_rem.div_ceil(share as u128) as u64);
                     boundary = boundary.min(fin);
                 }
             }
 
-            // Busy/idle accounting: the link is busy over a span when at
-            // least one active flow is actually receiving capacity.
+            // Busy/idle accounting, exact per sub-span: the link is busy
+            // whenever flows contend for a nonzero-rate schedule — even
+            // when the integer per-flow share quantizes to zero (the link
+            // is saturated, not idle). Spans break at every activation,
+            // completion and rate change, so each span is uniform.
             if boundary > now {
                 let span_us = (boundary - now).as_micros();
-                if share.bps() > 0 && !active_ids.is_empty() {
+                if rate > 0 && n > 0 {
                     self.obs.count("link.busy_us", span_us);
                 } else {
                     self.obs.count("link.idle_us", span_us);
                 }
             }
 
-            // Deliver over [now, boundary] to every active flow.
-            if share.bps() > 0 && !active_ids.is_empty() && boundary > now {
+            // Deliver over [now, boundary] to every active flow, in flow
+            // id order (the event-emission order contract).
+            if share > 0 && n > 0 && boundary > now {
                 let span = (boundary - now).as_micros() as u128;
-                for id in &active_ids {
-                    let f = self.flows.get_mut(id).expect("active flow exists");
-                    let delivered = share.bps() as u128 * span;
-                    if delivered >= f.remaining_bm {
-                        let fin = now
-                            + Duration::from_micros(
-                                f.remaining_bm.div_ceil(share.bps() as u128) as u64
-                            );
+                let delivered = share as u128 * span;
+                let share_rate = BitsPerSec(share);
+                let mut i = 0;
+                while i < self.active.len() {
+                    let id = self.active[i];
+                    let f = self.flows.get_mut(&id).expect("active flow exists");
+                    let rem = f.work_bm - self.drained;
+                    if delivered >= rem {
+                        let fin = now + Duration::from_micros(rem.div_ceil(share as u128) as u64);
                         debug_assert!(fin <= boundary);
                         f.profile.push(Segment {
                             start: now,
                             end: fin,
-                            rate: share,
+                            rate: share_rate,
                         });
-                        f.remaining_bm = 0;
-                        let f = self.flows.remove(id).expect("present");
+                        let key = f.work_bm;
+                        let f = self.flows.remove(&id).expect("present");
+                        self.active.remove(i);
+                        let at = self
+                            .by_finish
+                            .binary_search(&(key, id))
+                            .expect("active flow keyed");
+                        self.by_finish.remove(at);
                         self.obs.count("link.flows_completed", 1);
                         self.obs.observe("link.flow_bytes", f.size.get() as f64);
                         self.obs
                             .gauge("link.pending_flows", self.flows.len() as f64);
                         done.push(Completion {
-                            id: *id,
+                            id,
                             at: fin,
                             size: f.size,
                             opened_at: f.opened_at,
                             profile: f.profile,
                         });
                     } else {
-                        f.remaining_bm -= delivered;
                         f.profile.push(Segment {
                             start: now,
                             end: boundary,
-                            rate: share,
+                            rate: share_rate,
                         });
-                        let (size, remaining_bm) = (f.size, f.remaining_bm);
+                        let (size, remaining_bm) = (f.size, rem - delivered);
                         self.obs.emit(boundary, || {
                             let remaining = Bytes(remaining_bm.div_ceil(BITMICROS_PER_BYTE) as u64);
                             Event::TransferProgress {
                                 flow: id.0,
                                 delivered: size.saturating_sub(remaining),
                                 remaining,
-                                rate: share,
+                                rate: share_rate,
                             }
                         });
+                        i += 1;
                     }
                 }
+                self.drained += delivered;
             }
             self.now = boundary;
         }
@@ -567,6 +691,52 @@ mod tests {
         // No boundaries interrupt a constant-rate solo flow, so no
         // progress events — only what the counters say.
         assert!(tracer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn busy_idle_exact_sub_spans() {
+        // Multi-phase schedule: 50 ms request latency (idle), delivery at
+        // 800 Kbps, a 2 s zero-rate stall mid-flow, delivery again, then
+        // an idle tail — busy_us must count exactly the delivering spans.
+        let (obs, _, metrics) = ObsHandle::recording();
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), kbps(800)),   // 100 KB deliverable
+            (Duration::from_secs(2), kbps(0)),     // stall
+            (Duration::from_secs(100), kbps(800)), // rest
+        ]);
+        let mut link = Link::with_latency(trace, Duration::from_millis(50));
+        link.set_obs(obs);
+        // 150 KB: 95 KB in [0.05, 1.0], stall to 3.0, 55 KB in 0.55 s.
+        let _ = link.open_flow(Bytes(150_000));
+        let done = link.advance_to(Instant::from_secs(5));
+        assert_eq!(done[0].at, Instant::from_micros(3_550_000));
+        // Busy: [0.05, 1.0] + [3.0, 3.55] = 1.5 s exactly.
+        assert_eq!(metrics.counter_value("link.busy_us"), 1_500_000);
+        // Idle: [0, 0.05] latency + [1, 3] stall + [3.55, 5] tail = 3.5 s.
+        assert_eq!(metrics.counter_value("link.idle_us"), 3_500_000);
+    }
+
+    #[test]
+    fn saturated_link_counts_busy_when_share_quantizes_to_zero() {
+        // 10 flows on a 5 bps link: the integer per-flow share is zero,
+        // but the link is saturated by contention — that second is busy,
+        // not idle. Once the rate rises every flow finishes quickly.
+        let (obs, _, metrics) = ObsHandle::recording();
+        let trace = Trace::steps(&[
+            (Duration::from_secs(1), BitsPerSec(5)),
+            (Duration::from_secs(100), BitsPerSec(8_000_000)),
+        ]);
+        let mut link = Link::new(trace);
+        link.set_obs(obs);
+        for _ in 0..10 {
+            let _ = link.open_flow(Bytes(1));
+        }
+        // Each flow: 8 bits at a 800 Kbps share = 10 µs past the rise.
+        let done = link.advance_to(Instant::from_secs(2));
+        assert_eq!(done.len(), 10);
+        assert_eq!(done[0].at, Instant::from_micros(1_000_010));
+        assert_eq!(metrics.counter_value("link.busy_us"), 1_000_010);
+        assert_eq!(metrics.counter_value("link.idle_us"), 2_000_000 - 1_000_010);
     }
 
     #[test]

@@ -48,6 +48,16 @@ impl DeliveryProfile {
         Self::default()
     }
 
+    /// An empty profile with room for `segments` spans before the first
+    /// reallocation. The link pre-sizes every flow's profile with this so
+    /// the common case (a handful of share changes per transfer) never
+    /// grows mid-delivery.
+    pub fn with_capacity(segments: usize) -> Self {
+        DeliveryProfile {
+            segments: Vec::with_capacity(segments),
+        }
+    }
+
     /// Appends a span. Panics if it overlaps or precedes the previous span
     /// (gaps are allowed: they represent stalled delivery, e.g. request
     /// latency or a zero-capacity trace segment).

@@ -223,6 +223,65 @@ impl Trace {
     }
 }
 
+/// Amortized-O(1) positional lookups over a [`Trace`].
+///
+/// The fluid link queries its rate schedule at a sequence of instants that
+/// is monotone within an `advance_to` pass, so a binary search per boundary
+/// ([`Trace::rate_at`]) wastes `O(log n)` per event on dense traces. A
+/// cursor remembers the index of the changepoint governing the last queried
+/// instant: non-decreasing query times advance it by at most the number of
+/// changepoints actually crossed (amortized O(1) per event), while a query
+/// *before* the cursor's current segment — which happens when a
+/// `next_completion` lookahead restarts from an earlier `now` — falls back
+/// to the trace's binary search.
+///
+/// The cursor holds no reference to the trace; callers pass the same trace
+/// to every query. Positions are plain indices, so the cursor is `Copy` and
+/// a lookahead can clone it without touching the original.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCursor {
+    idx: usize,
+}
+
+impl TraceCursor {
+    /// A cursor positioned at the start of any trace.
+    pub fn new() -> Self {
+        TraceCursor { idx: 0 }
+    }
+
+    /// Positions the cursor on the segment governing `t`: afterwards
+    /// `points[idx].0 <= t` and either `idx` is the last changepoint or
+    /// `t < points[idx + 1].0`.
+    fn seek(&mut self, trace: &Trace, t: Instant) {
+        let points = &trace.points;
+        if self.idx >= points.len() || points[self.idx].0 > t {
+            // Time regression (or a cursor from a different trace):
+            // re-position with the plain binary search.
+            self.idx = match points.binary_search_by_key(&t, |p| p.0) {
+                Ok(i) => i,
+                // `i >= 1` because every trace starts at t = 0.
+                Err(i) => i - 1,
+            };
+            return;
+        }
+        while self.idx + 1 < points.len() && points[self.idx + 1].0 <= t {
+            self.idx += 1;
+        }
+    }
+
+    /// Cursor-accelerated [`Trace::rate_at`].
+    pub fn rate_at(&mut self, trace: &Trace, t: Instant) -> BitsPerSec {
+        self.seek(trace, t);
+        trace.points[self.idx].1
+    }
+
+    /// Cursor-accelerated [`Trace::next_change_after`].
+    pub fn next_change_after(&mut self, trace: &Trace, t: Instant) -> Option<Instant> {
+        self.seek(trace, t);
+        trace.points.get(self.idx + 1).map(|p| p.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +445,45 @@ mod tests {
             (Instant::from_secs(5), kbps(2)),
             (Instant::from_secs(5), kbps(3)),
         ]);
+    }
+
+    #[test]
+    fn cursor_matches_binary_search_forward() {
+        let t = Trace::steps(&[
+            (Duration::from_secs(10), kbps(500)),
+            (Duration::from_secs(10), kbps(1000)),
+            (Duration::from_secs(10), kbps(250)),
+        ]);
+        let mut c = TraceCursor::new();
+        // Monotone queries, including exact changepoint instants.
+        for us in [
+            0u64, 1, 9_999_999, 10_000_000, 10_000_001, 20_000_000, 99_000_000,
+        ] {
+            let at = Instant::from_micros(us);
+            assert_eq!(c.rate_at(&t, at), t.rate_at(at), "rate_at({at})");
+            assert_eq!(
+                c.next_change_after(&t, at),
+                t.next_change_after(at),
+                "next_change_after({at})"
+            );
+        }
+    }
+
+    #[test]
+    fn cursor_falls_back_on_time_regression() {
+        let t = Trace::steps(&[
+            (Duration::from_secs(1), kbps(100)),
+            (Duration::from_secs(1), kbps(200)),
+            (Duration::from_secs(1), kbps(300)),
+        ]);
+        let mut c = TraceCursor::new();
+        assert_eq!(c.rate_at(&t, Instant::from_secs(2)), kbps(300));
+        // A lookahead restarting earlier must re-seek correctly.
+        assert_eq!(c.rate_at(&t, Instant::ZERO), kbps(100));
+        assert_eq!(
+            c.next_change_after(&t, Instant::ZERO),
+            Some(Instant::from_secs(1))
+        );
+        assert_eq!(c.rate_at(&t, Instant::from_millis(1_500)), kbps(200));
     }
 }

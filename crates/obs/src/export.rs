@@ -257,10 +257,35 @@ impl std::error::Error for TraceReadError {}
 pub fn to_jsonl(events: &[TracedEvent]) -> String {
     let mut out = String::new();
     for ev in events {
-        out.push_str(&serde_json::to_string(ev).expect("trace serialization is infallible"));
+        serde_json::to_string_into(ev, &mut out);
         out.push('\n');
     }
     out
+}
+
+/// Streams a trace as JSONL into `w`, serializing each event into one
+/// reused line buffer — the path for writing large traces to disk (wrap
+/// the file in a [`std::io::BufWriter`]). Output is byte-identical to
+/// [`to_jsonl`].
+pub fn write_jsonl<W: std::io::Write>(events: &[TracedEvent], w: &mut W) -> std::io::Result<()> {
+    let mut line = String::new();
+    for ev in events {
+        line.clear();
+        serde_json::to_string_into(ev, &mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Streams the Chrome `trace_event` document into `w` (wrap the file in a
+/// [`std::io::BufWriter`]). Output is byte-identical to
+/// [`to_chrome_trace`].
+pub fn write_chrome_trace<W: std::io::Write>(
+    events: &[TracedEvent],
+    w: &mut W,
+) -> std::io::Result<()> {
+    w.write_all(to_chrome_trace(events).as_bytes())
 }
 
 /// Parses a JSONL trace back into events. Blank lines are skipped.
@@ -562,6 +587,17 @@ mod tests {
         assert_eq!(text.lines().count(), events.len());
         let back = from_jsonl(&text).unwrap();
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn write_jsonl_matches_to_jsonl_bytes() {
+        let events = sample_events();
+        let mut buf: Vec<u8> = Vec::new();
+        write_jsonl(&events, &mut buf).unwrap();
+        assert_eq!(buf, to_jsonl(&events).into_bytes());
+        let mut doc: Vec<u8> = Vec::new();
+        write_chrome_trace(&events, &mut doc).unwrap();
+        assert_eq!(doc, to_chrome_trace(&events).into_bytes());
     }
 
     #[test]

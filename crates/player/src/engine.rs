@@ -159,7 +159,8 @@ impl Engine {
                 .schedule(Instant::ZERO + period, SessionEvent::PlaylistRefresh);
         }
         if self.playlist_fetch == PlaylistFetch::Eager {
-            for track in self.content.track_ids() {
+            for i in 0..self.content.track_ids().len() {
+                let track = self.content.track_ids()[i];
                 self.open_playlist_fetch(track, Instant::ZERO, None);
             }
         }
@@ -302,17 +303,15 @@ impl Engine {
             }
             // Drop in-flight chunk transfers (playlist fetches keep
             // running; their deferred chunks are re-validated on arrival).
-            let stale: Vec<abr_net::link::FlowId> = self
-                .flights
-                .pending
-                .iter()
-                .filter(|(_, p)| !matches!(p, crate::transfer::Pending::Playlist { .. }))
-                .map(|(id, _)| *id)
-                .collect();
-            for id in stale {
-                self.flights.pending.remove(&id);
-                self.link.cancel_flow(id);
-            }
+            // Cancels happen in flow-id order, as retain walks the map.
+            let link = &mut self.link;
+            self.flights.pending.retain(|&id, p| {
+                if matches!(p, crate::transfer::Pending::Playlist { .. }) {
+                    return true;
+                }
+                link.cancel_flow(id);
+                false
+            });
             self.audio_buf.flush_to(chunk_idx);
             self.video_buf.flush_to(chunk_idx);
             if self.playback.state() == PlayState::Stalled {

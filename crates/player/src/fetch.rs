@@ -11,7 +11,7 @@ use crate::engine::Engine;
 use crate::log::SelectionEvent;
 use crate::playback::PlayState;
 use crate::policy::SelectionContext;
-use crate::scheduler::{due_fetches, PipelineState};
+use crate::scheduler::{due_fetches, DueFetches, PipelineState};
 use crate::session::{DeliveryMode, PlaylistFetch};
 use crate::transfer::{ChunkFetch, Pending};
 use abr_media::track::{MediaType, TrackId};
@@ -25,7 +25,7 @@ impl Engine {
         let gated = self.playlist_fetch == PlaylistFetch::Eager
             && self.playlists_ready.len() < self.total_tracks;
         let mut due = if gated {
-            Vec::new()
+            DueFetches::default()
         } else {
             due_fetches(
                 &self.config,
@@ -37,7 +37,7 @@ impl Engine {
         if self.delivery == DeliveryMode::Muxed {
             // One pipeline: each muxed transfer fills both buffers,
             // so only the video pipeline issues requests.
-            due.retain(|m| *m == MediaType::Video);
+            due.retain(|m| m == MediaType::Video);
         }
         for media in due {
             let buf = match media {

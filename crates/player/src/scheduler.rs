@@ -31,6 +31,71 @@ impl PipelineState {
     }
 }
 
+/// The media types due to fetch this round, audio first — at most one per
+/// pipeline, held inline so scheduling rounds never allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DueFetches {
+    slots: [Option<MediaType>; 2],
+    len: usize,
+}
+
+impl DueFetches {
+    fn push(&mut self, media: MediaType) {
+        self.slots[self.len] = Some(media);
+        self.len += 1;
+    }
+
+    /// Number of due pipelines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no pipeline is due.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Keeps only the media types for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(MediaType) -> bool) {
+        let mut out = DueFetches::default();
+        for media in *self {
+            if keep(media) {
+                out.push(media);
+            }
+        }
+        *self = out;
+    }
+}
+
+impl IntoIterator for DueFetches {
+    type Item = MediaType;
+    type IntoIter = DueIter;
+
+    fn into_iter(self) -> DueIter {
+        DueIter { due: self, idx: 0 }
+    }
+}
+
+/// Iterator over [`DueFetches`], in scheduling order.
+#[derive(Debug, Clone)]
+pub struct DueIter {
+    due: DueFetches,
+    idx: usize,
+}
+
+impl Iterator for DueIter {
+    type Item = MediaType;
+
+    fn next(&mut self) -> Option<MediaType> {
+        if self.idx >= self.due.len {
+            return None;
+        }
+        let media = self.due.slots[self.idx];
+        self.idx += 1;
+        media
+    }
+}
+
 /// Returns the media types that should issue a fetch right now, audio
 /// first (deterministic order).
 pub fn due_fetches(
@@ -38,8 +103,8 @@ pub fn due_fetches(
     audio: PipelineState,
     video: PipelineState,
     num_chunks: usize,
-) -> Vec<MediaType> {
-    let mut out = Vec::with_capacity(2);
+) -> DueFetches {
+    let mut out = DueFetches::default();
     let pair = [
         (MediaType::Audio, audio, video),
         (MediaType::Video, video, audio),
@@ -88,26 +153,31 @@ mod tests {
         tolerance: Duration::from_secs(4),
     };
 
+    /// Collects a round's due set for order-sensitive assertions.
+    fn v(due: DueFetches) -> Vec<MediaType> {
+        due.into_iter().collect()
+    }
+
     #[test]
     fn both_start_empty() {
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 0, 0), pipe(false, 0, 0), 75);
-        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Audio, MediaType::Video]);
     }
 
     #[test]
     fn in_flight_blocks() {
         let due = due_fetches(&cfg(CHUNKED), pipe(true, 1, 0), pipe(false, 0, 0), 75);
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
     }
 
     #[test]
     fn chunk_sync_pauses_leader() {
         // Audio 8 s ahead with 4 s tolerance: audio pauses, video proceeds.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 2, 8), pipe(false, 0, 0), 75);
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
         // Within tolerance: both proceed.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 1, 3), pipe(false, 0, 0), 75);
-        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Audio, MediaType::Video]);
     }
 
     #[test]
@@ -118,7 +188,7 @@ mod tests {
             pipe(false, 0, 0),
             75,
         );
-        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Audio, MediaType::Video]);
     }
 
     #[test]
@@ -129,7 +199,7 @@ mod tests {
             pipe(false, 9, 29),
             75,
         );
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
     }
 
     #[test]
@@ -137,17 +207,17 @@ mod tests {
         // Exactly at `peer level + tolerance` the leader pauses (the gate
         // is `>=`): audio at 10 s vs video at 6 s with 4 s tolerance.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 3, 10), pipe(false, 2, 6), 75);
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
         // One microsecond under the boundary, both proceed.
         let just_under = PipelineState {
             level: Duration::from_secs(10) - Duration::from_micros(1),
             ..pipe(false, 3, 10)
         };
         let due = due_fetches(&cfg(CHUNKED), just_under, pipe(false, 2, 6), 75);
-        assert_eq!(due, vec![MediaType::Audio, MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Audio, MediaType::Video]);
         // The gate is symmetric: video equally far ahead pauses too.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 2, 6), pipe(false, 3, 10), 75);
-        assert_eq!(due, vec![MediaType::Audio]);
+        assert_eq!(v(due), vec![MediaType::Audio]);
     }
 
     #[test]
@@ -168,9 +238,9 @@ mod tests {
     fn exhausted_pipeline_stops_and_releases_peer() {
         // Audio fetched everything; video far behind must not be blocked.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 75, 28), pipe(false, 40, 2), 75);
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
         // And video ahead of an exhausted audio keeps going.
         let due = due_fetches(&cfg(CHUNKED), pipe(false, 75, 2), pipe(false, 40, 28), 75);
-        assert_eq!(due, vec![MediaType::Video]);
+        assert_eq!(v(due), vec![MediaType::Video]);
     }
 }

@@ -196,7 +196,7 @@ impl Session {
     /// overwritten with identical values if already published).
     fn publish_playlists(&mut self, packaging: abr_manifest::build::Packaging) {
         let content = self.origin.content().clone();
-        for id in content.track_ids() {
+        for &id in content.track_ids() {
             let playlist = abr_manifest::build::build_media_playlist(&content, id, packaging);
             let path = abr_manifest::build::playlist_uri(id);
             let body = playlist.to_text();

@@ -12,7 +12,7 @@ use crate::buffer::BufferedChunk;
 use crate::engine::Engine;
 use crate::log::TransferEvent;
 use crate::policy::TransferRecord;
-use abr_event::time::{busy_union, Duration, Instant};
+use abr_event::time::{busy_union_in_place, Duration, Instant};
 use abr_httpsim::edge::TransferPath;
 use abr_httpsim::origin::Origin;
 use abr_httpsim::request::Request;
@@ -74,6 +74,9 @@ pub(crate) struct FlightBoard {
     /// Left edge of the next bandwidth-meter window (the time of the
     /// previous completion event).
     pub(crate) meter_last: Instant,
+    /// Reusable interval scratch for [`Engine::meter_window`] — cleared and
+    /// refilled each round so the meter never allocates in steady state.
+    meter_scratch: Vec<(Instant, Instant)>,
 }
 
 impl FlightBoard {
@@ -159,7 +162,8 @@ impl Engine {
         let meter_last = self.flights.meter_last;
         let now = self.now;
         let mut bytes = Bytes::ZERO;
-        let mut intervals: Vec<(Instant, Instant)> = Vec::new();
+        let mut intervals = std::mem::take(&mut self.flights.meter_scratch);
+        intervals.clear();
         {
             let mut take = |profile: &abr_net::profile::DeliveryProfile| {
                 bytes += profile.bytes_between(meter_last, now);
@@ -181,7 +185,9 @@ impl Engine {
             }
         }
         self.flights.meter_last = now;
-        (bytes, busy_union(intervals))
+        let busy = busy_union_in_place(&mut intervals);
+        self.flights.meter_scratch = intervals;
+        (bytes, busy)
     }
 
     /// Folds a batch of link completions into buffers, the policy's

@@ -27,7 +27,7 @@ use abr_player::log::{
 };
 use abr_player::playback::{PlayState, PlaybackEngine};
 use abr_player::policy::{AbrPolicy, FixedPolicy, SelectionContext, TransferRecord};
-use abr_player::scheduler::{due_fetches, PipelineState};
+use abr_player::scheduler::{due_fetches, DueFetches, PipelineState};
 use abr_player::session::{DeliveryMode, PlaylistFetch, Session};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -98,7 +98,7 @@ impl Scenario {
         // Playlist publication, as Session::with_playlist_fetch did it.
         let mut playlist_sizes: BTreeMap<TrackId, Bytes> = BTreeMap::new();
         if self.playlist_fetch != PlaylistFetch::Preloaded {
-            for id in self.content.track_ids() {
+            for &id in self.content.track_ids() {
                 let playlist =
                     abr_manifest::build::build_media_playlist(&self.content, id, self.packaging);
                 let path = abr_manifest::build::playlist_uri(id);
@@ -152,7 +152,7 @@ impl Scenario {
                     level: buf.level(),
                 };
                 let mut due = if gated {
-                    Vec::new()
+                    DueFetches::default()
                 } else {
                     due_fetches(
                         &config,
@@ -162,7 +162,7 @@ impl Scenario {
                     )
                 };
                 if self.delivery == DeliveryMode::Muxed {
-                    due.retain(|m| *m == MediaType::Video);
+                    due.retain(|m| m == MediaType::Video);
                 }
                 for media in due {
                     let buf = match media {
@@ -271,7 +271,7 @@ impl Scenario {
             s.into_iter().collect()
         };
         if self.playlist_fetch == PlaylistFetch::Eager {
-            for track in content.track_ids() {
+            for &track in content.track_ids() {
                 let size = playlist_sizes[&track];
                 let flow = link.open_flow(size);
                 pending.insert(

@@ -135,7 +135,7 @@ proptest! {
             level: Duration::from_secs(v_level_s),
         };
         let due = due_fetches(&cfg, audio, video, num_chunks);
-        for media in &due {
+        for media in due {
             let (me, other) = match media {
                 MediaType::Audio => (audio, video),
                 MediaType::Video => (video, audio),

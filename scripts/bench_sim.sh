@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Records the simulation-core performance snapshot into BENCH_sim.json:
+#
+#  * criterion medians for the LinkSim hot-path benches (benches/link.rs
+#    and the fluid_link group in benches/engine.rs), compared against the
+#    pre-optimization baseline medians recorded below;
+#  * best-of-3 wall-clock for the `exp mc` Monte Carlo fleet sweep at
+#    --jobs 1 and --jobs <N> (default: all cores).
+#
+# The BASE_* constants are the medians measured on this host immediately
+# BEFORE the allocation-free link rewrite (same benches, same flags), so
+# the speedup column is apples-to-apples. Re-baseline them only when
+# intentionally re-recording against a new reference implementation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pre-change baselines (µs, criterion medians; recorded 2026-08-07 on a
+# 1-core container against the Vec-per-event link implementation).
+BASE_ADVANCE=127.5
+BASE_NEXTC=825.3
+BASE_SESSION=272.8
+BASE_SOLO=138.6
+BASE_EIGHT=61.3
+
+cargo build --release -p abr-bench --bin exp >/dev/null 2>&1
+cargo bench -p abr-bench --bench link --bench engine --no-run >/dev/null 2>&1 || true
+EXP=target/release/exp
+N="${1:-$(nproc)}"
+SEEDS="${SEEDS:-25}"
+
+LINK_OUT=$(cargo bench -p abr-bench --bench link -- --bench 2>/dev/null)
+ENGINE_OUT=$(cargo bench -p abr-bench --bench engine -- --bench 2>/dev/null)
+# Extracts one criterion median from captured bench output, in µs.
+pick() { # <captured-output> <bench-name>
+    echo "$1" | awk -v name="$2" '$1 == name && $2 == "median" {
+        v = $3; u = $4
+        if (u == "ns") v /= 1000
+        else if (u == "ms") v *= 1000
+        else if (u == "s")  v *= 1000000
+        printf "%.2f", v
+    }'
+}
+
+CUR_ADVANCE=$(pick "$LINK_OUT" "link/advance_to_dense_trace")
+CUR_NEXTC=$(pick "$LINK_OUT" "link/next_completion_engine_loop")
+CUR_SESSION=$(pick "$LINK_OUT" "session/bestpractice_fig4b_600s")
+CUR_SOLO=$(pick "$ENGINE_OUT" "fluid_link/solo_flow_1000_completions")
+CUR_EIGHT=$(pick "$ENGINE_OUT" "fluid_link/eight_concurrent_flows_over_square_wave")
+
+sp() { awk "BEGIN{printf \"%.2f\", $1/$2}"; }
+
+t() {
+    local s e
+    s=$(date +%s.%N)
+    "$@" >/dev/null
+    e=$(date +%s.%N)
+    awk "BEGIN{printf \"%.3f\", $e - $s}"
+}
+
+# Warm once, then best-of-3 per jobs level.
+"$EXP" mc --seeds "$SEEDS" --jobs 1 >/dev/null
+best() {
+    local b=""
+    for _ in 1 2 3; do
+        local x
+        x=$(t "$@")
+        if [ -z "$b" ] || awk "BEGIN{exit !($x < $b)}"; then b=$x; fi
+    done
+    echo "$b"
+}
+
+T1=$(best "$EXP" mc --seeds "$SEEDS" --jobs 1)
+TN=$(best "$EXP" mc --seeds "$SEEDS" --jobs "$N")
+
+cat > BENCH_sim.json <<EOF
+{
+  "benchmark": "simulation hot path: LinkSim criterion medians + exp mc wall-clock",
+  "host_cores": $(nproc),
+  "criterion_medians_us": {
+    "link/advance_to_dense_trace":                        { "baseline": $BASE_ADVANCE, "current": $CUR_ADVANCE, "speedup": $(sp "$BASE_ADVANCE" "$CUR_ADVANCE") },
+    "link/next_completion_engine_loop":                   { "baseline": $BASE_NEXTC, "current": $CUR_NEXTC, "speedup": $(sp "$BASE_NEXTC" "$CUR_NEXTC") },
+    "session/bestpractice_fig4b_600s":                    { "baseline": $BASE_SESSION, "current": $CUR_SESSION, "speedup": $(sp "$BASE_SESSION" "$CUR_SESSION") },
+    "fluid_link/solo_flow_1000_completions":              { "baseline": $BASE_SOLO, "current": $CUR_SOLO, "speedup": $(sp "$BASE_SOLO" "$CUR_SOLO") },
+    "fluid_link/eight_concurrent_flows_over_square_wave": { "baseline": $BASE_EIGHT, "current": $CUR_EIGHT, "speedup": $(sp "$BASE_EIGHT" "$CUR_EIGHT") }
+  },
+  "baseline_recorded": "pre-optimization link (fresh Vecs per event), 2026-08-07, same host",
+  "mc": {
+    "seeds": $SEEDS,
+    "sessions": $((SEEDS * 49)),
+    "jobs_parallel": $N,
+    "mc_jobs1_s": $T1,
+    "mc_jobsN_s": $TN,
+    "speedup": $(sp "$T1" "$TN"),
+    "best_of": 3
+  }
+}
+EOF
+cat BENCH_sim.json

@@ -70,6 +70,13 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serializes compact JSON text by appending to a caller-owned buffer —
+/// the allocation-free form of [`to_string`] for streaming writers that
+/// emit many records (e.g. JSONL exporters reusing one line buffer).
+pub fn to_string_into<T: serde::Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(out, &value.to_value(), None, 0);
+}
+
 /// Serializes to two-space-indented JSON text.
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
