@@ -80,7 +80,7 @@ fn estimators(c: &mut Criterion) {
                 e.on_transfer(black_box(t));
             }
             black_box(e.estimate())
-        })
+        });
     });
     group.bench_function("exoplayer_sliding_percentile", |b| {
         b.iter(|| {
@@ -89,7 +89,7 @@ fn estimators(c: &mut Criterion) {
                 e.on_transfer(black_box(t));
             }
             black_box(e.estimate())
-        })
+        });
     });
     group.bench_function("dashjs_harmonic_mean", |b| {
         b.iter(|| {
@@ -100,7 +100,7 @@ fn estimators(c: &mut Criterion) {
                 }
             }
             black_box(e.estimate())
-        })
+        });
     });
     group.bench_function("joint_ewma", |b| {
         b.iter(|| {
@@ -109,7 +109,7 @@ fn estimators(c: &mut Criterion) {
                 e.on_transfer(black_box(t));
             }
             black_box(e.estimate())
-        })
+        });
     });
     group.finish();
 }
@@ -118,13 +118,13 @@ fn combo_rule(c: &mut Criterion) {
     let content = drama();
     let mut group = c.benchmark_group("combo_rule");
     group.bench_function("exoplayer_log_staircase", |b| {
-        b.iter(|| black_box(log_staircase(content.video(), content.audio())))
+        b.iter(|| black_box(log_staircase(content.video(), content.audio())));
     });
     group.bench_function("all_mxn", |b| {
-        b.iter(|| black_box(all_combos(content.video(), content.audio())))
+        b.iter(|| black_box(all_combos(content.video(), content.audio())));
     });
     group.bench_function("curated_subset", |b| {
-        b.iter(|| black_box(curated_subset(content.video(), content.audio())))
+        b.iter(|| black_box(curated_subset(content.video(), content.audio())));
     });
     group.finish();
 }
@@ -155,7 +155,7 @@ fn sync_mode(c: &mut Criterion) {
                 config.sync = sync;
                 let log = Session::new(origin, link, policy, config).run();
                 black_box(log.max_buffer_imbalance())
-            })
+            });
         });
     }
     group.finish();
@@ -186,7 +186,7 @@ fn obs_overhead(c: &mut Criterion) {
             black_box(session(Some(
                 ObsHandle::disabled().with_tracer(Rc::new(NullTracer)),
             )))
-        })
+        });
     });
     group.finish();
 }

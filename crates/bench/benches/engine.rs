@@ -25,7 +25,7 @@ fn fluid_link(c: &mut Criterion) {
                 done += link.advance_to(t).len();
             }
             black_box(done)
-        })
+        });
     });
     group.bench_function("eight_concurrent_flows_over_square_wave", |b| {
         let trace = Trace::square_wave(
@@ -41,7 +41,7 @@ fn fluid_link(c: &mut Criterion) {
             }
             let done = link.advance_to(Instant::from_secs(600));
             black_box(done.len())
-        })
+        });
     });
     group.finish();
 }
@@ -49,21 +49,21 @@ fn fluid_link(c: &mut Criterion) {
 fn content_and_manifests(c: &mut Criterion) {
     let mut group = c.benchmark_group("content");
     group.bench_function("synthesize_drama_show", |b| {
-        b.iter(|| black_box(Content::drama_show(black_box(7))))
+        b.iter(|| black_box(Content::drama_show(black_box(7))));
     });
     let content = drama();
     group.bench_function("mpd_roundtrip", |b| {
         b.iter(|| {
             let text = build_mpd(&content).to_text();
             black_box(Mpd::parse(&text).expect("parses"))
-        })
+        });
     });
     let combos = all_combos(content.video(), content.audio());
     group.bench_function("hls_master_roundtrip", |b| {
         b.iter(|| {
             let text = build_master_playlist(&content, &combos, &[0, 1, 2]).to_text();
             black_box(MasterPlaylist::parse(&text).expect("parses"))
-        })
+        });
     });
     group.finish();
 }
@@ -81,7 +81,7 @@ fn full_session(c: &mut Criterion) {
                 Trace::constant(BitsPerSec::from_kbps(1500)),
             );
             black_box(log.transfers.len())
-        })
+        });
     });
     group.finish();
 }

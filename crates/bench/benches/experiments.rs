@@ -18,7 +18,7 @@ fn paper_artifacts(c: &mut Criterion) {
             b.iter(|| {
                 let result = run(black_box(id)).expect("known experiment id");
                 black_box(result.text.len())
-            })
+            });
         });
     }
     group.finish();

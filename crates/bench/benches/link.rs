@@ -40,7 +40,7 @@ fn link_hot_path(c: &mut Criterion) {
                 done += link.advance_to(Instant::from_millis(ms + 250)).len();
             }
             black_box(done)
-        })
+        });
     });
 
     // The session-engine pattern: `next_completion` before every event,
@@ -66,7 +66,7 @@ fn link_hot_path(c: &mut Criterion) {
                 done += link.advance_to(Instant::from_millis((step + 1) * 20)).len();
             }
             black_box(done)
-        })
+        });
     });
     group.finish();
 
@@ -84,7 +84,7 @@ fn link_hot_path(c: &mut Criterion) {
                 Trace::fig4b_varying_600k(Duration::from_secs(600)),
             );
             black_box(log.transfers.len())
-        })
+        });
     });
     group.finish();
 }

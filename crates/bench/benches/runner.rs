@@ -27,14 +27,14 @@ fn sweep_scaling(c: &mut Criterion) {
                         .len()
                 });
                 black_box(lens.iter().sum::<usize>())
-            })
+            });
         });
         let name = format!("bp1-sweep-jobs{jobs}");
         group.bench_function(&name, |b| {
             b.iter(|| {
                 let result = run_jobs(black_box("bp1"), jobs).expect("bp1 exists");
                 black_box(result.text.len())
-            })
+            });
         });
     }
     group.finish();

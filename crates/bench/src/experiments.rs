@@ -439,7 +439,7 @@ fn f2(high_audio: bool) -> ExperimentResult {
     let staircase: Vec<String> = policy
         .combinations()
         .iter()
-        .map(|c| c.to_string())
+        .map(ToString::to_string)
         .collect();
     let log = run_session(
         &content,
@@ -541,7 +541,7 @@ fn f3a() -> ExperimentResult {
     let off = abr_qoe::off_manifest_chunks(&log, &allowed);
     let combos: Vec<String> = abr_qoe::distinct_combos(&log)
         .iter()
-        .map(|c| c.to_string())
+        .map(ToString::to_string)
         .collect();
 
     let v_series = downsample(&selection_series(&log, MediaType::Video), 70);
@@ -852,7 +852,7 @@ fn f4b() -> ExperimentResult {
     let late_max = est.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
     let combos: Vec<String> = abr_qoe::distinct_combos(&log)
         .iter()
-        .map(|c| c.to_string())
+        .map(ToString::to_string)
         .collect();
     text.push_str(&format!(
         "\nestimate before t=50s: ≤{early_max:.0} Kbps (stuck at default; link is 400)\n\
@@ -892,7 +892,7 @@ fn f4x() -> ExperimentResult {
         rows.push(vec![kbps.to_string(), pick.to_string(), bw.to_string()]);
         picks.push(pick);
     }
-    let mut distinct: Vec<String> = picks.iter().map(|c| c.to_string()).collect();
+    let mut distinct: Vec<String> = picks.iter().map(ToString::to_string).collect();
     distinct.dedup();
     let mut text = table(
         &[
@@ -941,7 +941,7 @@ fn f5a() -> ExperimentResult {
     let combos_rle = abr_qoe::combos_used(&log);
     let combos: Vec<String> = abr_qoe::distinct_combos(&log)
         .iter()
-        .map(|c| c.to_string())
+        .map(ToString::to_string)
         .collect();
     // The paper's better alternative: V3+A2 (declared 669) fits 700 Kbps.
     let undesirable = combos_rle
@@ -1223,7 +1223,7 @@ fn bp3() -> ExperimentResult {
         abr_manifest::dash::COMBINATIONS_SCHEME,
         combos
             .iter()
-            .map(|c| c.to_string())
+            .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", "),
         q.completed,
@@ -1277,7 +1277,8 @@ fn bp4(jobs: usize) -> ExperimentResult {
             log.playlist_fetches.len().to_string(),
             format!(
                 "{:.2}",
-                q.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())
+                q.startup_delay
+                    .map_or(f64::NAN, abr_event::Duration::as_secs_f64)
             ),
             q.stall_count.to_string(),
             format!("{:.1}", q.total_stall.as_secs_f64()),
@@ -1286,7 +1287,7 @@ fn bp4(jobs: usize) -> ExperimentResult {
         jrows.push(json!({
             "mode": label,
             "playlist_fetches": log.playlist_fetches.len(),
-            "startup_s": q.startup_delay.map(|d| d.as_secs_f64()),
+            "startup_s": q.startup_delay.map(abr_event::Duration::as_secs_f64),
             "stalls": q.stall_count,
             "total_stall_s": q.total_stall.as_secs_f64(),
             "score": q.score,
@@ -1459,7 +1460,7 @@ fn m2(jobs: usize) -> ExperimentResult {
             .transfers
             .last()
             .and_then(|t| t.estimate_after)
-            .map_or(0, |e| e.kbps());
+            .map_or(0, abr_media::BitsPerSec::kbps);
         rows.push(vec![
             label.to_string(),
             final_estimate.to_string(),
@@ -1559,7 +1560,8 @@ fn m3() -> ExperimentResult {
             b_misses.to_string(),
             format!(
                 "{:.2}",
-                qb.startup_delay.map_or(f64::NAN, |d| d.as_secs_f64())
+                qb.startup_delay
+                    .map_or(f64::NAN, abr_event::Duration::as_secs_f64)
             ),
             qb.stall_count.to_string(),
             format!(
@@ -1571,7 +1573,7 @@ fn m3() -> ExperimentResult {
             "mode": label,
             "viewer_b_hits": b_hits,
             "viewer_b_misses": b_misses,
-            "viewer_b_startup_s": qb.startup_delay.map(|d| d.as_secs_f64()),
+            "viewer_b_startup_s": qb.startup_delay.map(abr_event::Duration::as_secs_f64),
             "viewer_b_origin_mb": (stats.bytes_from_origin.get() - before.bytes_from_origin.get()) as f64 / 1e6,
         }));
     }

@@ -57,7 +57,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     out.push_str(&sep);
     out.push_str(&fmt_row(
-        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &headers.iter().map(ToString::to_string).collect::<Vec<_>>(),
         &widths,
     ));
     out.push_str(&sep);

@@ -32,7 +32,7 @@ use abr_player::SessionLog;
 /// Number of cores the host exposes (at least 1).
 pub fn available_cores() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
 }
 

@@ -156,7 +156,7 @@ impl AbrPolicy for BbaPolicy {
         self.obs.emit(ctx.now, || Event::PolicyDecision {
             media: ctx.media,
             chunk: ctx.chunk,
-            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            candidates: self.combos.iter().map(ToString::to_string).collect(),
             chosen,
             reason: reason.to_string(),
         });

@@ -173,7 +173,7 @@ impl AbrPolicy for BestPracticePolicy {
             self.obs.emit(ctx.now, || Event::PolicyDecision {
                 media: ctx.media,
                 chunk: ctx.chunk,
-                candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+                candidates: self.combos.iter().map(ToString::to_string).collect(),
                 chosen,
                 reason: "combination locked for this chunk position".to_string(),
             });
@@ -220,7 +220,7 @@ impl AbrPolicy for BestPracticePolicy {
         self.obs.emit(ctx.now, || Event::PolicyDecision {
             media: ctx.media,
             chunk: ctx.chunk,
-            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            candidates: self.combos.iter().map(ToString::to_string).collect(),
             chosen,
             reason: reason.to_string(),
         });

@@ -232,7 +232,7 @@ impl AbrPolicy for ExoPlayerPolicy {
         self.obs.emit(ctx.now, || Event::PolicyDecision {
             media: ctx.media,
             chunk: ctx.chunk,
-            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            candidates: self.combos.iter().map(ToString::to_string).collect(),
             chosen,
             reason: format!("{reason} (budget {budget})"),
         });
@@ -298,7 +298,11 @@ mod tests {
     fn dash_staircase_matches_paper_for_table1() {
         let content = Content::drama_show(1);
         let p = ExoPlayerPolicy::dash(&dash_view(&content));
-        let names: Vec<String> = p.combinations().iter().map(|c| c.to_string()).collect();
+        let names: Vec<String> = p
+            .combinations()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(
             names,
             vec!["V1+A1", "V2+A1", "V2+A2", "V3+A2", "V4+A2", "V4+A3", "V5+A3", "V6+A3"]

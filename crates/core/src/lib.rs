@@ -29,7 +29,7 @@
 //! * [`estimators`] — the estimator toolbox the above share.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bba;
 pub mod bestpractice;

@@ -116,7 +116,7 @@ impl MpcPolicy {
     /// transfers, divided by (1 + max recent relative error).
     fn predict(&self) -> Option<f64> {
         let base = self.tput.estimate()?.bps() as f64;
-        let max_err = self.errors.iter().cloned().fold(0.0f64, f64::max);
+        let max_err = self.errors.iter().copied().fold(0.0f64, f64::max);
         Some(base / (1.0 + max_err))
     }
 
@@ -226,7 +226,7 @@ impl AbrPolicy for MpcPolicy {
         self.obs.emit(ctx.now, || Event::PolicyDecision {
             media: ctx.media,
             chunk: ctx.chunk,
-            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            candidates: self.combos.iter().map(ToString::to_string).collect(),
             chosen,
             reason: reason.to_string(),
         });

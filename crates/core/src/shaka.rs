@@ -114,7 +114,7 @@ impl AbrPolicy for ShakaPolicy {
         self.obs.emit(ctx.now, || Event::PolicyDecision {
             media: ctx.media,
             chunk: ctx.chunk,
-            candidates: self.combos.iter().map(|c| c.to_string()).collect(),
+            candidates: self.combos.iter().map(ToString::to_string).collect(),
             chosen,
             reason: format!("highest combination within estimate {est}: {combo}"),
         });

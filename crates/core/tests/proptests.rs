@@ -58,8 +58,8 @@ proptest! {
             e.sample(0.125, s);
         }
         let est = e.estimate().unwrap();
-        let lo = samples.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = samples.iter().copied().fold(f64::MAX, f64::min);
+        let hi = samples.iter().copied().fold(f64::MIN, f64::max);
         prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6, "{est} outside [{lo}, {hi}]");
     }
 
@@ -86,7 +86,7 @@ proptest! {
             h.add(s);
         }
         let est = h.estimate().unwrap().bps() as f64;
-        let lo = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let lo = samples.iter().copied().fold(f64::MAX, f64::min);
         let arith = samples.iter().sum::<f64>() / samples.len() as f64;
         prop_assert!(est >= lo - 1.0, "{est} < min {lo}");
         prop_assert!(est <= arith + 1.0, "harmonic {est} > arithmetic {arith}");

@@ -16,7 +16,7 @@
 //!   instant always fire in the order they were scheduled.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod queue;
 pub mod rng;

@@ -74,6 +74,10 @@ pub struct EventQueue<E> {
     cancelled: BTreeSet<u64>,
     next_seq: u64,
     now: Instant,
+    /// `(at, seq)` of the most recent pop — the FIFO tie-break witness
+    /// (runtime invariant checking; see DESIGN.md §12).
+    #[cfg(feature = "debug-invariants")]
+    last_popped: Option<(Instant, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -91,6 +95,33 @@ impl<E> EventQueue<E> {
             cancelled: BTreeSet::new(),
             next_seq: 0,
             now: Instant::ZERO,
+            #[cfg(feature = "debug-invariants")]
+            last_popped: None,
+        }
+    }
+
+    /// Structural invariants, checked after every mutation when built with
+    /// `debug-invariants`: the live and tombstone sets partition the heap,
+    /// and every tracked seq was actually handed out.
+    fn debug_check(&self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            debug_assert_eq!(
+                self.live.len() + self.cancelled.len(),
+                self.heap.len(),
+                "live + tombstones must partition the heap"
+            );
+            debug_assert!(
+                self.live.intersection(&self.cancelled).next().is_none(),
+                "an entry cannot be both live and cancelled"
+            );
+            debug_assert!(
+                self.live
+                    .iter()
+                    .chain(self.cancelled.iter())
+                    .all(|&s| s < self.next_seq),
+                "tracked seq beyond the allocation counter"
+            );
         }
     }
 
@@ -113,6 +144,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
         self.live.insert(seq);
+        self.debug_check();
         EventKey(seq)
     }
 
@@ -123,6 +155,7 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, key: EventKey) -> bool {
         if self.live.remove(&key.0) {
             self.cancelled.insert(key.0);
+            self.debug_check();
             true
         } else {
             false
@@ -138,8 +171,22 @@ impl<E> EventQueue<E> {
                 continue; // tombstone: discard and keep looking
             }
             debug_assert!(entry.at >= self.now);
+            // FIFO tie-break stability: pops must strictly ascend in
+            // `(at, seq)` — equal-time events leave in insertion order.
+            #[cfg(feature = "debug-invariants")]
+            {
+                if let Some(last) = self.last_popped {
+                    debug_assert!(
+                        (entry.at, entry.seq) > last,
+                        "pop order regressed: {:?} after {last:?}",
+                        (entry.at, entry.seq)
+                    );
+                }
+                self.last_popped = Some((entry.at, entry.seq));
+            }
             self.now = entry.at;
             self.live.remove(&entry.seq);
+            self.debug_check();
             return Some((entry.at, entry.event));
         }
         None

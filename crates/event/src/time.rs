@@ -238,7 +238,7 @@ impl Duration {
         assert!(den != 0, "mul_ratio division by zero");
         let micros = (self.micros as u128 * num as u128 + den as u128 / 2) / den as u128;
         Duration {
-            micros: micros as u64,
+            micros: u64::try_from(micros).expect("mul_ratio overflow"),
         }
     }
 }

@@ -11,7 +11,7 @@ use crate::request::{ObjectId, Request};
 use abr_event::time::Instant;
 use abr_media::units::Bytes;
 use abr_obs::{Event, ObsHandle};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,7 +53,13 @@ pub struct CdnCache {
     capacity: Bytes,
     used: Bytes,
     clock: u64,
-    entries: HashMap<(ObjectId, Option<(u64, u64)>), Entry>,
+    /// Keyed by `(object, exact range)`. A `BTreeMap` rather than a hash
+    /// map so that iteration (LRU victim scans) is key-ordered and the
+    /// cache's observable behavior is a pure function of the request
+    /// sequence (ABR-L001; `last_used` stamps are unique, so the LRU
+    /// minimum is unambiguous either way — but the ordered map makes the
+    /// scan order itself deterministic).
+    entries: BTreeMap<(ObjectId, Option<(u64, u64)>), Entry>,
     stats: CacheStats,
     obs: ObsHandle,
 }
@@ -66,7 +72,7 @@ impl CdnCache {
             capacity,
             used: Bytes::ZERO,
             clock: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stats: CacheStats::default(),
             obs: ObsHandle::disabled(),
         }

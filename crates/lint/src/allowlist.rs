@@ -1,0 +1,224 @@
+//! The `lint.toml` allowlist.
+//!
+//! Every suppression of a determinism rule must be *written down* with a
+//! justification — the allowlist is the audited record of every site where
+//! the workspace deliberately steps outside the contract (DESIGN.md §12).
+//!
+//! The file is a flat sequence of `[[allow]]` tables:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "ABR-L002"
+//! path = "crates/obs/src/tracer.rs"
+//! pattern = "std::time"          # optional: line must contain this
+//! justification = "host-timing module; wall_ns is zeroed in deterministic mode"
+//! ```
+//!
+//! `rule`, `path` and a non-empty `justification` are mandatory; `pattern`
+//! narrows the entry to lines containing the substring (omit it to cover
+//! the whole file for that rule). Entries that suppress nothing are
+//! *stale* and fail the lint run — the allowlist can never drift ahead of
+//! the code. Parsing is a deliberately minimal TOML subset (this workspace
+//! vendors no TOML crate): tables of `key = "string"` pairs only.
+
+use crate::rules::{rule_by_id, Violation};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`ABR-L00x`).
+    pub rule: String,
+    /// Workspace-relative file the entry covers.
+    pub path: String,
+    /// Optional substring the violating line must contain.
+    pub pattern: Option<String>,
+    /// Why this site is exempt. Mandatory and non-empty.
+    pub justification: String,
+    /// `lint.toml` line the entry starts on (for error messages).
+    pub defined_at: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed `lint.toml`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the `lint.toml` subset described in the module docs and
+    /// validates every entry (known rule id, non-empty justification).
+    pub fn parse(src: &str) -> Result<Allowlist, ParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut open = false;
+        for (i, raw) in src.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if open {
+                    Self::validate(entries.last().expect("open entry"))?;
+                }
+                entries.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    pattern: None,
+                    justification: String::new(),
+                    defined_at: lineno,
+                });
+                open = true;
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected `[[allow]]` or `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let Some(entry) = entries.last_mut() else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: "key/value pair before the first [[allow]] table".into(),
+                });
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "pattern" => entry.pattern = Some(value),
+                "justification" => entry.justification = value,
+                other => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    });
+                }
+            }
+        }
+        if open {
+            Self::validate(entries.last().expect("open entry"))?;
+        }
+        Ok(Allowlist { entries })
+    }
+
+    fn validate(e: &AllowEntry) -> Result<(), ParseError> {
+        let fail = |message: String| {
+            Err(ParseError {
+                line: e.defined_at,
+                message,
+            })
+        };
+        if rule_by_id(&e.rule).is_none() {
+            return fail(format!("entry names unknown rule `{}`", e.rule));
+        }
+        if e.path.is_empty() {
+            return fail("entry is missing `path`".into());
+        }
+        if e.justification.trim().is_empty() {
+            return fail(format!(
+                "entry for {} on {} has no justification — every exemption \
+                 from the determinism contract must say why",
+                e.rule, e.path
+            ));
+        }
+        Ok(())
+    }
+
+    /// Index of the first entry suppressing `v` (matching rule + path, and
+    /// pattern contained in the violating line), if any.
+    pub fn matches(&self, v: &Violation, line_text: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == v.rule
+                && e.path == v.path
+                && e.pattern.as_ref().is_none_or(|p| line_text.contains(p))
+        })
+    }
+}
+
+/// Splits `key = "value"`, rejecting anything fancier.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None; // no escapes in this subset
+    }
+    Some((key.trim(), inner.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "ABR-L002"
+path = "crates/obs/src/tracer.rs"
+pattern = "std::time"
+justification = "host-timing module"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let a = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].rule, "ABR-L002");
+        assert_eq!(a.entries[0].pattern.as_deref(), Some("std::time"));
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        let src = "[[allow]]\nrule = \"ABR-L001\"\npath = \"crates/x/src/y.rs\"\n";
+        let err = Allowlist::parse(src).unwrap_err();
+        assert!(err.message.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        let src = "[[allow]]\nrule = \"ABR-L999\"\npath = \"x.rs\"\njustification = \"y\"\n";
+        let err = Allowlist::parse(src).unwrap_err();
+        assert!(err.message.contains("unknown rule"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Allowlist::parse("not toml at all\n").is_err());
+        assert!(Allowlist::parse("rule = \"ABR-L001\"\n").is_err());
+    }
+
+    #[test]
+    fn matches_by_rule_path_pattern() {
+        let a = Allowlist::parse(GOOD).unwrap();
+        let v = Violation {
+            rule: "ABR-L002",
+            path: "crates/obs/src/tracer.rs".into(),
+            line: 47,
+            col: 14,
+            excerpt: "std::time".into(),
+        };
+        assert_eq!(a.matches(&v, "    started: std::time::Instant,"), Some(0));
+        assert_eq!(a.matches(&v, "unrelated line"), None);
+        let other = Violation {
+            path: "crates/net/src/link.rs".into(),
+            ..v
+        };
+        assert_eq!(a.matches(&other, "std::time"), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Comment/string-aware source preparation.
+//!
+//! The rules in [`crate::rules`] match on *code*, never on prose: before a
+//! file is scanned, every comment (line, doc, nested block) and every
+//! string/char literal body is blanked to spaces, preserving the exact
+//! line/column layout so spans reported against the cleaned text are valid
+//! in the original file. On top of the cleaned text, `#[cfg(test)]` items
+//! are located and their brace-delimited bodies marked, so in-crate unit
+//! tests (which may legitimately use `HashSet` for order-free assertions)
+//! never trip the determinism rules that govern simulation code.
+
+/// A source file reduced to rule-scannable form.
+#[derive(Debug)]
+pub struct CleanFile {
+    /// The cleaned source, split into lines (same count and byte layout as
+    /// the original; comment and literal bodies replaced by spaces).
+    pub lines: Vec<String>,
+    /// `in_test[i]` is true when line `i` (0-based) lies inside a
+    /// `#[cfg(test)]` item body.
+    pub in_test: Vec<bool>,
+}
+
+/// Lexer state while sweeping the raw source.
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comments carry their depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Blanks comments and string/char literal bodies, preserving layout.
+///
+/// Handles line and nested block comments, plain/escaped strings, raw
+/// (and byte/raw-byte) strings with arbitrary `#` guards, and tells
+/// lifetimes (`'a`) apart from char literals (`'a'`, `'\n'`).
+pub fn clean_source(src: &str) -> Vec<String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if let State::LineComment = st {
+                st = State::Code;
+            }
+            out.push('\n');
+            i += 1;
+            continue;
+        }
+        match st {
+            State::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    st = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if let Some(hashes) = raw_string_opens(&b, i) {
+                    // r"…", r#"…"#, br#"…"# — blank the opener too.
+                    let opener_len = raw_opener_len(&b, i, hashes);
+                    for _ in 0..opener_len {
+                        out.push(' ');
+                    }
+                    i += opener_len;
+                    st = State::RawStr(hashes);
+                } else if c == '"' {
+                    // Covers plain and byte strings: the `b` prefix was
+                    // already emitted as ordinary code.
+                    out.push(' ');
+                    i += 1;
+                    st = State::Str;
+                } else if c == '\'' {
+                    if is_char_literal(&b, i) {
+                        out.push(' ');
+                        i += 1;
+                        st = State::CharLit;
+                    } else {
+                        // A lifetime: keep it, it is code.
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    out.push_str("  ");
+                    i += 2;
+                    st = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    out.push_str("  ");
+                    i += 2;
+                    st = State::BlockComment(depth + 1);
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                    if b.get(i - 1) == Some(&'\n') {
+                        // An escaped newline still ends the visual line.
+                        out.pop();
+                        out.pop();
+                        out.push(' ');
+                        out.push('\n');
+                    }
+                } else if c == '"' {
+                    out.push(' ');
+                    i += 1;
+                    st = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&b, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    st = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    out.push(' ');
+                    i += 1;
+                    st = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.lines().map(str::to_owned).collect()
+}
+
+/// Whether position `i` (a `'`) starts a char literal rather than a
+/// lifetime. A char literal is `'x'` or `'\…'`; a lifetime's quote is
+/// followed by an identifier with no closing quote right after.
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => b.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// If position `i` opens a raw string (`r`/`br` + `#`* + `"`), returns the
+/// number of `#` guards.
+fn raw_string_opens(b: &[char], i: usize) -> Option<u32> {
+    let start = if b.get(i) == Some(&'b') && b.get(i + 1) == Some(&'r') {
+        i + 2
+    } else if b.get(i) == Some(&'r') {
+        i + 1
+    } else {
+        return None;
+    };
+    // `r` must not be the tail of a longer identifier (e.g. `for`).
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return None;
+    }
+    let mut j = start;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some((j - start) as u32)
+    } else {
+        None
+    }
+}
+
+/// Total char length of a raw-string opener starting at `i` with `hashes`
+/// guards (`r#"` = 3, `br"` = 3, …).
+fn raw_opener_len(b: &[char], i: usize, hashes: u32) -> usize {
+    let prefix = if b.get(i) == Some(&'b') { 2 } else { 1 };
+    prefix + hashes as usize + 1
+}
+
+/// Whether the `"` at position `i` closes a raw string with `hashes` guards.
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// Marks the lines covered by `#[cfg(test)]` item bodies in cleaned lines.
+///
+/// The body is the first `{ … }` block after the attribute (tracking brace
+/// depth); an item that ends in `;` before any brace (e.g. a gated `use`)
+/// covers only its own lines.
+pub fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let text: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut li = 0;
+    while li < text.len() {
+        if let Some(col) = find_cfg_test(text[li]) {
+            // Walk forward from just past the attribute to the end of the
+            // gated item, marking every line on the way.
+            let mut depth: i64 = 0;
+            let mut seen_brace = false;
+            let (mut l, mut c) = (li, col);
+            loop {
+                if l >= text.len() {
+                    break;
+                }
+                in_test[l] = true;
+                let bytes = text[l].as_bytes();
+                let mut done = false;
+                while c < bytes.len() {
+                    match bytes[c] {
+                        b'{' => {
+                            depth += 1;
+                            seen_brace = true;
+                        }
+                        b'}' => {
+                            depth -= 1;
+                            if seen_brace && depth == 0 {
+                                done = true;
+                                break;
+                            }
+                        }
+                        b';' if !seen_brace && depth == 0 => {
+                            done = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    c += 1;
+                }
+                if done {
+                    li = l;
+                    break;
+                }
+                l += 1;
+                c = 0;
+            }
+        }
+        li += 1;
+    }
+    in_test
+}
+
+/// Column of a `#[cfg(test)]`-style attribute on a cleaned line, if any
+/// (also matches composites like `#[cfg(all(test, …))]`).
+fn find_cfg_test(line: &str) -> Option<usize> {
+    let at = line.find("cfg(")?;
+    let rest = &line[at..];
+    if !rest.contains("test") {
+        return None;
+    }
+    // Must be inside an attribute.
+    line[..at].rfind("#[")?;
+    Some(at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let cleaned = clean_source("let a = 1; // HashMap here\n/* HashSet */ let b = 2;\n");
+        assert!(cleaned[0].contains("let a = 1;"));
+        assert!(!cleaned[0].contains("HashMap"));
+        assert!(!cleaned[1].contains("HashSet"));
+        assert!(cleaned[1].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let cleaned = clean_source("/* outer /* HashMap */ still comment */ code();\n");
+        assert!(!cleaned[0].contains("HashMap"));
+        assert!(cleaned[0].contains("code();"));
+    }
+
+    #[test]
+    fn blanks_string_and_char_literals() {
+        let cleaned = clean_source("let s = \"HashMap::new()\"; let c = 'h'; let l: &'a str;\n");
+        assert!(!cleaned[0].contains("HashMap"));
+        assert!(cleaned[0].contains("let c ="));
+        assert!(
+            cleaned[0].contains("&'a str"),
+            "lifetimes survive: {cleaned:?}"
+        );
+    }
+
+    #[test]
+    fn blanks_raw_strings_with_guards() {
+        let cleaned = clean_source("let s = r#\"std::time::Instant::now()\"#; f();\n");
+        assert!(!cleaned[0].contains("Instant::now"));
+        assert!(cleaned[0].contains("f();"));
+    }
+
+    #[test]
+    fn layout_is_preserved() {
+        let src = "abc /* x */ def\n";
+        let cleaned = clean_source(src);
+        assert_eq!(cleaned[0].len(), src.len() - 1);
+        assert_eq!(cleaned[0].find("def"), src.find("def"));
+    }
+
+    #[test]
+    fn marks_cfg_test_mod_body() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\nfn after() {}\n";
+        let lines = clean_source(src);
+        let marks = mark_test_regions(&lines);
+        assert_eq!(marks, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\nfn live() {}\n";
+        let lines = clean_source(src);
+        let marks = mark_test_regions(&lines);
+        assert_eq!(marks, vec![true, true, false]);
+    }
+}

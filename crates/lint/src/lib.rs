@@ -1,0 +1,161 @@
+//! # abr-lint — workspace determinism & invariant linter
+//!
+//! The workspace's bit-reproducibility contract (DESIGN.md §10) is load
+//! bearing: the parallel sweep runner, the allocation-free link and every
+//! golden artifact rest on simulations being pure functions of their
+//! specs. Differential tests (`parallel_determinism`, `legacy_parity`,
+//! `link_differential`) catch violations *after the fact*; this crate
+//! catches them at the source, before a single session runs, by enforcing
+//! the contract as named static rules (DESIGN.md §12):
+//!
+//! | id | name | bans |
+//! |----|------|------|
+//! | `ABR-L001` | hash-collections | `HashMap`/`HashSet` in simulation code |
+//! | `ABR-L002` | host-clock | `std::time`/`Instant::now`/`SystemTime` outside obs host timing |
+//! | `ABR-L003` | external-rng | any RNG other than `abr_event::rng` |
+//! | `ABR-L004` | float-time-arith | `f32`/`f64` in integer time/byte core modules |
+//! | `ABR-L005` | unkeyed-map-iter | values-only map iteration in event dispatch |
+//! | `ABR-L006` | truncating-cast | `as` integer casts in `abr_event::time` |
+//!
+//! Exemptions live in `lint.toml` at the workspace root; every entry
+//! carries a mandatory justification and fails the run when it no longer
+//! suppresses anything ([`allowlist`]). Run `cargo run -p abr-lint` from
+//! the workspace root; CI runs it on every push.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use allowlist::Allowlist;
+use lexer::CleanFile;
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by any allowlist entry, sorted by
+    /// `(path, line, col, rule)`.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by the allowlist (kept for auditing).
+    pub suppressed: Vec<Violation>,
+    /// Allowlist entries (by `lint.toml` position) that suppressed
+    /// nothing: stale exemptions that must be deleted.
+    pub stale: Vec<usize>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean: no unallowlisted violations and
+    /// no stale allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Lints one in-memory source file under its workspace-relative `path`,
+/// splitting hits into (violations, suppressed) against `allow` and
+/// recording which entries fired into `used` (indexed like
+/// `allow.entries`).
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    allow: &Allowlist,
+    used: &mut [bool],
+    report: &mut LintReport,
+) {
+    let lines = lexer::clean_source(src);
+    let in_test = lexer::mark_test_regions(&lines);
+    let file = CleanFile { lines, in_test };
+    let mut hits = Vec::new();
+    rules::scan_file(path, &file, &mut hits);
+    for v in hits {
+        let line_text = &file.lines[v.line - 1];
+        match allow.matches(&v, line_text) {
+            Some(idx) => {
+                used[idx] = true;
+                report.suppressed.push(v);
+            }
+            None => report.violations.push(v),
+        }
+    }
+    report.files_scanned += 1;
+}
+
+/// The source files the determinism contract governs: `src/` trees of the
+/// workspace root and of every crate under `crates/` — not `vendor/`
+/// (offline stand-ins for external crates), and not `tests/`, `benches/`
+/// or `examples/` (test code may use order-free collections for
+/// assertions; `#[cfg(test)]` modules inside `src/` are skipped by the
+/// lexer for the same reason).
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                roots.push(p.join("src"));
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            collect_rs(&r, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` against `allow`.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut used = vec![false; allow.entries.len()];
+    for file in workspace_sources(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .expect("file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        lint_source(&rel, &src, allow, &mut used, &mut report);
+    }
+    report.stale = used
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &u)| (!u).then_some(i))
+        .collect();
+    let key = |v: &Violation| (v.path.clone(), v.line, v.col, v.rule);
+    report.violations.sort_by_key(key);
+    report.suppressed.sort_by_key(key);
+    Ok(report)
+}
+
+/// Loads `lint.toml` from the workspace root (an absent file is an empty
+/// allowlist).
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("lint.toml");
+    if !path.exists() {
+        return Ok(Allowlist::default());
+    }
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Allowlist::parse(&src).map_err(|e| e.to_string())
+}

@@ -1,0 +1,112 @@
+//! `abr-lint` CLI: lints the workspace against the determinism contract.
+//!
+//! ```text
+//! cargo run -p abr-lint              # lint the workspace (exit 1 on dirt)
+//! cargo run -p abr-lint -- --list-rules
+//! cargo run -p abr-lint -- --root /path/to/workspace
+//! cargo run -p abr-lint -- --verbose # also print suppressed sites
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use abr_lint::rules::{rule_by_id, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {:<18} {}", r.id, r.name, r.rationale);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--verbose" => verbose = true,
+            other => {
+                eprintln!("unknown argument `{other}` (try --list-rules)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // `cargo run -p abr-lint` runs from the workspace root; fall back to
+    // walking up from the current directory to the first `lint.toml`.
+    let root = root.unwrap_or_else(find_root);
+
+    let allow = match abr_lint::load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match abr_lint::lint_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        let rule = rule_by_id(v.rule).expect("violation cites known rule");
+        println!(
+            "{} {}:{}:{} `{}` — {}",
+            v.rule, v.path, v.line, v.col, v.excerpt, rule.rationale
+        );
+    }
+    if verbose {
+        for v in &report.suppressed {
+            println!(
+                "allowed {} {}:{}:{} `{}`",
+                v.rule, v.path, v.line, v.col, v.excerpt
+            );
+        }
+    }
+    for &idx in &report.stale {
+        let e = &allow.entries[idx];
+        println!(
+            "stale lint.toml:{} — entry for {} on {} suppresses nothing; delete it",
+            e.defined_at, e.rule, e.path
+        );
+    }
+    println!(
+        "abr-lint: {} files, {} violation(s), {} allowlisted, {} stale allowlist entr(ies)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.stale.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the nearest `lint.toml` (or the
+/// nearest `Cargo.toml` if no allowlist exists yet).
+fn find_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("current dir");
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("lint.toml").exists() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// ABR-L003 fixture: external randomness.
+// Scanned under `crates/core/src/fixture.rs` (violations) and under the
+// rule's home module `crates/event/src/rng.rs` (exempt).
+use abr_event::rng::SplitMix64; // fine: the owned PRNG
+
+fn bad_seed() -> u64 {
+    let mut r = rand::thread_rng(); // VIOLATION (rand::, thread_rng)
+    r.gen()
+}
+
+fn also_bad() {
+    let _ = StdRng::from_entropy(); // VIOLATION (StdRng, from_entropy)
+}

@@ -1,0 +1,15 @@
+// ABR-L004 fixture: float accumulation in the time/byte core.
+// Scanned under `crates/net/src/link.rs` (in scope) and under
+// `crates/core/src/fixture.rs` (out of scope: policy math may be float).
+fn drift(spans: &[u64]) -> f64 {
+    // the f64 return type above is a VIOLATION (col 28)
+    let mut total: f64 = 0.0; // VIOLATION (col 20)
+    for s in spans {
+        total += *s as f64; // VIOLATION (col 24)
+    }
+    total
+}
+
+fn integer_time(spans: &[u64]) -> u64 {
+    spans.iter().sum() // fine
+}

@@ -1,0 +1,24 @@
+// ABR-L001 fixture: hashed collections in simulation code.
+// Scanned under the virtual path `crates/net/src/fixture.rs`.
+use std::collections::HashMap; // VIOLATION (col 23)
+use std::collections::BTreeMap; // fine
+
+struct S {
+    by_id: HashMap<u64, u64>, // VIOLATION (col 12)
+    ordered: BTreeMap<u64, u64>,
+}
+
+// In a string or comment, the token is prose, not code: HashSet.
+fn strings_are_blanked() -> &'static str {
+    "HashSet::new() lives in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use order-free collections for assertions.
+    use std::collections::HashSet; // allowed: inside #[cfg(test)]
+
+    fn set() -> HashSet<u64> {
+        HashSet::new()
+    }
+}

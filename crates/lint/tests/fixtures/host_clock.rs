@@ -1,0 +1,14 @@
+// ABR-L002 fixture: host clocks in simulation code.
+// Scanned under the virtual path `crates/player/src/fixture.rs`, and a
+// second time under `crates/obs/src/tracer.rs` with the allowlist, where
+// the `std::time` sites are the designated host-timing module.
+use abr_event::time::Instant; // fine: the virtual clock
+
+fn stamp() -> u64 {
+    let t0 = std::time::Instant::now(); // VIOLATION (std::time, Instant::now)
+    t0.elapsed().as_nanos() as u64
+}
+
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now() // VIOLATION (std::time, SystemTime)
+}

@@ -1,0 +1,17 @@
+// ABR-L006 fixture: `as` integer casts in the time core.
+// Scanned under `crates/event/src/time.rs` (the rule's only scope).
+fn narrow(x: u128) -> u64 {
+    x as u64 // VIOLATION (col 7)
+}
+
+fn widen(x: u64) -> u128 {
+    x as u128 // fine: widening, cannot truncate
+}
+
+fn checked(x: u128) -> u64 {
+    u64::try_from(x).expect("overflow") // fine: checked conversion
+}
+
+fn rounding_boundary(secs: f64) -> u64 {
+    (secs * 1_000_000.0).round() as u64 // VIOLATION; allowlisted in allow.toml
+}

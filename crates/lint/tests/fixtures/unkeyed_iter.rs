@@ -1,0 +1,15 @@
+// ABR-L005 fixture: values-only map iteration in event dispatch.
+// Scanned under `crates/player/src/engine.rs` (a dispatch module).
+use std::collections::BTreeMap;
+
+fn dispatch(pending: &mut BTreeMap<u64, String>) {
+    for p in pending.values() { // VIOLATION (.values())
+        drop(p);
+    }
+    for p in pending.values_mut() { // VIOLATION (.values_mut())
+        p.clear();
+    }
+    for (id, p) in pending.iter() { // fine: keyed iteration
+        let _ = (id, p);
+    }
+}

@@ -1,0 +1,188 @@
+//! Rule-by-rule fixture tests: every rule both fires (exact ids + spans)
+//! and is suppressed when the allowlist or its scope says so.
+
+use abr_lint::allowlist::Allowlist;
+use abr_lint::{lint_source, LintReport};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn fixture_allowlist() -> Allowlist {
+    Allowlist::parse(&fixture("allow.toml")).expect("fixture allow.toml parses")
+}
+
+/// Lints one fixture under a virtual workspace path with an empty
+/// allowlist, returning `(rule, line, col)` triples.
+fn spans_of(virtual_path: &str, name: &str) -> Vec<(&'static str, usize, usize)> {
+    let allow = Allowlist::default();
+    let mut report = LintReport::default();
+    lint_source(virtual_path, &fixture(name), &allow, &mut [], &mut report);
+    report.violations.sort_by_key(|v| (v.line, v.col, v.rule));
+    report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.line, v.col))
+        .collect()
+}
+
+#[test]
+fn l001_hash_collections_fires_with_exact_spans() {
+    assert_eq!(
+        spans_of("crates/net/src/fixture.rs", "hash_collections.rs"),
+        vec![("ABR-L001", 3, 23), ("ABR-L001", 7, 12)],
+        "cfg(test) HashSet and string-literal HashSet must not fire"
+    );
+}
+
+#[test]
+fn l002_host_clock_fires_with_exact_spans() {
+    assert_eq!(
+        spans_of("crates/player/src/fixture.rs", "host_clock.rs"),
+        vec![
+            ("ABR-L002", 8, 14),  // std::time
+            ("ABR-L002", 8, 25),  // Instant::now
+            ("ABR-L002", 12, 14), // std::time
+            ("ABR-L002", 12, 25), // SystemTime
+            ("ABR-L002", 13, 5),  // std::time
+            ("ABR-L002", 13, 16), // SystemTime
+        ]
+    );
+}
+
+#[test]
+fn l002_host_timing_module_is_allowlisted() {
+    // The same source under the obs host-timing module path, with the
+    // allowlist: every site suppressed, nothing stale about that entry.
+    let allow = fixture_allowlist();
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    lint_source(
+        "crates/obs/src/tracer.rs",
+        &fixture("host_clock.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 6);
+    assert!(used[0], "the tracer.rs entry must be marked used");
+}
+
+#[test]
+fn l003_external_rng_fires_and_home_module_is_exempt() {
+    assert_eq!(
+        spans_of("crates/core/src/fixture.rs", "external_rng.rs"),
+        vec![
+            ("ABR-L003", 7, 17),  // rand::
+            ("ABR-L003", 7, 23),  // thread_rng
+            ("ABR-L003", 12, 13), // StdRng
+            ("ABR-L003", 12, 21), // from_entropy
+        ]
+    );
+    // The identical tokens inside the rule's home module are exempt.
+    assert_eq!(
+        spans_of("crates/event/src/rng.rs", "external_rng.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn l004_float_time_fires_in_core_and_not_in_policy_code() {
+    assert_eq!(
+        spans_of("crates/net/src/link.rs", "float_time.rs"),
+        vec![
+            ("ABR-L004", 4, 28),
+            ("ABR-L004", 6, 20),
+            ("ABR-L004", 8, 24),
+        ]
+    );
+    // Policy math is float by the paper's definition: out of scope.
+    assert_eq!(
+        spans_of("crates/core/src/fixture.rs", "float_time.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn l005_unkeyed_iteration_fires_in_dispatch_modules_only() {
+    assert_eq!(
+        spans_of("crates/player/src/engine.rs", "unkeyed_iter.rs"),
+        vec![("ABR-L005", 6, 21), ("ABR-L005", 9, 21)],
+        "keyed .iter() must not fire"
+    );
+    assert_eq!(
+        spans_of("crates/media/src/combo.rs", "unkeyed_iter.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn l006_truncating_cast_fires_in_time_core_only() {
+    assert_eq!(
+        spans_of("crates/event/src/time.rs", "truncating_cast.rs"),
+        vec![("ABR-L006", 4, 7), ("ABR-L006", 16, 34)],
+        "widening as u128 and u64::try_from must not fire"
+    );
+    // Under link.rs the cast rule is out of scope (L004 still sees the
+    // fixture's f64 parameter, which is the float rule doing its job).
+    let elsewhere = spans_of("crates/net/src/link.rs", "truncating_cast.rs");
+    assert!(
+        elsewhere.iter().all(|(rule, _, _)| *rule != "ABR-L006"),
+        "the cast rule only governs abr_event::time: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn l006_rounding_boundary_is_allowlisted_by_pattern() {
+    let allow = fixture_allowlist();
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    lint_source(
+        "crates/event/src/time.rs",
+        &fixture("truncating_cast.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    // Line 16 (`.round() as u64`) suppressed; line 4 still fires.
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(
+        (report.violations[0].line, report.violations[0].col),
+        (4, 7)
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].line, 16);
+    assert!(used[1], "the time.rs rounding entry must be marked used");
+}
+
+#[test]
+fn stale_allowlist_entries_are_detected() {
+    // Run the two fixture scans that use the allowlist; the third entry
+    // (qoe/nonexistent.rs) never matches and must surface as stale.
+    let allow = fixture_allowlist();
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    lint_source(
+        "crates/obs/src/tracer.rs",
+        &fixture("host_clock.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    lint_source(
+        "crates/event/src/time.rs",
+        &fixture("truncating_cast.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    let stale: Vec<usize> = used
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &u)| (!u).then_some(i))
+        .collect();
+    assert_eq!(stale, vec![2], "exactly the planted stale entry");
+    assert_eq!(allow.entries[2].path, "crates/qoe/src/nonexistent.rs");
+}

@@ -1,0 +1,28 @@
+//! The real workspace must lint clean against the checked-in `lint.toml`,
+//! with no stale allowlist entries. This is the same check CI runs via
+//! `cargo run -p abr-lint`, kept as a test so `cargo test` alone catches
+//! determinism-contract regressions.
+
+use std::path::Path;
+
+use abr_lint::{lint_workspace, load_allowlist};
+
+#[test]
+fn workspace_lints_clean_with_checked_in_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = load_allowlist(&root).expect("lint.toml parses");
+    assert!(!allow.entries.is_empty(), "root lint.toml should exist");
+    let report = lint_workspace(&root, &allow).expect("workspace scan");
+    assert!(
+        report.violations.is_empty(),
+        "unallowlisted determinism violations:\n{:#?}",
+        report.violations
+    );
+    assert!(
+        report.stale.is_empty(),
+        "stale lint.toml entries (indices): {:?}",
+        report.stale
+    );
+    assert!(report.files_scanned > 50, "scan saw the whole workspace");
+    assert!(report.is_clean());
+}

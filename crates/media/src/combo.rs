@@ -187,7 +187,10 @@ mod tests {
     use super::*;
 
     fn names(combos: &[Combo]) -> Vec<String> {
-        combos.iter().map(|c| c.to_string()).collect()
+        combos
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect()
     }
 
     #[test]

@@ -259,12 +259,7 @@ mod tests {
         let c = Content::drama_show(3);
         let lo = c.track_bytes(TrackId::video(0));
         let hi = c.track_bytes(TrackId::video(5));
-        assert!(
-            hi.get() > 20 * lo.get(),
-            "V6 total {} vs V1 total {}",
-            hi,
-            lo
-        );
+        assert!(hi.get() > 20 * lo.get(), "V6 total {hi} vs V1 total {lo}");
     }
 
     #[test]

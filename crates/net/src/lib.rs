@@ -20,7 +20,7 @@
 //!   in integer microseconds.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod corpus;
 pub mod link;

@@ -185,6 +185,7 @@ impl Link {
         self.obs.count("link.flows_opened", 1);
         self.obs
             .gauge("link.pending_flows", self.flows.len() as f64);
+        self.debug_check();
         id
     }
 
@@ -213,7 +214,51 @@ impl Link {
         self.obs.count("link.flows_cancelled", 1);
         self.obs
             .gauge("link.pending_flows", self.flows.len() as f64);
+        self.debug_check();
         true
+    }
+
+    /// Structural invariants of the finish-key solver, checked after every
+    /// mutation when built with `debug-invariants` (DESIGN.md §12): both
+    /// sorted indices strictly ascend, they agree with each other and with
+    /// the flow table, and no finish key has drained past zero remaining.
+    fn debug_check(&self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            debug_assert!(
+                self.active.windows(2).all(|w| w[0] < w[1]),
+                "active ids must strictly ascend"
+            );
+            debug_assert!(
+                self.by_finish.windows(2).all(|w| w[0] < w[1]),
+                "by_finish must strictly ascend in (key, id)"
+            );
+            debug_assert_eq!(
+                self.by_finish.len(),
+                self.active.len(),
+                "both active indices must cover the same flows"
+            );
+            debug_assert!(
+                self.waiting.windows(2).all(|w| w[0] < w[1]),
+                "waiting must strictly ascend in (activate_at, id)"
+            );
+            debug_assert_eq!(
+                self.flows.len(),
+                self.active.len() + self.waiting.len(),
+                "every flow is exactly one of active or waiting"
+            );
+            for &(key, id) in &self.by_finish {
+                debug_assert!(
+                    self.active.binary_search(&id).is_ok(),
+                    "finish-keyed flow {id:?} missing from active"
+                );
+                debug_assert!(
+                    key >= self.drained,
+                    "flow {id:?} finish key {key} drained past empty ({})",
+                    self.drained
+                );
+            }
+        }
     }
 
     /// Removes an active flow from both sorted indices.
@@ -338,6 +383,8 @@ impl Link {
     /// rate lookups ride the monotone trace cursor.
     pub fn advance_to(&mut self, t: Instant) -> Vec<Completion> {
         assert!(t >= self.now, "advance into the past: {t} < {}", self.now);
+        #[cfg(feature = "debug-invariants")]
+        let drained_at_entry = self.drained;
         let mut done = Vec::new();
         while self.now < t {
             let now = self.now;
@@ -398,6 +445,22 @@ impl Link {
             if share > 0 && n > 0 && boundary > now {
                 let span = (boundary - now).as_micros() as u128;
                 let delivered = share as u128 * span;
+                // Share conservation: the per-flow shares never hand out
+                // more than the schedule's rate, and the undistributed
+                // remainder of the integer division stays below one share
+                // per flow.
+                #[cfg(feature = "debug-invariants")]
+                {
+                    debug_assert!(
+                        share as u128 * n as u128 <= rate as u128,
+                        "shares exceed link rate: {share} x {n} > {rate}"
+                    );
+                    let remainder = rate - share * (n as u64);
+                    debug_assert!(
+                        remainder < n as u64,
+                        "share remainder {remainder} not < flow count {n}"
+                    );
+                }
                 let share_rate = BitsPerSec(share);
                 let mut i = 0;
                 while i < self.active.len() {
@@ -454,6 +517,15 @@ impl Link {
             }
             self.now = boundary;
         }
+        // The global drain counter is monotone: advancing time can only
+        // add delivered work, never retract it.
+        #[cfg(feature = "debug-invariants")]
+        debug_assert!(
+            self.drained >= drained_at_entry,
+            "drain counter regressed: {} < {drained_at_entry}",
+            self.drained
+        );
+        self.debug_check();
         done.sort_by_key(|c| (c.at, c.id));
         done
     }

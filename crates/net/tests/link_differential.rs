@@ -146,7 +146,7 @@ mod legacy {
                 let b = boundary?;
                 if active > 0 && share.bps() > 0 {
                     let d = share.bps() as u128 * (b - t).as_micros() as u128;
-                    for (r, a) in flows.iter_mut() {
+                    for (r, a) in &mut flows {
                         if *r > 0 && *a <= t {
                             *r = r.saturating_sub(d);
                         }

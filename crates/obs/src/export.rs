@@ -377,7 +377,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                     opened_at.as_micros(),
                     serde_json::json!({
                         "size_bytes": size,
-                        "estimate_after_kbps": estimate_after.map(|e| e.kbps()),
+                        "estimate_after_kbps": estimate_after.map(abr_media::BitsPerSec::kbps),
                     }),
                 );
                 if let Value::Object(map) = &mut rec {
@@ -386,10 +386,10 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 records.push(rec);
             }
             Event::StallBegin => {
-                records.push(chrome_record("B", "stall", TID_PLAYBACK, ts, Value::Null))
+                records.push(chrome_record("B", "stall", TID_PLAYBACK, ts, Value::Null));
             }
             Event::StallEnd => {
-                records.push(chrome_record("E", "stall", TID_PLAYBACK, ts, Value::Null))
+                records.push(chrome_record("E", "stall", TID_PLAYBACK, ts, Value::Null));
             }
             Event::SeekStarted { from, to } => records.push(chrome_record(
                 "B",
@@ -399,7 +399,7 @@ pub fn to_chrome_trace(events: &[TracedEvent]) -> String {
                 serde_json::json!({ "from_s": from.as_secs_f64(), "to_s": to.as_secs_f64() }),
             )),
             Event::SeekResumed => {
-                records.push(chrome_record("E", "seek", TID_PLAYBACK, ts, Value::Null))
+                records.push(chrome_record("E", "seek", TID_PLAYBACK, ts, Value::Null));
             }
             Event::BufferStateChange { audio, video } => records.push(chrome_record(
                 "C",

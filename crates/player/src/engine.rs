@@ -166,6 +166,7 @@ impl Engine {
         }
         self.schedule_fetches();
         self.sample();
+        self.debug_check_flights();
     }
 
     /// Re-arms the four wake classes against current state. Each class's
@@ -283,6 +284,35 @@ impl Engine {
         }
         self.schedule_fetches();
         self.sample();
+        self.debug_check_flights();
+    }
+
+    /// Flow/meter agreement between the [`FlightBoard`] and the link,
+    /// checked after every step when built with `debug-invariants`
+    /// (DESIGN.md §12): the pending map and the link's flow table track
+    /// exactly the same transfers, and the bandwidth-meter edge never
+    /// outruns session time.
+    fn debug_check_flights(&self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            debug_assert_eq!(
+                self.flights.pending.len(),
+                self.link.pending_count(),
+                "flight board and link disagree on in-flight transfers"
+            );
+            for id in self.flights.pending.keys() {
+                debug_assert!(
+                    self.link.flow_profile(*id).is_some(),
+                    "pending flow {id:?} unknown to the link"
+                );
+            }
+            debug_assert!(
+                self.flights.meter_last <= self.now,
+                "meter edge {} ahead of session time {}",
+                self.flights.meter_last,
+                self.now
+            );
+        }
     }
 
     /// Applies every due seek: flush buffers, drop in-flight chunk

@@ -131,7 +131,10 @@ pub fn summarize_for_content(
         .map(|p| (p[1] - p[0]).abs())
         .sum::<f64>()
         / per_chunk_mbps.len().max(1) as f64;
-    let startup = log.startup_at.map(|t| t.as_secs_f64()).unwrap_or(wall);
+    let startup = log
+        .startup_at
+        .map(abr_event::Instant::as_secs_f64)
+        .unwrap_or(wall);
     let score = quality
         - w.switch_penalty * switching
         - w.stall_penalty * total_stall.as_secs_f64() / (log.num_chunks as f64).max(1.0)
@@ -148,10 +151,10 @@ pub fn summarize_for_content(
         rebuffer_ratio: total_stall.as_secs_f64() / wall,
         mean_video_kbps: log
             .mean_selected_avg_bitrate(MediaType::Video)
-            .map_or(0, |b| b.kbps()),
+            .map_or(0, abr_media::BitsPerSec::kbps),
         mean_audio_kbps: log
             .mean_selected_avg_bitrate(MediaType::Audio)
-            .map_or(0, |b| b.kbps()),
+            .map_or(0, abr_media::BitsPerSec::kbps),
         video_switches: if video.len() >= 2 {
             log.switch_count(MediaType::Video)
         } else {

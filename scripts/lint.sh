@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Preflight for the determinism contract: exactly what the CI lint job
+# runs, bundled so a contributor can check a change before pushing.
+#
+#  1. abr-lint      — the workspace determinism linter (DESIGN.md §12);
+#  2. cargo fmt     — formatting, check-only;
+#  3. cargo clippy  — the workspace lint set, warnings denied;
+#  4. cargo test    — the full suite with `debug-invariants` on, so the
+#                     runtime invariant checks in Link/EventQueue/
+#                     FlightBoard run under every golden and differential
+#                     test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== abr-lint (determinism contract) =="
+cargo run -q -p abr-lint
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (debug-invariants) =="
+cargo test --workspace -q --features abr-unmuxed/debug-invariants
+
+echo "lint.sh: all clean"

@@ -53,7 +53,10 @@ fn table2_via_hls_roundtrip() {
 fn table3_curated_subset_values() {
     let content = Content::drama_show(1);
     let combos = curated_subset(content.video(), content.audio());
-    let names: Vec<String> = combos.iter().map(|c| c.to_string()).collect();
+    let names: Vec<String> = combos
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     assert_eq!(
         names,
         vec!["V1+A1", "V2+A1", "V3+A2", "V4+A2", "V5+A3", "V6+A3"]
@@ -111,7 +114,7 @@ fn abr_bench_check(id: &str) -> String {
             .join("\n"),
         _ => curated_subset(content.video(), content.audio())
             .iter()
-            .map(|c| c.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n"),
     }

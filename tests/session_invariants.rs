@@ -35,7 +35,7 @@ fn any_policy(which: u8, content: &Content) -> Box<dyn AbrPolicy> {
 }
 
 fn check_invariants(log: &SessionLog, content: &Content) {
-    check_invariants_modal(log, content, false)
+    check_invariants_modal(log, content, false);
 }
 
 fn check_invariants_modal(log: &SessionLog, content: &Content, muxed: bool) {
