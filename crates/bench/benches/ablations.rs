@@ -10,10 +10,12 @@
 //! * `sync_mode/*` — a full best-practice session with chunk-level vs
 //!   independent prefetching (the BP2 ablation).
 //! * `obs_overhead/*` — a full session with no observability handle vs a
-//!   `NullTracer` handle threaded through every instrumented site. The
-//!   disabled path must cost within noise of the uninstrumented one
-//!   (<2%): `emit` closures are never evaluated when the tracer reports
-//!   itself disabled.
+//!   `NullTracer` handle threaded through every instrumented site, vs a
+//!   live span profiler. The disabled path must cost within noise of the
+//!   uninstrumented one (<2%): `emit` closures are never evaluated and
+//!   `span()` is one branch when no profiler is attached. The
+//!   `span_profiler` case pins what turning profiling *on* costs — it is
+//!   allowed to be visible, because `--profile` is opt-in.
 
 use abr_bench::setup::{drama, hls_sub_view, player_config, PlayerKind};
 use abr_core::bestpractice::BestPracticePolicy;
@@ -26,7 +28,7 @@ use abr_media::units::{BitsPerSec, Bytes};
 use abr_net::link::Link;
 use abr_net::profile::{DeliveryProfile, Segment};
 use abr_net::trace::Trace;
-use abr_obs::{NullTracer, ObsHandle};
+use abr_obs::{NullTracer, ObsHandle, Profiler};
 use abr_player::config::SyncMode;
 use abr_player::policy::TransferRecord;
 use abr_player::Session;
@@ -186,6 +188,15 @@ fn obs_overhead(c: &mut Criterion) {
             black_box(session(Some(
                 ObsHandle::disabled().with_tracer(Rc::new(NullTracer)),
             )))
+        });
+    });
+    group.bench_function("span_profiler", |b| {
+        b.iter(|| {
+            let profiler = Rc::new(Profiler::new());
+            let log = session(Some(
+                ObsHandle::disabled().with_profiler(Rc::clone(&profiler)),
+            ));
+            black_box((log, profiler.report()))
         });
     });
     group.finish();

@@ -12,6 +12,13 @@
 //! exp --id f4b --trace out.jsonl    write the event trace as JSONL
 //! exp --id f4b --chrome out.json    write a Chrome trace_event document
 //! exp --id f4b --metrics            print the metrics registry summary
+//!
+//! Self-profiling (--id or mc; DESIGN.md §13):
+//! exp --id bp1 --profile            print the span self/total-time table
+//! exp mc --profile --profile-json p.json
+//!                                   ... and write the JSON profile artifact
+//!     Profiling measures host time only; the table goes to stderr and
+//!     stdout stays byte-identical with or without it (CI diffs this).
 //! exp --id bp1 --trace bp1.trace.jsonl --jobs 4
 //!     sweeps write one file per session: bp1.0.trace.jsonl, bp1.1... —
 //!     identical at every --jobs value (runner determinism contract)
@@ -22,7 +29,10 @@
 //! Output is byte-identical regardless of the worker count; the
 //! `parallel_determinism` integration suite holds that contract.
 
-use abr_bench::experiments::{all_ids, run_jobs, traced_sessions, ExperimentResult};
+use abr_bench::experiments::{
+    all_ids, profiled_sessions, run_jobs, traced_sessions, ExperimentResult,
+};
+use abr_bench::profiling::WorkloadProfile;
 use abr_bench::report::table;
 use abr_bench::runner;
 use std::io::Write as _;
@@ -39,6 +49,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut metrics = false;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
     let mut jobs = runner::jobs_from_env();
     let mut i = 0;
     while i < args.len() {
@@ -78,6 +90,15 @@ fn main() {
                 );
             }
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
+            "--profile-json" => {
+                i += 1;
+                profile_json = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--profile-json needs a value"))
+                        .clone(),
+                );
+            }
             "--jobs" => {
                 i += 1;
                 jobs = args
@@ -103,6 +124,10 @@ fn main() {
     let wants_obs = trace_path.is_some() || chrome_path.is_some() || metrics;
     if wants_obs && (run_all || id.is_none()) {
         usage("--trace/--chrome/--metrics need a single experiment (--id)");
+    }
+    let wants_profile = profile || profile_json.is_some();
+    if wants_profile && (run_all || id.is_none()) {
+        usage("--profile/--profile-json need a single experiment (--id) or the mc subcommand");
     }
 
     let ids: Vec<&str> = if run_all {
@@ -144,14 +169,32 @@ fn main() {
             .expect("write json");
             println!("[json written to {path}]\n");
         }
-        if wants_obs {
-            let Some(outcomes) = traced_sessions(id, jobs) else {
+        if wants_obs || wants_profile {
+            // Profiled runs reuse the profiled outcomes for --trace/
+            // --chrome/--metrics too: the artifacts are byte-identical
+            // (profile_determinism suite), so the sessions run once.
+            let (outcomes, workload) = if wants_profile {
+                match profiled_sessions(id, jobs) {
+                    Some((outcomes, workload)) => (Some(outcomes), Some(workload)),
+                    None => (None, None),
+                }
+            } else {
+                (traced_sessions(id, jobs), None)
+            };
+            let Some(outcomes) = outcomes else {
                 eprintln!(
                     "experiment `{id}` is a pure table or shares state across \
-                     sessions; nothing to trace"
+                     sessions; nothing to trace or profile"
                 );
                 std::process::exit(2);
             };
+            if let Some(workload) = &workload {
+                emit_profile(
+                    workload,
+                    profile || profile_json.is_none(),
+                    profile_json.as_deref(),
+                );
+            }
             let multi = outcomes.len() > 1;
             for (n, outcome) in outcomes.iter().enumerate() {
                 if let Some(path) = &trace_path {
@@ -197,9 +240,20 @@ fn run_mc_cli(args: &[String]) {
     let mut seeds: u64 = 25;
     let mut jobs = runner::jobs_from_env();
     let mut json_path: Option<String> = None;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => profile = true,
+            "--profile-json" => {
+                i += 1;
+                profile_json = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--profile-json needs a value"))
+                        .clone(),
+                );
+            }
             "--seeds" => {
                 i += 1;
                 seeds = args
@@ -232,9 +286,22 @@ fn run_mc_cli(args: &[String]) {
         }
         i += 1;
     }
-    let result = abr_bench::mc::run_mc(seeds, jobs);
+    let wants_profile = profile || profile_json.is_some();
+    let (result, workload) = if wants_profile {
+        let (result, workload) = abr_bench::mc::run_mc_profiled(seeds, jobs);
+        (result, Some(workload))
+    } else {
+        (abr_bench::mc::run_mc(seeds, jobs), None)
+    };
     println!("=== mc — Monte Carlo fleet sweep ===");
     println!("{}", result.text);
+    if let Some(workload) = &workload {
+        emit_profile(
+            workload,
+            profile || profile_json.is_none(),
+            profile_json.as_deref(),
+        );
+    }
     if let Some(path) = json_path {
         let mut f = std::fs::File::create(&path).expect("create mc json file");
         f.write_all(
@@ -244,6 +311,27 @@ fn run_mc_cli(args: &[String]) {
         )
         .expect("write mc json");
         println!("[json written to {path}]");
+    }
+}
+
+/// Prints the profile table and/or writes the JSON profile artifact.
+///
+/// Both go to stderr/file, never stdout: stdout carries the experiment
+/// artifact, which must stay byte-identical with and without `--profile`
+/// (the CI profile matrix diffs it).
+fn emit_profile(workload: &WorkloadProfile, print_table: bool, json_path: Option<&str>) {
+    if print_table {
+        eprintln!("{}", workload.text());
+    }
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(path).expect("create profile json file");
+        f.write_all(
+            serde_json::to_string_pretty(&workload.json())
+                .expect("serialize")
+                .as_bytes(),
+        )
+        .expect("write profile json");
+        eprintln!("[profile json written to {path}]");
     }
 }
 
@@ -279,8 +367,10 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: exp (--list | --id <experiment> | --all) [--json <dir>] [--jobs <n>]\n\
-         \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]  (with --id)\n\
-         \x20  exp mc [--seeds <n>] [--jobs <n>] [--json <file>]   Monte Carlo fleet sweep"
+         \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]\n\
+         \x20      [--profile] [--profile-json <file>]             (with --id)\n\
+         \x20  exp mc [--seeds <n>] [--jobs <n>] [--json <file>]\n\
+         \x20      [--profile] [--profile-json <file>]   Monte Carlo fleet sweep"
     );
     std::process::exit(2);
 }

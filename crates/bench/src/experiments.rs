@@ -83,7 +83,11 @@ pub fn run_jobs(id: &str, jobs: usize) -> Option<ExperimentResult> {
 /// named by `(id, arm)` under a deterministic recording `ObsHandle`.
 /// Everything is rebuilt inside the call (content, views, policy), so
 /// the function is a pure closure body for a [`SessionSpec`] job.
-fn observed_session(id: &str, arm: usize) -> SessionOutcome {
+fn observed_session(
+    id: &str,
+    arm: usize,
+    profiler: Option<&std::rc::Rc<abr_obs::Profiler>>,
+) -> SessionOutcome {
     SessionOutcome::from_obs(match (id, arm) {
         ("f2a", _) | ("f2b", _) => {
             let content = if id == "f2b" {
@@ -93,33 +97,36 @@ fn observed_session(id: &str, arm: usize) -> SessionOutcome {
             };
             let view = dash_view(&content);
             let policy = ExoPlayerPolicy::dash(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::ExoPlayer,
                 Box::new(policy),
                 Trace::constant(BitsPerSec::from_kbps(900)),
+                profiler,
             )
         }
         ("f3a", _) | ("f3b", _) => {
             let content = drama();
             let view = hls_sub_view(&content, &[2, 0, 1]);
             let policy = ExoPlayerPolicy::hls(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::ExoPlayer,
                 Box::new(policy),
                 Trace::fig3_varying_600k(Duration::from_secs(3600)),
+                profiler,
             )
         }
         ("f3x", _) => {
             let content = drama();
             let view = hls_sub_view(&content, &[0, 1, 2]);
             let policy = ExoPlayerPolicy::hls(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::ExoPlayer,
                 Box::new(policy),
                 Trace::constant(BitsPerSec::from_kbps(5000)),
+                profiler,
             )
         }
         ("f3fix", arm) => {
@@ -153,52 +160,55 @@ fn observed_session(id: &str, arm: usize) -> SessionOutcome {
                     Box::new(BestPracticePolicy::from_hls(&stock_view)),
                 ),
             };
-            run_session_obs(&content, kind, policy, trace)
+            run_session_obs_profiled(&content, kind, policy, trace, profiler)
         }
         ("f4a", _) => {
             let content = drama();
             let view = hls_all_view(&content);
             let policy = ShakaPolicy::hls(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::Shaka,
                 Box::new(policy),
                 Trace::constant(BitsPerSec::from_kbps(1000)),
+                profiler,
             )
         }
         ("f4b", _) => {
             let content = drama();
             let view = hls_all_view(&content);
             let policy = ShakaPolicy::hls(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::Shaka,
                 Box::new(policy),
                 Trace::fig4b_varying_600k(Duration::from_secs(3600)),
+                profiler,
             )
         }
         ("f5a", _) | ("f5b", _) => {
             let content = drama();
             let view = dash_view(&content);
             let policy = DashJsPolicy::new(&view);
-            run_session_obs(
+            run_session_obs_profiled(
                 &content,
                 PlayerKind::DashJs,
                 Box::new(policy),
                 Trace::constant(BitsPerSec::from_kbps(700)),
+                profiler,
             )
         }
         ("bp1", arm) => {
             let (_, trace, kind) = bp1_grid().swap_remove(arm);
             let content = drama();
             let policy = dash_policy(kind, &content);
-            run_session_obs(&content, kind, policy, trace)
+            run_session_obs_profiled(&content, kind, policy, trace, profiler)
         }
         ("bp5", arm) => {
             let (_, trace, kind) = bp5_grid().swap_remove(arm);
             let content = drama();
             let policy = dash_policy(kind, &content);
-            run_session_obs(&content, kind, policy, trace)
+            run_session_obs_profiled(&content, kind, policy, trace, profiler)
         }
         _ => unreachable!("observed_session called with untraceable id {id}"),
     })
@@ -213,11 +223,11 @@ fn observed_session(id: &str, arm: usize) -> SessionOutcome {
 /// cannot be observed independently.
 pub fn session_specs(id: &str) -> Option<Vec<SessionSpec>> {
     fn single(id: &'static str, label: &str) -> Vec<SessionSpec> {
-        vec![SessionSpec::new(
+        vec![SessionSpec::new_profiled(
             format!("{id}/{label}"),
             SEED,
             0,
-            move |_rng| observed_session(id, 0),
+            move |_rng, prof| observed_session(id, 0, prof),
         )]
     }
     Some(match id {
@@ -234,20 +244,23 @@ pub fn session_specs(id: &str) -> Option<Vec<SessionSpec>> {
             .iter()
             .enumerate()
             .map(|(arm, name)| {
-                SessionSpec::new(format!("f3fix/{name}"), SEED, arm as u64, move |_rng| {
-                    observed_session("f3fix", arm)
-                })
+                SessionSpec::new_profiled(
+                    format!("f3fix/{name}"),
+                    SEED,
+                    arm as u64,
+                    move |_rng, prof| observed_session("f3fix", arm, prof),
+                )
             })
             .collect(),
         "bp1" => bp1_grid()
             .into_iter()
             .enumerate()
             .map(|(arm, (tname, _, kind))| {
-                SessionSpec::new(
+                SessionSpec::new_profiled(
                     format!("bp1/{tname}/{kind:?}"),
                     SEED,
                     arm as u64,
-                    move |_rng| observed_session("bp1", arm),
+                    move |_rng, prof| observed_session("bp1", arm, prof),
                 )
             })
             .collect(),
@@ -255,11 +268,11 @@ pub fn session_specs(id: &str) -> Option<Vec<SessionSpec>> {
             .into_iter()
             .enumerate()
             .map(|(arm, (tname, _, kind))| {
-                SessionSpec::new(
+                SessionSpec::new_profiled(
                     format!("bp5/{tname}/{kind:?}"),
                     SEED,
                     arm as u64,
-                    move |_rng| observed_session("bp5", arm),
+                    move |_rng, prof| observed_session("bp5", arm, prof),
                 )
             })
             .collect(),
@@ -273,6 +286,24 @@ pub fn session_specs(id: &str) -> Option<Vec<SessionSpec>> {
 pub fn traced_sessions(id: &str, jobs: usize) -> Option<Vec<SessionOutcome>> {
     let specs = session_specs(id)?;
     Some(runner::run_specs(&specs, jobs))
+}
+
+/// [`traced_sessions`] with span profiling (`exp --id <id> --profile`):
+/// every session runs with a private profiler wired into its `ObsHandle`,
+/// and the pool reports the merged span tree plus its own phase/worker
+/// accounting. Outcomes are byte-identical to [`traced_sessions`].
+pub fn profiled_sessions(
+    id: &str,
+    jobs: usize,
+) -> Option<(Vec<SessionOutcome>, crate::profiling::WorkloadProfile)> {
+    let setup = abr_obs::HostStopwatch::start();
+    let specs = session_specs(id)?;
+    let setup_ns = setup.elapsed_ns();
+    let (outcomes, pool) = runner::run_specs_profiled(&specs, jobs);
+    Some((
+        outcomes,
+        crate::profiling::WorkloadProfile::from_pool(id, setup_ns, pool),
+    ))
 }
 
 /// Re-runs the single canonical session underlying an experiment with a

@@ -1,0 +1,319 @@
+//! Append-only bench history and the regression gate behind
+//! `scripts/bench_check`.
+//!
+//! `BENCH_sim.json` and `BENCH_runner.json` hold an `entries` list in
+//! recording order (format [`FORMAT`]). Each entry is one measurement
+//! session: its `host_cores`, optional `criterion_medians_us` map, and
+//! free-form wall-clock fields. Entries are never rewritten — a new
+//! measurement appends (`bench_check append`), so the files accumulate
+//! the performance story the ROADMAP's "10× the hot path" work needs.
+//!
+//! The gate ([`check`]) compares the **latest** entry's criterion medians
+//! against the best (minimum) median among **prior** entries recorded on
+//! a host with the same core count — cross-host numbers are not
+//! comparable, and the 1-core CI runner must not be judged against a
+//! 16-core workstation. A benchmark regresses when
+//! `current > baseline * tolerance`; tolerances are per-benchmark with a
+//! document default, because criterion medians on shared CI runners are
+//! noisy in the ±20–40% range.
+//!
+//! Parallel "speedup" fields are *recorded*, never gated: on a 1-core
+//! host they measure scheduler noise, which is why entries carry a
+//! `speedup_reliable` flag (false when `host_cores == 1`) instead of
+//! pretending 0.91× is signal.
+
+use serde_json::Value;
+
+/// Version tag every history document carries.
+pub const FORMAT: &str = "abr-bench-history-v1";
+
+/// Default tolerance multiplier when a document does not set one: the
+/// current median may be up to 50% above the recorded baseline before
+/// the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 1.5;
+
+/// One benchmark whose latest median exceeded its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Criterion benchmark id.
+    pub benchmark: String,
+    /// Best prior median on a same-core-count host (µs).
+    pub baseline_us: f64,
+    /// Latest entry's median (µs).
+    pub current_us: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// The tolerance the ratio was held against.
+    pub tolerance: f64,
+}
+
+/// The result of gating one history document.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Benchmarks compared against a baseline.
+    pub checked: usize,
+    /// Benchmarks skipped (no prior same-host entry to compare against).
+    pub skipped: usize,
+    /// Benchmarks over tolerance.
+    pub regressions: Vec<Regression>,
+    /// Human-readable observations (skips, unreliable speedups, …).
+    pub notes: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// One-line-per-fact rendering for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "REGRESSION {}: {:.2} µs vs baseline {:.2} µs ({:.2}x > {:.2}x allowed)\n",
+                r.benchmark, r.current_us, r.baseline_us, r.ratio, r.tolerance
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out.push_str(&format!(
+            "bench_check: {} checked, {} skipped, {} regression(s)\n",
+            self.checked,
+            self.skipped,
+            self.regressions.len()
+        ));
+        out
+    }
+}
+
+fn entries(doc: &Value) -> Result<&Vec<Value>, String> {
+    if doc.get("format").and_then(Value::as_str) != Some(FORMAT) {
+        return Err(format!(
+            "not a {FORMAT} document (run the conversion or re-record)"
+        ));
+    }
+    doc.get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "document has no entries array".to_string())
+}
+
+fn medians(entry: &Value) -> Vec<(&str, f64)> {
+    entry
+        .get("criterion_medians_us")
+        .and_then(Value::as_object)
+        .map(|m| {
+            m.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.as_str(), f)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn tolerance_for(doc: &Value, benchmark: &str) -> f64 {
+    let table = doc.get("tolerances");
+    table
+        .and_then(|t| t.get(benchmark))
+        .or_else(|| table.and_then(|t| t.get("default")))
+        .and_then(Value::as_f64)
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// Appends a measurement entry to a history document, validating the
+/// format tag. Entries are append-only by construction — this is the only
+/// mutation `bench_check` performs.
+pub fn append_entry(doc: &mut Value, entry: Value) -> Result<(), String> {
+    entries(doc)?; // format + shape validation
+    if !entry.is_object() {
+        return Err("entry must be a JSON object".to_string());
+    }
+    if let Value::Object(map) = doc {
+        if let Some(Value::Array(list)) = map.get_mut("entries") {
+            list.push(entry);
+            return Ok(());
+        }
+    }
+    unreachable!("entries() validated the document shape")
+}
+
+/// Gates the latest entry of a history document against its recorded
+/// past. See the module docs for the comparison rules.
+pub fn check(doc: &Value) -> Result<CheckOutcome, String> {
+    let entries = entries(doc)?;
+    let mut outcome = CheckOutcome::default();
+    let Some((latest, prior)) = entries.split_last() else {
+        outcome
+            .notes
+            .push("history is empty; nothing to gate".into());
+        return Ok(outcome);
+    };
+    let cores = latest.get("host_cores").and_then(Value::as_u64);
+    if cores.is_none() {
+        outcome
+            .notes
+            .push("latest entry records no host_cores; comparing against all prior entries".into());
+    }
+    if latest.get("speedup_reliable").and_then(Value::as_bool) == Some(false) {
+        outcome.notes.push(
+            "parallel speedup fields in the latest entry are marked unreliable (1-core host)"
+                .into(),
+        );
+    }
+    let comparable: Vec<&Value> = prior
+        .iter()
+        .filter(|e| cores.is_none() || e.get("host_cores").and_then(Value::as_u64) == cores)
+        .collect();
+    for (benchmark, current_us) in medians(latest) {
+        let baseline_us = comparable
+            .iter()
+            .flat_map(|e| medians(e))
+            .filter(|(name, _)| *name == benchmark)
+            .map(|(_, v)| v)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))));
+        let Some(baseline_us) = baseline_us else {
+            outcome.skipped += 1;
+            outcome.notes.push(format!(
+                "{benchmark}: no prior entry on a {}-core host; recorded, not gated",
+                cores.map_or_else(|| "?".to_string(), |c| c.to_string())
+            ));
+            continue;
+        };
+        outcome.checked += 1;
+        let tolerance = tolerance_for(doc, benchmark);
+        let ratio = if baseline_us > 0.0 {
+            current_us / baseline_us
+        } else {
+            1.0
+        };
+        if ratio > tolerance {
+            outcome.regressions.push(Regression {
+                benchmark: benchmark.to_string(),
+                baseline_us,
+                current_us,
+                ratio,
+                tolerance,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(entries: Vec<Value>) -> Value {
+        json!({
+            "format": FORMAT,
+            "benchmark": "test",
+            "tolerances": json!({ "default": 1.5, "tight/bench": 1.1 }),
+            "entries": entries,
+        })
+    }
+
+    fn entry(cores: u64, medians: Value) -> Value {
+        json!({ "host_cores": cores, "criterion_medians_us": medians })
+    }
+
+    #[test]
+    fn rejects_wrong_format() {
+        assert!(check(&json!({"benchmark": "old-shape"})).is_err());
+        let mut old = json!({"format": "something-else", "entries": Vec::<Value>::new()});
+        assert!(append_entry(&mut old, json!({})).is_err());
+    }
+
+    #[test]
+    fn empty_and_first_entry_pass() {
+        let outcome = check(&doc(vec![])).unwrap();
+        assert!(outcome.passed());
+        // A lone entry has no baseline: skipped, not failed.
+        let outcome = check(&doc(vec![entry(1, json!({"a/b": 100.0}))])).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.checked, 0);
+    }
+
+    #[test]
+    fn seeded_synthetic_regression_fails() {
+        // Baseline 100 µs, "current" run seeded at 2x: must fail the
+        // default 1.5x tolerance — this is the CI self-test scenario.
+        let d = doc(vec![
+            entry(1, json!({"a/b": 100.0})),
+            entry(1, json!({"a/b": 200.0})),
+        ]);
+        let outcome = check(&d).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        let r = &outcome.regressions[0];
+        assert_eq!(r.benchmark, "a/b");
+        assert_eq!(r.baseline_us, 100.0);
+        assert_eq!(r.current_us, 200.0);
+        assert!((r.ratio - 2.0).abs() < 1e-9);
+        assert!(outcome.render().contains("REGRESSION a/b"));
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_uses_best_prior() {
+        let d = doc(vec![
+            entry(1, json!({"a/b": 100.0})),
+            entry(1, json!({"a/b": 90.0})), // best prior: 90
+            entry(1, json!({"a/b": 130.0})),
+        ]);
+        let outcome = check(&d).unwrap();
+        assert!(outcome.passed(), "130/90 = 1.44 < 1.5");
+        let d = doc(vec![
+            entry(1, json!({"a/b": 100.0})),
+            entry(1, json!({"a/b": 90.0})),
+            entry(1, json!({"a/b": 140.0})),
+        ]);
+        assert!(!check(&d).unwrap().passed(), "140/90 = 1.56 > 1.5");
+    }
+
+    #[test]
+    fn per_benchmark_tolerance_overrides_default() {
+        let d = doc(vec![
+            entry(1, json!({"tight/bench": 100.0})),
+            entry(1, json!({"tight/bench": 120.0})),
+        ]);
+        let outcome = check(&d).unwrap();
+        assert!(!outcome.passed(), "1.2x > 1.1x tight tolerance");
+        assert_eq!(outcome.regressions[0].tolerance, 1.1);
+    }
+
+    #[test]
+    fn cross_core_count_entries_do_not_gate() {
+        let d = doc(vec![
+            entry(16, json!({"a/b": 10.0})),
+            entry(1, json!({"a/b": 100.0})),
+        ]);
+        let outcome = check(&d).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.skipped, 1);
+        assert!(outcome.notes.iter().any(|n| n.contains("1-core")));
+    }
+
+    #[test]
+    fn unreliable_speedup_is_noted_not_fatal() {
+        let e = json!({
+            "host_cores": 1u64,
+            "criterion_medians_us": json!({}),
+            "speedup_reliable": false,
+        });
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(outcome.passed());
+        assert!(outcome.notes.iter().any(|n| n.contains("unreliable")));
+    }
+
+    #[test]
+    fn append_grows_entries_in_order() {
+        let mut d = doc(vec![entry(1, json!({"a/b": 100.0}))]);
+        append_entry(&mut d, entry(1, json!({"a/b": 110.0}))).unwrap();
+        assert_eq!(d["entries"].as_array().unwrap().len(), 2);
+        assert!(append_entry(&mut d, json!("not an object")).is_err());
+        let outcome = check(&d).unwrap();
+        assert_eq!(outcome.checked, 1);
+        assert!(outcome.passed());
+    }
+}

@@ -14,11 +14,20 @@
 //!   worker pool that shards session specs across `min(jobs, cores)`
 //!   workers and merges results in spec order, proven bit-identical to
 //!   serial by `tests/parallel_determinism.rs`.
+//! * [`profiling`] — the self-profiling surface behind `exp --profile`:
+//!   merges per-session span trees with the pool's phase/worker
+//!   accounting into a [`profiling::WorkloadProfile`] (text table + JSON
+//!   artifact). Host-time telemetry only; never feeds artifacts.
+//! * [`history`] — the append-only bench-history format behind
+//!   `BENCH_sim.json`/`BENCH_runner.json` and the `scripts/bench_check`
+//!   regression gate over criterion medians.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod history;
 pub mod mc;
+pub mod profiling;
 pub mod report;
 pub mod runner;
 pub mod setup;

@@ -13,14 +13,18 @@
 //! `--jobs` value. Per-seed realizations derive from the experiment-wide
 //! [`SEED`] by offset, never from host state.
 
+use std::rc::Rc;
+
+use crate::profiling::WorkloadProfile;
 use crate::report::table;
 use crate::runner;
-use crate::setup::{dash_policy, drama, run_session, PlayerKind, SEED};
+use crate::setup::{dash_policy, drama, run_session_with_obs, PlayerKind, SEED};
 use abr_core::{BestPracticePolicy, CappedPolicy};
 use abr_event::time::Duration;
 use abr_media::combo::{combo_bitrate, curated_subset, Combo};
 use abr_media::content::Content;
 use abr_media::units::BitsPerSec;
+use abr_obs::{HostStopwatch, ObsHandle, Profiler};
 use abr_player::policy::AbrPolicy;
 use abr_qoe::QoeSummary;
 use serde_json::{json, Value};
@@ -148,11 +152,10 @@ pub struct McResult {
     pub sessions: usize,
 }
 
-/// Runs the fleet sweep: `seeds` realizations of (full corpus × all
-/// policies), sharded over `min(jobs, cores)` workers. Deterministic at
-/// every `jobs` value.
-pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
-    assert!(seeds > 0, "mc sweep needs at least one seed");
+/// The authored sweep grid: corpus names, policy arms, and every
+/// (realization, trace, policy) cell in the fixed seed-major order the
+/// determinism contract requires.
+fn mc_grid(seeds: u64) -> (Vec<&'static str>, Vec<McPolicy>, Vec<McCell>) {
     let corpus_names: Vec<&'static str> =
         abr_net::corpus::all(Duration::from_secs(TRACE_SECS), SEED)
             .into_iter()
@@ -171,27 +174,84 @@ pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
             }
         }
     }
+    (corpus_names, policies, grid)
+}
 
-    let summaries: Vec<QoeSummary> = runner::run_indexed(grid.len(), jobs, |i| {
-        let cell = grid[i];
-        // Each realization gets its own content cut and trace draw,
-        // derived by offset from the experiment-wide seed.
-        let seed = SEED.wrapping_add(cell.realization);
-        let content = if cell.realization == 0 {
-            drama()
-        } else {
-            Content::drama_show(seed)
-        };
-        let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), seed)
-            .swap_remove(cell.trace)
-            .1;
-        let arm = policies[cell.policy];
-        let log = run_session(&content, arm.player_kind(), arm.policy(&content), trace);
-        abr_qoe::summarize(&log)
+/// Runs one grid cell: rebuild its realization (content cut, trace draw,
+/// policy) and run the session. With a profiler attached the setup,
+/// session and summarize phases become spans and the session's
+/// `ObsHandle` carries the profiler; without one this is exactly the
+/// unprofiled path (a disabled handle is what a bare session uses), so
+/// the returned summary is byte-identical either way.
+fn run_cell(policies: &[McPolicy], cell: McCell, profiler: Option<&Rc<Profiler>>) -> QoeSummary {
+    let setup_span = profiler.map(|p| p.span("session.setup"));
+    // Each realization gets its own content cut and trace draw,
+    // derived by offset from the experiment-wide seed.
+    let seed = SEED.wrapping_add(cell.realization);
+    let content = if cell.realization == 0 {
+        drama()
+    } else {
+        Content::drama_show(seed)
+    };
+    let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), seed)
+        .swap_remove(cell.trace)
+        .1;
+    let arm = policies[cell.policy];
+    let policy = arm.policy(&content);
+    drop(setup_span);
+    let mut obs = ObsHandle::disabled();
+    if let Some(p) = profiler {
+        obs = obs.with_profiler(Rc::clone(p));
+    }
+    let log = run_session_with_obs(&content, arm.player_kind(), policy, trace, obs);
+    let _summarize = profiler.map(|p| p.span("session.summarize"));
+    abr_qoe::summarize(&log)
+}
+
+/// Runs the fleet sweep: `seeds` realizations of (full corpus × all
+/// policies), sharded over `min(jobs, cores)` workers. Deterministic at
+/// every `jobs` value.
+pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
+    assert!(seeds > 0, "mc sweep needs at least one seed");
+    let (corpus_names, policies, grid) = mc_grid(seeds);
+    let summaries: Vec<QoeSummary> =
+        runner::run_indexed(grid.len(), jobs, |i| run_cell(&policies, grid[i], None));
+    aggregate(seeds, &corpus_names, &policies, &grid, &summaries)
+}
+
+/// [`run_mc`] with the self-profiling layer on (`exp mc --profile`):
+/// every session runs with a private span profiler, the pool reports its
+/// phase/worker accounting, and the merged [`WorkloadProfile`] names
+/// where the sweep's host time went. The returned [`McResult`] is
+/// byte-identical to [`run_mc`] at the same `(seeds, jobs)` — profiling
+/// observes, never perturbs (`tests/profile_determinism.rs`).
+pub fn run_mc_profiled(seeds: u64, jobs: usize) -> (McResult, WorkloadProfile) {
+    assert!(seeds > 0, "mc sweep needs at least one seed");
+    let setup = HostStopwatch::start();
+    let (corpus_names, policies, grid) = mc_grid(seeds);
+    let setup_ns = setup.elapsed_ns();
+    let (summaries, pool) = runner::run_indexed_profiled(grid.len(), jobs, |i| {
+        let profiler = Rc::new(Profiler::new());
+        let q = run_cell(&policies, grid[i], Some(&profiler));
+        (q, profiler.report())
     });
+    let result = aggregate(seeds, &corpus_names, &policies, &grid, &summaries);
+    let profile = WorkloadProfile::from_pool("mc", setup_ns, pool);
+    (result, profile)
+}
 
+/// Folds per-session summaries into the per-(trace, policy) aggregate
+/// table and JSON report. Pure function of its inputs, shared by the
+/// profiled and unprofiled sweeps.
+fn aggregate(
+    seeds: u64,
+    corpus_names: &[&'static str],
+    policies: &[McPolicy],
+    grid: &[McCell],
+    summaries: &[QoeSummary],
+) -> McResult {
     let mut cells: Vec<CellStats> = vec![CellStats::default(); corpus_names.len() * policies.len()];
-    for (cell, q) in grid.iter().zip(&summaries) {
+    for (cell, q) in grid.iter().zip(summaries) {
         cells[cell.trace * policies.len() + cell.policy].fold(q);
     }
 

@@ -22,11 +22,14 @@
 //! the contract: representative experiments run at `--jobs 1/2/8` must
 //! produce identical `SessionLog`s, JSON artifacts and merged metrics.
 
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use abr_event::rng::SplitMix64;
-use abr_obs::{MetricsSnapshot, TracedEvent};
+use abr_obs::metrics::{Histogram, HistogramSnapshot};
+use abr_obs::profile::SPAN_BOUNDS_NS;
+use abr_obs::{HostStopwatch, MetricsSnapshot, ProfileReport, Profiler, TracedEvent};
 use abr_player::SessionLog;
 
 /// Number of cores the host exposes (at least 1).
@@ -125,6 +128,159 @@ where
         .collect()
 }
 
+/// Host-time accounting for one pool worker (or the serial pseudo-worker
+/// with `jobs <= 1`): how many items it ran, how long it spent claiming
+/// indices vs. running jobs, and its total lifetime. `busy_ns /
+/// alive_ns` is the worker's utilization — the signal that distinguishes
+/// "the pool starves on work" from "the work itself is slow".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Worker index within the pool (0-based spawn order).
+    pub worker: usize,
+    /// Items this worker claimed and ran.
+    pub items: u64,
+    /// Host time spent in the claim phase (atomic fetch-add rounds).
+    pub claim_ns: u64,
+    /// Host time spent inside job closures.
+    pub busy_ns: u64,
+    /// Worker lifetime from spawn-side entry to loop exit.
+    pub alive_ns: u64,
+}
+
+/// Where a profiled sweep's host time went: pool phases (spawn / run /
+/// merge), per-worker utilization, per-item wall-time distribution, and
+/// the merged span tree from the items themselves (in spec order, per the
+/// determinism contract).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerProfile {
+    /// Workers the pool actually used (1 = serial path).
+    pub jobs: usize,
+    /// Items dispatched.
+    pub items: u64,
+    /// End-to-end host time of the profiled call.
+    pub wall_ns: u64,
+    /// Time to set up the pool and spawn workers.
+    pub spawn_ns: u64,
+    /// Time inside the worker scope (claim + run, bounded by the slowest
+    /// worker).
+    pub run_ns: u64,
+    /// Time reassembling results in index order and merging reports.
+    pub merge_ns: u64,
+    /// Per-worker accounting, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// Per-item host wall time (ns, [`SPAN_BOUNDS_NS`] buckets).
+    pub item_wall: HistogramSnapshot,
+    /// Per-item span trees merged in index (= spec) order.
+    pub spans: ProfileReport,
+}
+
+/// [`run_indexed`] with host-time accounting: `f` additionally returns
+/// the item's [`ProfileReport`], and the pool reports where its own time
+/// went. Ordering semantics are identical to [`run_indexed`] — results
+/// and span merges happen in index order, so profiled artifacts stay
+/// byte-identical at any `jobs` value. Only the `RunnerProfile` (which
+/// never feeds artifacts) varies run to run.
+pub fn run_indexed_profiled<T, F>(n: usize, jobs: usize, f: F) -> (Vec<T>, RunnerProfile)
+where
+    T: Send,
+    F: Fn(usize) -> (T, ProfileReport) + Sync,
+{
+    let wall = HostStopwatch::start();
+    let jobs = jobs.max(1).min(n.max(1));
+    let mut profile = RunnerProfile {
+        jobs,
+        items: n as u64,
+        ..RunnerProfile::default()
+    };
+    let mut item_wall = Histogram::with_bounds(SPAN_BOUNDS_NS);
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        let mut stats = WorkerStats::default();
+        let run = HostStopwatch::start();
+        for i in 0..n {
+            let item = HostStopwatch::start();
+            let (value, report) = f(i);
+            stats.items += 1;
+            stats.busy_ns += item.elapsed_ns();
+            out.push(value);
+            reports.push(report);
+        }
+        profile.run_ns = run.elapsed_ns();
+        stats.alive_ns = profile.run_ns;
+        profile.workers.push(stats);
+        let merge = HostStopwatch::start();
+        for report in &reports {
+            item_wall.observe(report.wall_ns as f64);
+            profile.spans.merge(report);
+        }
+        profile.merge_ns = merge.elapsed_ns();
+        profile.item_wall = item_wall.snapshot();
+        profile.wall_ns = wall.elapsed_ns();
+        return (out, profile);
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T, ProfileReport)>();
+    let (stx, srx) = mpsc::channel::<WorkerStats>();
+    let spawn = HostStopwatch::start();
+    let run = HostStopwatch::start();
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let stx = stx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                let alive = HostStopwatch::start();
+                let mut stats = WorkerStats {
+                    worker: w,
+                    ..WorkerStats::default()
+                };
+                loop {
+                    let claim = HostStopwatch::start();
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    stats.claim_ns += claim.elapsed_ns();
+                    if i >= n {
+                        break;
+                    }
+                    let item = HostStopwatch::start();
+                    let (value, report) = f(i);
+                    stats.items += 1;
+                    stats.busy_ns += item.elapsed_ns();
+                    if tx.send((i, value, report)).is_err() {
+                        break;
+                    }
+                }
+                stats.alive_ns = alive.elapsed_ns();
+                let _ = stx.send(stats);
+            });
+        }
+        profile.spawn_ns = spawn.elapsed_ns();
+    });
+    profile.run_ns = run.elapsed_ns();
+    drop(tx);
+    drop(stx);
+    let merge = HostStopwatch::start();
+    let mut slots: Vec<Option<(T, ProfileReport)>> = (0..n).map(|_| None).collect();
+    for (i, value, report) in rx {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some((value, report));
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (value, report) = slot.unwrap_or_else(|| panic!("worker dropped index {i}"));
+        item_wall.observe(report.wall_ns as f64);
+        profile.spans.merge(&report);
+        out.push(value);
+    }
+    profile.workers = srx.iter().collect();
+    profile.workers.sort_by_key(|s| s.worker);
+    profile.merge_ns = merge.elapsed_ns();
+    profile.item_wall = item_wall.snapshot();
+    profile.wall_ns = wall.elapsed_ns();
+    (out, profile)
+}
+
 /// Everything a session run sends back across the worker boundary. All
 /// fields are plain owned data (`Send`); nothing here aliases worker
 /// state.
@@ -167,8 +323,18 @@ pub struct SessionSpec {
     /// Stable stream index within the sweep (position in the spec list at
     /// construction time — *not* any runtime ordering).
     pub stream: u64,
-    job: Box<dyn Fn(&mut SplitMix64) -> SessionOutcome + Send + Sync>,
+    /// The job takes the derived RNG plus an optional span profiler. The
+    /// profiler argument is `None` on unprofiled runs and must never
+    /// influence the outcome — profiling observes, artifacts stay
+    /// byte-identical (`tests/profile_determinism.rs`).
+    job: SessionJob,
 }
+
+/// The boxed closure a [`SessionSpec`] realises: derived RNG in, session
+/// outcome out, with an optional span profiler to observe (never steer)
+/// the run.
+type SessionJob =
+    Box<dyn Fn(&mut SplitMix64, Option<&Rc<Profiler>>) -> SessionOutcome + Send + Sync>;
 
 impl SessionSpec {
     /// A new spec. `stream` must be stable across runs (use the spec's
@@ -177,6 +343,21 @@ impl SessionSpec {
     pub fn new<F>(label: impl Into<String>, seed: u64, stream: u64, job: F) -> SessionSpec
     where
         F: Fn(&mut SplitMix64) -> SessionOutcome + Send + Sync + 'static,
+    {
+        SessionSpec {
+            label: label.into(),
+            seed,
+            stream,
+            job: Box::new(move |rng, _prof| job(rng)),
+        }
+    }
+
+    /// A new spec whose job is profiler-aware: under `--profile` it
+    /// receives the per-session span profiler to wire into its
+    /// `ObsHandle`, otherwise `None`.
+    pub fn new_profiled<F>(label: impl Into<String>, seed: u64, stream: u64, job: F) -> SessionSpec
+    where
+        F: Fn(&mut SplitMix64, Option<&Rc<Profiler>>) -> SessionOutcome + Send + Sync + 'static,
     {
         SessionSpec {
             label: label.into(),
@@ -195,7 +376,15 @@ impl SessionSpec {
     /// Runs the session serially, in the calling thread. The outcome's
     /// label is stamped from the spec.
     pub fn run(&self) -> SessionOutcome {
-        let mut outcome = (self.job)(&mut self.rng());
+        let mut outcome = (self.job)(&mut self.rng(), None);
+        outcome.label = self.label.clone();
+        outcome
+    }
+
+    /// Runs the session with a span profiler attached. Must produce the
+    /// exact same outcome as [`SessionSpec::run`].
+    pub fn run_profiled(&self, profiler: &Rc<Profiler>) -> SessionOutcome {
+        let mut outcome = (self.job)(&mut self.rng(), Some(profiler));
         outcome.label = self.label.clone();
         outcome
     }
@@ -215,6 +404,21 @@ impl std::fmt::Debug for SessionSpec {
 /// **in spec order**.
 pub fn run_specs(specs: &[SessionSpec], jobs: usize) -> Vec<SessionOutcome> {
     run_indexed(specs.len(), jobs, |i| specs[i].run())
+}
+
+/// [`run_specs`] with profiling: each worker builds a session-private
+/// [`Profiler`] (profilers are `Rc`-shared and never cross threads —
+/// only the owned [`ProfileReport`] does), and the pool merges the
+/// per-session span trees in spec order.
+pub fn run_specs_profiled(
+    specs: &[SessionSpec],
+    jobs: usize,
+) -> (Vec<SessionOutcome>, RunnerProfile) {
+    run_indexed_profiled(specs.len(), jobs, |i| {
+        let profiler = Rc::new(Profiler::new());
+        let outcome = specs[i].run_profiled(&profiler);
+        (outcome, profiler.report())
+    })
 }
 
 /// Merges per-session metrics snapshots in spec order (the deterministic
@@ -286,6 +490,76 @@ mod tests {
         assert_eq!(effective_jobs(0), 1);
         assert!(effective_jobs(usize::MAX) <= available_cores());
         assert!(available_cores() >= 1);
+    }
+
+    #[test]
+    fn run_indexed_profiled_matches_plain_results() {
+        for jobs in [1, 2, 8] {
+            let (out, profile) = run_indexed_profiled(23, jobs, |i| {
+                let prof = Rc::new(Profiler::new());
+                {
+                    let _g = prof.span("item");
+                }
+                (i * 3, prof.report())
+            });
+            assert_eq!(
+                out,
+                (0..23).map(|i| i * 3).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+            assert_eq!(profile.items, 23);
+            assert_eq!(profile.jobs, jobs);
+            assert_eq!(
+                profile.workers.iter().map(|w| w.items).sum::<u64>(),
+                23,
+                "jobs={jobs}"
+            );
+            // 23 per-item reports each closed one "item" span.
+            assert_eq!(profile.spans.roots.len(), 1);
+            assert_eq!(profile.spans.roots[0].count, 23);
+            assert_eq!(profile.item_wall.count, 23);
+            assert!(profile.wall_ns >= profile.run_ns);
+        }
+        let (out, profile) = run_indexed_profiled(0, 4, |_| unreachable!());
+        let _: Vec<usize> = out;
+        assert_eq!(profile.items, 0);
+    }
+
+    #[test]
+    fn spec_run_profiled_equals_run() {
+        fn empty_log(policy: String) -> SessionLog {
+            SessionLog {
+                policy,
+                selections: Vec::new(),
+                transfers: Vec::new(),
+                buffer_samples: Vec::new(),
+                stalls: Vec::new(),
+                playlist_fetches: Vec::new(),
+                seeks: Vec::new(),
+                startup_at: None,
+                ended_at: None,
+                finished_at: abr_event::time::Instant::ZERO,
+                chunk_duration: abr_event::time::Duration::from_secs(4),
+                num_chunks: 0,
+            }
+        }
+        let spec = SessionSpec::new_profiled("p/x", 2019, 3, |rng, prof| {
+            if let Some(p) = prof {
+                let _g = p.span("job");
+            }
+            SessionOutcome::from_obs((
+                empty_log(format!("rng:{}", rng.next_u64())),
+                Vec::new(),
+                MetricsSnapshot::default(),
+            ))
+        });
+        let plain = spec.run();
+        let profiler = Rc::new(Profiler::new());
+        let profiled = spec.run_profiled(&profiler);
+        // Same derived RNG, same outcome, profiler only observed.
+        assert_eq!(plain.log.policy, profiled.log.policy);
+        assert_eq!(plain.label, profiled.label);
+        assert_eq!(profiler.report().roots[0].name, "job");
     }
 
     #[test]

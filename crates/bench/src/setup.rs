@@ -133,10 +133,28 @@ pub fn run_session(
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
 ) -> SessionLog {
+    run_session_with_obs(content, kind, policy, trace, ObsHandle::disabled())
+}
+
+/// [`run_session`] with an explicit [`ObsHandle`]. A disabled handle is
+/// exactly what a bare `Session` starts with, so `run_session` and this
+/// function are the same code path; `exp mc --profile`
+/// passes a handle that carries only a span profiler, which observes
+/// host time and never touches the log (the byte-identity the
+/// `profile_determinism` suite pins).
+pub fn run_session_with_obs(
+    content: &Content,
+    kind: PlayerKind,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+    obs: ObsHandle,
+) -> SessionLog {
     let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
     let link = Link::with_latency(trace, Duration::from_millis(20));
     let config = player_config(kind, content.chunk_duration());
-    Session::new(origin, link, policy, config).run()
+    Session::new(origin, link, policy, config)
+        .with_obs(obs)
+        .run()
 }
 
 /// Like [`run_session`], but with a recording tracer and metrics registry
@@ -157,7 +175,26 @@ pub fn run_session_obs(
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
 ) -> (SessionLog, Vec<TracedEvent>, MetricsSnapshot) {
-    let (obs, tracer, metrics) = ObsHandle::deterministic_recording();
+    run_session_obs_profiled(content, kind, policy, trace, None)
+}
+
+/// [`run_session_obs`] with an optional span profiler attached to the
+/// deterministic recording handle. Profiling observes host time only: the
+/// returned log, events and metrics are byte-identical with or without a
+/// profiler (the `profile_determinism` suite holds this), and the spans
+/// land in the caller's [`abr_obs::Profiler`] for a later
+/// [`abr_obs::ProfileReport`].
+pub fn run_session_obs_profiled(
+    content: &Content,
+    kind: PlayerKind,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+    profiler: Option<&std::rc::Rc<abr_obs::Profiler>>,
+) -> (SessionLog, Vec<TracedEvent>, MetricsSnapshot) {
+    let (mut obs, tracer, metrics) = ObsHandle::deterministic_recording();
+    if let Some(p) = profiler {
+        obs = obs.with_profiler(std::rc::Rc::clone(p));
+    }
     let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
     let link = Link::with_latency(trace, Duration::from_millis(20));
     let config = player_config(kind, content.chunk_duration());

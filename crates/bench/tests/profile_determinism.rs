@@ -1,0 +1,105 @@
+//! Profiling never perturbs artifacts (DESIGN.md §13).
+//!
+//! The span profiler reads the host clock and writes into its own arena;
+//! nothing it does may leak into simulation outputs. These tests pin the
+//! contract end to end:
+//!
+//! * `exp mc --profile` produces an [`abr_bench::mc::McResult`] whose
+//!   text table and JSON report are **byte-identical** to the unprofiled
+//!   sweep, at every `jobs` value.
+//! * A single traced session returns identical log, event stream and
+//!   metrics snapshot with and without a profiler attached.
+//! * The profile itself is useful: it names the hot dispatch/fetch/link
+//!   spans and attributes ≥ 95% of measured session wall time to named
+//!   spans (the ISSUE acceptance bar).
+
+use std::rc::Rc;
+
+use abr_bench::mc::{run_mc, run_mc_profiled};
+use abr_bench::setup::{drama, run_session_obs, run_session_obs_profiled, PlayerKind};
+use abr_core::bestpractice::BestPracticePolicy;
+use abr_event::time::Duration;
+use abr_net::trace::Trace;
+use abr_obs::Profiler;
+
+#[test]
+fn mc_sweep_is_byte_identical_with_profiling_on() {
+    let plain = run_mc(2, 1);
+    for jobs in [1usize, 2, 8] {
+        let (profiled, profile) = run_mc_profiled(2, jobs);
+        assert_eq!(
+            plain.text, profiled.text,
+            "mc table changed with --profile at jobs={jobs}"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&plain.json).unwrap(),
+            serde_json::to_string_pretty(&profiled.json).unwrap(),
+            "mc JSON report changed with --profile at jobs={jobs}"
+        );
+        assert_eq!(plain.sessions, profiled.sessions);
+        assert_eq!(profile.sessions, plain.sessions as u64);
+    }
+}
+
+#[test]
+fn traced_session_is_identical_with_profiler_attached() {
+    let content = drama();
+    let make_policy = || {
+        let view = abr_bench::setup::hls_sub_view(&content, &[0, 1, 2]);
+        Box::new(BestPracticePolicy::from_hls(&view))
+    };
+    let trace = || Trace::fig4b_varying_600k(Duration::from_secs(600));
+    let (log_a, events_a, metrics_a) =
+        run_session_obs(&content, PlayerKind::BestPractice, make_policy(), trace());
+    let profiler = Rc::new(Profiler::new());
+    let (log_b, events_b, metrics_b) = run_session_obs_profiled(
+        &content,
+        PlayerKind::BestPractice,
+        make_policy(),
+        trace(),
+        Some(&profiler),
+    );
+    assert_eq!(format!("{log_a:?}"), format!("{log_b:?}"));
+    assert_eq!(events_a, events_b, "traced event stream diverged");
+    assert_eq!(metrics_a.counters, metrics_b.counters);
+    assert_eq!(metrics_a.gauges, metrics_b.gauges);
+    assert_eq!(metrics_a.histograms, metrics_b.histograms);
+    // And the profiler actually saw the session.
+    let report = profiler.report();
+    assert!(!report.roots.is_empty(), "profiler recorded nothing");
+}
+
+#[test]
+fn profile_names_hot_spans_and_attributes_wall_time() {
+    let (_, profile) = run_mc_profiled(2, 2);
+    let flat = profile.spans.flatten();
+    let names: Vec<&str> = flat.iter().map(|(_, _, node)| node.name.as_str()).collect();
+    for expected in [
+        "session.setup",
+        "session.run",
+        "session.summarize",
+        "dispatch.transfer_complete",
+        "fetch.round",
+        "policy.select",
+        "engine.arm_wakes",
+        "link.advance_to",
+        "link.next_completion",
+        "transfer.on_completions",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "span {expected} missing from profile (have: {names:?})"
+        );
+    }
+    assert!(
+        profile.attributed() >= 0.95,
+        "named spans attribute only {:.1}% of measured wall time",
+        100.0 * profile.attributed()
+    );
+    let text = profile.text();
+    assert!(text.contains("attributed:"));
+    assert!(text.contains("hot spans by self time:"));
+    let json = profile.json();
+    assert_eq!(json["format"], "abr-profile-v1");
+    assert!(json["attributed"].as_f64().unwrap() >= 0.95);
+}

@@ -1,0 +1,18 @@
+// ABR-L002 fixture: a span profiler that reads the host clock itself
+// instead of going through the designated host-timing module
+// (`crates/obs/src/tracer.rs`'s HostStopwatch). Scanned under the
+// virtual path `crates/obs/src/profile.rs` WITH the allowlist: the
+// tracer.rs entry is one file over and must not suppress these, so the
+// rule still fires. This is the confinement the real profiler honors by
+// borrowing HostStopwatch rather than touching std::time.
+
+struct LeakyProfiler {
+    epoch: std::time::Instant, // VIOLATION (std::time, Instant)
+}
+
+impl LeakyProfiler {
+    fn enter(&self) -> u64 {
+        let now = std::time::Instant::now(); // VIOLATION (std::time, Instant::now)
+        now.duration_since(self.epoch).as_nanos() as u64
+    }
+}

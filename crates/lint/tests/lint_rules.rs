@@ -71,6 +71,34 @@ fn l002_host_timing_module_is_allowlisted() {
 }
 
 #[test]
+fn l002_profiler_outside_host_timing_module_still_fires() {
+    // The span profiler lives one file over from the allowlisted
+    // host-timing module. A profiler that read std::time itself under
+    // `crates/obs/src/profile.rs` must still trip L002 even with the
+    // allowlist loaded — clock confinement ends at tracer.rs.
+    let allow = fixture_allowlist();
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    lint_source(
+        "crates/obs/src/profile.rs",
+        &fixture("profiler_clock.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    assert!(
+        !report.violations.is_empty(),
+        "a host clock outside tracer.rs must fire L002"
+    );
+    assert!(report.violations.iter().all(|v| v.rule == "ABR-L002"));
+    assert!(
+        report.suppressed.is_empty(),
+        "the tracer.rs allowlist entry must not reach profile.rs"
+    );
+    assert!(!used[0], "entry must stay unused under profile.rs");
+}
+
+#[test]
 fn l003_external_rng_fires_and_home_module_is_exempt() {
     assert_eq!(
         spans_of("crates/core/src/fixture.rs", "external_rng.rs"),

@@ -307,6 +307,7 @@ impl Link {
     /// (the minimum completes first), so the active *set* never shrinks
     /// before the function returns.
     pub fn next_completion(&self) -> Option<Instant> {
+        let _g = self.obs.span("link.next_completion");
         if self.flows.is_empty() {
             return None;
         }
@@ -382,6 +383,7 @@ impl Link {
     /// earliest completion comes from the finish-key index in O(1), and
     /// rate lookups ride the monotone trace cursor.
     pub fn advance_to(&mut self, t: Instant) -> Vec<Completion> {
+        let _g = self.obs.span("link.advance_to");
         assert!(t >= self.now, "advance into the past: {t} < {}", self.now);
         #[cfg(feature = "debug-invariants")]
         let drained_at_entry = self.drained;

@@ -14,6 +14,11 @@
 //!   and fixed-bucket histograms (cache hit/miss, link busy/idle time,
 //!   bytes per flow, estimator updates, decision latency in host
 //!   nanoseconds, pending-queue depth).
+//! * **Profiling** ([`profile`]) — a hierarchical span profiler measuring
+//!   where *host* time goes (engine dispatch per event class, policy
+//!   evaluation, link advance, sweep-runner phases). RAII guards, a call
+//!   tree keyed by `(parent, name)`, and mergeable [`ProfileReport`]
+//!   snapshots; like the tracer, one branch per site when disabled.
 //!
 //! [`export`] renders recorded traces as JSONL (one event per line,
 //! qlog-flavoured; parse it back with [`export::from_jsonl`]) or as a
@@ -24,8 +29,10 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod tracer;
 
 pub use event::{Event, TracedEvent};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
-pub use tracer::{NullTracer, ObsHandle, RecordingTracer, Tracer};
+pub use profile::{ProfileReport, Profiler, SpanGuard, SpanNode};
+pub use tracer::{HostStopwatch, NullTracer, ObsHandle, RecordingTracer, Tracer};

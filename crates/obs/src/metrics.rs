@@ -73,8 +73,9 @@ impl Histogram {
     }
 }
 
-/// Owned summary of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq)]
+/// Owned summary of a [`Histogram`]. The `Default` value is an empty
+/// snapshot with no buckets — a merge identity.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of (finite) observations.
     pub count: u64,
@@ -151,6 +152,38 @@ impl HistogramSnapshot {
             }
         }
         self.buckets.last().map(|&(b, _)| b)
+    }
+
+    /// Interpolated quantile `q` (clamped to [0, 1]); `None` when empty.
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing the
+    /// target rank, then interpolates linearly inside it, assuming
+    /// observations spread uniformly across the bucket. Bucket edges are
+    /// tightened with the recorded `min`/`max` (the lowest occupied
+    /// bucket cannot start below `min`; the +∞ overflow bucket ends at
+    /// `max`), so single-bucket histograms degrade gracefully to the
+    /// `min..max` span instead of the raw bound. Results are clamped to
+    /// `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut acc = 0u64;
+        let mut prev_bound = f64::NEG_INFINITY;
+        for &(bound, n) in &self.buckets {
+            let next = acc + n;
+            if n > 0 && next as f64 >= target {
+                let lo = prev_bound.max(self.min);
+                let hi = if bound.is_finite() { bound } else { self.max }.min(self.max);
+                let frac = ((target - acc as f64) / n as f64).clamp(0.0, 1.0);
+                let v = if hi > lo { lo + frac * (hi - lo) } else { hi };
+                return Some(v.clamp(self.min, self.max));
+            }
+            acc = next;
+            prev_bound = bound;
+        }
+        Some(self.max)
     }
 }
 
@@ -290,7 +323,8 @@ impl MetricsSnapshot {
 
     /// Flattens the snapshot into sorted `(metric, value)` display rows —
     /// counters verbatim, gauges with 3 decimals, histograms as
-    /// `count/mean/max` sub-rows. Feed these to a table renderer.
+    /// `count/mean/p50/p90/p99/max` sub-rows (quantiles interpolated via
+    /// [`HistogramSnapshot::quantile`]). Feed these to a table renderer.
     pub fn rows(&self) -> Vec<(String, String)> {
         let mut rows = Vec::new();
         for (name, v) in &self.counters {
@@ -302,6 +336,10 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             rows.push((format!("{name}.count"), h.count.to_string()));
             rows.push((format!("{name}.mean"), format!("{:.1}", h.mean())));
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                let v = h.quantile(q).unwrap_or(0.0);
+                rows.push((format!("{name}.{label}"), format!("{v:.1}")));
+            }
             rows.push((format!("{name}.max"), format!("{:.1}", h.max)));
         }
         rows
@@ -378,6 +416,65 @@ mod tests {
             .quantile_bound(0.5),
             None
         );
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let s = Histogram::with_bounds(DEFAULT_BOUNDS).snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.0), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 100 observations uniform-ish over (10, 100]: quantiles should
+        // land inside the bucket, not snap to its upper bound.
+        let mut h = Histogram::with_bounds(&[10.0, 100.0, 1000.0]);
+        for i in 0..100 {
+            h.observe(11.0 + (i as f64) * 0.88);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((11.0..100.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 < s.quantile(0.9).unwrap());
+        // q clamps.
+        assert_eq!(s.quantile(-1.0).unwrap(), s.min);
+        assert_eq!(s.quantile(2.0).unwrap(), s.max);
+    }
+
+    #[test]
+    fn quantile_single_bucket_uses_min_max_span() {
+        let mut h = Histogram::with_bounds(&[1000.0]);
+        h.observe(40.0);
+        h.observe(60.0);
+        let s = h.snapshot();
+        // Both observations share one bucket; interpolation is bounded by
+        // the recorded extrema, not the 1000.0 bound.
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((40.0..=60.0).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(1.0), Some(60.0));
+        assert_eq!(s.quantile(0.0), Some(40.0));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_falls_back_to_max() {
+        let mut h = Histogram::with_bounds(&[10.0]);
+        h.observe(5.0);
+        h.observe(700.0);
+        h.observe(900.0);
+        let s = h.snapshot();
+        // p99 lands in the +∞ bucket: interpolate toward max, never ∞.
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99.is_finite());
+        assert!((10.0..=900.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(s.quantile(1.0), Some(900.0));
+        // All-overflow histogram still interpolates on [min, max].
+        let mut o = Histogram::with_bounds(&[10.0]);
+        o.observe(100.0);
+        o.observe(300.0);
+        let os = o.snapshot();
+        let p50 = os.quantile(0.5).unwrap();
+        assert!((100.0..=300.0).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

@@ -7,6 +7,40 @@ use abr_event::time::Instant;
 
 use crate::event::{Event, TracedEvent};
 use crate::metrics::MetricsRegistry;
+use crate::profile::{Profiler, SpanGuard};
+
+/// A monotonic host-clock stopwatch: nanoseconds elapsed since
+/// [`HostStopwatch::start`].
+///
+/// This file is the workspace's **designated host-timing module**
+/// (DESIGN.md §13): every wall-clock reader — `RecordingTracer`'s
+/// `wall_ns` stamps, [`ObsHandle::time`]'s latency histograms, the span
+/// profiler ([`crate::profile`]) and the sweep runner's per-worker
+/// utilization meter — goes through this type, so the `ABR-L002`
+/// host-clock lint allowlist stays a single file and no other module ever
+/// names `std::time`. Host time measured here is *observation only*; it
+/// never feeds back into simulated time or any reproducible artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct HostStopwatch {
+    started: std::time::Instant,
+}
+
+impl HostStopwatch {
+    /// Starts the stopwatch now.
+    #[must_use]
+    pub fn start() -> HostStopwatch {
+        HostStopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the stopwatch started (saturating at
+    /// `u64::MAX` — ~584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
 
 /// Sink for structured events.
 ///
@@ -44,7 +78,7 @@ impl Tracer for NullTracer {
 /// number and host wall-clock nanoseconds (relative to tracer creation).
 #[derive(Debug)]
 pub struct RecordingTracer {
-    started: std::time::Instant,
+    started: HostStopwatch,
     /// When false, `wall_ns` is stamped as 0 instead of the host clock, so
     /// two runs of the same simulation capture byte-identical traces.
     stamp_wall: bool,
@@ -56,7 +90,7 @@ impl RecordingTracer {
     /// A fresh tracer; the wall clock starts now.
     pub fn new() -> RecordingTracer {
         RecordingTracer {
-            started: std::time::Instant::now(),
+            started: HostStopwatch::start(),
             stamp_wall: true,
             seq: Cell::new(0),
             events: RefCell::new(Vec::new()),
@@ -108,7 +142,7 @@ impl Tracer for RecordingTracer {
         let seq = self.seq.get();
         self.seq.set(seq + 1);
         let wall_ns = if self.stamp_wall {
-            self.started.elapsed().as_nanos() as u64
+            self.started.elapsed_ns()
         } else {
             0
         };
@@ -131,6 +165,7 @@ impl Tracer for RecordingTracer {
 pub struct ObsHandle {
     tracer: Option<Rc<dyn Tracer>>,
     metrics: Option<Rc<MetricsRegistry>>,
+    profiler: Option<Rc<Profiler>>,
     /// When false, [`ObsHandle::time`] runs its closure untimed and records
     /// nothing: host-clock histograms (`*_ns`) are the one metrics family
     /// that cannot be deterministic, so the reproducible-artifact mode
@@ -143,6 +178,7 @@ impl Default for ObsHandle {
         ObsHandle {
             tracer: None,
             metrics: None,
+            profiler: None,
             host_timing: true,
         }
     }
@@ -153,6 +189,7 @@ impl std::fmt::Debug for ObsHandle {
         f.debug_struct("ObsHandle")
             .field("tracer", &self.tracer.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("profiler", &self.profiler.is_some())
             .finish()
     }
 }
@@ -172,6 +209,14 @@ impl ObsHandle {
     /// Attaches a metrics registry.
     pub fn with_metrics(mut self, metrics: Rc<MetricsRegistry>) -> ObsHandle {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a span profiler ([`crate::profile::Profiler`]). Profiling
+    /// measures host-clock cost only — it writes nothing into traces,
+    /// metrics or logs, so artifacts stay byte-identical with it on.
+    pub fn with_profiler(mut self, profiler: Rc<Profiler>) -> ObsHandle {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -213,6 +258,30 @@ impl ObsHandle {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Rc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// True when a span profiler is attached.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Rc<Profiler>> {
+        self.profiler.as_ref()
+    }
+
+    /// Opens a profiling span named `name`; the span closes when the
+    /// returned guard drops. Without an attached profiler this is one
+    /// branch and an inert guard — the same zero-cost-when-off contract
+    /// as [`ObsHandle::emit`] (pinned by the `obs_overhead` ablation).
+    #[inline]
+    #[must_use = "the span closes when the guard drops; bind it to a scope"]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.profiler {
+            Some(p) => p.span(name),
+            None => SpanGuard::inert(),
+        }
     }
 
     /// Emits an event. The closure only runs when an enabled tracer is
@@ -262,9 +331,10 @@ impl ObsHandle {
         }
         match &self.metrics {
             Some(m) => {
-                let t0 = std::time::Instant::now();
+                let t0 = HostStopwatch::start();
                 let out = f();
-                m.observe(name, t0.elapsed().as_nanos() as f64);
+                let elapsed_ns = t0.elapsed_ns();
+                m.observe(name, elapsed_ns as f64);
                 out
             }
             None => f(),

@@ -1,0 +1,135 @@
+//! Property tests for the span profiler's structural invariants.
+//!
+//! Guards are RAII values, so user code can drop them in any order —
+//! including dropping an outer guard while inner guards are still alive
+//! (the outer drop force-closes the inner frames, and the stale inner
+//! drops become no-ops). Whatever order the guards die in, the reported
+//! tree must stay well-formed:
+//!
+//! * every span that was entered is counted exactly once,
+//! * `total_ns == self_ns + Σ children.total_ns` at every node,
+//! * the duration histogram of a node holds exactly `count` samples,
+//! * root spans never account for more time than the profiler's wall.
+
+use std::rc::Rc;
+
+use abr_obs::{ProfileReport, Profiler, SpanGuard, SpanNode};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One step of a random guard lifecycle: open a new span (nested under
+/// whatever is innermost), or drop one of the guards we still hold —
+/// possibly an outer one, forcing the out-of-order close path.
+#[derive(Debug, Clone)]
+enum Op {
+    Enter(usize),
+    DropHeld(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..2, 0..NAMES.len(), 0usize..1024).prop_map(|(kind, name, pick)| {
+        if kind == 0 {
+            Op::Enter(name)
+        } else {
+            Op::DropHeld(pick)
+        }
+    })
+}
+
+fn check_node(node: &SpanNode) -> u64 {
+    let child_total: u64 = node.children.iter().map(check_node).sum();
+    assert_eq!(
+        node.total_ns,
+        node.self_ns + child_total,
+        "span {}: total != self + children",
+        node.name
+    );
+    assert_eq!(
+        node.durations.count, node.count,
+        "span {}: histogram sample count != span count",
+        node.name
+    );
+    assert!(
+        node.count > 0,
+        "span {} reported but never closed",
+        node.name
+    );
+    node.total_ns
+}
+
+fn check_report(report: &ProfileReport, entered: u64) {
+    let mut counted = 0u64;
+    let mut root_total = 0u64;
+    for root in &report.roots {
+        root_total += check_node(root);
+    }
+    for (_, _, node) in report.flatten() {
+        counted += node.count;
+    }
+    assert_eq!(counted, entered, "every entered span closes exactly once");
+    assert!(
+        root_total <= report.wall_ns,
+        "roots account for {} ns > {} ns wall",
+        root_total,
+        report.wall_ns
+    );
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_guard_drop_order_yields_well_formed_tree(
+        ops in proptest::collection::vec(op_strategy(), 1..64)
+    ) {
+        let profiler = Rc::new(Profiler::new());
+        let mut held: Vec<SpanGuard> = Vec::new();
+        let mut entered = 0u64;
+        for op in ops {
+            match op {
+                Op::Enter(name) => {
+                    held.push(profiler.span(NAMES[name]));
+                    entered += 1;
+                }
+                Op::DropHeld(i) => {
+                    if !held.is_empty() {
+                        // Dropping out of stack order on purpose: an
+                        // early position force-closes everything opened
+                        // after it; later guards become stale no-ops.
+                        held.remove(i % held.len());
+                    }
+                }
+            }
+        }
+        drop(held);
+        check_report(&profiler.report(), entered);
+    }
+
+    #[test]
+    fn merged_reports_preserve_the_invariants(
+        ops_a in proptest::collection::vec(op_strategy(), 1..32),
+        ops_b in proptest::collection::vec(op_strategy(), 1..32),
+    ) {
+        let mut entered = 0u64;
+        let mut merged = ProfileReport::default();
+        for ops in [ops_a, ops_b] {
+            let profiler = Rc::new(Profiler::new());
+            let mut held: Vec<SpanGuard> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Enter(name) => {
+                        held.push(profiler.span(NAMES[name]));
+                        entered += 1;
+                    }
+                    Op::DropHeld(i) => {
+                        if !held.is_empty() {
+                            held.remove(i % held.len());
+                        }
+                    }
+                }
+            }
+            drop(held);
+            merged.merge(&profiler.report());
+        }
+        check_report(&merged, entered);
+    }
+}

@@ -54,6 +54,21 @@ pub(crate) enum SessionEvent {
     PlaylistRefresh,
 }
 
+impl SessionEvent {
+    /// Profiler span name for dispatching one event of this class
+    /// (DESIGN.md §13: per-event-class cost attribution).
+    pub(crate) fn span_name(self) -> &'static str {
+        match self {
+            SessionEvent::TransferComplete => "dispatch.transfer_complete",
+            SessionEvent::PlaybackBoundary => "dispatch.playback_boundary",
+            SessionEvent::BufferRefill => "dispatch.buffer_refill",
+            SessionEvent::SeekDue => "dispatch.seek_due",
+            SessionEvent::Deadline => "dispatch.deadline",
+            SessionEvent::PlaylistRefresh => "dispatch.playlist_refresh",
+        }
+    }
+}
+
 /// The live [`EventKey`] per re-armable wake class. Each is cancelled and
 /// re-scheduled every iteration so exactly one entry per class is live.
 #[derive(Debug, Default)]
@@ -110,6 +125,7 @@ impl Engine {
     /// or deadline) and returns the log plus the possibly-warmed edge
     /// cache.
     pub(crate) fn run(mut self) -> (SessionLog, Option<EdgeCache>) {
+        let run_span = self.obs.span("session.run");
         self.start();
         loop {
             if self.playback.state() == PlayState::Ended {
@@ -119,6 +135,7 @@ impl Engine {
             let Some((t, ev)) = self.queue.pop() else {
                 break; // nothing left, not even the deadline sentinel
             };
+            let _dispatch = self.obs.span(ev.span_name());
             match ev {
                 SessionEvent::Deadline => break,
                 SessionEvent::PlaylistRefresh => self.on_refresh_tick(t),
@@ -128,6 +145,7 @@ impl Engine {
                 | SessionEvent::SeekDue => self.step(t),
             }
         }
+        drop(run_span);
         self.finish()
     }
 
@@ -173,6 +191,7 @@ impl Engine {
     /// previous entry is cancelled first, so the queue holds at most one
     /// live entry per class and a stale wake can never fire.
     fn arm_wakes(&mut self) {
+        let _g = self.obs.span("engine.arm_wakes");
         let completion = self.link.next_completion();
         let boundary = self
             .playback

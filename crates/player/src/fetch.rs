@@ -21,6 +21,7 @@ impl Engine {
     /// Issues every due fetch at the current instant: one scheduling round
     /// of scheduler → policy → transfer layer.
     pub(crate) fn schedule_fetches(&mut self) {
+        let _g = self.obs.span("fetch.round");
         // Under eager fetching, adaptation waits for every playlist.
         let gated = self.playlist_fetch == PlaylistFetch::Eager
             && self.playlists_ready.len() < self.total_tracks;
@@ -128,7 +129,10 @@ impl Engine {
     /// the current track for its media, and logs + traces it.
     fn select(&mut self, ctx: &SelectionContext) -> TrackId {
         let obs = self.obs.clone();
-        let track = obs.time("policy.decision_ns", || self.policy.select(ctx));
+        let track = {
+            let _g = obs.span("policy.select");
+            obs.time("policy.decision_ns", || self.policy.select(ctx))
+        };
         assert_eq!(track.media, ctx.media, "policy returned wrong media type");
         assert!(
             track.index < self.content.ladder(ctx.media).len(),

@@ -195,6 +195,7 @@ impl Engine {
     /// completion of the batch carries the whole meter window; playlist
     /// completions re-issue their deferred chunk requests instead.
     pub(crate) fn on_completions(&mut self, completions: Vec<Completion>) {
+        let _g = self.obs.span("transfer.on_completions");
         let (window_bytes, window_busy) = self.meter_window(&completions);
         let mut first_completion = true;
         for c in completions {
