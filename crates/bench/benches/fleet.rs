@@ -1,0 +1,36 @@
+//! Criterion benches for the shared-fate fleet engine: one fixed small
+//! fleet at `jobs = 1` vs `jobs = cores`, so `cargo bench` tracks the
+//! per-session cost of the windowed driver and the speedup (or 1-core
+//! overhead) of sharded execution. The correctness half — byte-identical
+//! artifacts at every jobs value and shard count — lives in
+//! `tests/fleet_determinism.rs`; this file only times it.
+
+use abr_bench::fleet::{run_fleet, FleetSpec};
+use abr_bench::runner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fleet_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    let spec = FleetSpec {
+        arrival_secs: 60,
+        ..FleetSpec::small(60)
+    };
+    let cores = runner::available_cores();
+    // Always bench the threaded path, even on one core (overhead check).
+    let levels = if cores > 1 { [1, cores] } else { [1, 2] };
+    for jobs in levels {
+        let name = format!("small60-jobs{jobs}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let result = run_fleet(black_box(&spec), jobs);
+                black_box(result.text.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+criterion_main!(benches);

@@ -42,6 +42,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("mc") {
         return run_mc_cli(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("fleet") {
+        return run_fleet_cli(&args[1..]);
+    }
     let mut id: Option<String> = None;
     let mut run_all = false;
     let mut list = false;
@@ -314,6 +317,103 @@ fn run_mc_cli(args: &[String]) {
     }
 }
 
+/// `exp fleet [--sessions N] [--domains D] [--shards S] [--jobs J] ...` —
+/// the shared-fate fleet engine (DESIGN.md §14): N sessions over D
+/// contended link domains (shared title-namespaced CDN cache + FIFO
+/// origin uplink each), Zipf arrivals over a title catalog, window-synced
+/// origin throttling. `--delivery both` runs the demuxed-vs-muxed
+/// head-to-head. Stdout is the deterministic artifact: byte-identical at
+/// every `--jobs` value and shard count.
+fn run_fleet_cli(args: &[String]) {
+    use abr_bench::fleet::{run_fleet, run_fleet_comparison, run_fleet_profiled, FleetSpec};
+    use abr_player::session::DeliveryMode;
+
+    let mut spec = FleetSpec::small(500);
+    let mut both = false;
+    let mut jobs = runner::jobs_from_env();
+    let mut json_path: Option<String> = None;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
+        };
+        fn parse<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+            raw.parse::<T>()
+                .unwrap_or_else(|_| usage(&format!("{name} got unparsable value `{raw}`")))
+        }
+        match flag {
+            "--sessions" => spec.sessions = parse(flag, &value(flag)),
+            "--domains" => spec.domains = parse(flag, &value(flag)),
+            "--shards" => spec.shards = parse(flag, &value(flag)),
+            "--titles" => spec.titles = parse(flag, &value(flag)),
+            "--alpha" => spec.zipf_alpha = parse(flag, &value(flag)),
+            "--arrival-secs" => spec.arrival_secs = parse(flag, &value(flag)),
+            "--uplink-kbps" => spec.uplink_kbps = parse(flag, &value(flag)),
+            "--origin-kbps" => spec.origin_kbps = parse(flag, &value(flag)),
+            "--cache-mb" => spec.cache_mb = parse(flag, &value(flag)),
+            "--window-ms" => spec.window_ms = parse(flag, &value(flag)),
+            "--seed" => spec.seed = parse(flag, &value(flag)),
+            "--jobs" => {
+                jobs = parse(flag, &value(flag));
+                if jobs == 0 {
+                    usage("--jobs needs a positive integer");
+                }
+            }
+            "--delivery" => match value(flag).as_str() {
+                "demuxed" => spec.delivery = DeliveryMode::Demuxed,
+                "muxed" => spec.delivery = DeliveryMode::Muxed,
+                "both" => both = true,
+                other => usage(&format!(
+                    "--delivery must be demuxed|muxed|both, got `{other}`"
+                )),
+            },
+            "--json" => json_path = Some(value(flag)),
+            "--profile" => profile = true,
+            "--profile-json" => profile_json = Some(value(flag)),
+            other => usage(&format!("unknown `fleet` flag `{other}`")),
+        }
+        i += 1;
+    }
+    spec.validate();
+    let wants_profile = profile || profile_json.is_some();
+    if both && wants_profile {
+        usage("--profile needs a single delivery mode, not --delivery both");
+    }
+    let (result, workload) = if both {
+        (run_fleet_comparison(&spec, jobs), None)
+    } else if wants_profile {
+        let (result, workload) = run_fleet_profiled(&spec, jobs);
+        (result, Some(workload))
+    } else {
+        (run_fleet(&spec, jobs), None)
+    };
+    println!("=== fleet — shared-fate fleet engine ===");
+    println!("{}", result.text);
+    if let Some(workload) = &workload {
+        emit_profile(
+            workload,
+            profile || profile_json.is_none(),
+            profile_json.as_deref(),
+        );
+    }
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create fleet json file");
+        f.write_all(
+            serde_json::to_string_pretty(&result.json)
+                .expect("serialize")
+                .as_bytes(),
+        )
+        .expect("write fleet json");
+        println!("[json written to {path}]");
+    }
+}
+
 /// Prints the profile table and/or writes the JSON profile artifact.
 ///
 /// Both go to stderr/file, never stdout: stdout carries the experiment
@@ -370,7 +470,12 @@ fn usage(msg: &str) -> ! {
          \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]\n\
          \x20      [--profile] [--profile-json <file>]             (with --id)\n\
          \x20  exp mc [--seeds <n>] [--jobs <n>] [--json <file>]\n\
-         \x20      [--profile] [--profile-json <file>]   Monte Carlo fleet sweep"
+         \x20      [--profile] [--profile-json <file>]   Monte Carlo fleet sweep\n\
+         \x20  exp fleet [--sessions <n>] [--domains <n>] [--shards <n>] [--titles <n>]\n\
+         \x20      [--alpha <f>] [--arrival-secs <n>] [--delivery demuxed|muxed|both]\n\
+         \x20      [--uplink-kbps <n>] [--origin-kbps <n>] [--cache-mb <n>] [--window-ms <n>]\n\
+         \x20      [--seed <n>] [--jobs <n>] [--json <file>] [--profile] [--profile-json <file>]\n\
+         \x20                                             shared-fate fleet engine"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,484 @@
+//! The windowed, sharded fleet driver.
+//!
+//! Topology and schedule (DESIGN.md §14):
+//!
+//! * **Domains are atomic.** Each link domain owns one
+//!   [`FleetHub`] (shared cache + origin uplink) and one
+//!   [`EventQueue`] interleaving its sessions' arrivals and wakes on the
+//!   fleet clock. Everything inside a domain is single-threaded.
+//! * **Shards group domains; workers own shards.** Domain `d` lives in
+//!   shard `d % shards`; shard `s` is driven by worker `s % workers`,
+//!   where `workers = min(jobs, shards)`. Sessions are `!Send`, so each
+//!   worker *constructs* its sessions at arrival time and owns them until
+//!   they finish; only `Send` results cross threads, merged in index
+//!   order.
+//! * **Cross-domain coupling happens only at window barriers.** Workers
+//!   drain their domains strictly below each window boundary
+//!   ([`EventQueue::pop_before`]), then meet at a barrier where the
+//!   leader folds per-domain uplink demand in fixed domain order and
+//!   publishes the next window's uplink rate: when fleet demand exceeds
+//!   the origin's egress capacity, every uplink is throttled by the same
+//!   `origin/demand` factor (the window-sync rule — conservative, one
+//!   window of lag, identical at every worker count by construction).
+//!
+//! Byte-stability at any `jobs`/`shards` value follows: per-domain event
+//! order is a pure function of the domain's own queue, the demand fold
+//! reads fixed per-domain slots in a fixed order, and the only shared
+//! mutable signal (the uplink rate) changes exclusively between windows.
+
+use super::{FleetSpec, SessionPlan, TRACE_SECS};
+use crate::setup::{dash_policy, player_config};
+use abr_event::time::{Duration, Instant};
+use abr_event::{EventQueue, WindowClock};
+use abr_httpsim::cache::{CacheStats, CdnCache};
+use abr_httpsim::origin::Origin;
+use abr_httpsim::shared::{FleetHub, SharedEdge};
+use abr_media::content::Content;
+use abr_media::units::Bytes;
+use abr_net::link::Link;
+use abr_net::uplink::{UplinkQueue, UplinkStats};
+use abr_player::{Session, SessionLog, SessionStepper};
+use abr_qoe::QoeSummary;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// What one session sends back across the worker boundary.
+pub(super) struct SessionOutput {
+    /// QoE summary of the finished session.
+    pub summary: QoeSummary,
+    /// The raw log, kept only when the caller asked for it.
+    pub log: Option<SessionLog>,
+}
+
+/// Per-domain shared-infrastructure counters at end of run.
+pub(super) struct DomainReport {
+    /// Domain index.
+    pub domain: usize,
+    /// Sessions that ran in this domain.
+    pub sessions: usize,
+    /// Peak concurrently-active sessions.
+    pub peak_active: usize,
+    /// Shared-cache counters.
+    pub cache: CacheStats,
+    /// Origin-uplink counters.
+    pub uplink: UplinkStats,
+}
+
+/// Everything the driver hands to the report layer.
+pub(super) struct DriverOutput {
+    /// Per-session outputs in session-index order.
+    pub outputs: Vec<SessionOutput>,
+    /// Per-domain reports in domain-index order.
+    pub domains: Vec<DomainReport>,
+    /// Sync windows elapsed.
+    pub windows: u64,
+    /// Windows in which the origin throttle engaged.
+    pub throttled_windows: u64,
+}
+
+/// What one worker returns: its sessions' outputs (keyed by session
+/// index) and the end-of-run reports of the domains it owned.
+type WorkerResult = (Vec<(usize, SessionOutput)>, Vec<DomainReport>);
+
+/// One entry on a domain's fleet-time queue.
+enum Slot {
+    /// Construct and start session `i` (pops at its arrival instant).
+    Arrival(usize),
+    /// Dispatch session `i`'s next engine event.
+    Wake(usize),
+}
+
+/// A live session: its stepper plus the arrival offset translating its
+/// local clock onto the fleet clock.
+struct ActiveSession {
+    stepper: SessionStepper,
+    offset: Duration,
+}
+
+/// One link domain owned by a worker.
+struct Domain {
+    index: usize,
+    queue: EventQueue<Slot>,
+    hub: Rc<RefCell<FleetHub>>,
+    active: BTreeMap<usize, ActiveSession>,
+    peak_active: usize,
+    finished: usize,
+}
+
+/// Builds a domain's shared hub from the spec.
+pub(super) fn build_hub(spec: &FleetSpec) -> FleetHub {
+    FleetHub::new(
+        CdnCache::new(Bytes(spec.cache_mb * 1_000_000)),
+        UplinkQueue::new(spec.uplink_kbps),
+        Duration::from_millis(spec.miss_rtt_ms),
+    )
+}
+
+/// Builds the session a plan describes, wired onto `hub`. Shared by the
+/// fleet driver and the fleet-of-1 parity comparator so that "the same
+/// session" means the same construction code, not a re-implementation.
+pub(super) fn build_session(
+    spec: &FleetSpec,
+    plan: &SessionPlan,
+    content: &Content,
+    hub: Rc<RefCell<FleetHub>>,
+) -> Session {
+    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+    let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), plan.trace_seed)
+        .swap_remove(plan.trace_index)
+        .1;
+    let link = Link::with_latency(trace, Duration::from_millis(20));
+    let policy = dash_policy(plan.kind, content);
+    let config = player_config(plan.kind, content.chunk_duration());
+    Session::new(origin, link, policy, config)
+        .with_delivery(spec.delivery)
+        .with_deadline(Instant::from_secs(spec.deadline_secs))
+        .with_transfer_path(Box::new(SharedEdge::new(
+            hub,
+            plan.title as u64,
+            plan.arrival,
+        )))
+}
+
+/// The per-title content cut: every session of one title streams the same
+/// realization (that is what makes their bytes shareable), and distinct
+/// titles get distinct cuts by seed offset.
+pub(super) fn title_content(spec: &FleetSpec, title: usize) -> Content {
+    Content::drama_show(spec.seed.wrapping_add(title as u64))
+}
+
+/// Runs the fleet. Returns per-session outputs in index order and
+/// per-domain reports in domain order — byte-identical at every `jobs`
+/// and shard count.
+pub(super) fn run(
+    spec: &FleetSpec,
+    plans: &[SessionPlan],
+    jobs: usize,
+    keep_logs: bool,
+) -> DriverOutput {
+    let workers = jobs.max(1).min(spec.shards);
+    let barrier = Barrier::new(workers);
+    // Fixed per-domain demand slots the leader folds in domain order.
+    let demand: Vec<AtomicU64> = (0..spec.domains).map(|_| AtomicU64::new(0)).collect();
+    let alive: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let rate = AtomicU64::new(spec.uplink_kbps);
+    let stop = AtomicBool::new(false);
+    let windows = AtomicU64::new(0);
+    let throttled = AtomicU64::new(0);
+
+    let mut worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let barrier = &barrier;
+                let demand = &demand;
+                let alive = &alive;
+                let rate = &rate;
+                let stop = &stop;
+                let windows = &windows;
+                let throttled = &throttled;
+                scope.spawn(move || {
+                    run_worker(
+                        spec, plans, w, workers, keep_logs, barrier, demand, alive, rate, stop,
+                        windows, throttled,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    });
+
+    // Merge in index order: session outputs by session index, domain
+    // reports by domain index. Sort keys are unique, so the merged order
+    // is independent of which worker produced what.
+    let mut outputs: Vec<(usize, SessionOutput)> = Vec::with_capacity(plans.len());
+    let mut domains: Vec<DomainReport> = Vec::with_capacity(spec.domains);
+    for (outs, doms) in &mut worker_results {
+        outputs.append(outs);
+        domains.append(doms);
+    }
+    outputs.sort_by_key(|(i, _)| *i);
+    domains.sort_by_key(|d| d.domain);
+    assert_eq!(outputs.len(), plans.len(), "every session must finish");
+    assert_eq!(domains.len(), spec.domains, "every domain must report");
+
+    DriverOutput {
+        outputs: outputs.into_iter().map(|(_, o)| o).collect(),
+        domains,
+        windows: windows.load(Ordering::SeqCst),
+        throttled_windows: throttled.load(Ordering::SeqCst),
+    }
+}
+
+/// The window-sync fold: fleet-wide demand (bytes over one window) versus
+/// the origin's egress capacity. Exact integer arithmetic: bytes × 8 over
+/// a window of `window_ms` milliseconds is bits-per-millisecond, which
+/// *is* Kbps.
+fn throttle_rate(spec: &FleetSpec, total_bytes: u128) -> (u64, bool) {
+    let demand_kbps = total_bytes * 8 / u128::from(spec.window_ms);
+    if demand_kbps > u128::from(spec.origin_kbps) {
+        let scaled = u128::from(spec.uplink_kbps) * u128::from(spec.origin_kbps) / demand_kbps;
+        (u64::try_from(scaled.max(1)).expect("rate fits"), true)
+    } else {
+        (spec.uplink_kbps, false)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    spec: &FleetSpec,
+    plans: &[SessionPlan],
+    w: usize,
+    workers: usize,
+    keep_logs: bool,
+    barrier: &Barrier,
+    demand: &[AtomicU64],
+    alive: &[AtomicUsize],
+    rate: &AtomicU64,
+    stop: &AtomicBool,
+    windows: &AtomicU64,
+    throttled: &AtomicU64,
+) -> WorkerResult {
+    // This worker's domains, ascending: domain d → shard d % shards →
+    // worker (d % shards) % workers.
+    let mut domains: Vec<Domain> = (0..spec.domains)
+        .filter(|d| (d % spec.shards) % workers == w)
+        .map(|index| Domain {
+            index,
+            queue: EventQueue::new(),
+            hub: Rc::new(RefCell::new(build_hub(spec))),
+            active: BTreeMap::new(),
+            peak_active: 0,
+            finished: 0,
+        })
+        .collect();
+
+    // Pre-schedule arrivals in plan-index order: FIFO tie-breaking makes
+    // same-instant arrivals pop in index order, a pure function of the
+    // plan.
+    for domain in &mut domains {
+        for plan in plans.iter().filter(|p| p.domain == domain.index) {
+            domain
+                .queue
+                .schedule(Instant::ZERO + plan.arrival, Slot::Arrival(plan.index));
+        }
+    }
+
+    // Per-worker content cache: one cut per title, built on first use.
+    let mut contents: BTreeMap<usize, Content> = BTreeMap::new();
+    let mut outputs: Vec<(usize, SessionOutput)> = Vec::new();
+    let clock = WindowClock::new(Duration::from_millis(spec.window_ms));
+
+    let mut k = 0u64;
+    loop {
+        let end = clock.end_of(k);
+        for domain in &mut domains {
+            drain_window(
+                spec,
+                plans,
+                domain,
+                end,
+                keep_logs,
+                &mut contents,
+                &mut outputs,
+            );
+            demand[domain.index].store(
+                domain.hub.borrow_mut().uplink_mut().take_window_bytes(),
+                Ordering::SeqCst,
+            );
+        }
+        alive[w].store(
+            domains.iter().map(|d| d.queue.len()).sum(),
+            Ordering::SeqCst,
+        );
+        barrier.wait();
+        if w == 0 {
+            windows.fetch_add(1, Ordering::SeqCst);
+            let total: u128 = demand
+                .iter()
+                .map(|d| u128::from(d.load(Ordering::SeqCst)))
+                .sum();
+            let (next_rate, engaged) = throttle_rate(spec, total);
+            if engaged {
+                throttled.fetch_add(1, Ordering::SeqCst);
+            }
+            rate.store(next_rate, Ordering::SeqCst);
+            let total_alive: usize = alive.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+            stop.store(total_alive == 0, Ordering::SeqCst);
+        }
+        barrier.wait();
+        let next_rate = rate.load(Ordering::SeqCst);
+        for domain in &mut domains {
+            domain
+                .hub
+                .borrow_mut()
+                .uplink_mut()
+                .set_rate_kbps(next_rate);
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        k += 1;
+    }
+
+    let reports = domains
+        .into_iter()
+        .map(|domain| {
+            assert!(domain.queue.is_empty(), "domain queue drained");
+            assert!(domain.active.is_empty(), "all sessions finished");
+            let hub = domain.hub.borrow();
+            let cache = hub.cache_stats().expect("fleet domains have caches");
+            let uplink = hub.uplink().stats();
+            // Cross-session byte conservation (DESIGN.md §12): every byte
+            // the cache pulled from the origin was serialized through the
+            // uplink, and nothing else was.
+            #[cfg(feature = "debug-invariants")]
+            debug_assert_eq!(
+                cache.bytes_from_origin.get(),
+                uplink.bytes,
+                "domain {} origin bytes must equal uplink bytes",
+                domain.index
+            );
+            DomainReport {
+                domain: domain.index,
+                sessions: domain.finished,
+                peak_active: domain.peak_active,
+                cache,
+                uplink,
+            }
+        })
+        .collect();
+    (outputs, reports)
+}
+
+/// Drains one domain strictly below the window boundary: arrivals
+/// construct their session and schedule its first wake; wakes dispatch
+/// one engine event and re-schedule (or finalize). New events landing
+/// inside the current window are popped in the same drain, so a window
+/// is fully settled before the barrier.
+fn drain_window(
+    spec: &FleetSpec,
+    plans: &[SessionPlan],
+    domain: &mut Domain,
+    end: Instant,
+    keep_logs: bool,
+    contents: &mut BTreeMap<usize, Content>,
+    outputs: &mut Vec<(usize, SessionOutput)>,
+) {
+    while let Some((_, slot)) = domain.queue.pop_before(end) {
+        match slot {
+            Slot::Arrival(i) => {
+                let plan = &plans[i];
+                let content = contents
+                    .entry(plan.title)
+                    .or_insert_with(|| title_content(spec, plan.title));
+                let mut stepper =
+                    build_session(spec, plan, content, Rc::clone(&domain.hub)).into_stepper();
+                match stepper.next_wake() {
+                    Some(local) => {
+                        domain.queue.schedule(local + plan.arrival, Slot::Wake(i));
+                        domain.active.insert(
+                            i,
+                            ActiveSession {
+                                stepper,
+                                offset: plan.arrival,
+                            },
+                        );
+                        domain.peak_active = domain.peak_active.max(domain.active.len());
+                    }
+                    None => finalize(domain, i, stepper, keep_logs, outputs),
+                }
+            }
+            Slot::Wake(i) => {
+                let session = domain.active.get_mut(&i).expect("wake for live session");
+                let more = session.stepper.dispatch_next();
+                let next = if more {
+                    session.stepper.next_wake()
+                } else {
+                    None
+                };
+                match next {
+                    Some(local) => {
+                        let offset = session.offset;
+                        domain.queue.schedule(local + offset, Slot::Wake(i));
+                    }
+                    None => {
+                        let session = domain.active.remove(&i).expect("just present");
+                        finalize(domain, i, session.stepper, keep_logs, outputs);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finishes a session: summarize, keep the log only when asked.
+fn finalize(
+    domain: &mut Domain,
+    index: usize,
+    stepper: SessionStepper,
+    keep_logs: bool,
+    outputs: &mut Vec<(usize, SessionOutput)>,
+) {
+    let log = stepper.finish();
+    let summary = abr_qoe::summarize(&log);
+    domain.finished += 1;
+    outputs.push((
+        index,
+        SessionOutput {
+            summary,
+            log: keep_logs.then_some(log),
+        },
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throttle_engages_only_above_origin_capacity() {
+        let spec = FleetSpec::small(1); // uplink 40 Mbps, origin 100 Mbps, 250 ms windows
+                                        // 1 MB over 250 ms = 32 Mbps of demand: below origin capacity.
+        assert_eq!(throttle_rate(&spec, 1_000_000), (spec.uplink_kbps, false));
+        // 10 MB over 250 ms = 320 Mbps: throttle scales by origin/demand.
+        let (rate, engaged) = throttle_rate(&spec, 10_000_000);
+        assert!(engaged);
+        assert_eq!(rate, 40_000 * 100_000 / 320_000);
+    }
+
+    #[test]
+    fn throttle_never_drops_to_zero() {
+        let spec = FleetSpec::small(1);
+        let (rate, engaged) = throttle_rate(&spec, u64::MAX as u128);
+        assert!(engaged);
+        assert!(rate >= 1);
+    }
+
+    #[test]
+    fn domain_to_worker_assignment_partitions_domains() {
+        // Every domain is owned by exactly one worker at any (shards,
+        // workers) combination — the invariant the merge asserts.
+        for shards in 1..=5usize {
+            for workers in 1..=4usize {
+                let mut owned = [0u32; 12];
+                for w in 0..workers {
+                    for (d, count) in owned.iter_mut().enumerate() {
+                        if (d % shards) % workers == w {
+                            *count += 1;
+                        }
+                    }
+                }
+                assert!(
+                    owned.iter().all(|&c| c == 1),
+                    "shards={shards} workers={workers}"
+                );
+            }
+        }
+    }
+}

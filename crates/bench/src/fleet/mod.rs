@@ -1,0 +1,392 @@
+//! The shared-fate fleet engine behind `exp fleet`.
+//!
+//! Many [`abr_player::Session`]s run over a two-tier topology: every
+//! session keeps a private access link (its own trace draw from the
+//! corpus), but all sessions of one *link domain* share a CDN point of
+//! presence — one title-namespaced [`abr_httpsim::CdnCache`] in front of
+//! one FIFO origin [`abr_net::UplinkQueue`]. Cache hit rates are not an
+//! input: they *emerge* from cross-session chunk popularity under a Zipf
+//! session-arrival model over a catalog of titles. A conservative
+//! window-sync rule couples the domains to a finite origin: every
+//! `window_ms`, fleet-wide miss bytes are folded and, when demand exceeds
+//! the origin capacity, every domain's uplink is throttled
+//! proportionally for the next window.
+//!
+//! Determinism (DESIGN.md §14): the arrival plan is realized up front in
+//! session-index order from per-session RNG streams; domains are atomic
+//! single-threaded units; cross-domain state moves only at window
+//! barriers, folded in domain order; results merge in session/domain
+//! order. The artifact is therefore byte-identical at every `--jobs`
+//! value and every shard count — `tests/fleet_determinism.rs` proves it,
+//! and the fleet-of-1 lockstep test pins the composition layer to the
+//! single-session engine.
+
+mod driver;
+mod report;
+
+use crate::setup::PlayerKind;
+use abr_event::rng::SplitMix64;
+use abr_event::time::Duration;
+use abr_player::session::DeliveryMode;
+use abr_player::SessionLog;
+use serde_json::Value;
+
+/// The policy mix cycled through arrivals (deterministically, from each
+/// session's RNG stream): the §4 best-practice player plus the three
+/// emulated production players — fleet distributions are only meaningful
+/// over the heterogeneous player population a real CDN serves.
+pub const POLICY_MIX: [PlayerKind; 4] = [
+    PlayerKind::BestPractice,
+    PlayerKind::ExoPlayer,
+    PlayerKind::Shaka,
+    PlayerKind::DashJs,
+];
+
+/// Trace length for per-session access-link draws (same horizon as the
+/// `exp mc` corpus realizations).
+pub(crate) const TRACE_SECS: u64 = 900;
+
+/// Everything that defines one fleet run. The spec is the *only* input:
+/// two equal specs produce byte-identical artifacts at any `--jobs` and
+/// shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Number of sessions in the fleet.
+    pub sessions: usize,
+    /// Number of link domains (one shared cache + uplink each).
+    pub domains: usize,
+    /// Shard count: domain `d` belongs to shard `d % shards`. Shards are
+    /// the unit of worker assignment; the artifact must not depend on
+    /// this value (the determinism suite sweeps it).
+    pub shards: usize,
+    /// Catalog size: sessions pick one of this many titles.
+    pub titles: usize,
+    /// Zipf skew of title popularity (0 = uniform; ~1 = typical VoD).
+    pub zipf_alpha: f64,
+    /// Arrival window: sessions arrive uniformly in `[0, arrival_secs)`.
+    pub arrival_secs: u64,
+    /// Audio/video packaging for every session.
+    pub delivery: DeliveryMode,
+    /// Per-domain origin-uplink rate, Kbps.
+    pub uplink_kbps: u64,
+    /// Total origin egress capacity, Kbps (the window-sync throttle
+    /// engages when fleet-wide miss demand exceeds it).
+    pub origin_kbps: u64,
+    /// Per-domain cache capacity, MB.
+    pub cache_mb: u64,
+    /// Extra origin round-trip paid by every cache miss, ms.
+    pub miss_rtt_ms: u64,
+    /// Window-sync period, ms: domains exchange state only this often.
+    pub window_ms: u64,
+    /// Per-session simulation deadline, seconds (bounds starved runs).
+    pub deadline_secs: u64,
+    /// Master seed for arrival realization and content synthesis.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A small default topology: `sessions` sessions over 4 domains and
+    /// a 12-title catalog with typical VoD skew. CLI flags and tests
+    /// override fields from here.
+    #[must_use]
+    pub fn small(sessions: usize) -> FleetSpec {
+        FleetSpec {
+            sessions,
+            domains: 4,
+            shards: 4,
+            titles: 12,
+            zipf_alpha: 1.0,
+            arrival_secs: 120,
+            delivery: DeliveryMode::Demuxed,
+            uplink_kbps: 40_000,
+            origin_kbps: 100_000,
+            cache_mb: 256,
+            miss_rtt_ms: 60,
+            window_ms: 250,
+            deadline_secs: 1_800,
+            seed: crate::setup::SEED,
+        }
+    }
+
+    /// Panics on structurally impossible topologies.
+    pub fn validate(&self) {
+        assert!(self.sessions > 0, "fleet needs at least one session");
+        assert!(self.domains > 0, "fleet needs at least one domain");
+        assert!(self.shards > 0, "fleet needs at least one shard");
+        assert!(self.titles > 0, "catalog needs at least one title");
+        assert!(
+            self.zipf_alpha.is_finite() && self.zipf_alpha >= 0.0,
+            "zipf alpha must be a finite non-negative number"
+        );
+        assert!(self.window_ms > 0, "window must be positive");
+        assert!(self.uplink_kbps > 0 && self.origin_kbps > 0, "dead origin");
+        assert!(self.cache_mb > 0, "zero-capacity cache");
+        assert!(self.deadline_secs > 0, "zero deadline");
+    }
+}
+
+/// One realized arrival: everything a worker needs to construct the
+/// session, with no RNG left to draw. Plans are `Send`; the `!Send`
+/// session parts (origin, link, policy, stepper) are built inside the
+/// owning worker thread.
+#[derive(Debug, Clone)]
+pub struct SessionPlan {
+    /// Fleet-wide session index (also the result merge key).
+    pub index: usize,
+    /// Owning link domain.
+    pub domain: usize,
+    /// Catalog title (content seed offset and cache namespace).
+    pub title: usize,
+    /// Player emulation for this session.
+    pub kind: PlayerKind,
+    /// Arrival offset into fleet time.
+    pub arrival: Duration,
+    /// Index into [`abr_net::corpus::all`] for the access-link trace.
+    pub trace_index: usize,
+    /// Seed for the trace realization.
+    pub trace_seed: u64,
+}
+
+/// Cumulative Zipf distribution over `titles` ranks with skew `alpha`:
+/// `cdf[k]` is the unnormalized mass of ranks `0..=k`.
+fn zipf_cdf(titles: usize, alpha: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..titles)
+        .map(|k| {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            acc
+        })
+        .collect()
+}
+
+/// Realizes the arrival plan: one RNG stream per session, derived
+/// scheduling-blind from the spec seed ([`SplitMix64::for_stream`]), in
+/// session-index order. Title popularity is Zipf over the catalog;
+/// arrivals are uniform over the window; the player kind cycles through
+/// [`POLICY_MIX`] by draw; domains assign round-robin by index so every
+/// domain sees the same arrival intensity.
+#[must_use]
+pub fn realize(spec: &FleetSpec) -> Vec<SessionPlan> {
+    spec.validate();
+    let cdf = zipf_cdf(spec.titles, spec.zipf_alpha);
+    let total = *cdf.last().expect("at least one title");
+    let corpus_len = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), spec.seed).len();
+    (0..spec.sessions)
+        .map(|i| {
+            let mut rng = SplitMix64::for_stream(spec.seed, i as u64);
+            let u = rng.next_f64() * total;
+            let title = cdf.partition_point(|&c| c < u).min(spec.titles - 1);
+            let arrival = Duration::from_micros(rng.below(spec.arrival_secs.max(1) * 1_000_000));
+            let kind = POLICY_MIX[rng.below(POLICY_MIX.len() as u64) as usize];
+            let trace_index = rng.below(corpus_len as u64) as usize;
+            let trace_seed = rng.next_u64();
+            SessionPlan {
+                index: i,
+                domain: i % spec.domains,
+                title,
+                kind,
+                arrival,
+                trace_index,
+                trace_seed,
+            }
+        })
+        .collect()
+}
+
+/// The result of one fleet run: the rendered report, the structured JSON
+/// artifact, and (in test mode) the raw per-session logs.
+pub struct FleetResult {
+    /// Human-readable fleet report (the `exp fleet` stdout artifact).
+    pub text: String,
+    /// Structured report for `--json`.
+    pub json: Value,
+    /// Sessions run.
+    pub sessions: usize,
+    /// Per-session logs in session-index order, only when requested via
+    /// [`run_fleet_with_logs`] (memory: a 10k-session fleet does not keep
+    /// 10k logs alive by default).
+    pub logs: Option<Vec<SessionLog>>,
+}
+
+/// Runs one fleet over `min(jobs, shards)` workers. Deterministic at
+/// every `jobs` value and shard count.
+#[must_use]
+pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetResult {
+    run_inner(spec, jobs, false)
+}
+
+/// [`run_fleet`] keeping every per-session [`SessionLog`] (the lockstep
+/// parity and determinism tests compare them field-by-field).
+#[must_use]
+pub fn run_fleet_with_logs(spec: &FleetSpec, jobs: usize) -> FleetResult {
+    run_inner(spec, jobs, true)
+}
+
+fn run_inner(spec: &FleetSpec, jobs: usize, keep_logs: bool) -> FleetResult {
+    let plans = realize(spec);
+    let out = driver::run(spec, &plans, jobs, keep_logs);
+    let (text, json) = report::render(spec, &plans, &out);
+    let logs = keep_logs.then(|| {
+        out.outputs
+            .into_iter()
+            .map(|o| o.log.expect("keep_logs retains every log"))
+            .collect()
+    });
+    FleetResult {
+        text,
+        json,
+        sessions: spec.sessions,
+        logs,
+    }
+}
+
+/// [`run_fleet`] with the self-profiling layer on (`exp fleet --profile`):
+/// phase-level host-time accounting — plan realization, the windowed
+/// driver, report rendering — in the standard [`WorkloadProfile`] shape.
+/// Profiling observes host time only; the returned [`FleetResult`] is
+/// byte-identical to [`run_fleet`] at the same `(spec, jobs)`.
+#[must_use]
+pub fn run_fleet_profiled(
+    spec: &FleetSpec,
+    jobs: usize,
+) -> (FleetResult, crate::profiling::WorkloadProfile) {
+    let setup = abr_obs::HostStopwatch::start();
+    let plans = realize(spec);
+    let setup_ns = setup.elapsed_ns();
+    let wall = abr_obs::HostStopwatch::start();
+    let run = abr_obs::HostStopwatch::start();
+    let out = driver::run(spec, &plans, jobs, false);
+    let run_ns = run.elapsed_ns();
+    let merge = abr_obs::HostStopwatch::start();
+    let (text, json) = report::render(spec, &plans, &out);
+    let pool = crate::runner::RunnerProfile {
+        jobs: jobs.max(1).min(spec.shards),
+        items: spec.sessions as u64,
+        run_ns,
+        merge_ns: merge.elapsed_ns(),
+        wall_ns: wall.elapsed_ns(),
+        ..crate::runner::RunnerProfile::default()
+    };
+    let result = FleetResult {
+        text,
+        json,
+        sessions: spec.sessions,
+        logs: None,
+    };
+    let profile = crate::profiling::WorkloadProfile::from_pool("fleet", setup_ns, pool);
+    (result, profile)
+}
+
+/// The fleet-of-1 parity comparator: builds session `index` of the plan
+/// exactly as the fleet driver would — same content cut, same trace draw,
+/// same [`abr_httpsim::SharedEdge`] onto a fresh per-domain hub — but
+/// drives it with plain [`abr_player::Session::run`] instead of the
+/// windowed stepper loop. With the origin throttle disengaged (set
+/// `origin_kbps` high enough that the window-sync rule never fires) a
+/// 1-session fleet must produce a byte-identical [`SessionLog`]; the
+/// differential test in `tests/fleet_determinism.rs` holds this.
+#[must_use]
+pub fn standalone_log(spec: &FleetSpec, index: usize) -> SessionLog {
+    let plans = realize(spec);
+    let plan = &plans[index];
+    let content = driver::title_content(spec, plan.title);
+    let hub = std::rc::Rc::new(std::cell::RefCell::new(driver::build_hub(spec)));
+    driver::build_session(spec, plan, &content, hub).run()
+}
+
+/// Runs the same topology under demuxed and muxed packaging and renders
+/// the head-to-head comparison — the paper's §1 CDN argument at fleet
+/// scale: demuxed tracks let sessions with different audio choices share
+/// video bytes, so the same cache yields a higher hit rate, a lighter
+/// origin, and fewer contention stalls.
+#[must_use]
+pub fn run_fleet_comparison(spec: &FleetSpec, jobs: usize) -> FleetResult {
+    let demuxed_spec = FleetSpec {
+        delivery: DeliveryMode::Demuxed,
+        ..spec.clone()
+    };
+    let muxed_spec = FleetSpec {
+        delivery: DeliveryMode::Muxed,
+        ..spec.clone()
+    };
+    let demuxed = run_fleet(&demuxed_spec, jobs);
+    let muxed = run_fleet(&muxed_spec, jobs);
+    let (text, json) = report::render_comparison(spec, &demuxed, &muxed);
+    FleetResult {
+        text,
+        json,
+        sessions: spec.sessions * 2,
+        logs: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realization_is_a_pure_function_of_the_spec() {
+        let spec = FleetSpec::small(50);
+        let a = realize(&spec);
+        let b = realize(&spec);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.title, y.title);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.trace_seed, y.trace_seed);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_popularity() {
+        let flat = FleetSpec {
+            zipf_alpha: 0.0,
+            ..FleetSpec::small(2_000)
+        };
+        let skewed = FleetSpec {
+            zipf_alpha: 1.4,
+            ..FleetSpec::small(2_000)
+        };
+        let head_share = |spec: &FleetSpec| {
+            let plans = realize(spec);
+            plans.iter().filter(|p| p.title == 0).count() as f64 / plans.len() as f64
+        };
+        let flat_share = head_share(&flat);
+        let skewed_share = head_share(&skewed);
+        assert!(
+            skewed_share > flat_share + 0.1,
+            "skew must concentrate the head title: {flat_share} vs {skewed_share}"
+        );
+    }
+
+    #[test]
+    fn tiny_fleet_runs_and_reports() {
+        let spec = FleetSpec {
+            arrival_secs: 10,
+            ..FleetSpec::small(6)
+        };
+        let r = run_fleet(&spec, 1);
+        assert_eq!(r.sessions, 6);
+        assert!(r.logs.is_none());
+        assert!(r.text.contains("fleet: 6 sessions"));
+        assert_eq!(r.json["totals"]["sessions"], 6);
+        let domains = r.json["domains"].as_array().unwrap();
+        assert_eq!(domains.len(), spec.domains);
+        let total_requests: u64 = domains
+            .iter()
+            .map(|d| d["hits"].as_u64().unwrap() + d["misses"].as_u64().unwrap())
+            .sum();
+        assert!(total_requests > 0, "sessions must exercise the caches");
+    }
+
+    #[test]
+    fn arrivals_stay_inside_the_window() {
+        let spec = FleetSpec::small(200);
+        for p in realize(&spec) {
+            assert!(p.arrival < Duration::from_secs(spec.arrival_secs));
+            assert!(p.domain < spec.domains);
+            assert!(p.title < spec.titles);
+        }
+    }
+}

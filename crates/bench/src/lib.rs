@@ -21,10 +21,15 @@
 //! * [`history`] — the append-only bench-history format behind
 //!   `BENCH_sim.json`/`BENCH_runner.json` and the `scripts/bench_check`
 //!   regression gate over criterion medians.
+//! * [`fleet`] — the shared-fate fleet engine behind `exp fleet`: many
+//!   sessions over contended link domains (shared CDN cache + origin
+//!   uplink), sharded over workers with conservative window sync, byte-
+//!   identical at every `--jobs` and shard count (DESIGN.md §14).
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod history;
 pub mod mc;
 pub mod profiling;

@@ -21,7 +21,9 @@
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod window;
 
 pub use queue::{EventKey, EventQueue};
 pub use rng::SplitMix64;
 pub use time::{busy_union, Duration, Instant};
+pub use window::WindowClock;

@@ -192,6 +192,34 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Removes and returns the earliest live event **strictly before**
+    /// `limit`, advancing the clock to its timestamp. When the next live
+    /// event is at or after `limit` (or the queue is empty) the clock is
+    /// left untouched and `None` is returned; tombstones ahead of the
+    /// boundary are discarded along the way.
+    ///
+    /// This is the primitive behind conservative time-window sharding
+    /// (DESIGN.md §14): a shard drains its queue up to the window boundary,
+    /// synchronises with its peers, and resumes — events at exactly the
+    /// boundary belong to the *next* window so that boundary-time state
+    /// exchanged at the barrier is complete.
+    pub fn pop_before(&mut self, limit: Instant) -> Option<(Instant, E)> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.seq) {
+                // Tombstone: discard and keep looking.
+                let entry = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&entry.seq);
+                self.debug_check();
+                continue;
+            }
+            if head.at >= limit {
+                return None;
+            }
+            return self.pop();
+        }
+    }
+
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&self) -> Option<Instant> {
         self.heap
@@ -325,6 +353,51 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Instant::from_secs(2)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_the_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(1), "a");
+        q.schedule(Instant::from_secs(2), "b");
+        q.schedule(Instant::from_secs(3), "c");
+        // Boundary events belong to the next window: `b` at t=2 is NOT
+        // popped by a limit of 2.
+        assert_eq!(q.pop_before(Instant::from_secs(2)).unwrap().1, "a");
+        assert_eq!(q.pop_before(Instant::from_secs(2)), None);
+        assert_eq!(q.now(), Instant::from_secs(1), "clock untouched by refusal");
+        assert_eq!(q.pop_before(Instant::from_secs(10)).unwrap().1, "b");
+        assert_eq!(q.pop_before(Instant::from_secs(10)).unwrap().1, "c");
+        assert_eq!(q.pop_before(Instant::from_secs(10)), None);
+    }
+
+    #[test]
+    fn pop_before_discards_tombstones_past_the_boundary() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_secs(1), "a");
+        q.schedule(Instant::from_secs(5), "b");
+        assert!(q.cancel(a));
+        // The cancelled head is discarded even though the live head is
+        // beyond the limit.
+        assert_eq!(q.pop_before(Instant::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(Instant::from_secs(6)).unwrap().1, "b");
+    }
+
+    #[test]
+    fn pop_before_matches_pop_order() {
+        let mut q1 = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        let t = Instant::from_secs(4);
+        for i in 0..6 {
+            q1.schedule(t, i);
+            q2.schedule(t, i);
+        }
+        let via_pop: Vec<_> = std::iter::from_fn(|| q1.pop()).map(|(_, e)| e).collect();
+        let via_window: Vec<_> = std::iter::from_fn(|| q2.pop_before(Instant::from_secs(5)))
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(via_pop, via_window);
     }
 
     #[test]

@@ -47,19 +47,25 @@ struct Entry {
     last_used: u64,
 }
 
+/// Full cache key: `(namespace, object, exact range)`. The namespace
+/// disambiguates identical `ObjectId`s from different catalog titles when
+/// one cache fronts a whole fleet (every title numbers its segments from
+/// chunk 0); single-title callers use namespace 0 throughout.
+type CacheKey = (u64, ObjectId, Option<(u64, u64)>);
+
 /// An LRU cache with a byte-capacity bound.
 #[derive(Debug)]
 pub struct CdnCache {
     capacity: Bytes,
     used: Bytes,
     clock: u64,
-    /// Keyed by `(object, exact range)`. A `BTreeMap` rather than a hash
-    /// map so that iteration (LRU victim scans) is key-ordered and the
-    /// cache's observable behavior is a pure function of the request
-    /// sequence (ABR-L001; `last_used` stamps are unique, so the LRU
-    /// minimum is unambiguous either way — but the ordered map makes the
-    /// scan order itself deterministic).
-    entries: BTreeMap<(ObjectId, Option<(u64, u64)>), Entry>,
+    /// Keyed by `(namespace, object, exact range)`. A `BTreeMap` rather
+    /// than a hash map so that iteration (LRU victim scans) is key-ordered
+    /// and the cache's observable behavior is a pure function of the
+    /// request sequence (ABR-L001; `last_used` stamps are unique, so the
+    /// LRU minimum is unambiguous either way — but the ordered map makes
+    /// the scan order itself deterministic).
+    entries: BTreeMap<CacheKey, Entry>,
     stats: CacheStats,
     obs: ObsHandle,
 }
@@ -100,8 +106,24 @@ impl CdnCache {
         req: &Request,
         now: Instant,
     ) -> Result<(bool, Bytes), HttpError> {
+        self.fetch_keyed(origin, req, 0, now)
+    }
+
+    /// [`CdnCache::fetch_at`] under an explicit namespace. A fleet-shared
+    /// cache serves many catalog titles whose `ObjectId`s collide (each
+    /// title has its own "video track 0, chunk 3"); the namespace — the
+    /// title index — keeps their entries distinct while still letting
+    /// same-title sessions share bytes.
+    pub fn fetch_keyed(
+        &mut self,
+        origin: &Origin,
+        req: &Request,
+        namespace: u64,
+        now: Instant,
+    ) -> Result<(bool, Bytes), HttpError> {
         self.clock += 1;
-        let key = req.cache_key();
+        let (object, range) = req.cache_key();
+        let key = (namespace, object, range);
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_used = self.clock;
             self.stats.hits += 1;
@@ -301,6 +323,26 @@ mod tests {
         let (hit, _) = c.fetch(&o, &r0).unwrap();
         assert!(hit);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn namespaces_partition_the_cache() {
+        let (o, mut c) = setup();
+        let req = Origin::segment_request(TrackId::video(0), 0);
+        // Title 7 warms its entry; title 8's identical ObjectId still
+        // misses, while a second title-7 viewer hits.
+        let (h, _) = c.fetch_keyed(&o, &req, 7, Instant::ZERO).unwrap();
+        assert!(!h);
+        let (h, _) = c.fetch_keyed(&o, &req, 8, Instant::ZERO).unwrap();
+        assert!(!h, "other namespace must not share bytes");
+        let (h, _) = c.fetch_keyed(&o, &req, 7, Instant::ZERO).unwrap();
+        assert!(h, "same namespace shares");
+        assert_eq!(c.len(), 2);
+        // The legacy single-title entry points are namespace 0.
+        let (h, _) = c.fetch(&o, &req).unwrap();
+        assert!(!h);
+        let (h, _) = c.fetch(&o, &req).unwrap();
+        assert!(h);
     }
 
     #[test]

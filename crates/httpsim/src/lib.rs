@@ -13,6 +13,10 @@
 //! * [`edge`] — the [`edge::TransferPath`] trait (what sits between player
 //!   and origin) and the miss-penalty [`edge::EdgeCache`] path built on the
 //!   CDN cache.
+//! * [`shared`] — the fleet-shared delivery path: a per-domain
+//!   [`shared::FleetHub`] (title-namespaced cache + FIFO origin uplink)
+//!   and the per-session [`shared::SharedEdge`] handle that makes cache
+//!   misses load-dependent across sessions.
 //! * [`storage`] — origin storage accounting for muxed (M×N) versus demuxed
 //!   (M+N) packaging.
 
@@ -23,9 +27,11 @@ pub mod cache;
 pub mod edge;
 pub mod origin;
 pub mod request;
+pub mod shared;
 pub mod storage;
 
 pub use cache::{CacheStats, CdnCache};
 pub use edge::{EdgeCache, TransferPath};
 pub use origin::Origin;
 pub use request::{ObjectId, Request};
+pub use shared::{FleetHub, SharedEdge};

@@ -89,6 +89,40 @@ proptest! {
         }
     }
 
+    /// Hits never serve stale or foreign bytes: under arbitrary request
+    /// sequences over multiple title namespaces with a small (eviction-
+    /// heavy) capacity, every served size equals what the origin reports,
+    /// and a hit only ever follows an earlier fetch of the *same* key in
+    /// the *same* namespace — an evicted or never-fetched entry must go
+    /// back to the origin, never to another title's bytes.
+    #[test]
+    fn hits_never_serve_stale_or_foreign_bytes(
+        requests in proptest::collection::vec((arb_request(), 0u64..3), 1..150),
+        capacity_kb in 8u64..512,
+    ) {
+        use abr_event::time::Instant;
+        use std::collections::BTreeMap;
+        let origin = origin();
+        let capacity = Bytes(capacity_kb * 1024);
+        let mut cache = CdnCache::new(capacity);
+        let mut seen: BTreeMap<_, Bytes> = BTreeMap::new();
+        for (req, ns) in &requests {
+            let (object, range) = req.cache_key();
+            let key = (*ns, object, range);
+            let truth = origin.body_size(req).unwrap();
+            let (hit, size) = cache.fetch_keyed(&origin, req, *ns, Instant::ZERO).unwrap();
+            prop_assert_eq!(size, truth, "served size must match the origin");
+            if hit {
+                prop_assert_eq!(
+                    seen.get(&key), Some(&truth),
+                    "hit without a prior same-namespace fetch of the same key"
+                );
+            }
+            seen.insert(key, truth);
+            prop_assert!(cache.used() <= capacity, "capacity respected under eviction");
+        }
+    }
+
     /// Muxed segment sizes equal the sum of their components, for every
     /// combination and chunk.
     #[test]

@@ -85,6 +85,7 @@ const TIME_BYTE_CORE: &[&str] = &[
     "crates/event/src/queue.rs",
     "crates/net/src/link.rs",
     "crates/net/src/trace.rs",
+    "crates/net/src/uplink.rs",
     "crates/media/src/units.rs",
     "crates/player/src/buffer.rs",
     "crates/player/src/playback.rs",
@@ -98,6 +99,7 @@ const DISPATCH_MODULES: &[&str] = &[
     "crates/player/src/engine.rs",
     "crates/player/src/transfer.rs",
     "crates/player/src/fetch.rs",
+    "crates/bench/src/fleet/driver.rs",
 ];
 
 /// The rule catalog, in rule-id order.

@@ -18,6 +18,9 @@
 //!   processor sharing (the standard fluid approximation of TCP fair share
 //!   on a common bottleneck), integrated exactly across trace changepoints
 //!   in integer microseconds.
+//! * [`uplink`] — the shared origin/CDN uplink of the fleet topology: a
+//!   FIFO store-and-forward queue that makes cache-miss latency
+//!   load-dependent across the sessions of one link domain.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -27,7 +30,9 @@ pub mod link;
 pub mod packet;
 pub mod profile;
 pub mod trace;
+pub mod uplink;
 
 pub use link::{FlowId, Link};
 pub use profile::{DeliveryProfile, Segment};
 pub use trace::Trace;
+pub use uplink::{UplinkQueue, UplinkStats};

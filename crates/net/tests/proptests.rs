@@ -5,6 +5,7 @@ use abr_media::units::{BitsPerSec, Bytes};
 use abr_net::link::Link;
 use abr_net::packet::{PacketLink, DEFAULT_MTU};
 use abr_net::trace::Trace;
+use abr_net::UplinkQueue;
 use proptest::prelude::*;
 
 /// An arbitrary piecewise-constant trace (rates may include zero).
@@ -174,6 +175,65 @@ proptest! {
                 delta <= pkt * budget_pkts,
                 "flow {:?}: fluid {} vs packet {} (budget {} pkts of {})",
                 fc.id, fc.at, pc.at, budget_pkts, pkt
+            );
+        }
+    }
+
+    /// Shared-uplink byte conservation: for any FIFO arrival sequence at a
+    /// fixed rate, the bits delivered never exceed the rate integrated over
+    /// the busy time granted — and ceil rounding overshoots by less than
+    /// one microsecond-tick per transfer, so the bound is tight both ways.
+    /// Completions are FIFO (non-decreasing finish instants).
+    #[test]
+    fn uplink_byte_conservation(
+        rate_kbps in 1u64..100_000,
+        arrivals in proptest::collection::vec((0u64..5_000, 1u64..5_000_000), 1..40),
+    ) {
+        let mut uplink = UplinkQueue::new(rate_kbps);
+        let mut t = Instant::ZERO;
+        let mut prev_finish = Instant::ZERO;
+        for (gap_ms, bytes) in &arrivals {
+            t += Duration::from_millis(*gap_ms);
+            let delay = uplink.enqueue(t, *bytes);
+            let finish = t + delay;
+            prop_assert!(finish >= prev_finish, "FIFO finish order violated");
+            prev_finish = finish;
+        }
+        let s = uplink.stats();
+        prop_assert_eq!(s.transfers, arrivals.len() as u64);
+        let bits = u128::from(s.bytes) * 8_000;
+        let capacity = u128::from(s.busy_us) * u128::from(rate_kbps);
+        prop_assert!(
+            bits <= capacity,
+            "delivered {} bit-units exceed capacity x busy time {}", bits, capacity
+        );
+        prop_assert!(
+            capacity < bits + u128::from(s.transfers) * u128::from(rate_kbps),
+            "busy time granted more than one rounding tick per transfer"
+        );
+        prop_assert!(uplink.busy_until() >= t, "busy horizon behind last arrival's finish");
+    }
+
+    /// The conservation sandwich holds per transfer even while the
+    /// window-sync throttle retunes the rate between arrivals.
+    #[test]
+    fn uplink_conservation_under_rate_changes(
+        arrivals in proptest::collection::vec(
+            (0u64..2_000, 1u64..2_000_000, 1u64..50_000), 1..40),
+    ) {
+        let mut uplink = UplinkQueue::new(1_000);
+        let mut t = Instant::ZERO;
+        for (gap_ms, bytes, rate_kbps) in &arrivals {
+            uplink.set_rate_kbps(*rate_kbps);
+            t += Duration::from_millis(*gap_ms);
+            let before = uplink.stats().busy_us;
+            uplink.enqueue(t, *bytes);
+            let granted = u128::from(uplink.stats().busy_us - before) * u128::from(*rate_kbps);
+            let bits = u128::from(*bytes) * 8_000;
+            prop_assert!(granted >= bits, "busy time does not cover the bytes");
+            prop_assert!(
+                granted < bits + u128::from(*rate_kbps),
+                "serialization over-rounded at {} Kbps", rate_kbps
             );
         }
     }

@@ -24,7 +24,7 @@ use crate::session::{DeliveryMode, PlaylistFetch};
 use crate::transfer::FlightBoard;
 use abr_event::time::{Duration, Instant};
 use abr_event::{EventKey, EventQueue};
-use abr_httpsim::edge::EdgeCache;
+use abr_httpsim::edge::{EdgeCache, TransferPath};
 use abr_httpsim::origin::Origin;
 use abr_media::content::Content;
 use abr_media::track::{MediaType, TrackId};
@@ -103,6 +103,10 @@ pub(crate) struct Engine {
     pub(crate) link: Link,
     pub(crate) policy: Box<dyn AbrPolicy>,
     pub(crate) edge: Option<EdgeCache>,
+    /// Overriding transfer path (a fleet's shared cache + uplink handle).
+    /// When set it is charged instead of `edge` — the two are never
+    /// combined.
+    pub(crate) path: Option<Box<dyn TransferPath>>,
     pub(crate) audio_buf: ChunkBuffer,
     pub(crate) video_buf: ChunkBuffer,
     pub(crate) playback: PlaybackEngine,
@@ -127,32 +131,57 @@ impl Engine {
     pub(crate) fn run(mut self) -> (SessionLog, Option<EdgeCache>) {
         let run_span = self.obs.span("session.run");
         self.start();
-        loop {
-            if self.playback.state() == PlayState::Ended {
-                break;
-            }
-            self.arm_wakes();
-            let Some((t, ev)) = self.queue.pop() else {
-                break; // nothing left, not even the deadline sentinel
-            };
-            let _dispatch = self.obs.span(ev.span_name());
-            match ev {
-                SessionEvent::Deadline => break,
-                SessionEvent::PlaylistRefresh => self.on_refresh_tick(t),
-                SessionEvent::TransferComplete
-                | SessionEvent::PlaybackBoundary
-                | SessionEvent::BufferRefill
-                | SessionEvent::SeekDue => self.step(t),
-            }
-        }
+        while self.pump() {}
         drop(run_span);
         self.finish()
+    }
+
+    /// One engine iteration: re-arm the wake classes, pop the earliest
+    /// event, dispatch it. Returns `false` when the session is over —
+    /// playback ended, the queue ran dry (starved with a dead link), or
+    /// the deadline sentinel popped. `run` is exactly
+    /// `start(); while pump() {}; finish()`; an external driver (the
+    /// fleet's [`crate::stepper::SessionStepper`]) interleaves the same
+    /// iterations with other sessions.
+    pub(crate) fn pump(&mut self) -> bool {
+        if self.playback.state() == PlayState::Ended {
+            return false;
+        }
+        self.arm_wakes();
+        let Some((t, ev)) = self.queue.pop() else {
+            return false; // nothing left, not even the deadline sentinel
+        };
+        let _dispatch = self.obs.span(ev.span_name());
+        match ev {
+            SessionEvent::Deadline => return false,
+            SessionEvent::PlaylistRefresh => self.on_refresh_tick(t),
+            SessionEvent::TransferComplete
+            | SessionEvent::PlaybackBoundary
+            | SessionEvent::BufferRefill
+            | SessionEvent::SeekDue => self.step(t),
+        }
+        true
+    }
+
+    /// The session-local timestamp of the next event `pump` would
+    /// dispatch, after re-arming the wake classes against current state;
+    /// `None` when the session is over. Re-arming here and again in the
+    /// following `pump` is order-neutral: every class is cancelled and
+    /// re-scheduled in the same fixed order both times, so the queue's
+    /// relative tie-break order is unchanged — the property the
+    /// fleet-of-1 parity test pins down.
+    pub(crate) fn next_wake(&mut self) -> Option<Instant> {
+        if self.playback.state() == PlayState::Ended {
+            return None;
+        }
+        self.arm_wakes();
+        self.queue.peek_time()
     }
 
     /// Emits the session-start lifecycle, distributes the obs handle,
     /// plants the deadline sentinel (and first refresh tick), issues eager
     /// playlist prefetches, and runs the t = 0 scheduling round.
-    fn start(&mut self) {
+    pub(crate) fn start(&mut self) {
         let obs = self.obs.clone();
         self.link.set_obs(obs.clone());
         self.origin.set_obs(obs.clone());
@@ -417,7 +446,7 @@ impl Engine {
 
     /// Emits the session-end event, fills the summary fields, and hands
     /// back the log plus the edge cache.
-    fn finish(mut self) -> (SessionLog, Option<EdgeCache>) {
+    pub(crate) fn finish(mut self) -> (SessionLog, Option<EdgeCache>) {
         self.obs.emit(self.now, || Event::SessionEnd);
         self.log.startup_at = self.playback.startup_at();
         self.log.ended_at = self.playback.ended_at();

@@ -16,6 +16,8 @@
 //! * [`policy`] — the `AbrPolicy` trait and the transfer records fed to it.
 //! * [`scheduler`] — which media to fetch next, and when.
 //! * [`session`] — the public facade: builds a session and runs it.
+//! * [`stepper`] — the same engine driven by an external clock, one event
+//!   at a time, for fleet simulations (DESIGN.md §14).
 //! * [`log`] — selection/transfer/buffer/stall records for the figures.
 //!
 //! Behind the facade, the run itself is a typed discrete-event engine
@@ -36,9 +38,11 @@ pub mod playback;
 pub mod policy;
 pub mod scheduler;
 pub mod session;
+pub mod stepper;
 mod transfer;
 
 pub use config::{PlayerConfig, SyncMode};
 pub use log::SessionLog;
 pub use policy::{AbrPolicy, SelectionContext, TransferRecord};
 pub use session::Session;
+pub use stepper::SessionStepper;

@@ -67,6 +67,7 @@ pub struct Session {
     packaging: abr_manifest::build::Packaging,
     delivery: DeliveryMode,
     edge: Option<EdgeCache>,
+    path: Option<Box<dyn abr_httpsim::edge::TransferPath>>,
     refresh_period: Option<Duration>,
     /// Scheduled user seeks: (wall time, target media position), sorted.
     seeks: Vec<(Instant, Duration)>,
@@ -97,6 +98,7 @@ impl Session {
             },
             delivery: DeliveryMode::Demuxed,
             edge: None,
+            path: None,
             refresh_period: None,
             seeks: Vec::new(),
             obs: ObsHandle::disabled(),
@@ -130,6 +132,18 @@ impl Session {
     /// [`Session::run_with_edge`]; `run` discards it.
     pub fn with_edge_cache(mut self, edge: EdgeCache) -> Session {
         self.edge = Some(edge);
+        self
+    }
+
+    /// Routes requests through an arbitrary [`TransferPath`]
+    /// (e.g. a fleet's [`abr_httpsim::shared::SharedEdge`] onto a shared
+    /// per-domain cache and origin uplink). Overrides
+    /// [`Session::with_edge_cache`] when both are set — the path decides
+    /// the whole extra first-byte delay.
+    ///
+    /// [`TransferPath`]: abr_httpsim::edge::TransferPath
+    pub fn with_transfer_path(mut self, path: Box<dyn abr_httpsim::edge::TransferPath>) -> Session {
+        self.path = Some(path);
         self
     }
 
@@ -225,8 +239,16 @@ impl Session {
         self.into_engine().run().0
     }
 
+    /// Consumes the builder into an externally-clocked
+    /// [`SessionStepper`](crate::stepper::SessionStepper): the session's
+    /// `t = 0` round runs immediately, and the caller then advances it one
+    /// event at a time — the fleet driver's entry point (DESIGN.md §14).
+    pub fn into_stepper(self) -> crate::stepper::SessionStepper {
+        crate::stepper::SessionStepper::new(self.into_engine())
+    }
+
     /// Consumes the builder into a ready-to-run engine.
-    fn into_engine(self) -> Engine {
+    pub(crate) fn into_engine(self) -> Engine {
         let content = self.origin.content().clone();
         let chunk_duration = content.chunk_duration();
         let num_chunks = content.num_chunks();
@@ -261,6 +283,7 @@ impl Session {
             link: self.link,
             policy: self.policy,
             edge: self.edge,
+            path: self.path,
             audio_buf: crate::buffer::ChunkBuffer::new(MediaType::Audio),
             video_buf: crate::buffer::ChunkBuffer::new(MediaType::Video),
             playback: PlaybackEngine::new(

@@ -114,7 +114,10 @@ impl Engine {
             .origin
             .transfer_size(req)
             .expect("valid transfer request");
-        let extra = self.edge.first_byte_delay(&self.origin, req, at);
+        let extra = match &mut self.path {
+            Some(p) => p.first_byte_delay(&self.origin, req, at),
+            None => self.edge.first_byte_delay(&self.origin, req, at),
+        };
         let flow = self.link.open_flow_after(size, extra);
         self.obs.emit(at, || Event::RequestIssued {
             flow: flow.0,

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Records the shared-fate fleet engine's performance snapshot as a new
+# entry in BENCH_sim.json (append-only abr-bench-history-v1; see
+# crates/bench/src/history.rs and DESIGN.md §14):
+#
+#  * criterion median for the fixed 60-session fleet bench
+#    (benches/fleet.rs, serial reference point);
+#  * best-of-3 wall-clock for `exp fleet` at --jobs 1 and --jobs <N>
+#    (default: all cores), SESSIONS sessions (default 2000).
+#
+# Every entry records `host_cores`: the regression gate only compares
+# entries from same-core-count hosts, and on a 1-core host the parallel
+# speedup is marked `speedup_reliable: false`. After appending, the
+# regression gate runs over the updated history, so a slow recording
+# fails loudly right here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p abr-bench --bin exp --bin bench_check >/dev/null 2>&1
+cargo bench -p abr-bench --bench fleet --no-run >/dev/null 2>&1 || true
+EXP=target/release/exp
+CHECK=target/release/bench_check
+CORES=$(nproc)
+N="${1:-$CORES}"
+SESSIONS="${SESSIONS:-2000}"
+
+FLEET_OUT=$(cargo bench -p abr-bench --bench fleet -- --bench 2>/dev/null)
+# Extracts one criterion median from captured bench output, in µs.
+pick() { # <captured-output> <bench-name>
+    echo "$1" | awk -v name="$2" '$1 == name && $2 == "median" {
+        v = $3; u = $4
+        if (u == "ns") v /= 1000
+        else if (u == "ms") v *= 1000
+        else if (u == "s")  v *= 1000000
+        printf "%.2f", v
+    }'
+}
+
+CUR_FLEET=$(pick "$FLEET_OUT" "fleet/small60-jobs1")
+
+sp() { awk "BEGIN{printf \"%.2f\", $1/$2}"; }
+
+t() {
+    local s e
+    s=$(date +%s.%N)
+    "$@" >/dev/null
+    e=$(date +%s.%N)
+    awk "BEGIN{printf \"%.3f\", $e - $s}"
+}
+
+# Warm once, then best-of-3 per jobs level.
+"$EXP" fleet --sessions "$SESSIONS" --jobs 1 >/dev/null
+best() {
+    local b=""
+    for _ in 1 2 3; do
+        local x
+        x=$(t "$@")
+        if [ -z "$b" ] || awk "BEGIN{exit !($x < $b)}"; then b=$x; fi
+    done
+    echo "$b"
+}
+
+T1=$(best "$EXP" fleet --sessions "$SESSIONS" --jobs 1)
+TN=$(best "$EXP" fleet --sessions "$SESSIONS" --jobs "$N")
+
+if [ "$CORES" -eq 1 ]; then
+    RELIABLE=false
+    SPEEDUP_NOTE='"1-core host: parallel speedup measures scheduler noise, recorded but never gated"'
+else
+    RELIABLE=true
+    SPEEDUP_NOTE=null
+fi
+
+"$CHECK" append --file BENCH_sim.json --entry - <<EOF
+{
+  "recorded": "$(date +%F)",
+  "note": "scripts/bench_fleet.sh recording",
+  "host_cores": $CORES,
+  "criterion_medians_us": {
+    "fleet/small60-jobs1": $CUR_FLEET
+  },
+  "fleet": {
+    "sessions": $SESSIONS,
+    "jobs_parallel": $N,
+    "fleet_jobs1_s": $T1,
+    "fleet_jobsN_s": $TN,
+    "speedup": $(sp "$T1" "$TN"),
+    "best_of": 3
+  },
+  "speedup_reliable": $RELIABLE,
+  "speedup_note": $SPEEDUP_NOTE
+}
+EOF
+
+"$CHECK" check --file BENCH_sim.json

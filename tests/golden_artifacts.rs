@@ -1,12 +1,20 @@
 //! Golden-artifact regression tests: the checked-in `results/` artifacts
 //! must match what the code regenerates, on every `cargo test`.
 //!
-//! Two artifacts are pinned:
+//! Pinned artifacts:
 //! * `results/f4b.trace.jsonl` — the full event trace of the F4b session
 //!   (deterministic stamping: `wall_ns` is 0, see DESIGN.md §10), exactly
 //!   what `exp --id f4b --trace results/f4b.trace.jsonl` writes.
 //! * `results/f4b.json` — the F4b structured summary, exactly what
 //!   `exp --id f4b --json results` writes.
+//! * `results/fleet_small.txt` / `results/fleet_small.json` — the full
+//!   report of a 16-session shared-fate fleet (DESIGN.md §14), exactly
+//!   what `exp fleet --sessions 16 --arrival-secs 30` emits; since the
+//!   fleet is byte-identical at every `--jobs` and shard count
+//!   (`tests/fleet_determinism.rs`), one golden pins them all.
+//! * `results/fleet_comparison.txt` — the demuxed-vs-muxed head-to-head
+//!   over the same topology (`exp fleet … --delivery both`), the fleet
+//!   engine's headline artifact.
 //!
 //! After an *intentional* behavior change, regenerate with:
 //!
@@ -78,4 +86,26 @@ fn f4b_json_matches_golden() {
     let result = run_jobs("f4b", 1).expect("f4b exists");
     let actual = serde_json::to_string_pretty(&result.json).expect("serialize");
     check_golden("results/f4b.json", &actual);
+}
+
+#[test]
+fn fleet_small_matches_goldens() {
+    let spec = abr_bench::fleet::FleetSpec {
+        arrival_secs: 30,
+        ..abr_bench::fleet::FleetSpec::small(16)
+    };
+    let result = abr_bench::fleet::run_fleet(&spec, 1);
+    check_golden("results/fleet_small.txt", &result.text);
+    let actual = serde_json::to_string_pretty(&result.json).expect("serialize");
+    check_golden("results/fleet_small.json", &actual);
+}
+
+#[test]
+fn fleet_comparison_matches_golden() {
+    let spec = abr_bench::fleet::FleetSpec {
+        arrival_secs: 30,
+        ..abr_bench::fleet::FleetSpec::small(16)
+    };
+    let result = abr_bench::fleet::run_fleet_comparison(&spec, 1);
+    check_golden("results/fleet_comparison.txt", &result.text);
 }
