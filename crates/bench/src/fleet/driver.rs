@@ -26,21 +26,22 @@
 //! reads fixed per-domain slots in a fixed order, and the only shared
 //! mutable signal (the uplink rate) changes exclusively between windows.
 
-use super::{FleetSpec, SessionPlan, TRACE_SECS};
-use crate::setup::{dash_policy, player_config};
+use super::{FleetSpec, PlanSource, SessionPlan, TRACE_SECS};
+use crate::corpus::{TitleCorpus, TitleScenario};
+use crate::setup::{dash_policy_over, player_config};
+use abr_event::arena::{Arena, SlotId};
 use abr_event::time::{Duration, Instant};
 use abr_event::{EventQueue, WindowClock};
 use abr_httpsim::cache::{CacheStats, CdnCache};
 use abr_httpsim::origin::Origin;
 use abr_httpsim::shared::{FleetHub, SharedEdge};
-use abr_media::content::Content;
+use abr_media::content::SharedContent;
 use abr_media::units::Bytes;
 use abr_net::link::Link;
 use abr_net::uplink::{UplinkQueue, UplinkStats};
 use abr_player::{Session, SessionLog, SessionStepper};
 use abr_qoe::QoeSummary;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -49,6 +50,9 @@ use std::sync::Barrier;
 pub(super) struct SessionOutput {
     /// QoE summary of the finished session.
     pub summary: QoeSummary,
+    /// Deterministic estimate of the session's log heap footprint at
+    /// finish (feeds the `--profile` memory note, never the artifact).
+    pub approx_bytes: u64,
     /// The raw log, kept only when the caller asked for it.
     pub log: Option<SessionLog>,
 }
@@ -77,6 +81,12 @@ pub(super) struct DriverOutput {
     pub windows: u64,
     /// Windows in which the origin throttle engaged.
     pub throttled_windows: u64,
+    /// Shared title-corpus footprint (deterministic estimate, bytes).
+    pub corpus_bytes: u64,
+    /// Summed per-session log footprints (deterministic estimate, bytes).
+    pub session_bytes: u64,
+    /// Largest single-session log footprint (deterministic estimate).
+    pub session_bytes_max: u64,
 }
 
 /// What one worker returns: its sessions' outputs (keyed by session
@@ -87,23 +97,31 @@ type WorkerResult = (Vec<(usize, SessionOutput)>, Vec<DomainReport>);
 enum Slot {
     /// Construct and start session `i` (pops at its arrival instant).
     Arrival(usize),
-    /// Dispatch session `i`'s next engine event.
-    Wake(usize),
+    /// Dispatch the next engine event of the live session in this arena
+    /// slot. Queue order never reads the payload, so swapping the session
+    /// index for an arena handle cannot reorder dispatch (DESIGN.md §15).
+    Wake(SlotId),
 }
 
-/// A live session: its stepper plus the arrival offset translating its
-/// local clock onto the fleet clock.
+/// A live session: its stepper, its fleet-wide index (the result merge
+/// key, carried because wakes address the arena slot, not the index),
+/// and the arrival offset translating its local clock onto fleet time.
 struct ActiveSession {
+    index: usize,
     stepper: SessionStepper,
     offset: Duration,
 }
 
-/// One link domain owned by a worker.
+/// One link domain owned by a worker. Live sessions sit in a
+/// generational [`Arena`]: wake slots carry O(1) handles and freed slots
+/// recycle, so long-running fleets churn a bounded pool instead of
+/// a tree keyed by session index (the index order was never read —
+/// dispatch order is the event queue's alone).
 struct Domain {
     index: usize,
     queue: EventQueue<Slot>,
     hub: Rc<RefCell<FleetHub>>,
-    active: BTreeMap<usize, ActiveSession>,
+    active: Arena<ActiveSession>,
     peak_active: usize,
     finished: usize,
 }
@@ -123,16 +141,19 @@ pub(super) fn build_hub(spec: &FleetSpec) -> FleetHub {
 pub(super) fn build_session(
     spec: &FleetSpec,
     plan: &SessionPlan,
-    content: &Content,
+    scenario: &TitleScenario,
     hub: Rc<RefCell<FleetHub>>,
 ) -> Session {
-    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-    let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), plan.trace_seed)
-        .swap_remove(plan.trace_index)
-        .1;
+    let origin = Origin::with_overhead(SharedContent::clone(&scenario.content), Bytes::ZERO);
+    let trace = abr_net::corpus::nth(
+        Duration::from_secs(TRACE_SECS),
+        plan.trace_seed,
+        plan.trace_index,
+    )
+    .1;
     let link = Link::with_latency(trace, Duration::from_millis(20));
-    let policy = dash_policy(plan.kind, content);
-    let config = player_config(plan.kind, content.chunk_duration());
+    let policy = dash_policy_over(plan.kind, &scenario.content, &scenario.dash);
+    let config = player_config(plan.kind, scenario.content.chunk_duration());
     Session::new(origin, link, policy, config)
         .with_delivery(spec.delivery)
         .with_deadline(Instant::from_secs(spec.deadline_secs))
@@ -143,24 +164,22 @@ pub(super) fn build_session(
         )))
 }
 
-/// The per-title content cut: every session of one title streams the same
-/// realization (that is what makes their bytes shareable), and distinct
-/// titles get distinct cuts by seed offset.
-pub(super) fn title_content(spec: &FleetSpec, title: usize) -> Content {
-    Content::drama_show(spec.seed.wrapping_add(title as u64))
-}
-
 /// Runs the fleet. Returns per-session outputs in index order and
 /// per-domain reports in domain order — byte-identical at every `jobs`
 /// and shard count.
 pub(super) fn run(
     spec: &FleetSpec,
-    plans: &[SessionPlan],
+    source: &PlanSource,
     jobs: usize,
     keep_logs: bool,
 ) -> DriverOutput {
     let workers = jobs.max(1).min(spec.shards);
     let barrier = Barrier::new(workers);
+    // The shared title catalog: every content cut and manifest view is
+    // built exactly once here and read by reference from every worker —
+    // the per-worker lazily-filled caches this replaces built each title
+    // up to `workers` times over.
+    let corpus = TitleCorpus::build(spec.seed, spec.titles);
     // Fixed per-domain demand slots the leader folds in domain order.
     let demand: Vec<AtomicU64> = (0..spec.domains).map(|_| AtomicU64::new(0)).collect();
     let alive: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
@@ -172,6 +191,7 @@ pub(super) fn run(
     let mut worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
+                let corpus = &corpus;
                 let barrier = &barrier;
                 let demand = &demand;
                 let alive = &alive;
@@ -181,8 +201,8 @@ pub(super) fn run(
                 let throttled = &throttled;
                 scope.spawn(move || {
                     run_worker(
-                        spec, plans, w, workers, keep_logs, barrier, demand, alive, rate, stop,
-                        windows, throttled,
+                        spec, source, corpus, w, workers, keep_logs, barrier, demand, alive, rate,
+                        stop, windows, throttled,
                     )
                 })
             })
@@ -196,7 +216,7 @@ pub(super) fn run(
     // Merge in index order: session outputs by session index, domain
     // reports by domain index. Sort keys are unique, so the merged order
     // is independent of which worker produced what.
-    let mut outputs: Vec<(usize, SessionOutput)> = Vec::with_capacity(plans.len());
+    let mut outputs: Vec<(usize, SessionOutput)> = Vec::with_capacity(source.len());
     let mut domains: Vec<DomainReport> = Vec::with_capacity(spec.domains);
     for (outs, doms) in &mut worker_results {
         outputs.append(outs);
@@ -204,14 +224,23 @@ pub(super) fn run(
     }
     outputs.sort_by_key(|(i, _)| *i);
     domains.sort_by_key(|d| d.domain);
-    assert_eq!(outputs.len(), plans.len(), "every session must finish");
+    assert_eq!(outputs.len(), source.len(), "every session must finish");
     assert_eq!(domains.len(), spec.domains, "every domain must report");
 
+    let session_bytes: u64 = outputs.iter().map(|(_, o)| o.approx_bytes).sum();
+    let session_bytes_max = outputs
+        .iter()
+        .map(|(_, o)| o.approx_bytes)
+        .max()
+        .unwrap_or(0);
     DriverOutput {
         outputs: outputs.into_iter().map(|(_, o)| o).collect(),
         domains,
         windows: windows.load(Ordering::SeqCst),
         throttled_windows: throttled.load(Ordering::SeqCst),
+        corpus_bytes: corpus.approx_bytes(),
+        session_bytes,
+        session_bytes_max,
     }
 }
 
@@ -232,7 +261,8 @@ fn throttle_rate(spec: &FleetSpec, total_bytes: u128) -> (u64, bool) {
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     spec: &FleetSpec,
-    plans: &[SessionPlan],
+    source: &PlanSource,
+    corpus: &TitleCorpus,
     w: usize,
     workers: usize,
     keep_logs: bool,
@@ -252,25 +282,33 @@ fn run_worker(
             index,
             queue: EventQueue::new(),
             hub: Rc::new(RefCell::new(build_hub(spec))),
-            active: BTreeMap::new(),
+            active: Arena::new(),
             peak_active: 0,
             finished: 0,
         })
         .collect();
 
-    // Pre-schedule arrivals in plan-index order: FIFO tie-breaking makes
+    // Pre-schedule arrivals in plan-index order, streamed straight off
+    // the plan source: within each domain's queue the schedule order is
+    // still ascending in session index, so FIFO tie-breaking makes
     // same-instant arrivals pop in index order, a pure function of the
-    // plan.
-    for domain in &mut domains {
-        for plan in plans.iter().filter(|p| p.domain == domain.index) {
-            domain
-                .queue
-                .schedule(Instant::ZERO + plan.arrival, Slot::Arrival(plan.index));
+    // plan. Domain membership (`i % domains`) is positional, so plans of
+    // other workers' domains are never even computed.
+    let mut owned_pos = vec![usize::MAX; spec.domains];
+    for (pos, domain) in domains.iter().enumerate() {
+        owned_pos[domain.index] = pos;
+    }
+    for i in 0..source.len() {
+        let pos = owned_pos[i % spec.domains];
+        if pos == usize::MAX {
+            continue;
         }
+        let arrival = source.plan(i).arrival;
+        domains[pos]
+            .queue
+            .schedule(Instant::ZERO + arrival, Slot::Arrival(i));
     }
 
-    // Per-worker content cache: one cut per title, built on first use.
-    let mut contents: BTreeMap<usize, Content> = BTreeMap::new();
     let mut outputs: Vec<(usize, SessionOutput)> = Vec::new();
     let clock = WindowClock::new(Duration::from_millis(spec.window_ms));
 
@@ -278,15 +316,7 @@ fn run_worker(
     loop {
         let end = clock.end_of(k);
         for domain in &mut domains {
-            drain_window(
-                spec,
-                plans,
-                domain,
-                end,
-                keep_logs,
-                &mut contents,
-                &mut outputs,
-            );
+            drain_window(spec, source, corpus, domain, end, keep_logs, &mut outputs);
             demand[domain.index].store(
                 domain.hub.borrow_mut().uplink_mut().take_window_bytes(),
                 Ordering::SeqCst,
@@ -363,39 +393,35 @@ fn run_worker(
 /// is fully settled before the barrier.
 fn drain_window(
     spec: &FleetSpec,
-    plans: &[SessionPlan],
+    source: &PlanSource,
+    corpus: &TitleCorpus,
     domain: &mut Domain,
     end: Instant,
     keep_logs: bool,
-    contents: &mut BTreeMap<usize, Content>,
     outputs: &mut Vec<(usize, SessionOutput)>,
 ) {
     while let Some((_, slot)) = domain.queue.pop_before(end) {
         match slot {
             Slot::Arrival(i) => {
-                let plan = &plans[i];
-                let content = contents
-                    .entry(plan.title)
-                    .or_insert_with(|| title_content(spec, plan.title));
+                let plan = source.plan(i);
+                let scenario = corpus.title(plan.title);
                 let mut stepper =
-                    build_session(spec, plan, content, Rc::clone(&domain.hub)).into_stepper();
+                    build_session(spec, &plan, scenario, Rc::clone(&domain.hub)).into_stepper();
                 match stepper.next_wake() {
                     Some(local) => {
-                        domain.queue.schedule(local + plan.arrival, Slot::Wake(i));
-                        domain.active.insert(
-                            i,
-                            ActiveSession {
-                                stepper,
-                                offset: plan.arrival,
-                            },
-                        );
+                        let id = domain.active.insert(ActiveSession {
+                            index: i,
+                            stepper,
+                            offset: plan.arrival,
+                        });
+                        domain.queue.schedule(local + plan.arrival, Slot::Wake(id));
                         domain.peak_active = domain.peak_active.max(domain.active.len());
                     }
                     None => finalize(domain, i, stepper, keep_logs, outputs),
                 }
             }
-            Slot::Wake(i) => {
-                let session = domain.active.get_mut(&i).expect("wake for live session");
+            Slot::Wake(id) => {
+                let session = domain.active.get_mut(id).expect("wake for live session");
                 let more = session.stepper.dispatch_next();
                 let next = if more {
                     session.stepper.next_wake()
@@ -405,11 +431,11 @@ fn drain_window(
                 match next {
                     Some(local) => {
                         let offset = session.offset;
-                        domain.queue.schedule(local + offset, Slot::Wake(i));
+                        domain.queue.schedule(local + offset, Slot::Wake(id));
                     }
                     None => {
-                        let session = domain.active.remove(&i).expect("just present");
-                        finalize(domain, i, session.stepper, keep_logs, outputs);
+                        let session = domain.active.remove(id).expect("just present");
+                        finalize(domain, session.index, session.stepper, keep_logs, outputs);
                     }
                 }
             }
@@ -427,11 +453,13 @@ fn finalize(
 ) {
     let log = stepper.finish();
     let summary = abr_qoe::summarize(&log);
+    let approx_bytes = log.approx_heap_bytes();
     domain.finished += 1;
     outputs.push((
         index,
         SessionOutput {
             summary,
+            approx_bytes,
             log: keep_logs.then_some(log),
         },
     ));

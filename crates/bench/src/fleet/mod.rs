@@ -12,8 +12,10 @@
 //! the origin capacity, every domain's uplink is throttled
 //! proportionally for the next window.
 //!
-//! Determinism (DESIGN.md §14): the arrival plan is realized up front in
-//! session-index order from per-session RNG streams; domains are atomic
+//! Determinism (DESIGN.md §14): the arrival plan is a pure per-session
+//! function of the spec ([`PlanSource`]), recomputed on demand from
+//! per-session RNG streams and scheduled in session-index order — the
+//! plan vector itself is never materialized; domains are atomic
 //! single-threaded units; cross-domain state moves only at window
 //! barriers, folded in domain order; results merge in session/domain
 //! order. The artifact is therefore byte-identical at every `--jobs`
@@ -159,38 +161,107 @@ fn zipf_cdf(titles: usize, alpha: f64) -> Vec<f64> {
         .collect()
 }
 
-/// Realizes the arrival plan: one RNG stream per session, derived
-/// scheduling-blind from the spec seed ([`SplitMix64::for_stream`]), in
-/// session-index order. Title popularity is Zipf over the catalog;
-/// arrivals are uniform over the window; the player kind cycles through
-/// [`POLICY_MIX`] by draw; domains assign round-robin by index so every
-/// domain sees the same arrival intensity.
+/// Streamed plan realization (DESIGN.md §15): the Zipf CDF and trace
+/// corpus length are precomputed once; any session's plan is then
+/// recomputed on demand from its own scheduling-blind RNG stream
+/// ([`SplitMix64::for_stream`]) in O(log titles). The driver pulls plans
+/// through this instead of an upfront `Vec<SessionPlan>`, so a
+/// 100k-session fleet never materializes O(fleet) plan memory.
+///
+/// [`realize`] remains as the materialized view (tests, external
+/// callers); `plan_source_matches_realize` pins them equal field for
+/// field.
+pub struct PlanSource {
+    sessions: usize,
+    domains: usize,
+    titles: usize,
+    arrival_secs: u64,
+    seed: u64,
+    cdf: Vec<f64>,
+    total: f64,
+    corpus_len: usize,
+}
+
+impl PlanSource {
+    /// Precomputes the per-fleet draw tables from a validated spec.
+    #[must_use]
+    pub fn new(spec: &FleetSpec) -> PlanSource {
+        spec.validate();
+        let cdf = zipf_cdf(spec.titles, spec.zipf_alpha);
+        let total = *cdf.last().expect("at least one title");
+        PlanSource {
+            sessions: spec.sessions,
+            domains: spec.domains,
+            titles: spec.titles,
+            arrival_secs: spec.arrival_secs,
+            seed: spec.seed,
+            cdf,
+            total,
+            corpus_len: abr_net::corpus::LEN,
+        }
+    }
+
+    /// Number of sessions in the fleet.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions
+    }
+
+    /// Whether the fleet is empty (it never is: `validate` rejects it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions == 0
+    }
+
+    /// Recomputes session `i`'s plan: title popularity is Zipf over the
+    /// catalog; arrivals are uniform over the window; the player kind
+    /// cycles through [`POLICY_MIX`] by draw; domains assign round-robin
+    /// by index so every domain sees the same arrival intensity. A pure
+    /// function of `(spec, i)` — the draw order is part of the artifact
+    /// contract.
+    #[must_use]
+    pub fn plan(&self, i: usize) -> SessionPlan {
+        assert!(i < self.sessions, "plan index out of range");
+        let mut rng = SplitMix64::for_stream(self.seed, i as u64);
+        let u = rng.next_f64() * self.total;
+        let title = self.cdf.partition_point(|&c| c < u).min(self.titles - 1);
+        let arrival = Duration::from_micros(rng.below(self.arrival_secs.max(1) * 1_000_000));
+        let kind = POLICY_MIX[rng.below(POLICY_MIX.len() as u64) as usize];
+        let trace_index = rng.below(self.corpus_len as u64) as usize;
+        let trace_seed = rng.next_u64();
+        SessionPlan {
+            index: i,
+            domain: i % self.domains,
+            title,
+            kind,
+            arrival,
+            trace_index,
+            trace_seed,
+        }
+    }
+
+    /// All plans in index order, computed lazily.
+    pub fn iter(&self) -> impl Iterator<Item = SessionPlan> + '_ {
+        (0..self.sessions).map(|i| self.plan(i))
+    }
+
+    /// Sessions per title, in one O(sessions) pass — the only whole-plan
+    /// aggregate the report layer needs.
+    #[must_use]
+    pub fn title_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.titles];
+        for plan in self.iter() {
+            counts[plan.title] += 1;
+        }
+        counts
+    }
+}
+
+/// Realizes the arrival plan as a vector, one RNG stream per session in
+/// session-index order — the materialized view of [`PlanSource`].
 #[must_use]
 pub fn realize(spec: &FleetSpec) -> Vec<SessionPlan> {
-    spec.validate();
-    let cdf = zipf_cdf(spec.titles, spec.zipf_alpha);
-    let total = *cdf.last().expect("at least one title");
-    let corpus_len = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), spec.seed).len();
-    (0..spec.sessions)
-        .map(|i| {
-            let mut rng = SplitMix64::for_stream(spec.seed, i as u64);
-            let u = rng.next_f64() * total;
-            let title = cdf.partition_point(|&c| c < u).min(spec.titles - 1);
-            let arrival = Duration::from_micros(rng.below(spec.arrival_secs.max(1) * 1_000_000));
-            let kind = POLICY_MIX[rng.below(POLICY_MIX.len() as u64) as usize];
-            let trace_index = rng.below(corpus_len as u64) as usize;
-            let trace_seed = rng.next_u64();
-            SessionPlan {
-                index: i,
-                domain: i % spec.domains,
-                title,
-                kind,
-                arrival,
-                trace_index,
-                trace_seed,
-            }
-        })
-        .collect()
+    PlanSource::new(spec).iter().collect()
 }
 
 /// The result of one fleet run: the rendered report, the structured JSON
@@ -223,9 +294,9 @@ pub fn run_fleet_with_logs(spec: &FleetSpec, jobs: usize) -> FleetResult {
 }
 
 fn run_inner(spec: &FleetSpec, jobs: usize, keep_logs: bool) -> FleetResult {
-    let plans = realize(spec);
-    let out = driver::run(spec, &plans, jobs, keep_logs);
-    let (text, json) = report::render(spec, &plans, &out);
+    let source = PlanSource::new(spec);
+    let out = driver::run(spec, &source, jobs, keep_logs);
+    let (text, json) = report::render(spec, &source.title_counts(), &out);
     let logs = keep_logs.then(|| {
         out.outputs
             .into_iter()
@@ -251,14 +322,14 @@ pub fn run_fleet_profiled(
     jobs: usize,
 ) -> (FleetResult, crate::profiling::WorkloadProfile) {
     let setup = abr_obs::HostStopwatch::start();
-    let plans = realize(spec);
+    let source = PlanSource::new(spec);
     let setup_ns = setup.elapsed_ns();
     let wall = abr_obs::HostStopwatch::start();
     let run = abr_obs::HostStopwatch::start();
-    let out = driver::run(spec, &plans, jobs, false);
+    let out = driver::run(spec, &source, jobs, false);
     let run_ns = run.elapsed_ns();
     let merge = abr_obs::HostStopwatch::start();
-    let (text, json) = report::render(spec, &plans, &out);
+    let (text, json) = report::render(spec, &source.title_counts(), &out);
     let pool = crate::runner::RunnerProfile {
         jobs: jobs.max(1).min(spec.shards),
         items: spec.sessions as u64,
@@ -267,13 +338,33 @@ pub fn run_fleet_profiled(
         wall_ns: wall.elapsed_ns(),
         ..crate::runner::RunnerProfile::default()
     };
+    // The peak-memory estimate (DESIGN.md §15): deterministic byte
+    // counts, not allocator telemetry — per-session log footprints are a
+    // pure function of the artifact, peak-active is a driver counter, and
+    // the shared corpus is sized from the content tables. Rendered as a
+    // profile note so the fleet report artifact itself stays untouched.
+    let sessions = spec.sessions.max(1) as u64;
+    let mean_session = out.session_bytes / sessions;
+    let peak_active: u64 = out.domains.iter().map(|d| d.peak_active as u64).sum();
+    let peak_estimate = out.corpus_bytes + peak_active * mean_session;
+    let memory_note = format!(
+        "memory: ~{}/session (max {}) | shared corpus {} ({} titles) | \
+         est peak {} @ {} peak-active sessions",
+        crate::profiling::fmt_bytes(mean_session),
+        crate::profiling::fmt_bytes(out.session_bytes_max),
+        crate::profiling::fmt_bytes(out.corpus_bytes),
+        spec.titles,
+        crate::profiling::fmt_bytes(peak_estimate),
+        peak_active,
+    );
     let result = FleetResult {
         text,
         json,
         sessions: spec.sessions,
         logs: None,
     };
-    let profile = crate::profiling::WorkloadProfile::from_pool("fleet", setup_ns, pool);
+    let mut profile = crate::profiling::WorkloadProfile::from_pool("fleet", setup_ns, pool);
+    profile.notes.push(memory_note);
     (result, profile)
 }
 
@@ -287,11 +378,10 @@ pub fn run_fleet_profiled(
 /// differential test in `tests/fleet_determinism.rs` holds this.
 #[must_use]
 pub fn standalone_log(spec: &FleetSpec, index: usize) -> SessionLog {
-    let plans = realize(spec);
-    let plan = &plans[index];
-    let content = driver::title_content(spec, plan.title);
+    let plan = PlanSource::new(spec).plan(index);
+    let scenario = crate::corpus::TitleScenario::build(spec.seed, plan.title);
     let hub = std::rc::Rc::new(std::cell::RefCell::new(driver::build_hub(spec)));
-    driver::build_session(spec, plan, &content, hub).run()
+    driver::build_session(spec, &plan, &scenario, hub).run()
 }
 
 /// Runs the same topology under demuxed and muxed packaging and renders
@@ -323,6 +413,30 @@ pub fn run_fleet_comparison(spec: &FleetSpec, jobs: usize) -> FleetResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn plan_source_matches_realize() {
+        let spec = FleetSpec {
+            zipf_alpha: 0.8,
+            ..FleetSpec::small(300)
+        };
+        let source = PlanSource::new(&spec);
+        let plans = realize(&spec);
+        assert_eq!(source.len(), plans.len());
+        for (i, p) in plans.iter().enumerate() {
+            let q = source.plan(i);
+            assert_eq!(q.index, p.index);
+            assert_eq!(q.domain, p.domain);
+            assert_eq!(q.title, p.title);
+            assert_eq!(q.kind, p.kind);
+            assert_eq!(q.arrival, p.arrival);
+            assert_eq!(q.trace_index, p.trace_index);
+            assert_eq!(q.trace_seed, p.trace_seed);
+        }
+        let counts = source.title_counts();
+        assert_eq!(counts.iter().sum::<usize>(), spec.sessions);
+        assert_eq!(counts[0], plans.iter().filter(|p| p.title == 0).count());
+    }
 
     #[test]
     fn realization_is_a_pure_function_of_the_spec() {

@@ -7,7 +7,7 @@
 //! `tests/fleet_determinism.rs` asserts against these exact strings.
 
 use super::driver::DriverOutput;
-use super::{FleetResult, FleetSpec, SessionPlan};
+use super::{FleetResult, FleetSpec};
 use crate::report::table;
 use serde_json::{json, Value};
 
@@ -60,10 +60,12 @@ impl Dist {
 }
 
 /// Renders the full fleet report: header, QoE distributions, per-domain
-/// table, fleet totals. Returns `(text, json)`.
+/// table, fleet totals. `title_counts` is the only whole-plan aggregate
+/// needed (computed in one streamed pass — the plan vector itself is
+/// never materialized). Returns `(text, json)`.
 pub(super) fn render(
     spec: &FleetSpec,
-    plans: &[SessionPlan],
+    title_counts: &[usize],
     out: &DriverOutput,
 ) -> (String, Value) {
     let summaries: Vec<_> = out.outputs.iter().map(|o| &o.summary).collect();
@@ -176,10 +178,6 @@ pub(super) fn render(
     } else {
         fleet_hits as f64 / fleet_requests as f64
     };
-    let mut title_counts = vec![0usize; spec.titles];
-    for p in plans {
-        title_counts[p.title] += 1;
-    }
     let head_share = title_counts[0] as f64 / n as f64;
 
     let delivery = format!("{:?}", spec.delivery);

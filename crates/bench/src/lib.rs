@@ -7,6 +7,10 @@
 //!   textual forms, so every experiment exercises the full
 //!   build→serialize→parse→bind pipeline), player configurations and
 //!   session runners.
+//! * [`corpus`] — the shared scenario corpus (DESIGN.md §15): per-
+//!   realization content cuts, round-tripped manifest views and trace
+//!   corpora built once and `Arc`-shared across every session, worker
+//!   and origin that streams them.
 //! * [`report`] — fixed-width tables and ASCII time-series plots.
 //! * [`experiments`] — one function per experiment id (`t1`…`m1`);
 //!   [`experiments::run`] dispatches by id, the `exp` binary is the CLI.
@@ -28,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod corpus;
 pub mod experiments;
 pub mod fleet;
 pub mod history;

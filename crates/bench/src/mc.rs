@@ -15,17 +15,20 @@
 
 use std::rc::Rc;
 
+use crate::corpus::ScenarioCorpus;
 use crate::profiling::WorkloadProfile;
 use crate::report::table;
 use crate::runner;
-use crate::setup::{dash_policy, drama, run_session_with_obs, PlayerKind, SEED};
+use crate::setup::{dash_policy_over, run_session_pooled, PlayerKind};
 use abr_core::{BestPracticePolicy, CappedPolicy};
 use abr_event::time::Duration;
+use abr_manifest::view::BoundDash;
 use abr_media::combo::{combo_bitrate, curated_subset, Combo};
 use abr_media::content::Content;
 use abr_media::units::BitsPerSec;
 use abr_obs::{HostStopwatch, ObsHandle, Profiler};
 use abr_player::policy::AbrPolicy;
+use abr_player::SessionScratch;
 use abr_qoe::QoeSummary;
 use serde_json::{json, Value};
 
@@ -56,16 +59,15 @@ impl McPolicy {
         }
     }
 
-    /// Builds the arm's policy over `content`.
-    fn policy(&self, content: &Content) -> Box<dyn AbrPolicy> {
+    /// Builds the arm's policy over `content` and its already-bound DASH
+    /// view (shared from the scenario corpus — the MPD round trip happens
+    /// once per realization, not once per session).
+    fn policy(&self, content: &Content, view: &BoundDash) -> Box<dyn AbrPolicy> {
         match self {
-            McPolicy::Kind(kind) => dash_policy(*kind, content),
+            McPolicy::Kind(kind) => dash_policy_over(*kind, content, view),
             McPolicy::Capped(kbps) => {
                 let allowed = curated_subset(content.video(), content.audio());
-                let inner = {
-                    let view = crate::setup::dash_view(content);
-                    Box::new(BestPracticePolicy::from_dash(&view, &allowed))
-                };
+                let inner = Box::new(BestPracticePolicy::from_dash(view, &allowed));
                 let pairs: Vec<(Combo, BitsPerSec)> = allowed
                     .iter()
                     .map(|&c| {
@@ -152,19 +154,19 @@ pub struct McResult {
     pub sessions: usize,
 }
 
-/// The authored sweep grid: corpus names, policy arms, and every
-/// (realization, trace, policy) cell in the fixed seed-major order the
-/// determinism contract requires.
-fn mc_grid(seeds: u64) -> (Vec<&'static str>, Vec<McPolicy>, Vec<McCell>) {
-    let corpus_names: Vec<&'static str> =
-        abr_net::corpus::all(Duration::from_secs(TRACE_SECS), SEED)
-            .into_iter()
-            .map(|(name, _)| name)
-            .collect();
+/// The authored sweep grid: the shared scenario corpus, policy arms, and
+/// every (realization, trace, policy) cell in the fixed seed-major order
+/// the determinism contract requires. The corpus builds each
+/// realization's content, DASH view and trace corpus exactly once;
+/// cells then clone `Arc` handles instead of re-synthesizing
+/// (DESIGN.md §15).
+fn mc_grid(seeds: u64) -> (ScenarioCorpus, Vec<McPolicy>, Vec<McCell>) {
+    let corpus = ScenarioCorpus::build_mc(seeds, Duration::from_secs(TRACE_SECS));
     let policies = mc_policies();
+    let traces = corpus.trace_names().len();
     let mut grid: Vec<McCell> = Vec::new();
     for realization in 0..seeds {
-        for trace in 0..corpus_names.len() {
+        for trace in 0..traces {
             for policy in 0..policies.len() {
                 grid.push(McCell {
                     realization,
@@ -174,38 +176,45 @@ fn mc_grid(seeds: u64) -> (Vec<&'static str>, Vec<McPolicy>, Vec<McCell>) {
             }
         }
     }
-    (corpus_names, policies, grid)
+    (corpus, policies, grid)
 }
 
-/// Runs one grid cell: rebuild its realization (content cut, trace draw,
-/// policy) and run the session. With a profiler attached the setup,
-/// session and summarize phases become spans and the session's
-/// `ObsHandle` carries the profiler; without one this is exactly the
-/// unprofiled path (a disabled handle is what a bare session uses), so
-/// the returned summary is byte-identical either way.
-fn run_cell(policies: &[McPolicy], cell: McCell, profiler: Option<&Rc<Profiler>>) -> QoeSummary {
+/// Runs one grid cell over the shared corpus: clone the realization's
+/// content handle and trace, build the arm's policy over the shared
+/// view, run the session with pooled log vectors. With a profiler
+/// attached the setup, session and summarize phases become spans and the
+/// session's `ObsHandle` carries the profiler; without one this is
+/// exactly the unprofiled path (a disabled handle is what a bare session
+/// uses), so the returned summary is byte-identical either way.
+fn run_cell(
+    policies: &[McPolicy],
+    corpus: &ScenarioCorpus,
+    cell: McCell,
+    profiler: Option<&Rc<Profiler>>,
+    scratch: &mut SessionScratch,
+) -> QoeSummary {
     let setup_span = profiler.map(|p| p.span("session.setup"));
-    // Each realization gets its own content cut and trace draw,
-    // derived by offset from the experiment-wide seed.
-    let seed = SEED.wrapping_add(cell.realization);
-    let content = if cell.realization == 0 {
-        drama()
-    } else {
-        Content::drama_show(seed)
-    };
-    let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), seed)
-        .swap_remove(cell.trace)
-        .1;
+    let scenario = corpus.scenario(cell.realization);
+    let trace = scenario.traces[cell.trace].1.clone();
     let arm = policies[cell.policy];
-    let policy = arm.policy(&content);
+    let policy = arm.policy(&scenario.content, &scenario.dash);
     drop(setup_span);
     let mut obs = ObsHandle::disabled();
     if let Some(p) = profiler {
         obs = obs.with_profiler(Rc::clone(p));
     }
-    let log = run_session_with_obs(&content, arm.player_kind(), policy, trace, obs);
+    let log = run_session_pooled(
+        &scenario.content,
+        arm.player_kind(),
+        policy,
+        trace,
+        obs,
+        scratch,
+    );
     let _summarize = profiler.map(|p| p.span("session.summarize"));
-    abr_qoe::summarize(&log)
+    let summary = abr_qoe::summarize(&log);
+    scratch.reclaim(log);
+    summary
 }
 
 /// Runs the fleet sweep: `seeds` realizations of (full corpus × all
@@ -213,10 +222,12 @@ fn run_cell(policies: &[McPolicy], cell: McCell, profiler: Option<&Rc<Profiler>>
 /// every `jobs` value.
 pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
     assert!(seeds > 0, "mc sweep needs at least one seed");
-    let (corpus_names, policies, grid) = mc_grid(seeds);
+    let (corpus, policies, grid) = mc_grid(seeds);
     let summaries: Vec<QoeSummary> =
-        runner::run_indexed(grid.len(), jobs, |i| run_cell(&policies, grid[i], None));
-    aggregate(seeds, &corpus_names, &policies, &grid, &summaries)
+        runner::run_indexed_with(grid.len(), jobs, SessionScratch::new, |scratch, i| {
+            run_cell(&policies, &corpus, grid[i], None, scratch)
+        });
+    aggregate(seeds, &corpus.trace_names(), &policies, &grid, &summaries)
 }
 
 /// [`run_mc`] with the self-profiling layer on (`exp mc --profile`):
@@ -228,14 +239,15 @@ pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
 pub fn run_mc_profiled(seeds: u64, jobs: usize) -> (McResult, WorkloadProfile) {
     assert!(seeds > 0, "mc sweep needs at least one seed");
     let setup = HostStopwatch::start();
-    let (corpus_names, policies, grid) = mc_grid(seeds);
+    let (corpus, policies, grid) = mc_grid(seeds);
     let setup_ns = setup.elapsed_ns();
     let (summaries, pool) = runner::run_indexed_profiled(grid.len(), jobs, |i| {
         let profiler = Rc::new(Profiler::new());
-        let q = run_cell(&policies, grid[i], Some(&profiler));
+        let mut scratch = SessionScratch::new();
+        let q = run_cell(&policies, &corpus, grid[i], Some(&profiler), &mut scratch);
         (q, profiler.report())
     });
-    let result = aggregate(seeds, &corpus_names, &policies, &grid, &summaries);
+    let result = aggregate(seeds, &corpus.trace_names(), &policies, &grid, &summaries);
     let profile = WorkloadProfile::from_pool("mc", setup_ns, pool);
     (result, profile)
 }
@@ -350,6 +362,36 @@ mod tests {
             serde_json::to_string(&serial.json).unwrap(),
             serde_json::to_string(&sharded.json).unwrap()
         );
+    }
+
+    #[test]
+    fn corpus_sharing_matches_per_spec_construction() {
+        // The tentpole differential: cells running over Arc-shared
+        // corpus scenarios must summarize identically to cells that
+        // rebuild content, view and trace from their spec alone.
+        use crate::setup::{dash_view, run_session_with_obs, SEED};
+        use abr_media::content::SharedContent;
+        let (corpus, policies, grid) = mc_grid(2);
+        let mut scratch = SessionScratch::new();
+        for cell in grid.iter().step_by(5).copied() {
+            let shared = run_cell(&policies, &corpus, cell, None, &mut scratch);
+            let seed = SEED.wrapping_add(cell.realization);
+            let content: SharedContent = Content::drama_show(seed).into();
+            let trace = abr_net::corpus::all(Duration::from_secs(TRACE_SECS), seed)
+                .swap_remove(cell.trace)
+                .1;
+            let arm = policies[cell.policy];
+            let view = dash_view(&content);
+            let policy = arm.policy(&content, &view);
+            let log = run_session_with_obs(
+                &content,
+                arm.player_kind(),
+                policy,
+                trace,
+                ObsHandle::disabled(),
+            );
+            assert_eq!(shared, abr_qoe::summarize(&log), "cell {cell:?}");
+        }
     }
 
     #[test]

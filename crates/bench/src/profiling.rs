@@ -43,6 +43,24 @@ pub struct WorkloadProfile {
     pub session_wall: HistogramSnapshot,
     /// Merged span tree across all sessions (spec order).
     pub spans: ProfileReport,
+    /// Workload-specific annotation lines (e.g. the fleet peak-memory
+    /// estimate), rendered verbatim after the session-wall line.
+    pub notes: Vec<String>,
+}
+
+/// Human-readable byte count: `B`/`KB`/`MB`/`GB` with one decimal above
+/// bytes. Deterministic formatting for deterministic estimates.
+#[must_use]
+pub fn fmt_bytes(n: u64) -> String {
+    if n < 1_000 {
+        format!("{n} B")
+    } else if n < 1_000_000 {
+        format!("{:.1} KB", n as f64 / 1e3)
+    } else if n < 1_000_000_000 {
+        format!("{:.1} MB", n as f64 / 1e6)
+    } else {
+        format!("{:.1} GB", n as f64 / 1e9)
+    }
 }
 
 impl WorkloadProfile {
@@ -65,6 +83,7 @@ impl WorkloadProfile {
             workers: pool.workers,
             session_wall: pool.item_wall,
             spans: pool.spans,
+            notes: Vec::new(),
         }
     }
 
@@ -118,12 +137,17 @@ impl WorkloadProfile {
                 .map_or_else(|| "-".to_string(), |v| fmt_ns(v as u64))
         };
         out.push_str(&format!(
-            "session wall: p50 {} | p90 {} | p99 {} (n = {})\n\n",
+            "session wall: p50 {} | p90 {} | p99 {} (n = {})\n",
             q(0.50),
             q(0.90),
             q(0.99),
             self.session_wall.count,
         ));
+        for note in &self.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out.push('\n');
         out.push_str(&self.spans.table());
         out
     }
@@ -169,6 +193,7 @@ impl WorkloadProfile {
                 "p99": self.session_wall.quantile(0.99),
                 "max": self.session_wall.max,
             }),
+            "notes": self.notes,
             "attributed": self.attributed(),
             "span_wall_ns": self.spans.wall_ns,
             "spans": self.spans.roots.iter().map(span_json).collect::<Vec<_>>(),

@@ -128,6 +128,58 @@ where
         .collect()
 }
 
+/// [`run_indexed`] with per-worker scratch state: each worker (or the
+/// serial loop) builds one `S` via `init` and threads it mutably through
+/// every item it claims. The state is *scratch only* — reusable
+/// allocations like [`abr_player::SessionScratch`] — and must never
+/// influence an item's result: outputs remain a pure function of the
+/// index, which the determinism suite checks by comparing jobs values.
+pub fn run_indexed_with<S, T, I, F>(n: usize, jobs: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, f(&mut state, i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in rx {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("worker dropped index {i}")))
+        .collect()
+}
+
 /// Host-time accounting for one pool worker (or the serial pseudo-worker
 /// with `jobs <= 1`): how many items it ran, how long it spent claiming
 /// indices vs. running jobs, and its total lifetime. `busy_ns /
@@ -483,6 +535,22 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 100);
         assert_eq!(seen.iter().copied().collect::<HashSet<_>>().len(), 100);
+    }
+
+    #[test]
+    fn run_indexed_with_matches_run_indexed() {
+        for jobs in [1, 2, 8] {
+            let out = run_indexed_with(37, jobs, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i); // worker-local scratch, result ignores it
+                i * i
+            });
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+        assert!(run_indexed_with(0, 4, || (), |_, i| i).is_empty());
     }
 
     #[test]

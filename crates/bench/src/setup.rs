@@ -15,7 +15,7 @@ use abr_manifest::hls::MasterPlaylist;
 use abr_manifest::view::{BoundDash, BoundHls};
 use abr_manifest::Mpd;
 use abr_media::combo::{all_combos, curated_subset, Combo};
-use abr_media::content::Content;
+use abr_media::content::{Content, SharedContent};
 use abr_media::units::Bytes;
 use abr_net::link::Link;
 use abr_net::trace::Trace;
@@ -27,19 +27,20 @@ use abr_player::{Session, SessionLog};
 /// The deterministic seed every experiment uses for content synthesis.
 pub const SEED: u64 = 2019;
 
-/// The Table 1 drama show.
-pub fn drama() -> Content {
-    Content::drama_show(SEED)
+/// The Table 1 drama show, behind a shared handle (DESIGN.md §15):
+/// sessions clone the `Arc`, never the size tables.
+pub fn drama() -> SharedContent {
+    Content::drama_show(SEED).into()
 }
 
 /// §3.2 variant with the low-bitrate "B" audio set.
-pub fn drama_low_audio() -> Content {
-    Content::drama_show_low_audio(SEED)
+pub fn drama_low_audio() -> SharedContent {
+    Content::drama_show_low_audio(SEED).into()
 }
 
 /// §3.2 variant with the high-bitrate "C" audio set.
-pub fn drama_high_audio() -> Content {
-    Content::drama_show_high_audio(SEED)
+pub fn drama_high_audio() -> SharedContent {
+    Content::drama_show_high_audio(SEED).into()
 }
 
 /// DASH manifest view, round-tripped through MPD text.
@@ -128,7 +129,7 @@ pub fn player_config(kind: PlayerKind, chunk: Duration) -> PlayerConfig {
 /// using `kind`'s player configuration. Zero header overhead keeps the
 /// byte arithmetic aligned with the paper's bitrate tables.
 pub fn run_session(
-    content: &Content,
+    content: &SharedContent,
     kind: PlayerKind,
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
@@ -143,18 +144,48 @@ pub fn run_session(
 /// host time and never touches the log (the byte-identity the
 /// `profile_determinism` suite pins).
 pub fn run_session_with_obs(
-    content: &Content,
+    content: &SharedContent,
     kind: PlayerKind,
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
     obs: ObsHandle,
 ) -> SessionLog {
-    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
+    session_for(content, kind, policy, trace)
+        .with_obs(obs)
+        .run()
+}
+
+/// [`run_session_with_obs`] building the log's event vectors out of a
+/// worker-local [`abr_player::SessionScratch`] pool — the sweep hot path.
+/// Logs are byte-identical to the unpooled runner; hand the log back to
+/// [`abr_player::SessionScratch::reclaim`] once summarized.
+pub fn run_session_pooled(
+    content: &SharedContent,
+    kind: PlayerKind,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+    obs: ObsHandle,
+    scratch: &mut abr_player::SessionScratch,
+) -> SessionLog {
+    session_for(content, kind, policy, trace)
+        .with_obs(obs)
+        .run_with_scratch(scratch)
+}
+
+/// The canonical session builder every runner variant shares: shared
+/// content handle into a zero-overhead origin (keeps the byte arithmetic
+/// aligned with the paper's bitrate tables), 20 ms link latency, `kind`'s
+/// player configuration.
+fn session_for(
+    content: &SharedContent,
+    kind: PlayerKind,
+    policy: Box<dyn AbrPolicy>,
+    trace: Trace,
+) -> Session {
+    let origin = Origin::with_overhead(SharedContent::clone(content), Bytes::ZERO);
     let link = Link::with_latency(trace, Duration::from_millis(20));
     let config = player_config(kind, content.chunk_duration());
     Session::new(origin, link, policy, config)
-        .with_obs(obs)
-        .run()
 }
 
 /// Like [`run_session`], but with a recording tracer and metrics registry
@@ -170,7 +201,7 @@ pub fn run_session_with_obs(
 /// assert. Wall-clock profiling remains available by wiring
 /// [`ObsHandle::recording`] manually (the `obs_overhead` ablation does).
 pub fn run_session_obs(
-    content: &Content,
+    content: &SharedContent,
     kind: PlayerKind,
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
@@ -185,7 +216,7 @@ pub fn run_session_obs(
 /// land in the caller's [`abr_obs::Profiler`] for a later
 /// [`abr_obs::ProfileReport`].
 pub fn run_session_obs_profiled(
-    content: &Content,
+    content: &SharedContent,
     kind: PlayerKind,
     policy: Box<dyn AbrPolicy>,
     trace: Trace,
@@ -195,10 +226,7 @@ pub fn run_session_obs_profiled(
     if let Some(p) = profiler {
         obs = obs.with_profiler(std::rc::Rc::clone(p));
     }
-    let origin = Origin::with_overhead(content.clone(), Bytes::ZERO);
-    let link = Link::with_latency(trace, Duration::from_millis(20));
-    let config = player_config(kind, content.chunk_duration());
-    let log = Session::new(origin, link, policy, config)
+    let log = session_for(content, kind, policy, trace)
         .with_obs(obs)
         .run();
     (log, tracer.take(), metrics.snapshot())
@@ -208,22 +236,33 @@ pub fn run_session_obs_profiled(
 /// BP1 shootout; the best-practice player gets the §4.1 server-curated
 /// combination list out-of-band).
 pub fn dash_policy(kind: PlayerKind, content: &Content) -> Box<dyn AbrPolicy> {
-    let view = dash_view(content);
+    dash_policy_over(kind, content, &dash_view(content))
+}
+
+/// [`dash_policy`] over an already-bound view — the corpus hot path: the
+/// round trip through MPD text happens once per shared scenario, not once
+/// per session. `view` must be the bound view of `content` (the corpus
+/// builds them together).
+pub fn dash_policy_over(
+    kind: PlayerKind,
+    content: &Content,
+    view: &BoundDash,
+) -> Box<dyn AbrPolicy> {
     match kind {
-        PlayerKind::ExoPlayer => Box::new(ExoPlayerPolicy::dash(&view)),
-        PlayerKind::Shaka => Box::new(ShakaPolicy::dash(&view)),
-        PlayerKind::DashJs => Box::new(DashJsPolicy::new(&view)),
+        PlayerKind::ExoPlayer => Box::new(ExoPlayerPolicy::dash(view)),
+        PlayerKind::Shaka => Box::new(ShakaPolicy::dash(view)),
+        PlayerKind::DashJs => Box::new(DashJsPolicy::new(view)),
         PlayerKind::BestPractice => {
             let allowed = curated_subset(content.video(), content.audio());
-            Box::new(BestPracticePolicy::from_dash(&view, &allowed))
+            Box::new(BestPracticePolicy::from_dash(view, &allowed))
         }
         PlayerKind::Bba => {
             let allowed = curated_subset(content.video(), content.audio());
-            Box::new(BbaPolicy::from_dash(&view, &allowed))
+            Box::new(BbaPolicy::from_dash(view, &allowed))
         }
         PlayerKind::Mpc => {
             let allowed = curated_subset(content.video(), content.audio());
-            Box::new(MpcPolicy::from_dash(&view, &allowed))
+            Box::new(MpcPolicy::from_dash(view, &allowed))
         }
     }
 }

@@ -123,49 +123,115 @@ impl MpcPolicy {
     /// Exhaustive search over combination sequences of length `horizon`,
     /// returning the best first action. `buffer_s` is the scarcer buffer
     /// level in seconds.
+    ///
+    /// Enumeration is depth-first in lexicographic order with the prefix
+    /// state (score, buffer, previous combo) carried incrementally —
+    /// each node adds exactly the term a flat per-leaf re-evaluation
+    /// would compute at that step, with the same operands in the same
+    /// order, so the float stream, the argmax, and its
+    /// first-sequence-wins tie-breaking are all unchanged while shared
+    /// prefixes are evaluated once instead of per leaf (the hottest
+    /// `policy.select` path in `exp mc`).
     fn plan(&self, buffer_s: f64, chunk_s: f64, predicted_bps: f64, prev: usize) -> usize {
         let n = self.combos.len();
         let horizon = self.cfg.horizon.max(1);
-        // Depth-first enumeration with an explicit stack of partial plans.
-        // n ≤ ~18 and horizon 5 → ≤ 1.9M leaves worst case; typical ladders
-        // (≤ 8 combos) stay under 33k. Fine at chunk cadence.
-        let mut best_first = prev.min(n - 1);
+        let prev = prev.min(n - 1);
+        // Loop-invariant per-combo costs, hoisted with the exact
+        // expressions the per-step evaluation used.
+        let download_s: Vec<f64> = self
+            .combo_bw
+            .iter()
+            .map(|&bw| bw * chunk_s / predicted_bps)
+            .collect();
+        let q: Vec<f64> = self.combo_bw.iter().map(|&bw| bw / 1e6).collect();
+        // Admissible per-step bound: every step term is at most q_max
+        // (both penalties are non-negative), so a partial plan with
+        // `score + remaining × q_max <= best_score` cannot *strictly*
+        // beat the incumbent — and only strict improvement changes the
+        // winner — making the prune exact, not heuristic.
+        let q_max = q.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut best_first = prev;
         let mut best_score = f64::NEG_INFINITY;
-        let mut choice = vec![0usize; horizon];
-        loop {
-            // Evaluate the current `choice` sequence.
-            let mut buf = buffer_s;
-            let mut score = 0.0;
-            let mut last = prev.min(n - 1);
-            for &c in &choice {
-                let download_s = self.combo_bw[c] * chunk_s / predicted_bps;
-                let stall = (download_s - buf).max(0.0);
-                buf = (buf - download_s).max(0.0) + chunk_s;
-                let q = self.combo_bw[c] / 1e6;
-                let lastq = self.combo_bw[last] / 1e6;
-                score += q
-                    - self.cfg.switch_penalty * (q - lastq).abs()
-                    - self.cfg.stall_penalty * stall;
-                last = c;
-            }
-            if score > best_score {
-                best_score = score;
-                best_first = choice[0];
-            }
-            // Odometer increment.
-            let mut pos = horizon;
-            loop {
-                if pos == 0 {
-                    return best_first;
+        #[allow(clippy::too_many_arguments)]
+        fn dfs(
+            download_s: &[f64],
+            q: &[f64],
+            q_max: f64,
+            chunk_s: f64,
+            switch_penalty: f64,
+            stall_penalty: f64,
+            horizon: usize,
+            depth: usize,
+            score: f64,
+            buf: f64,
+            last: usize,
+            first: usize,
+            best_score: &mut f64,
+            best_first: &mut usize,
+        ) {
+            if depth == horizon {
+                if score > *best_score {
+                    *best_score = score;
+                    *best_first = first;
                 }
-                pos -= 1;
-                choice[pos] += 1;
-                if choice[pos] < n {
-                    break;
+                return;
+            }
+            let remaining = horizon - depth - 1;
+            for c in 0..download_s.len() {
+                let stall = (download_s[c] - buf).max(0.0);
+                let next_buf = (buf - download_s[c]).max(0.0) + chunk_s;
+                // The step term is fully evaluated before accumulating,
+                // exactly as `score += term` did — float addition is not
+                // associative, and the artifact contract cares.
+                let term = q[c] - switch_penalty * (q[c] - q[last]).abs() - stall_penalty * stall;
+                let next_score = score + term;
+                // The bound accumulates q_max step by step, mirroring how
+                // the real score accumulates terms ≤ q_max: float addition
+                // is monotonic per operand, so this dominates every
+                // reachable leaf score even under rounding (a one-shot
+                // `r × q_max` would not).
+                let mut bound = next_score;
+                for _ in 0..remaining {
+                    bound += q_max;
                 }
-                choice[pos] = 0;
+                if bound <= *best_score {
+                    continue;
+                }
+                dfs(
+                    download_s,
+                    q,
+                    q_max,
+                    chunk_s,
+                    switch_penalty,
+                    stall_penalty,
+                    horizon,
+                    depth + 1,
+                    next_score,
+                    next_buf,
+                    c,
+                    if depth == 0 { c } else { first },
+                    best_score,
+                    best_first,
+                );
             }
         }
+        dfs(
+            &download_s,
+            &q,
+            q_max,
+            chunk_s,
+            self.cfg.switch_penalty,
+            self.cfg.stall_penalty,
+            horizon,
+            0,
+            0.0,
+            buffer_s,
+            prev,
+            prev,
+            &mut best_score,
+            &mut best_first,
+        );
+        best_first
     }
 }
 

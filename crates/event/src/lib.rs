@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod window;
 
+pub use arena::{Arena, SlotId};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SplitMix64;
 pub use time::{busy_union, Duration, Instant};

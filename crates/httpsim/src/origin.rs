@@ -7,7 +7,7 @@
 //! player experiments and the storage/cache motivation experiments.
 
 use crate::request::{ObjectId, Request};
-use abr_media::content::Content;
+use abr_media::content::{Content, SharedContent};
 use abr_media::track::TrackId;
 use abr_media::units::Bytes;
 
@@ -47,9 +47,14 @@ impl core::fmt::Display for HttpError {
 impl std::error::Error for HttpError {}
 
 /// The origin server for one piece of content.
+///
+/// The content itself is held behind a [`SharedContent`] handle: a fleet
+/// of origins serving the same title shares one immutable realization
+/// instead of cloning per-chunk size tables per session (DESIGN.md §15).
+/// Constructors accept either an owned [`Content`] or an existing handle.
 #[derive(Debug, Clone)]
 pub struct Origin {
-    content: Content,
+    content: SharedContent,
     header_overhead: Bytes,
     /// Documents (manifests/playlists) by path, storing body size.
     documents: std::collections::BTreeMap<String, Bytes>,
@@ -58,15 +63,15 @@ pub struct Origin {
 
 impl Origin {
     /// An origin serving `content` with the default header overhead.
-    pub fn new(content: Content) -> Origin {
+    pub fn new(content: impl Into<SharedContent>) -> Origin {
         Origin::with_overhead(content, DEFAULT_HEADER_OVERHEAD)
     }
 
     /// An origin with explicit header overhead (use `Bytes::ZERO` for
     /// byte-exact analytical experiments).
-    pub fn with_overhead(content: Content, header_overhead: Bytes) -> Origin {
+    pub fn with_overhead(content: impl Into<SharedContent>, header_overhead: Bytes) -> Origin {
         Origin {
-            content,
+            content: content.into(),
             header_overhead,
             documents: std::collections::BTreeMap::new(),
             obs: abr_obs::ObsHandle::disabled(),
@@ -81,6 +86,11 @@ impl Origin {
     /// The content being served.
     pub fn content(&self) -> &Content {
         &self.content
+    }
+
+    /// A cheap shared handle to the content being served.
+    pub fn shared_content(&self) -> SharedContent {
+        SharedContent::clone(&self.content)
     }
 
     /// Publishes a document (manifest/playlist) body.

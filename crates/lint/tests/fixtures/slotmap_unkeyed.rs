@@ -1,0 +1,28 @@
+// ABR-L005 fixture: values-only iteration over arena/slotmap storage in
+// a dispatch path. Scanned under `crates/bench/src/fleet/driver.rs` and
+// `crates/event/src/arena.rs` (both dispatch modules): draining active
+// sessions without their SlotIds hides whether the visit order is the
+// slot order, so the rule must fire. The keyed `iter()` form and the
+// `cfg(test)` block below must not.
+use abr_event::arena::Arena;
+
+fn drain(active: &mut Arena<String>) {
+    for session in active.values() { // VIOLATION (.values())
+        drop(session);
+    }
+    for session in active.values_mut() { // VIOLATION (.values_mut())
+        session.clear();
+    }
+    for (id, session) in active.iter() { // fine: SlotId-keyed iteration
+        let _ = (id, session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertions_may_sweep_values() {
+        let arena: super::Arena<u32> = super::Arena::new();
+        assert_eq!(arena.values().count(), 0); // test region: exempt
+    }
+}

@@ -147,6 +147,30 @@ fn l005_unkeyed_iteration_fires_in_dispatch_modules_only() {
 }
 
 #[test]
+fn l005_arena_iteration_in_dispatch_paths_must_be_keyed() {
+    // Arena/slotmap storage replaced the BTreeMaps in the fleet driver's
+    // active-session table; draining it by `.values()` would hide whether
+    // the visit order is the slot order. Both arena-bearing dispatch
+    // modules are in scope; the keyed `.iter()` loop and the cfg(test)
+    // sweep stay silent.
+    for module in [
+        "crates/bench/src/fleet/driver.rs",
+        "crates/event/src/arena.rs",
+    ] {
+        assert_eq!(
+            spans_of(module, "slotmap_unkeyed.rs"),
+            vec![("ABR-L005", 10, 26), ("ABR-L005", 13, 26)],
+            "under {module}"
+        );
+    }
+    // The same code outside a dispatch module is out of scope.
+    assert_eq!(
+        spans_of("crates/media/src/combo.rs", "slotmap_unkeyed.rs"),
+        vec![]
+    );
+}
+
+#[test]
 fn l006_truncating_cast_fires_in_time_core_only() {
     assert_eq!(
         spans_of("crates/event/src/time.rs", "truncating_cast.rs"),

@@ -55,6 +55,14 @@ fn parse_track_name(s: &str) -> Option<(MediaType, usize)> {
     best
 }
 
+/// A shared, immutable bound-DASH view handle (DESIGN.md §15): sweeps
+/// round-trip one manifest per scenario and share the parsed view by
+/// `Arc` across every policy built over it.
+pub type SharedDash = std::sync::Arc<BoundDash>;
+
+/// A shared, immutable bound-HLS view handle (see [`SharedDash`]).
+pub type SharedHls = std::sync::Arc<BoundHls>;
+
 /// What a DASH player knows after parsing the MPD.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BoundDash {

@@ -13,6 +13,14 @@ use crate::vbr::{self, VbrParams};
 use abr_event::rng::SplitMix64;
 use abr_event::time::Duration;
 
+/// A shared, immutable content handle (DESIGN.md §15).
+///
+/// A `Content` is expensive to synthesize (per-track VBR size draws) and
+/// expensive to clone (per-chunk size tables), but strictly immutable
+/// after construction — so sweeps build each realization once and share
+/// it by `Arc` across every session, origin and worker that streams it.
+pub type SharedContent = std::sync::Arc<Content>;
+
 /// Content descriptor plus per-chunk sizes.
 #[derive(Debug, Clone)]
 pub struct Content {

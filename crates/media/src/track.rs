@@ -89,6 +89,111 @@ impl fmt::Display for TrackId {
     }
 }
 
+/// A set of track ids backed by one bitmask per media type.
+///
+/// Ladders in this workspace are tiny (Table 1 tops out at 6 video and
+/// 3 audio rungs), so membership fits in two machine words — the arena
+/// replacement for the `BTreeSet<TrackId>` the session engine used to
+/// carry per session (DESIGN.md §15). Inserts panic beyond 64 rungs per
+/// media type; no real ladder comes close.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackSet {
+    audio: u64,
+    video: u64,
+}
+
+impl TrackSet {
+    /// The empty set.
+    pub const fn new() -> TrackSet {
+        TrackSet { audio: 0, video: 0 }
+    }
+
+    fn mask(id: TrackId) -> u64 {
+        assert!(id.index < 64, "track ladder exceeds TrackSet capacity");
+        1u64 << id.index
+    }
+
+    /// Adds a track id to the set.
+    pub fn insert(&mut self, id: TrackId) {
+        let m = Self::mask(id);
+        match id.media {
+            MediaType::Audio => self.audio |= m,
+            MediaType::Video => self.video |= m,
+        }
+    }
+
+    /// True if the id is in the set.
+    pub fn contains(&self, id: TrackId) -> bool {
+        let m = Self::mask(id);
+        match id.media {
+            MediaType::Audio => self.audio & m != 0,
+            MediaType::Video => self.video & m != 0,
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        (self.audio.count_ones() + self.video.count_ones()) as usize
+    }
+
+    /// True if no id is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.audio == 0 && self.video == 0
+    }
+}
+
+/// A small association table from [`TrackId`] to a value, kept sorted by
+/// id in a flat vector.
+///
+/// Same arena rationale as [`TrackSet`]: a session maps at most a
+/// handful of tracks (playlist transfer sizes), so a sorted `Vec` beats
+/// a `BTreeMap`'s pointer-chasing and per-node allocation while keeping
+/// the exact same deterministic iteration order (ascending `TrackId`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrackTable<V> {
+    entries: Vec<(TrackId, V)>,
+}
+
+impl<V> TrackTable<V> {
+    /// The empty table.
+    pub const fn new() -> TrackTable<V> {
+        TrackTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts or overwrites the value for `id`.
+    pub fn insert(&mut self, id: TrackId, value: V) {
+        match self.entries.binary_search_by_key(&id, |&(k, _)| k) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (id, value)),
+        }
+    }
+
+    /// The value for `id`, if present.
+    pub fn get(&self, id: TrackId) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// True if `id` has a value.
+    pub fn contains_key(&self, id: TrackId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// Media-specific track metadata (the rightmost column of Table 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrackDetail {

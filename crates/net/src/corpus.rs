@@ -85,17 +85,31 @@ pub fn elevator(total: Duration) -> Trace {
     Trace::steps(&steps)
 }
 
+/// Number of named profiles in [`all`].
+pub const LEN: usize = 7;
+
+/// Builds only the `index`-th profile of [`all`] — byte-identical to
+/// `all(total, seed)[index]`, without synthesizing the other six. Safe
+/// because every profile draws from `seed` independently (none consumes
+/// another's stream), which is what lets fleet drivers realize one
+/// session's trace without paying for the whole corpus. Panics when
+/// `index >= LEN`.
+pub fn nth(total: Duration, seed: u64, index: usize) -> (&'static str, Trace) {
+    match index {
+        0 => ("dsl-stable", dsl_stable(total, seed)),
+        1 => ("lte-walk", lte_walk(total, seed)),
+        2 => ("hspa-congested", hspa_congested(total, seed)),
+        3 => ("bus-commute", bus_commute(total)),
+        4 => ("elevator", elevator(total)),
+        5 => ("paper-fig3-600k", Trace::fig3_varying_600k(total)),
+        6 => ("paper-fig4b-600k", Trace::fig4b_varying_600k(total)),
+        _ => panic!("corpus has {LEN} profiles, index {index} out of range"),
+    }
+}
+
 /// Every named profile, for sweep experiments: `(name, trace)`.
 pub fn all(total: Duration, seed: u64) -> Vec<(&'static str, Trace)> {
-    vec![
-        ("dsl-stable", dsl_stable(total, seed)),
-        ("lte-walk", lte_walk(total, seed)),
-        ("hspa-congested", hspa_congested(total, seed)),
-        ("bus-commute", bus_commute(total)),
-        ("elevator", elevator(total)),
-        ("paper-fig3-600k", Trace::fig3_varying_600k(total)),
-        ("paper-fig4b-600k", Trace::fig4b_varying_600k(total)),
-    ]
+    (0..LEN).map(|i| nth(total, seed, i)).collect()
 }
 
 #[cfg(test)]
@@ -145,6 +159,17 @@ mod tests {
         let t = elevator(TOTAL);
         assert_eq!(t.rate_at(Instant::from_secs(65)), BitsPerSec::ZERO);
         assert_eq!(t.rate_at(Instant::from_secs(80)), kbps(2_500));
+    }
+
+    #[test]
+    fn nth_matches_all() {
+        let full = all(TOTAL, 5);
+        assert_eq!(full.len(), LEN);
+        for (i, (name, trace)) in full.into_iter().enumerate() {
+            let (n, t) = nth(TOTAL, 5, i);
+            assert_eq!(n, name);
+            assert_eq!(t, trace, "{name} must build identically in isolation");
+        }
     }
 
     #[test]

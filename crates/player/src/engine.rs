@@ -26,12 +26,12 @@ use abr_event::time::{Duration, Instant};
 use abr_event::{EventKey, EventQueue};
 use abr_httpsim::edge::{EdgeCache, TransferPath};
 use abr_httpsim::origin::Origin;
-use abr_media::content::Content;
-use abr_media::track::{MediaType, TrackId};
+use abr_media::content::SharedContent;
+use abr_media::track::{MediaType, TrackId, TrackSet, TrackTable};
 use abr_media::units::Bytes;
 use abr_net::link::Link;
 use abr_obs::{Event, ObsHandle};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 /// The typed event vocabulary of the session engine. Every way virtual
 /// time can advance is one of these.
@@ -87,7 +87,7 @@ pub(crate) struct ArmedWakes {
 /// `fetch.rs`.
 pub(crate) struct Engine {
     // Immutable session shape.
-    pub(crate) content: Content,
+    pub(crate) content: SharedContent,
     pub(crate) chunk_duration: Duration,
     pub(crate) num_chunks: usize,
     pub(crate) total_tracks: usize,
@@ -96,7 +96,7 @@ pub(crate) struct Engine {
     pub(crate) delivery: DeliveryMode,
     pub(crate) packaging: abr_manifest::build::Packaging,
     pub(crate) playlist_fetch: PlaylistFetch,
-    pub(crate) playlist_sizes: BTreeMap<TrackId, Bytes>,
+    pub(crate) playlist_sizes: TrackTable<Bytes>,
     pub(crate) refresh_period: Option<Duration>,
     // Components.
     pub(crate) origin: Origin,
@@ -114,7 +114,7 @@ pub(crate) struct Engine {
     pub(crate) seek_queue: VecDeque<(Instant, Duration)>,
     pub(crate) current_audio: Option<usize>,
     pub(crate) current_video: Option<usize>,
-    pub(crate) playlists_ready: BTreeSet<TrackId>,
+    pub(crate) playlists_ready: TrackSet,
     // The clock.
     pub(crate) queue: EventQueue<SessionEvent>,
     pub(crate) wakes: ArmedWakes,
@@ -314,10 +314,8 @@ impl Engine {
             }
         }
         self.on_completions(completions);
-        self.obs.gauge(
-            "session.pending_requests",
-            self.flights.pending.len() as f64,
-        );
+        self.obs
+            .gauge("session.pending_requests", self.flights.len() as f64);
         self.apply_due_seeks();
         let state_before_start = self.playback.state();
         self.playback
@@ -344,13 +342,13 @@ impl Engine {
         #[cfg(feature = "debug-invariants")]
         {
             debug_assert_eq!(
-                self.flights.pending.len(),
+                self.flights.len(),
                 self.link.pending_count(),
                 "flight board and link disagree on in-flight transfers"
             );
-            for id in self.flights.pending.keys() {
+            for (id, _) in self.flights.iter() {
                 debug_assert!(
-                    self.link.flow_profile(*id).is_some(),
+                    self.link.flow_profile(id).is_some(),
                     "pending flow {id:?} unknown to the link"
                 );
             }
@@ -381,9 +379,10 @@ impl Engine {
             }
             // Drop in-flight chunk transfers (playlist fetches keep
             // running; their deferred chunks are re-validated on arrival).
-            // Cancels happen in flow-id order, as retain walks the map.
+            // Cancels happen in flow-id order, as retain walks the
+            // board's id-sorted backing vector.
             let link = &mut self.link;
-            self.flights.pending.retain(|&id, p| {
+            self.flights.retain(|id, p| {
                 if matches!(p, crate::transfer::Pending::Playlist { .. }) {
                     return true;
                 }
@@ -418,7 +417,7 @@ impl Engine {
         ];
         let mut refetched = 0usize;
         for track in targets.into_iter().flatten() {
-            if self.playlist_sizes.contains_key(&track) {
+            if self.playlist_sizes.contains_key(track) {
                 self.open_playlist_fetch(track, t, None);
                 refetched += 1;
             }

@@ -90,8 +90,7 @@ impl Engine {
                 chunk,
                 opened_at: self.now,
             };
-            if self.playlist_fetch == PlaylistFetch::Lazy && !self.playlists_ready.contains(&track)
-            {
+            if self.playlist_fetch == PlaylistFetch::Lazy && !self.playlists_ready.contains(track) {
                 // §4.1's warned-against practice: the chunk request
                 // must wait for this track's playlist round trip.
                 self.open_playlist_fetch(track, self.now, Some(fetch));
@@ -106,10 +105,8 @@ impl Engine {
                 );
             }
         }
-        self.obs.gauge(
-            "session.pending_requests",
-            self.flights.pending.len() as f64,
-        );
+        self.obs
+            .gauge("session.pending_requests", self.flights.len() as f64);
     }
 
     /// The scheduler's view of one media pipeline.

@@ -37,6 +37,7 @@ pub mod log;
 pub mod playback;
 pub mod policy;
 pub mod scheduler;
+pub mod scratch;
 pub mod session;
 pub mod stepper;
 mod transfer;
@@ -44,5 +45,6 @@ mod transfer;
 pub use config::{PlayerConfig, SyncMode};
 pub use log::SessionLog;
 pub use policy::{AbrPolicy, SelectionContext, TransferRecord};
+pub use scratch::SessionScratch;
 pub use session::Session;
 pub use stepper::SessionStepper;

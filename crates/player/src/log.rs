@@ -231,6 +231,23 @@ impl SessionLog {
             .unwrap_or(Duration::ZERO)
     }
 
+    /// Deterministic estimate of this log's heap footprint: the event
+    /// vectors dominate a finished session's memory, so element counts ×
+    /// element sizes (plus the policy-name string) approximate what one
+    /// retained session costs. A pure function of the log contents —
+    /// never of the allocator — so fleet memory lines are byte-stable.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        use core::mem::size_of;
+        (self.selections.len() * size_of::<SelectionEvent>()
+            + self.transfers.len() * size_of::<TransferEvent>()
+            + self.buffer_samples.len() * size_of::<BufferSample>()
+            + self.stalls.len() * size_of::<Stall>()
+            + self.playlist_fetches.len() * size_of::<PlaylistFetchEvent>()
+            + self.seeks.len() * size_of::<Seek>()
+            + self.policy.len()
+            + size_of::<SessionLog>()) as u64
+    }
+
     /// True when every chunk of both media types was selected and the
     /// content played to the end.
     pub fn completed(&self) -> bool {

@@ -19,10 +19,9 @@ use crate::transfer::FlightBoard;
 use abr_event::time::{Duration, Instant};
 use abr_event::EventQueue;
 use abr_httpsim::origin::Origin;
-use abr_media::track::{MediaType, TrackId};
+use abr_media::track::{MediaType, TrackSet, TrackTable};
 use abr_net::link::Link;
 use abr_obs::ObsHandle;
-use std::collections::BTreeMap;
 
 pub use abr_httpsim::edge::EdgeCache;
 
@@ -63,7 +62,7 @@ pub struct Session {
     config: PlayerConfig,
     deadline: Instant,
     playlist_fetch: PlaylistFetch,
-    playlist_sizes: BTreeMap<TrackId, abr_media::units::Bytes>,
+    playlist_sizes: TrackTable<abr_media::units::Bytes>,
     packaging: abr_manifest::build::Packaging,
     delivery: DeliveryMode,
     edge: Option<EdgeCache>,
@@ -92,7 +91,7 @@ impl Session {
             config,
             deadline,
             playlist_fetch: PlaylistFetch::Preloaded,
-            playlist_sizes: BTreeMap::new(),
+            playlist_sizes: TrackTable::new(),
             packaging: abr_manifest::build::Packaging::SegmentFiles {
                 with_bitrate_tags: false,
             },
@@ -209,7 +208,7 @@ impl Session {
     /// records its transfer size (idempotent in effect: sizes are simply
     /// overwritten with identical values if already published).
     fn publish_playlists(&mut self, packaging: abr_manifest::build::Packaging) {
-        let content = self.origin.content().clone();
+        let content = self.origin.shared_content();
         for &id in content.track_ids() {
             let playlist = abr_manifest::build::build_media_playlist(&content, id, packaging);
             let path = abr_manifest::build::playlist_uri(id);
@@ -239,6 +238,19 @@ impl Session {
         self.into_engine().run().0
     }
 
+    /// Like [`Session::run`], but builds the log's event vectors out of a
+    /// worker-local [`SessionScratch`]'s pooled capacity, so back-to-back
+    /// sessions on one sweep worker stop paying per-session vector growth
+    /// (DESIGN.md §15). Hand the finished log back to
+    /// [`SessionScratch::reclaim`] once it has been summarized.
+    ///
+    /// [`SessionScratch`]: crate::scratch::SessionScratch
+    /// [`SessionScratch::reclaim`]: crate::scratch::SessionScratch::reclaim
+    pub fn run_with_scratch(self, scratch: &mut crate::scratch::SessionScratch) -> SessionLog {
+        let donated = std::mem::take(scratch);
+        self.into_engine_with(donated).run().0
+    }
+
     /// Consumes the builder into an externally-clocked
     /// [`SessionStepper`](crate::stepper::SessionStepper): the session's
     /// `t = 0` round runs immediately, and the caller then advances it one
@@ -249,18 +261,26 @@ impl Session {
 
     /// Consumes the builder into a ready-to-run engine.
     pub(crate) fn into_engine(self) -> Engine {
-        let content = self.origin.content().clone();
+        self.into_engine_with(crate::scratch::SessionScratch::default())
+    }
+
+    /// Consumes the builder into a ready-to-run engine, building the log's
+    /// event vectors out of a donated [`SessionScratch`]'s pooled capacity
+    /// (DESIGN.md §15). `Engine::finish` hands the vectors back inside the
+    /// log; [`crate::scratch::SessionScratch::reclaim`] recovers them.
+    pub(crate) fn into_engine_with(self, scratch: crate::scratch::SessionScratch) -> Engine {
+        let content = self.origin.shared_content();
         let chunk_duration = content.chunk_duration();
         let num_chunks = content.num_chunks();
         let total_tracks = content.track_ids().len();
         let duration = content.duration();
         let log = SessionLog {
             policy: self.policy.name().to_string(),
-            selections: Vec::new(),
-            transfers: Vec::new(),
-            buffer_samples: Vec::new(),
+            selections: scratch.selections,
+            transfers: scratch.transfers,
+            buffer_samples: scratch.buffer_samples,
             stalls: Vec::new(),
-            playlist_fetches: Vec::new(),
+            playlist_fetches: scratch.playlist_fetches,
             seeks: Vec::new(),
             startup_at: None,
             ended_at: None,
@@ -296,7 +316,7 @@ impl Session {
             seek_queue: self.seeks.into_iter().collect(),
             current_audio: None,
             current_video: None,
-            playlists_ready: std::collections::BTreeSet::new(),
+            playlists_ready: TrackSet::new(),
             queue: EventQueue::new(),
             wakes: ArmedWakes::default(),
             now: Instant::ZERO,

@@ -20,7 +20,6 @@ use abr_media::track::{MediaType, TrackId};
 use abr_media::units::Bytes;
 use abr_net::link::{Completion, FlowId};
 use abr_obs::Event;
-use std::collections::BTreeMap;
 
 /// A chunk request in flight.
 #[derive(Debug, Clone, Copy)]
@@ -67,10 +66,18 @@ impl Pending {
 
 /// In-flight transfer bookkeeping: which flow carries what, plus the
 /// aggregate bandwidth-meter state.
+///
+/// The pending table is a flat vector kept sorted by ascending [`FlowId`]
+/// (ids ascend in open order, so inserts are pushes). A session has at
+/// most a handful of requests in flight, and a sorted `Vec` reproduces
+/// the `BTreeMap` it replaced *exactly* — iteration, `retain` walk order
+/// (the seek-cancel path is order-sensitive, see
+/// `Engine::apply_due_seeks`) and removal semantics are all by ascending
+/// flow id (DESIGN.md §15).
 #[derive(Debug, Default)]
 pub(crate) struct FlightBoard {
-    /// Requests currently on the link, keyed by flow.
-    pub(crate) pending: BTreeMap<FlowId, Pending>,
+    /// Requests currently on the link, sorted by ascending flow id.
+    pending: Vec<(FlowId, Pending)>,
     /// Left edge of the next bandwidth-meter window (the time of the
     /// previous completion event).
     pub(crate) meter_last: Instant,
@@ -82,7 +89,40 @@ pub(crate) struct FlightBoard {
 impl FlightBoard {
     /// True if any pending request drives the given media pipeline.
     pub(crate) fn in_flight(&self, media: MediaType) -> bool {
-        self.pending.values().any(|p| p.media() == media)
+        self.pending.iter().any(|(_, p)| p.media() == media)
+    }
+
+    /// Number of in-flight requests.
+    pub(crate) fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records a newly opened flow. Links allocate flow ids in ascending
+    /// open order, which keeps the table sorted by construction.
+    pub(crate) fn insert(&mut self, id: FlowId, pending: Pending) {
+        debug_assert!(
+            self.pending.last().is_none_or(|&(last, _)| last < id),
+            "flow ids must ascend in open order"
+        );
+        self.pending.push((id, pending));
+    }
+
+    /// Removes and returns the pending request carried by `id`.
+    pub(crate) fn remove(&mut self, id: FlowId) -> Option<Pending> {
+        let i = self.pending.binary_search_by_key(&id, |&(k, _)| k).ok()?;
+        Some(self.pending.remove(i).1)
+    }
+
+    /// Keyed iteration over in-flight requests, by ascending flow id.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (FlowId, &Pending)> {
+        self.pending.iter().map(|&(id, ref p)| (id, p))
+    }
+
+    /// Retains only the requests `keep` approves, walking (and therefore
+    /// cancelling) in ascending flow-id order — the same order the
+    /// `BTreeMap::retain` it replaced used.
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(FlowId, &Pending) -> bool) {
+        self.pending.retain(|&(id, ref p)| keep(id, p));
     }
 }
 
@@ -125,7 +165,7 @@ impl Engine {
             chunk: obs_chunk,
             size,
         });
-        self.flights.pending.insert(flow, pending);
+        self.flights.insert(flow, pending);
     }
 
     /// Opens a playlist fetch for `track` at `at`. Playlist requests skip
@@ -137,7 +177,7 @@ impl Engine {
         at: Instant,
         then: Option<ChunkFetch>,
     ) {
-        let size = self.playlist_sizes[&track];
+        let size = *self.playlist_sizes.get(track).expect("playlist published");
         let flow = self.link.open_flow(size);
         self.obs.emit(at, || Event::RequestIssued {
             flow: flow.0,
@@ -145,7 +185,7 @@ impl Engine {
             chunk: None,
             size,
         });
-        self.flights.pending.insert(
+        self.flights.insert(
             flow,
             Pending::Playlist {
                 track,
@@ -181,8 +221,8 @@ impl Engine {
             for c in completions {
                 take(&c.profile);
             }
-            for id in self.flights.pending.keys() {
-                if let Some(p) = self.link.flow_profile(*id) {
+            for (id, _) in self.flights.iter() {
+                if let Some(p) = self.link.flow_profile(id) {
                     take(p);
                 }
             }
@@ -204,8 +244,7 @@ impl Engine {
         for c in completions {
             let p = match self
                 .flights
-                .pending
-                .remove(&c.id)
+                .remove(c.id)
                 .expect("completion for unknown flow")
             {
                 Pending::Muxed {

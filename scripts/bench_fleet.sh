@@ -20,6 +20,8 @@ cargo build --release -p abr-bench --bin exp --bin bench_check >/dev/null 2>&1
 cargo bench -p abr-bench --bench fleet --no-run >/dev/null 2>&1 || true
 EXP=target/release/exp
 CHECK=target/release/bench_check
+# Fail loudly if the binary about to be timed is not a --release build.
+"$EXP" --assert-release --list >/dev/null
 CORES=$(nproc)
 N="${1:-$CORES}"
 SESSIONS="${SESSIONS:-2000}"

@@ -5,8 +5,9 @@
 #
 #  * criterion medians for the LinkSim hot-path benches (benches/link.rs
 #    and the fluid_link group in benches/engine.rs);
-#  * best-of-3 wall-clock for the `exp mc` Monte Carlo fleet sweep at
-#    --jobs 1 and --jobs <N> (default: all cores).
+#  * best-of-3 wall-clock for the `exp mc` Monte Carlo fleet sweep over
+#    the multi-core matrix --jobs 1/2/8 plus --jobs <N> (default: all
+#    cores).
 #
 # Every entry records `host_cores`: the regression gate only compares
 # entries from same-core-count hosts, and on a 1-core host the parallel
@@ -20,6 +21,9 @@ cargo build --release -p abr-bench --bin exp --bin bench_check >/dev/null 2>&1
 cargo bench -p abr-bench --bench link --bench engine --no-run >/dev/null 2>&1 || true
 EXP=target/release/exp
 CHECK=target/release/bench_check
+# Fail loudly if the binary about to be timed is not a --release build —
+# a debug timing silently poisoning the history is worse than no timing.
+"$EXP" --assert-release --list >/dev/null
 CORES=$(nproc)
 N="${1:-$CORES}"
 SEEDS="${SEEDS:-25}"
@@ -66,6 +70,8 @@ best() {
 }
 
 T1=$(best "$EXP" mc --seeds "$SEEDS" --jobs 1)
+T2=$(best "$EXP" mc --seeds "$SEEDS" --jobs 2)
+T8=$(best "$EXP" mc --seeds "$SEEDS" --jobs 8)
 TN=$(best "$EXP" mc --seeds "$SEEDS" --jobs "$N")
 
 if [ "$CORES" -eq 1 ]; then
@@ -93,6 +99,8 @@ fi
     "sessions": $((SEEDS * 49)),
     "jobs_parallel": $N,
     "mc_jobs1_s": $T1,
+    "mc_jobs2_s": $T2,
+    "mc_jobs8_s": $T8,
     "mc_jobsN_s": $TN,
     "speedup": $(sp "$T1" "$TN"),
     "best_of": 3
