@@ -118,13 +118,8 @@ fn main() {
             }
             "--jobs" => {
                 i += 1;
-                jobs = args
-                    .get(i)
-                    .unwrap_or_else(|| usage("--jobs needs a value"))
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                jobs =
+                    parse_jobs_flag(args.get(i).unwrap_or_else(|| usage("--jobs needs a value")));
             }
             other => usage(&format!("unknown flag `{other}`")),
         }
@@ -283,13 +278,8 @@ fn run_mc_cli(args: &[String]) {
             }
             "--jobs" => {
                 i += 1;
-                jobs = args
-                    .get(i)
-                    .unwrap_or_else(|| usage("--jobs needs a value"))
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                jobs =
+                    parse_jobs_flag(args.get(i).unwrap_or_else(|| usage("--jobs needs a value")));
             }
             "--json" => {
                 i += 1;
@@ -373,12 +363,7 @@ fn run_fleet_cli(args: &[String]) {
             "--cache-mb" => spec.cache_mb = parse(flag, &value(flag)),
             "--window-ms" => spec.window_ms = parse(flag, &value(flag)),
             "--seed" => spec.seed = parse(flag, &value(flag)),
-            "--jobs" => {
-                jobs = parse(flag, &value(flag));
-                if jobs == 0 {
-                    usage("--jobs needs a positive integer");
-                }
-            }
+            "--jobs" => jobs = parse_jobs_flag(&value(flag)),
             "--delivery" => match value(flag).as_str() {
                 "demuxed" => spec.delivery = DeliveryMode::Demuxed,
                 "muxed" => spec.delivery = DeliveryMode::Muxed,
@@ -477,18 +462,31 @@ fn session_path(path: &str, n: usize, multi: bool) -> String {
     }
 }
 
+/// Parses a `--jobs` value: a positive integer, or `auto` for the host
+/// core count ([`runner::parse_jobs`]). The resolution is echoed on the
+/// profile channel (stderr) only — stdout artifacts must stay
+/// jobs-invariant, and "how many workers" is host state, not artifact.
+fn parse_jobs_flag(raw: &str) -> usize {
+    let jobs = runner::parse_jobs(raw)
+        .unwrap_or_else(|| usage("--jobs needs a positive integer or `auto`"));
+    if raw == "auto" {
+        eprintln!("[jobs auto -> {jobs} (host cores)]");
+    }
+    jobs
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: exp (--list | --id <experiment> | --all) [--json <dir>] [--jobs <n>]\n\
+        "usage: exp (--list | --id <experiment> | --all) [--json <dir>] [--jobs <n|auto>]\n\
          \x20      [--trace <file.jsonl>] [--chrome <file.json>] [--metrics]\n\
          \x20      [--profile] [--profile-json <file>]             (with --id)\n\
-         \x20  exp mc [--seeds <n>] [--jobs <n>] [--json <file>]\n\
+         \x20  exp mc [--seeds <n>] [--jobs <n|auto>] [--json <file>]\n\
          \x20      [--profile] [--profile-json <file>]   Monte Carlo fleet sweep\n\
          \x20  exp fleet [--sessions <n>] [--domains <n>] [--shards <n>] [--titles <n>]\n\
          \x20      [--alpha <f>] [--arrival-secs <n>] [--delivery demuxed|muxed|both]\n\
          \x20      [--uplink-kbps <n>] [--origin-kbps <n>] [--cache-mb <n>] [--window-ms <n>]\n\
-         \x20      [--seed <n>] [--jobs <n>] [--json <file>] [--profile] [--profile-json <file>]\n\
+         \x20      [--seed <n>] [--jobs <n|auto>] [--json <file>] [--profile] [--profile-json <file>]\n\
          \x20                                             shared-fate fleet engine"
     );
     std::process::exit(2);

@@ -8,23 +8,36 @@
 //!   fleet clock. Everything inside a domain is single-threaded.
 //! * **Shards group domains; workers own shards.** Domain `d` lives in
 //!   shard `d % shards`; shard `s` is driven by worker `s % workers`,
-//!   where `workers = min(jobs, shards)`. Sessions are `!Send`, so each
-//!   worker *constructs* its sessions at arrival time and owns them until
-//!   they finish; only `Send` results cross threads, merged in index
-//!   order.
+//!   where `workers` is `jobs` clamped to the shard count *and* the
+//!   live-domain count ([`effective_workers`]) — a worker with nothing
+//!   but empty domains would only pad the barriers. Sessions are `!Send`,
+//!   so each worker *constructs* its sessions at arrival time and owns
+//!   them until they finish; only `Send` results cross threads, merged in
+//!   index order.
 //! * **Cross-domain coupling happens only at window barriers.** Workers
 //!   drain their domains strictly below each window boundary
-//!   ([`EventQueue::pop_before`]), then meet at a barrier where the
-//!   leader folds per-domain uplink demand in fixed domain order and
-//!   publishes the next window's uplink rate: when fleet demand exceeds
-//!   the origin's egress capacity, every uplink is throttled by the same
-//!   `origin/demand` factor (the window-sync rule — conservative, one
-//!   window of lag, identical at every worker count by construction).
+//!   ([`EventQueue::pop_before`]), pre-sum their own domains' uplink
+//!   demand, publish it to a per-worker slot, and meet at **one** barrier
+//!   per window. After the barrier every worker redundantly folds the
+//!   slots in fixed worker order and reaches the same decision: when
+//!   fleet demand exceeds the origin's egress capacity, every uplink is
+//!   throttled by the same `origin/demand` factor (the window-sync rule —
+//!   conservative, one window of lag, identical at every worker count by
+//!   construction). Slots are double-buffered by round parity, which is
+//!   what makes a single barrier sound (see [`WindowBoard`]).
+//! * **Quiescent windows are skipped in one step.** Workers also publish
+//!   their earliest pending event time; when the global minimum lands
+//!   beyond the next window, every intervening window is provably empty —
+//!   zero demand, throttle disengaged, no state change anywhere — so the
+//!   drivers jump the window clock straight to the first non-empty window
+//!   ([`FleetSchedKnobs::ff_horizon`]). The skip is a scheduling decision
+//!   computed identically by every worker from barrier-published data.
 //!
 //! Byte-stability at any `jobs`/`shards` value follows: per-domain event
 //! order is a pure function of the domain's own queue, the demand fold
-//! reads fixed per-domain slots in a fixed order, and the only shared
-//! mutable signal (the uplink rate) changes exclusively between windows.
+//! reads fixed per-worker slots in a fixed order (integer addition is
+//! order-blind anyway), and the only shared mutable signal (the uplink
+//! rate) changes exclusively between windows.
 
 use super::{FleetSpec, PlanSource, SessionPlan, TRACE_SECS};
 use crate::corpus::{TitleCorpus, TitleScenario};
@@ -43,8 +56,27 @@ use abr_player::{Session, SessionLog, SessionStepper};
 use abr_qoe::QoeSummary;
 use std::cell::RefCell;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
+
+/// Scheduling knobs for the fleet driver. Everything here is *outside*
+/// the artifact contract (DESIGN.md §16): every knob setting produces
+/// byte-identical artifacts, which the fast-forward differential
+/// proptest in `tests/fleet_determinism.rs` sweeps directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSchedKnobs {
+    /// Minimum run of globally-empty windows required before the driver
+    /// fast-forwards the window clock over them in one step. `0`
+    /// disables fast-forward entirely (the stepwise reference path the
+    /// differential tests compare against).
+    pub ff_horizon: u64,
+}
+
+impl Default for FleetSchedKnobs {
+    fn default() -> Self {
+        FleetSchedKnobs { ff_horizon: 1 }
+    }
+}
 
 /// What one session sends back across the worker boundary.
 pub(super) struct SessionOutput {
@@ -164,27 +196,79 @@ pub(super) fn build_session(
         )))
 }
 
-/// Runs the fleet. Returns per-session outputs in index order and
-/// per-domain reports in domain order — byte-identical at every `jobs`
-/// and shard count.
+/// Workers the driver actually spawns: `jobs`, clamped to the shard
+/// count and to the number of *live* domains. Sessions land in domain
+/// `i % domains`, so exactly `min(sessions, domains)` domains ever see
+/// an arrival; spinning more workers than that would march idle threads
+/// through every per-window barrier for nothing. Because live domains
+/// are the contiguous prefix `0..live`, every spawned worker owns at
+/// least one live domain.
+pub(super) fn effective_workers(spec: &FleetSpec, jobs: usize, sessions: usize) -> usize {
+    let live_domains = spec.domains.min(sessions.max(1));
+    jobs.max(1).min(spec.shards).min(live_domains)
+}
+
+/// Double-buffered per-worker barrier slots. Processed round `r` writes
+/// and reads parity `r & 1` (the *round* counter, not the window index —
+/// fast-forward can jump the window index by an odd amount): a worker can
+/// only *reuse* a parity after passing the next round's barrier, which
+/// requires every reader of that parity to have arrived there — i.e. to
+/// have finished reading. That sense-reversing scheme is what lets one
+/// barrier per window replace the old publish/fold/apply pair of waits.
+struct WindowBoard {
+    /// Bytes each worker's domains offered their uplinks this window,
+    /// pre-summed by the owning worker so the fold is off the barrier's
+    /// critical section. (Integer addition is order-blind, so the
+    /// per-worker grouping cannot perturb the fleet total.)
+    demand: [Vec<AtomicU64>; 2],
+    /// Pending events per worker (the stop signal's input).
+    alive: [Vec<AtomicU64>; 2],
+    /// Earliest pending event time per worker, in microseconds
+    /// (`u64::MAX` when the worker's domains are drained dry) — the
+    /// quiescent fast-forward's input.
+    next_at: [Vec<AtomicU64>; 2],
+}
+
+impl WindowBoard {
+    fn new(workers: usize) -> WindowBoard {
+        let mk = || (0..workers).map(|_| AtomicU64::new(0)).collect();
+        WindowBoard {
+            demand: [mk(), mk()],
+            alive: [mk(), mk()],
+            next_at: [mk(), mk()],
+        }
+    }
+}
+
+/// Runs the fleet with default scheduling knobs. Returns per-session
+/// outputs in index order and per-domain reports in domain order —
+/// byte-identical at every `jobs` and shard count.
 pub(super) fn run(
     spec: &FleetSpec,
     source: &PlanSource,
     jobs: usize,
     keep_logs: bool,
 ) -> DriverOutput {
-    let workers = jobs.max(1).min(spec.shards);
+    run_with_knobs(spec, source, jobs, keep_logs, FleetSchedKnobs::default())
+}
+
+/// [`run`] with explicit scheduling knobs (differential tests sweep the
+/// fast-forward horizon through here).
+pub(super) fn run_with_knobs(
+    spec: &FleetSpec,
+    source: &PlanSource,
+    jobs: usize,
+    keep_logs: bool,
+    knobs: FleetSchedKnobs,
+) -> DriverOutput {
+    let workers = effective_workers(spec, jobs, source.len());
     let barrier = Barrier::new(workers);
     // The shared title catalog: every content cut and manifest view is
     // built exactly once here and read by reference from every worker —
     // the per-worker lazily-filled caches this replaces built each title
     // up to `workers` times over.
     let corpus = TitleCorpus::build(spec.seed, spec.titles);
-    // Fixed per-domain demand slots the leader folds in domain order.
-    let demand: Vec<AtomicU64> = (0..spec.domains).map(|_| AtomicU64::new(0)).collect();
-    let alive: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
-    let rate = AtomicU64::new(spec.uplink_kbps);
-    let stop = AtomicBool::new(false);
+    let board = WindowBoard::new(workers);
     let windows = AtomicU64::new(0);
     let throttled = AtomicU64::new(0);
 
@@ -193,16 +277,13 @@ pub(super) fn run(
             .map(|w| {
                 let corpus = &corpus;
                 let barrier = &barrier;
-                let demand = &demand;
-                let alive = &alive;
-                let rate = &rate;
-                let stop = &stop;
+                let board = &board;
                 let windows = &windows;
                 let throttled = &throttled;
                 scope.spawn(move || {
                     run_worker(
-                        spec, source, corpus, w, workers, keep_logs, barrier, demand, alive, rate,
-                        stop, windows, throttled,
+                        spec, source, corpus, w, workers, keep_logs, knobs, barrier, board,
+                        windows, throttled,
                     )
                 })
             })
@@ -266,11 +347,9 @@ fn run_worker(
     w: usize,
     workers: usize,
     keep_logs: bool,
+    knobs: FleetSchedKnobs,
     barrier: &Barrier,
-    demand: &[AtomicU64],
-    alive: &[AtomicUsize],
-    rate: &AtomicU64,
-    stop: &AtomicBool,
+    board: &WindowBoard,
     windows: &AtomicU64,
     throttled: &AtomicU64,
 ) -> WorkerResult {
@@ -313,47 +392,85 @@ fn run_worker(
     let clock = WindowClock::new(Duration::from_millis(spec.window_ms));
 
     let mut k = 0u64;
+    // Board parity counts *processed* rounds (one per barrier), not the
+    // window index: fast-forward can jump `k` by an odd number, and an
+    // odd jump on `k & 1` would reuse a parity with only one barrier in
+    // between — racing readers of the previous round's slots.
+    let mut round = 0u64;
     loop {
+        let parity = (round & 1) as usize;
         let end = clock.end_of(k);
+        let mut my_demand: u64 = 0;
+        let mut my_alive: u64 = 0;
+        let mut my_next = u64::MAX;
         for domain in &mut domains {
             drain_window(spec, source, corpus, domain, end, keep_logs, &mut outputs);
-            demand[domain.index].store(
-                domain.hub.borrow_mut().uplink_mut().take_window_bytes(),
-                Ordering::SeqCst,
-            );
+            my_demand += domain.hub.borrow_mut().uplink_mut().take_window_bytes();
+            my_alive += domain.queue.len() as u64;
+            if let Some(t) = domain.queue.next_time() {
+                my_next = my_next.min(t.as_micros());
+            }
         }
-        alive[w].store(
-            domains.iter().map(|d| d.queue.len()).sum(),
-            Ordering::SeqCst,
-        );
+        board.demand[parity][w].store(my_demand, Ordering::SeqCst);
+        board.alive[parity][w].store(my_alive, Ordering::SeqCst);
+        board.next_at[parity][w].store(my_next, Ordering::SeqCst);
+
         barrier.wait();
+
+        // Redundant deterministic fold: every worker reads the same
+        // parity slots in the same fixed order and reaches the same
+        // rate / stop / fast-forward decision — no second barrier needed
+        // to publish a leader's verdict.
+        let mut total_demand: u128 = 0;
+        let mut total_alive: u64 = 0;
+        let mut min_next = u64::MAX;
+        for ww in 0..workers {
+            total_demand += u128::from(board.demand[parity][ww].load(Ordering::SeqCst));
+            total_alive += board.alive[parity][ww].load(Ordering::SeqCst);
+            min_next = min_next.min(board.next_at[parity][ww].load(Ordering::SeqCst));
+        }
+        let (next_rate, engaged) = throttle_rate(spec, total_demand);
+
+        // Quiescent-window fast-forward: everything before `min_next` is
+        // drained, so every window strictly between `k` and the window
+        // containing `min_next` is globally empty — zero demand, throttle
+        // disengaged, no uplink traffic, no state change of any kind. The
+        // stepwise run would grind through them only to count windows and
+        // reset the rate to full; do both in one step instead.
+        let next_k = if knobs.ff_horizon > 0 && total_alive > 0 {
+            let m = clock.window_of(Instant::from_micros(min_next));
+            debug_assert!(m > k, "pending event inside a drained window");
+            if m - (k + 1) >= knobs.ff_horizon {
+                m
+            } else {
+                k + 1
+            }
+        } else {
+            k + 1
+        };
+        let skipped = next_k - (k + 1);
         if w == 0 {
-            windows.fetch_add(1, Ordering::SeqCst);
-            let total: u128 = demand
-                .iter()
-                .map(|d| u128::from(d.load(Ordering::SeqCst)))
-                .sum();
-            let (next_rate, engaged) = throttle_rate(spec, total);
+            windows.fetch_add(1 + skipped, Ordering::SeqCst);
             if engaged {
                 throttled.fetch_add(1, Ordering::SeqCst);
             }
-            rate.store(next_rate, Ordering::SeqCst);
-            let total_alive: usize = alive.iter().map(|a| a.load(Ordering::SeqCst)).sum();
-            stop.store(total_alive == 0, Ordering::SeqCst);
         }
-        barrier.wait();
-        let next_rate = rate.load(Ordering::SeqCst);
+        // The rate entering window `next_k`: this window's fold when
+        // stepping; when windows were skipped, the last fold before
+        // `next_k` is an empty window's — full uplink, throttle off.
+        let applied = if skipped > 0 {
+            spec.uplink_kbps
+        } else {
+            next_rate
+        };
         for domain in &mut domains {
-            domain
-                .hub
-                .borrow_mut()
-                .uplink_mut()
-                .set_rate_kbps(next_rate);
+            domain.hub.borrow_mut().uplink_mut().set_rate_kbps(applied);
         }
-        if stop.load(Ordering::SeqCst) {
+        if total_alive == 0 {
             break;
         }
-        k += 1;
+        k = next_k;
+        round += 1;
     }
 
     let reports = domains
@@ -486,6 +603,24 @@ mod tests {
         let (rate, engaged) = throttle_rate(&spec, u64::MAX as u128);
         assert!(engaged);
         assert!(rate >= 1);
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_live_domains() {
+        let spec = FleetSpec::small(100); // 4 domains, 4 shards
+        assert_eq!(effective_workers(&spec, 8, 100), 4, "shards cap");
+        assert_eq!(effective_workers(&spec, 2, 100), 2, "jobs respected");
+        assert_eq!(effective_workers(&spec, 0, 100), 1, "floor of one");
+        // Fewer sessions than domains: only the contiguous prefix of
+        // domains ever sees an arrival, so workers clamp to it.
+        assert_eq!(effective_workers(&spec, 8, 2), 2);
+        assert_eq!(effective_workers(&spec, 8, 1), 1);
+        assert_eq!(effective_workers(&spec, 8, 0), 1, "degenerate fleet");
+    }
+
+    #[test]
+    fn sched_knobs_default_enables_fast_forward() {
+        assert_eq!(FleetSchedKnobs::default().ff_horizon, 1);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 mod driver;
 mod report;
 
+pub use driver::FleetSchedKnobs;
+
 use crate::setup::PlayerKind;
 use abr_event::rng::SplitMix64;
 use abr_event::time::Duration;
@@ -293,9 +295,27 @@ pub fn run_fleet_with_logs(spec: &FleetSpec, jobs: usize) -> FleetResult {
     run_inner(spec, jobs, true)
 }
 
+/// [`run_fleet_with_logs`] with explicit scheduling knobs — the entry
+/// point the fast-forward differential tests use to sweep
+/// [`FleetSchedKnobs::ff_horizon`] (including 0 = stepwise) and assert
+/// the artifact never moves.
+#[must_use]
+pub fn run_fleet_sched(spec: &FleetSpec, jobs: usize, knobs: FleetSchedKnobs) -> FleetResult {
+    run_sched_inner(spec, jobs, true, knobs)
+}
+
 fn run_inner(spec: &FleetSpec, jobs: usize, keep_logs: bool) -> FleetResult {
+    run_sched_inner(spec, jobs, keep_logs, FleetSchedKnobs::default())
+}
+
+fn run_sched_inner(
+    spec: &FleetSpec,
+    jobs: usize,
+    keep_logs: bool,
+    knobs: FleetSchedKnobs,
+) -> FleetResult {
     let source = PlanSource::new(spec);
-    let out = driver::run(spec, &source, jobs, keep_logs);
+    let out = driver::run_with_knobs(spec, &source, jobs, keep_logs, knobs);
     let (text, json) = report::render(spec, &source.title_counts(), &out);
     let logs = keep_logs.then(|| {
         out.outputs
@@ -331,7 +351,7 @@ pub fn run_fleet_profiled(
     let merge = abr_obs::HostStopwatch::start();
     let (text, json) = report::render(spec, &source.title_counts(), &out);
     let pool = crate::runner::RunnerProfile {
-        jobs: jobs.max(1).min(spec.shards),
+        jobs: driver::effective_workers(spec, jobs, spec.sessions),
         items: spec.sessions as u64,
         run_ns,
         merge_ns: merge.elapsed_ns(),

@@ -17,10 +17,19 @@
 //! document default, because criterion medians on shared CI runners are
 //! noisy in the ±20–40% range.
 //!
-//! Parallel "speedup" fields are *recorded*, never gated: on a 1-core
-//! host they measure scheduler noise, which is why entries carry a
+//! Parallel "speedup" fields are *recorded*, never gated on a 1-core
+//! host: there they measure scheduler noise, which is why entries carry a
 //! `speedup_reliable` flag (false when `host_cores == 1`) instead of
 //! pretending 0.91× is signal.
+//!
+//! On a genuinely multi-core host the story flips: an entry carrying a
+//! `scaling` matrix (recorded by `scripts/bench_scale.sh` — per-workload
+//! wall seconds keyed by jobs level) **is** gated. The scaling gate
+//! (DESIGN.md §16) requires the mc sweep's jobs-2 speedup to reach
+//! [`MIN_JOBS2_SPEEDUP`] and the fleet's best parallel wall to beat its
+//! serial wall, considering only jobs levels the host can actually run
+//! (`jobs <= host_cores`). When `host_cores == 1` the gate is skipped
+//! with a visible note — recorded, not judged.
 
 use serde_json::Value;
 
@@ -31,6 +40,11 @@ pub const FORMAT: &str = "abr-bench-history-v1";
 /// current median may be up to 50% above the recorded baseline before
 /// the gate fails.
 pub const DEFAULT_TOLERANCE: f64 = 1.5;
+
+/// Default scaling-efficiency floor: on a `host_cores >= 2` host, the mc
+/// sweep at `--jobs 2` must be at least this much faster than `--jobs 1`.
+/// Overridable per document via `scaling_gate.min_jobs2_speedup`.
+pub const MIN_JOBS2_SPEEDUP: f64 = 1.5;
 
 /// One benchmark whose latest median exceeded its tolerance.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,14 +70,16 @@ pub struct CheckOutcome {
     pub skipped: usize,
     /// Benchmarks over tolerance.
     pub regressions: Vec<Regression>,
+    /// Scaling-gate violations (multi-core hosts only; DESIGN.md §16).
+    pub scaling_failures: Vec<String>,
     /// Human-readable observations (skips, unreliable speedups, …).
     pub notes: Vec<String>,
 }
 
 impl CheckOutcome {
-    /// True when nothing regressed.
+    /// True when nothing regressed and the scaling gate held.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.scaling_failures.is_empty()
     }
 
     /// One-line-per-fact rendering for CI logs.
@@ -75,14 +91,18 @@ impl CheckOutcome {
                 r.benchmark, r.current_us, r.baseline_us, r.ratio, r.tolerance
             ));
         }
+        for f in &self.scaling_failures {
+            out.push_str(&format!("SCALING {f}\n"));
+        }
         for n in &self.notes {
             out.push_str(&format!("note: {n}\n"));
         }
         out.push_str(&format!(
-            "bench_check: {} checked, {} skipped, {} regression(s)\n",
+            "bench_check: {} checked, {} skipped, {} regression(s), {} scaling failure(s)\n",
             self.checked,
             self.skipped,
-            self.regressions.len()
+            self.regressions.len(),
+            self.scaling_failures.len()
         ));
         out
     }
@@ -196,7 +216,106 @@ pub fn check(doc: &Value) -> Result<CheckOutcome, String> {
             });
         }
     }
+    scaling_gate(doc, latest, &mut outcome);
     Ok(outcome)
+}
+
+/// The latest entry's `scaling` matrix as `(workload, [(jobs, wall_s)])`
+/// rows, jobs ascending. Missing or malformed sections yield no rows.
+fn scaling_walls(entry: &Value) -> Vec<(String, Vec<(u64, f64)>)> {
+    let Some(scaling) = entry.get("scaling").and_then(Value::as_object) else {
+        return Vec::new();
+    };
+    scaling
+        .iter()
+        .filter_map(|(workload, section)| {
+            let walls = section.get("wall_s").and_then(Value::as_object)?;
+            let mut rows: Vec<(u64, f64)> = walls
+                .iter()
+                .filter_map(|(jobs, wall)| {
+                    Some((
+                        jobs.parse::<u64>().ok()?,
+                        wall.as_f64().filter(|w| *w > 0.0)?,
+                    ))
+                })
+                .collect();
+            rows.sort_unstable_by_key(|(jobs, _)| *jobs);
+            Some((workload.clone(), rows))
+        })
+        .collect()
+}
+
+/// Enforces the scaling-efficiency gate (DESIGN.md §16) on the latest
+/// entry when it carries a `scaling` matrix. Multi-core hosts are gated:
+/// the mc jobs-2 speedup must reach the configured floor, and every
+/// workload's best parallel wall must beat its serial wall. Only jobs
+/// levels the host can genuinely run in parallel (`jobs <= host_cores`)
+/// are judged. One-core hosts get a visible skip note instead — their
+/// curve is scheduler noise by definition.
+fn scaling_gate(doc: &Value, latest: &Value, outcome: &mut CheckOutcome) {
+    let walls = scaling_walls(latest);
+    if walls.is_empty() {
+        return;
+    }
+    let cores = latest
+        .get("host_cores")
+        .and_then(Value::as_u64)
+        .unwrap_or(1);
+    if cores < 2 {
+        outcome.skipped += walls.len();
+        outcome.notes.push(format!(
+            "SCALING GATE SKIPPED: host_cores = {cores} — the speedup matrix is \
+             recorded but parallel efficiency cannot be judged on a 1-core host"
+        ));
+        return;
+    }
+    let min_jobs2 = doc
+        .get("scaling_gate")
+        .and_then(|g| g.get("min_jobs2_speedup"))
+        .and_then(Value::as_f64)
+        .unwrap_or(MIN_JOBS2_SPEEDUP);
+    for (workload, rows) in walls {
+        let serial = rows.iter().find(|(jobs, _)| *jobs == 1).map(|(_, w)| *w);
+        let Some(serial) = serial else {
+            outcome.skipped += 1;
+            outcome.notes.push(format!(
+                "scaling/{workload}: no jobs-1 wall recorded; not gated"
+            ));
+            continue;
+        };
+        outcome.checked += 1;
+        if workload == "mc" {
+            match rows.iter().find(|(jobs, _)| *jobs == 2) {
+                Some((_, wall2)) => {
+                    let speedup = serial / wall2;
+                    if speedup < min_jobs2 {
+                        outcome.scaling_failures.push(format!(
+                            "mc jobs-2 speedup {speedup:.2}x < {min_jobs2:.2}x floor \
+                             (jobs-1 {serial:.2}s, jobs-2 {wall2:.2}s, {cores} cores)"
+                        ));
+                    }
+                }
+                None => outcome
+                    .notes
+                    .push("scaling/mc: no jobs-2 wall recorded; speedup floor not gated".into()),
+            }
+        }
+        let best_parallel = rows
+            .iter()
+            .filter(|(jobs, _)| *jobs >= 2 && *jobs <= cores)
+            .map(|(_, w)| *w)
+            .fold(None::<f64>, |acc, w| Some(acc.map_or(w, |a| a.min(w))));
+        match best_parallel {
+            Some(best) if best >= serial => outcome.scaling_failures.push(format!(
+                "{workload} best parallel wall {best:.2}s is not below jobs-1 wall \
+                 {serial:.2}s ({cores} cores)"
+            )),
+            Some(_) => {}
+            None => outcome.notes.push(format!(
+                "scaling/{workload}: no parallel jobs level within {cores} cores; not gated"
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +423,113 @@ mod tests {
         let outcome = check(&doc(vec![e])).unwrap();
         assert!(outcome.passed());
         assert!(outcome.notes.iter().any(|n| n.contains("unreliable")));
+    }
+
+    fn scaling_entry(cores: u64, mc_walls: Value, fleet_walls: Value) -> Value {
+        let mc = json!({ "seeds": 25, "wall_s": mc_walls });
+        let fleet = json!({ "sessions": 2000, "wall_s": fleet_walls });
+        let scaling = json!({ "mc": mc, "fleet": fleet });
+        json!({
+            "host_cores": cores,
+            "speedup_reliable": cores >= 2,
+            "scaling": scaling,
+        })
+    }
+
+    #[test]
+    fn scaling_gate_passes_a_healthy_curve() {
+        let e = scaling_entry(
+            4,
+            json!({"1": 4.0, "2": 2.2, "4": 1.4, "8": 1.3}),
+            json!({"1": 10.0, "2": 6.0, "4": 4.0, "8": 3.9}),
+        );
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
+        assert_eq!(outcome.checked, 2, "mc and fleet both gated");
+        assert!(outcome.scaling_failures.is_empty());
+    }
+
+    #[test]
+    fn scaling_gate_fails_a_flat_mc_curve() {
+        // jobs-2 speedup 4.0/3.0 = 1.33x < 1.5x floor.
+        let e = scaling_entry(4, json!({"1": 4.0, "2": 3.0}), json!({"1": 10.0, "2": 6.0}));
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.scaling_failures.len(), 1);
+        assert!(outcome.scaling_failures[0].contains("mc jobs-2 speedup"));
+        assert!(outcome.render().contains("SCALING mc jobs-2"));
+    }
+
+    #[test]
+    fn scaling_gate_fails_fleet_that_never_beats_serial() {
+        let e = scaling_entry(
+            4,
+            json!({"1": 4.0, "2": 2.0}),
+            json!({"1": 10.0, "2": 11.0, "4": 10.5}),
+        );
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .scaling_failures
+            .iter()
+            .any(|f| f.contains("fleet best parallel wall")));
+    }
+
+    #[test]
+    fn scaling_gate_ignores_jobs_beyond_host_cores() {
+        // On a 2-core host the jobs-4/8 walls are oversubscription noise:
+        // they may be slower than serial without failing the gate.
+        let e = scaling_entry(
+            2,
+            json!({"1": 4.0, "2": 2.2, "4": 4.5, "8": 5.0}),
+            json!({"1": 10.0, "2": 6.0, "4": 12.0}),
+        );
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(outcome.passed(), "{}", outcome.render());
+    }
+
+    #[test]
+    fn scaling_gate_skips_visibly_on_one_core() {
+        // The terrible 1-core curve must be recorded, noted, never fatal.
+        let e = scaling_entry(
+            1,
+            json!({"1": 4.0, "2": 4.4}),
+            json!({"1": 10.0, "2": 11.0}),
+        );
+        let outcome = check(&doc(vec![e])).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.skipped, 2);
+        assert!(outcome
+            .notes
+            .iter()
+            .any(|n| n.contains("SCALING GATE SKIPPED: host_cores = 1")));
+        assert!(outcome.render().contains("SCALING GATE SKIPPED"));
+    }
+
+    #[test]
+    fn scaling_gate_floor_is_configurable() {
+        let e = scaling_entry(
+            4,
+            json!({"1": 4.0, "2": 3.0}), // 1.33x: under the default floor
+            json!({"1": 10.0, "2": 6.0}),
+        );
+        let entries = Value::from(vec![e]);
+        let gate = json!({ "min_jobs2_speedup": 1.2 });
+        // Relax the floor below 1.33x: the same entry now passes.
+        let d = json!({
+            "format": FORMAT,
+            "benchmark": "test",
+            "scaling_gate": gate,
+            "entries": entries,
+        });
+        assert!(check(&d).unwrap().passed());
+    }
+
+    #[test]
+    fn entries_without_scaling_are_untouched_by_the_gate() {
+        let outcome = check(&doc(vec![entry(1, json!({"a/b": 100.0}))])).unwrap();
+        assert!(outcome.scaling_failures.is_empty());
+        assert!(!outcome.render().contains("SCALING"));
     }
 
     #[test]

@@ -179,6 +179,22 @@ fn mc_grid(seeds: u64) -> (ScenarioCorpus, Vec<McPolicy>, Vec<McCell>) {
     (corpus, policies, grid)
 }
 
+/// LPT-style claim-order hint for the grid: MPC cells first (the MPC
+/// arm's horizon search dominates per-session cost — it was 74% of the
+/// sweep wall before the branch-and-bound rewrite and is still the
+/// heaviest arm), everything else in authored order behind them. Longest
+/// work first keeps the tail of the sweep from landing a cluster of
+/// heavy cells on one worker. Claim order is a scheduling knob outside
+/// the artifact contract (DESIGN.md §16); results merge in grid order
+/// regardless.
+fn lpt_order(policies: &[McPolicy], grid: &[McCell]) -> Vec<usize> {
+    let is_heavy = |cell: &McCell| matches!(policies[cell.policy], McPolicy::Kind(PlayerKind::Mpc));
+    let mut order = Vec::with_capacity(grid.len());
+    order.extend((0..grid.len()).filter(|&i| is_heavy(&grid[i])));
+    order.extend((0..grid.len()).filter(|&i| !is_heavy(&grid[i])));
+    order
+}
+
 /// Runs one grid cell over the shared corpus: clone the realization's
 /// content handle and trace, build the arm's policy over the shared
 /// view, run the session with pooled log vectors. With a profiler
@@ -223,10 +239,14 @@ fn run_cell(
 pub fn run_mc(seeds: u64, jobs: usize) -> McResult {
     assert!(seeds > 0, "mc sweep needs at least one seed");
     let (corpus, policies, grid) = mc_grid(seeds);
-    let summaries: Vec<QoeSummary> =
-        runner::run_indexed_with(grid.len(), jobs, SessionScratch::new, |scratch, i| {
-            run_cell(&policies, &corpus, grid[i], None, scratch)
-        });
+    let order = lpt_order(&policies, &grid);
+    let summaries: Vec<QoeSummary> = runner::run_indexed_with_hinted(
+        grid.len(),
+        jobs,
+        &order,
+        SessionScratch::new,
+        |scratch, i| run_cell(&policies, &corpus, grid[i], None, scratch),
+    );
     aggregate(seeds, &corpus.trace_names(), &policies, &grid, &summaries)
 }
 
@@ -240,13 +260,20 @@ pub fn run_mc_profiled(seeds: u64, jobs: usize) -> (McResult, WorkloadProfile) {
     assert!(seeds > 0, "mc sweep needs at least one seed");
     let setup = HostStopwatch::start();
     let (corpus, policies, grid) = mc_grid(seeds);
+    let order = lpt_order(&policies, &grid);
     let setup_ns = setup.elapsed_ns();
-    let (summaries, pool) = runner::run_indexed_profiled(grid.len(), jobs, |i| {
-        let profiler = Rc::new(Profiler::new());
-        let mut scratch = SessionScratch::new();
-        let q = run_cell(&policies, &corpus, grid[i], Some(&profiler), &mut scratch);
-        (q, profiler.report())
-    });
+    let (summaries, pool) = runner::run_profiled_sched(
+        grid.len(),
+        jobs,
+        runner::adaptive_chunk(grid.len(), jobs),
+        Some(&order),
+        |i| {
+            let profiler = Rc::new(Profiler::new());
+            let mut scratch = SessionScratch::new();
+            let q = run_cell(&policies, &corpus, grid[i], Some(&profiler), &mut scratch);
+            (q, profiler.report())
+        },
+    );
     let result = aggregate(seeds, &corpus.trace_names(), &policies, &grid, &summaries);
     let profile = WorkloadProfile::from_pool("mc", setup_ns, pool);
     (result, profile)
@@ -392,6 +419,27 @@ mod tests {
             );
             assert_eq!(shared, abr_qoe::summarize(&log), "cell {cell:?}");
         }
+    }
+
+    #[test]
+    fn lpt_order_is_a_permutation_with_mpc_first() {
+        let (_corpus, policies, grid) = mc_grid(2);
+        let order = lpt_order(&policies, &grid);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..grid.len()).collect::<Vec<_>>());
+        let is_heavy =
+            |i: usize| matches!(policies[grid[i].policy], McPolicy::Kind(PlayerKind::Mpc));
+        let heavy = (0..grid.len()).filter(|&i| is_heavy(i)).count();
+        assert_eq!(
+            heavy,
+            grid.len() / policies.len(),
+            "one MPC arm per cell row"
+        );
+        assert!(
+            order[..heavy].iter().all(|&i| is_heavy(i)),
+            "MPC cells lead"
+        );
     }
 
     #[test]

@@ -16,11 +16,20 @@
 //!    so downstream tables, JSON artifacts and merged metrics are
 //!    byte-identical at any `--jobs` value.
 //!
-//! The pool is `std::thread::scope` over `min(jobs, cores)` workers
-//! pulling indices from an atomic counter — no dependencies, no work
-//! stealing, no ordering hazards. `tests/parallel_determinism.rs` holds
-//! the contract: representative experiments run at `--jobs 1/2/8` must
-//! produce identical `SessionLog`s, JSON artifacts and merged metrics.
+//! The pool is `std::thread::scope` over `min(jobs, n)` workers claiming
+//! *chunks* of indices from an atomic counter — no dependencies, no work
+//! stealing, no ordering hazards. Chunk size and claim order are
+//! scheduling knobs **outside** the artifact contract (DESIGN.md §16):
+//! callers may pass an LPT-style longest-first hint
+//! ([`run_indexed_sched`]) and the pool may batch claims however it
+//! likes, because results are always re-assembled in index order. The
+//! merge itself is streamed: the main thread places batches into a
+//! pre-sized slot vector *while workers run*, so merge cost no longer
+//! grows with session count after the pool drains.
+//! `tests/parallel_determinism.rs` holds the contract: representative
+//! experiments run at `--jobs 1/2/8` (and random chunk sizes / claim
+//! orders) must produce identical `SessionLog`s, JSON artifacts and
+//! merged metrics.
 
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,21 +70,57 @@ pub fn jobs_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Parses a `--jobs` value: a positive integer, or the literal `auto`
+/// which resolves to [`available_cores`]. Returns `None` for anything
+/// else (zero, negatives, junk) so callers can fall through to their
+/// default. This is the one place "auto" is defined; `exp`, `exp mc` and
+/// `exp fleet` all route through it.
+pub fn parse_jobs(value: &str) -> Option<usize> {
+    if value == "auto" {
+        return Some(available_cores());
+    }
+    value.parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// Jobs for the small calibration binaries: a `--jobs N` argument when
-/// present, else [`jobs_from_env`]. (The `exp` CLI does its own argument
-/// parsing and only uses the env fallback.)
+/// present (including `--jobs auto`), else [`jobs_from_env`]. (The `exp`
+/// CLI does its own argument parsing and only uses the env fallback.)
 pub fn jobs_from_args_or_env() -> usize {
     let args: Vec<String> = std::env::args().skip(1).collect();
     for pair in args.windows(2) {
         if pair[0] == "--jobs" {
-            if let Ok(n) = pair[1].parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
+            if let Some(n) = parse_jobs(&pair[1]) {
+                return n;
             }
         }
     }
     jobs_from_env()
+}
+
+/// Chunk size used when the caller does not fix one: aim for roughly
+/// eight claim rounds per worker — enough that the shared counter and
+/// channel are off the per-item path, few enough that a heavy tail can't
+/// strand more than a sliver of the sweep on one worker — capped at 64
+/// items per claim. Like claim order, the chunk size is outside the
+/// artifact contract (DESIGN.md §16).
+pub fn adaptive_chunk(n: usize, jobs: usize) -> usize {
+    (n / (jobs.max(1) * 8)).clamp(1, 64)
+}
+
+/// Debug-mode check that a claim-order hint is a permutation of `0..n`.
+fn debug_check_permutation(order: &[usize], n: usize) {
+    debug_assert_eq!(order.len(), n, "claim hint length must equal item count");
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = vec![false; n];
+        for &i in order {
+            assert!(
+                i < n && !seen[i],
+                "claim hint must be a permutation of 0..n"
+            );
+            seen[i] = true;
+        }
+    }
 }
 
 /// Runs `f(0..n)` across `min(jobs, n)` scoped workers and returns the
@@ -93,39 +138,27 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let jobs = jobs.max(1).min(n.max(1));
-    if jobs <= 1 {
-        return (0..n).map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in rx {
-        debug_assert!(slots[i].is_none(), "index {i} produced twice");
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| v.unwrap_or_else(|| panic!("worker dropped index {i}")))
-        .collect()
+    run_chunked(n, jobs, adaptive_chunk(n, jobs), None, || (), |(), i| f(i))
+}
+
+/// [`run_indexed`] with every scheduling knob exposed: a fixed claim
+/// chunk size and an optional claim-order hint (a permutation of `0..n`;
+/// pass the heaviest items first for LPT-style scheduling). Both knobs
+/// are outside the artifact contract — the result vector is index-ordered
+/// and byte-identical for *any* `(jobs, chunk, order)` combination, which
+/// the determinism proptests sweep directly through this entry point.
+pub fn run_indexed_sched<T, F>(
+    n: usize,
+    jobs: usize,
+    chunk: usize,
+    order: Option<&[usize]>,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_chunked(n, jobs, chunk, order, || (), |(), i| f(i))
 }
 
 /// [`run_indexed`] with per-worker scratch state: each worker (or the
@@ -140,13 +173,63 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    run_chunked(n, jobs, adaptive_chunk(n, jobs), None, init, f)
+}
+
+/// [`run_indexed_with`] plus a claim-order hint (see
+/// [`run_indexed_sched`]). This is the entry point for heavy-tailed
+/// sweeps with per-worker scratch — `exp mc` passes its MPC-first order
+/// here.
+pub fn run_indexed_with_hinted<S, T, I, F>(
+    n: usize,
+    jobs: usize,
+    order: &[usize],
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_chunked(n, jobs, adaptive_chunk(n, jobs), Some(order), init, f)
+}
+
+/// The shared pool core: `min(jobs, n)` scoped workers claim chunks of
+/// claim *positions* from an atomic counter, map each position through
+/// the optional claim-order hint, and send completed batches back over a
+/// channel. The main thread streams batches into a pre-sized slot vector
+/// while workers are still running (the "streamed merge"), so the only
+/// post-scope work is the index-ordered unwrap walk.
+///
+/// With `jobs <= 1` (or a single item) this degenerates to the serial
+/// loop in natural index order — the hint is a scheduling concern and
+/// scheduling is the identity when there is one lane.
+fn run_chunked<S, T, I, F>(
+    n: usize,
+    jobs: usize,
+    chunk: usize,
+    order: Option<&[usize]>,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if let Some(order) = order {
+        debug_check_permutation(order, n);
+    }
     let jobs = jobs.max(1).min(n.max(1));
     if jobs <= 1 {
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
+    let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<Vec<(usize, T)>>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
@@ -156,23 +239,35 @@ where
             scope.spawn(move || {
                 let mut state = init();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let p0 = next.fetch_add(chunk, Ordering::Relaxed);
+                    if p0 >= n {
                         break;
                     }
-                    if tx.send((i, f(&mut state, i))).is_err() {
+                    let p1 = (p0 + chunk).min(n);
+                    let batch: Vec<(usize, T)> = (p0..p1)
+                        .map(|p| {
+                            let i = order.map_or(p, |o| o[p]);
+                            (i, f(&mut state, i))
+                        })
+                        .collect();
+                    if tx.send(batch).is_err() {
                         break;
                     }
                 }
             });
         }
+        drop(tx);
+        // Streamed merge: place batches while workers run. The loop ends
+        // when every worker has dropped its sender; a worker panic also
+        // drops its sender, and the scope re-raises the panic before the
+        // unwrap walk below can observe the hole.
+        for batch in rx {
+            for (i, value) in batch {
+                debug_assert!(slots[i].is_none(), "index {i} produced twice");
+                slots[i] = Some(value);
+            }
+        }
     });
-    drop(tx);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in rx {
-        debug_assert!(slots[i].is_none(), "index {i} produced twice");
-        slots[i] = Some(value);
-    }
     slots
         .into_iter()
         .enumerate()
@@ -191,7 +286,10 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Items this worker claimed and ran.
     pub items: u64,
-    /// Host time spent in the claim phase (atomic fetch-add rounds).
+    /// Host time spent in the claim phase. Under chunked claiming this is
+    /// the per-*chunk* fetch-add rounds only — item execution is timed
+    /// separately in `busy_ns`, so `claim_ns + busy_ns <= alive_ns` holds
+    /// per worker (asserted in `profile_determinism`).
     pub claim_ns: u64,
     /// Host time spent inside job closures.
     pub busy_ns: u64,
@@ -213,10 +311,13 @@ pub struct RunnerProfile {
     pub wall_ns: u64,
     /// Time to set up the pool and spawn workers.
     pub spawn_ns: u64,
-    /// Time inside the worker scope (claim + run, bounded by the slowest
-    /// worker).
+    /// Time inside the worker scope (claim + run + the streamed placement
+    /// of result batches, bounded by the slowest worker).
     pub run_ns: u64,
-    /// Time reassembling results in index order and merging reports.
+    /// Post-scope merge remainder. Placement and the index-ordered span
+    /// merge are streamed while workers run, so this is only the final
+    /// unwrap walk plus whatever span merging the stream had not yet
+    /// caught up on — it no longer grows with session count.
     pub merge_ns: u64,
     /// Per-worker accounting, in worker order.
     pub workers: Vec<WorkerStats>,
@@ -237,6 +338,27 @@ where
     T: Send,
     F: Fn(usize) -> (T, ProfileReport) + Sync,
 {
+    run_profiled_sched(n, jobs, adaptive_chunk(n, jobs), None, f)
+}
+
+/// [`run_indexed_profiled`] with the scheduling knobs exposed (fixed
+/// chunk size, optional claim-order hint) — the profiled twin of
+/// [`run_indexed_sched`]. `exp mc --profile` routes here with its
+/// MPC-first hint so profiled and unprofiled runs schedule identically.
+pub fn run_profiled_sched<T, F>(
+    n: usize,
+    jobs: usize,
+    chunk: usize,
+    order: Option<&[usize]>,
+    f: F,
+) -> (Vec<T>, RunnerProfile)
+where
+    T: Send,
+    F: Fn(usize) -> (T, ProfileReport) + Sync,
+{
+    if let Some(order) = order {
+        debug_check_permutation(order, n);
+    }
     let wall = HostStopwatch::start();
     let jobs = jobs.max(1).min(n.max(1));
     let mut profile = RunnerProfile {
@@ -271,11 +393,18 @@ where
         profile.wall_ns = wall.elapsed_ns();
         return (out, profile);
     }
+    let chunk = chunk.max(1);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T, ProfileReport)>();
+    let (tx, rx) = mpsc::channel::<Vec<(usize, T, ProfileReport)>>();
     let (stx, srx) = mpsc::channel::<WorkerStats>();
     let spawn = HostStopwatch::start();
     let run = HostStopwatch::start();
+    let mut slots: Vec<Option<(T, ProfileReport)>> = (0..n).map(|_| None).collect();
+    // Index of the first slot whose span report has not been merged yet.
+    // The stream loop advances it in index order while workers run, so
+    // span merging (which must be index-ordered — the merged tree is
+    // reported to the user) overlaps execution instead of trailing it.
+    let mut frontier = 0usize;
     std::thread::scope(|scope| {
         for w in 0..jobs {
             let tx = tx.clone();
@@ -290,16 +419,22 @@ where
                 };
                 loop {
                     let claim = HostStopwatch::start();
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let p0 = next.fetch_add(chunk, Ordering::Relaxed);
                     stats.claim_ns += claim.elapsed_ns();
-                    if i >= n {
+                    if p0 >= n {
                         break;
                     }
-                    let item = HostStopwatch::start();
-                    let (value, report) = f(i);
-                    stats.items += 1;
-                    stats.busy_ns += item.elapsed_ns();
-                    if tx.send((i, value, report)).is_err() {
+                    let p1 = (p0 + chunk).min(n);
+                    let mut batch = Vec::with_capacity(p1 - p0);
+                    for p in p0..p1 {
+                        let i = order.map_or(p, |o| o[p]);
+                        let item = HostStopwatch::start();
+                        let (value, report) = f(i);
+                        stats.items += 1;
+                        stats.busy_ns += item.elapsed_ns();
+                        batch.push((i, value, report));
+                    }
+                    if tx.send(batch).is_err() {
                         break;
                     }
                 }
@@ -308,21 +443,29 @@ where
             });
         }
         profile.spawn_ns = spawn.elapsed_ns();
+        drop(tx);
+        for batch in rx {
+            for (i, value, report) in batch {
+                debug_assert!(slots[i].is_none(), "index {i} produced twice");
+                slots[i] = Some((value, report));
+            }
+            while let Some(Some((_, report))) = slots.get(frontier) {
+                item_wall.observe(report.wall_ns as f64);
+                profile.spans.merge(report);
+                frontier += 1;
+            }
+        }
     });
     profile.run_ns = run.elapsed_ns();
-    drop(tx);
     drop(stx);
     let merge = HostStopwatch::start();
-    let mut slots: Vec<Option<(T, ProfileReport)>> = (0..n).map(|_| None).collect();
-    for (i, value, report) in rx {
-        debug_assert!(slots[i].is_none(), "index {i} produced twice");
-        slots[i] = Some((value, report));
-    }
     let mut out = Vec::with_capacity(n);
     for (i, slot) in slots.into_iter().enumerate() {
         let (value, report) = slot.unwrap_or_else(|| panic!("worker dropped index {i}"));
-        item_wall.observe(report.wall_ns as f64);
-        profile.spans.merge(&report);
+        if i >= frontier {
+            item_wall.observe(report.wall_ns as f64);
+            profile.spans.merge(&report);
+        }
         out.push(value);
     }
     profile.workers = srx.iter().collect();

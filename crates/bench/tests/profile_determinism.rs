@@ -41,6 +41,34 @@ fn mc_sweep_is_byte_identical_with_profiling_on() {
     }
 }
 
+/// Under chunked claiming the claim stopwatch covers only the per-chunk
+/// fetch-add rounds and item execution is timed separately, so the
+/// per-worker ledger must stay consistent: every session is claimed by
+/// exactly one worker, and a worker's claim + busy time never exceeds
+/// its lifetime.
+#[test]
+fn worker_accounting_holds_under_chunked_claiming() {
+    for jobs in [1usize, 2, 8] {
+        let (result, profile) = run_mc_profiled(2, jobs);
+        let claimed: u64 = profile.workers.iter().map(|w| w.items).sum();
+        assert_eq!(
+            claimed, result.sessions as u64,
+            "workers claimed {claimed} items for {} sessions at jobs={jobs}",
+            result.sessions
+        );
+        for w in &profile.workers {
+            assert!(
+                w.claim_ns + w.busy_ns <= w.alive_ns,
+                "worker {}: claim {}ns + busy {}ns exceeds alive {}ns at jobs={jobs}",
+                w.worker,
+                w.claim_ns,
+                w.busy_ns,
+                w.alive_ns
+            );
+        }
+    }
+}
+
 #[test]
 fn traced_session_is_identical_with_profiler_attached() {
     let content = drama();

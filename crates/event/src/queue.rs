@@ -229,6 +229,27 @@ impl<E> EventQueue<E> {
             .min()
     }
 
+    /// Timestamp of the next live event, pruning any leading tombstones.
+    ///
+    /// Behaves exactly like [`peek_time`](EventQueue::peek_time) but takes
+    /// `&mut self` so cancelled entries at the head of the heap can be
+    /// discarded instead of filtered around. Each tombstone is removed at
+    /// most once, so the cost is amortized `O(log n)` versus `peek_time`'s
+    /// `O(n)` full-heap scan — the difference that makes per-window
+    /// quiescence checks affordable in the fleet driver (DESIGN.md §16).
+    pub fn next_time(&mut self) -> Option<Instant> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.cancelled.contains(&head.seq) {
+                let entry = self.heap.pop().expect("peeked entry must pop");
+                self.cancelled.remove(&entry.seq);
+                self.debug_check();
+                continue;
+            }
+            return Some(head.at);
+        }
+    }
+
     /// Number of pending (live) events.
     pub fn len(&self) -> usize {
         self.live.len()
@@ -398,6 +419,32 @@ mod tests {
             .map(|(_, e)| e)
             .collect();
         assert_eq!(via_pop, via_window);
+    }
+
+    #[test]
+    fn next_time_agrees_with_peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None::<Instant>);
+        q.schedule(Instant::from_millis(10), 1);
+        q.schedule(Instant::from_millis(5), 2);
+        assert_eq!(q.next_time(), q.peek_time());
+        assert_eq!(q.next_time(), Some(Instant::from_millis(5)));
+    }
+
+    #[test]
+    fn next_time_prunes_cancelled_heads_without_losing_live_entries() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Instant::from_secs(1), "a");
+        let b = q.schedule(Instant::from_secs(2), "b");
+        q.schedule(Instant::from_secs(3), "c");
+        assert!(q.cancel(a));
+        assert!(q.cancel(b));
+        assert_eq!(q.next_time(), Some(Instant::from_secs(3)));
+        assert_eq!(q.len(), 1);
+        // The pruned tombstones are gone for good; popping still yields
+        // exactly the live entries in order.
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.next_time(), None);
     }
 
     #[test]

@@ -18,8 +18,11 @@
 
 use std::collections::BTreeSet;
 
-use abr_bench::fleet::{run_fleet_with_logs, standalone_log, FleetResult, FleetSpec};
+use abr_bench::fleet::{
+    run_fleet_sched, run_fleet_with_logs, standalone_log, FleetResult, FleetSchedKnobs, FleetSpec,
+};
 use abr_player::SessionLog;
+use proptest::prelude::*;
 use serde::{Serialize, Value};
 
 /// The parallel worker counts every differential case runs at (serial
@@ -210,6 +213,62 @@ fn fleet_of_one_matches_the_standalone_session() {
             &format!("fleet-of-1 (--jobs {jobs}) vs standalone Session::run"),
             std::slice::from_ref(&standalone),
             logs,
+        );
+    }
+}
+
+/// A sparse fleet: two sessions spread over ~7 minutes of fleet time, so
+/// long quiescent stretches separate arrival from arrival and the
+/// fast-forward path has real windows to skip (the first arrival alone
+/// leaves hundreds of empty 250 ms windows ahead of it).
+fn sparse_spec() -> FleetSpec {
+    FleetSpec {
+        arrival_secs: 400,
+        ..FleetSpec::small(2)
+    }
+}
+
+/// Quiescent-window fast-forward is a scheduling knob (DESIGN.md §16):
+/// skipping provably empty windows must leave every artifact — rendered
+/// report, JSON (including the `windows` and `throttled_windows`
+/// counters) and all session logs — byte-identical to the stepwise run
+/// that grinds through each window.
+#[test]
+fn fast_forward_matches_the_stepwise_reference() {
+    let stepwise = run_fleet_sched(&sparse_spec(), 1, FleetSchedKnobs { ff_horizon: 0 });
+    for (jobs, horizon) in [(1, 1), (2, 1), (2, 4), (8, 16)] {
+        let ff = run_fleet_sched(
+            &sparse_spec(),
+            jobs,
+            FleetSchedKnobs {
+                ff_horizon: horizon,
+            },
+        );
+        assert_fleets_identical(
+            &format!("stepwise vs ff_horizon {horizon} at --jobs {jobs}"),
+            &stepwise,
+            &ff,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random (worker count, fast-forward horizon) pairs against the
+    /// stepwise run at the same worker count: the horizon may decide
+    /// *when* the window clock jumps, never *what* the fleet produces.
+    #[test]
+    fn fast_forward_horizon_is_schedule_blind(
+        jobs in 1usize..7,
+        horizon in 1u64..32,
+    ) {
+        let stepwise = run_fleet_sched(&sparse_spec(), jobs, FleetSchedKnobs { ff_horizon: 0 });
+        let ff = run_fleet_sched(&sparse_spec(), jobs, FleetSchedKnobs { ff_horizon: horizon });
+        assert_fleets_identical(
+            &format!("stepwise vs ff_horizon {horizon} at --jobs {jobs}"),
+            &stepwise,
+            &ff,
         );
     }
 }

@@ -16,9 +16,11 @@
 use std::collections::BTreeSet;
 
 use abr_bench::experiments::{run_jobs, traced_sessions};
-use abr_bench::runner::{merged_metrics, SessionOutcome};
+use abr_bench::runner::{merged_metrics, run_indexed_sched, SessionOutcome};
+use abr_event::rng::SplitMix64;
 use abr_obs::export::to_jsonl;
 use abr_player::SessionLog;
+use proptest::prelude::*;
 use serde::{Serialize, Value};
 
 /// The parallel worker counts every differential case runs at (serial
@@ -174,5 +176,47 @@ fn table_sweeps_serial_vs_parallel() {
                 panic!("`{id}` JSON artifact diverges at --jobs {jobs}:\n  {d}");
             }
         }
+    }
+}
+
+/// A pure per-index workload for the scheduling proptests: a few RNG
+/// draws, so each item costs enough that workers genuinely interleave.
+fn item_value(i: usize) -> u64 {
+    let mut rng = SplitMix64::for_stream(0x5eed_cafe, i as u64);
+    (0..8).fold(0u64, |acc, _| acc.wrapping_add(rng.next_u64()))
+}
+
+/// Fisher–Yates permutation of `0..n` from a seed — an arbitrary claim
+/// order hint.
+fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.range_u64(0, i as u64) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunk size, worker count and claim-order hint are scheduling
+    /// knobs, not semantics (DESIGN.md §16): for any `(n, jobs, chunk)`
+    /// and any permutation hint, `run_indexed_sched` returns exactly the
+    /// serial map, in index order.
+    #[test]
+    fn chunked_claiming_is_schedule_blind(
+        n in 0usize..97,
+        jobs in 1usize..9,
+        chunk in 1usize..33,
+        hint_seed in any::<u64>(),
+    ) {
+        let reference: Vec<u64> = (0..n).map(item_value).collect();
+        let unhinted = run_indexed_sched(n, jobs, chunk, None, item_value);
+        prop_assert_eq!(&reference, &unhinted);
+        let order = random_permutation(n, hint_seed);
+        let hinted = run_indexed_sched(n, jobs, chunk, Some(&order), item_value);
+        prop_assert_eq!(&reference, &hinted);
     }
 }
