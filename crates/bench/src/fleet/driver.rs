@@ -43,6 +43,7 @@ use super::{FleetSpec, PlanSource, SessionPlan, TRACE_SECS};
 use crate::corpus::{TitleCorpus, TitleScenario};
 use crate::setup::{dash_policy_over, player_config};
 use abr_event::arena::{Arena, SlotId};
+use abr_event::sync_model::{fold_slots, next_window, parity_of_round};
 use abr_event::time::{Duration, Instant};
 use abr_event::{EventQueue, WindowClock};
 use abr_httpsim::cache::{CacheStats, CdnCache};
@@ -209,12 +210,22 @@ pub(super) fn effective_workers(spec: &FleetSpec, jobs: usize, sessions: usize) 
 }
 
 /// Double-buffered per-worker barrier slots. Processed round `r` writes
-/// and reads parity `r & 1` (the *round* counter, not the window index —
-/// fast-forward can jump the window index by an odd amount): a worker can
-/// only *reuse* a parity after passing the next round's barrier, which
-/// requires every reader of that parity to have arrived there — i.e. to
-/// have finished reading. That sense-reversing scheme is what lets one
-/// barrier per window replace the old publish/fold/apply pair of waits.
+/// and reads parity `r & 1` ([`parity_of_round`] — the *round* counter,
+/// not the window index: fast-forward can jump the window index by an
+/// odd amount): a worker can only *reuse* a parity after passing the
+/// next round's barrier, which requires every reader of that parity to
+/// have arrived there — i.e. to have finished reading. That
+/// sense-reversing scheme is what lets one barrier per window replace
+/// the old publish/fold/apply pair of waits.
+///
+/// The protocol is model-checked: `abr_event::sync_model::WindowModel`
+/// exhausts every bounded interleaving of publish → barrier → fold →
+/// parity flip over the same decision functions this driver calls
+/// ([`parity_of_round`], [`fold_slots`], [`next_window`]), and the
+/// window-index parity it replaces is pinned as a rediscovered
+/// counterexample (`crates/event/tests/sync_model.rs`). All access goes
+/// through [`WindowBoard::publish`] / [`WindowBoard::read`] — raw slot
+/// indexing outside this module is flagged by lint rule `ABR-L009`.
 struct WindowBoard {
     /// Bytes each worker's domains offered their uplinks this window,
     /// pre-summed by the owning worker so the fold is off the barrier's
@@ -227,6 +238,11 @@ struct WindowBoard {
     /// (`u64::MAX` when the worker's domains are drained dry) — the
     /// quiescent fast-forward's input.
     next_at: [Vec<AtomicU64>; 2],
+    /// The round each slot was last published for — the dynamic half of
+    /// the model checker's parity-freshness invariant, stamped last on
+    /// publish and checked on every read.
+    #[cfg(feature = "debug-invariants")]
+    epoch: [Vec<AtomicU64>; 2],
 }
 
 impl WindowBoard {
@@ -236,7 +252,51 @@ impl WindowBoard {
             demand: [mk(), mk()],
             alive: [mk(), mk()],
             next_at: [mk(), mk()],
+            #[cfg(feature = "debug-invariants")]
+            epoch: [
+                (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+                (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            ],
         }
+    }
+
+    /// Publishes worker `w`'s pre-summed window data into its parity
+    /// slot. `Release` suffices here (downgraded from `SeqCst`, with the
+    /// model as evidence — see `lint.toml`): the stores only need to be
+    /// visible to the post-barrier folds, and `Barrier::wait` is itself
+    /// an acquire-release rendezvous, so even `Relaxed` publishes pass
+    /// the model (`relaxed_publish_with_flushing_rendezvous_is_safe`);
+    /// `Release` keeps the slots' own publish edge independent of that
+    /// barrier detail.
+    fn publish(&self, parity: usize, w: usize, round: u64, demand: u64, alive: u64, next_at: u64) {
+        self.demand[parity][w].store(demand, Ordering::Release);
+        self.alive[parity][w].store(alive, Ordering::Release);
+        self.next_at[parity][w].store(next_at, Ordering::Release);
+        #[cfg(feature = "debug-invariants")]
+        self.epoch[parity][w].store(round, Ordering::Release);
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = round;
+    }
+
+    /// Reads worker `ww`'s parity slot for the fold. `Acquire` pairs
+    /// with the `Release` publish; under `debug-invariants` the read
+    /// also asserts the slot was published for exactly the round being
+    /// folded — the parity-epoch freshness invariant the model checker
+    /// proves statically, cross-checked dynamically.
+    fn read(&self, parity: usize, ww: usize, round: u64) -> (u64, u64, u64) {
+        #[cfg(feature = "debug-invariants")]
+        debug_assert_eq!(
+            self.epoch[parity][ww].load(Ordering::Acquire),
+            round,
+            "worker {ww}'s parity-{parity} slot is stale for round {round}"
+        );
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = round;
+        (
+            self.demand[parity][ww].load(Ordering::Acquire),
+            self.alive[parity][ww].load(Ordering::Acquire),
+            self.next_at[parity][ww].load(Ordering::Acquire),
+        )
     }
 }
 
@@ -317,8 +377,10 @@ pub(super) fn run_with_knobs(
     DriverOutput {
         outputs: outputs.into_iter().map(|(_, o)| o).collect(),
         domains,
-        windows: windows.load(Ordering::SeqCst),
-        throttled_windows: throttled.load(Ordering::SeqCst),
+        // `Relaxed` loads: `thread::scope` joined every worker above, and
+        // the joins synchronize-with worker completion (see `lint.toml`).
+        windows: windows.load(Ordering::Relaxed),
+        throttled_windows: throttled.load(Ordering::Relaxed),
         corpus_bytes: corpus.approx_bytes(),
         session_bytes,
         session_bytes_max,
@@ -393,12 +455,10 @@ fn run_worker(
 
     let mut k = 0u64;
     // Board parity counts *processed* rounds (one per barrier), not the
-    // window index: fast-forward can jump `k` by an odd number, and an
-    // odd jump on `k & 1` would reuse a parity with only one barrier in
-    // between — racing readers of the previous round's slots.
+    // window index — see [`WindowBoard`] and `sync_model::ParityRule`.
     let mut round = 0u64;
     loop {
-        let parity = (round & 1) as usize;
+        let parity = parity_of_round(round);
         let end = clock.end_of(k);
         let mut my_demand: u64 = 0;
         let mut my_alive: u64 = 0;
@@ -411,48 +471,35 @@ fn run_worker(
                 my_next = my_next.min(t.as_micros());
             }
         }
-        board.demand[parity][w].store(my_demand, Ordering::SeqCst);
-        board.alive[parity][w].store(my_alive, Ordering::SeqCst);
-        board.next_at[parity][w].store(my_next, Ordering::SeqCst);
+        board.publish(parity, w, round, my_demand, my_alive, my_next);
 
         barrier.wait();
 
         // Redundant deterministic fold: every worker reads the same
         // parity slots in the same fixed order and reaches the same
         // rate / stop / fast-forward decision — no second barrier needed
-        // to publish a leader's verdict.
-        let mut total_demand: u128 = 0;
-        let mut total_alive: u64 = 0;
-        let mut min_next = u64::MAX;
-        for ww in 0..workers {
-            total_demand += u128::from(board.demand[parity][ww].load(Ordering::SeqCst));
-            total_alive += board.alive[parity][ww].load(Ordering::SeqCst);
-            min_next = min_next.min(board.next_at[parity][ww].load(Ordering::SeqCst));
-        }
-        let (next_rate, engaged) = throttle_rate(spec, total_demand);
+        // to publish a leader's verdict. `fold_slots` is the model
+        // checker's fold, which proves the totals identical across
+        // workers under every bounded interleaving.
+        let fold = fold_slots((0..workers).map(|ww| board.read(parity, ww, round)));
+        let (next_rate, engaged) = throttle_rate(spec, fold.demand);
 
-        // Quiescent-window fast-forward: everything before `min_next` is
-        // drained, so every window strictly between `k` and the window
-        // containing `min_next` is globally empty — zero demand, throttle
-        // disengaged, no uplink traffic, no state change of any kind. The
-        // stepwise run would grind through them only to count windows and
-        // reset the rate to full; do both in one step instead.
-        let next_k = if knobs.ff_horizon > 0 && total_alive > 0 {
-            let m = clock.window_of(Instant::from_micros(min_next));
-            debug_assert!(m > k, "pending event inside a drained window");
-            if m - (k + 1) >= knobs.ff_horizon {
-                m
-            } else {
-                k + 1
-            }
-        } else {
-            k + 1
-        };
+        // Quiescent-window fast-forward: everything before the fold's
+        // `min_next_us` is drained, so every window strictly between `k`
+        // and the window containing it is globally empty — zero demand,
+        // throttle disengaged, no uplink traffic, no state change of any
+        // kind. The stepwise run would grind through them only to count
+        // windows and reset the rate to full; `next_window` (the
+        // model-checked jump rule) does both in one step instead.
+        let next_k = next_window(k, knobs.ff_horizon, &fold, &clock);
         let skipped = next_k - (k + 1);
         if w == 0 {
-            windows.fetch_add(1 + skipped, Ordering::SeqCst);
+            // `Relaxed` suffices for the run counters: worker 0 is the
+            // only writer, and the driver reads them only after
+            // `thread::scope`'s join edge (see `lint.toml`).
+            windows.fetch_add(1 + skipped, Ordering::Relaxed);
             if engaged {
-                throttled.fetch_add(1, Ordering::SeqCst);
+                throttled.fetch_add(1, Ordering::Relaxed);
             }
         }
         // The rate entering window `next_k`: this window's fold when
@@ -466,7 +513,7 @@ fn run_worker(
         for domain in &mut domains {
             domain.hub.borrow_mut().uplink_mut().set_rate_kbps(applied);
         }
-        if total_alive == 0 {
+        if fold.alive == 0 {
             break;
         }
         k = next_k;

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
 use abr_event::rng::SplitMix64;
+use abr_event::sync_model::claim_range;
 use abr_obs::metrics::{Histogram, HistogramSnapshot};
 use abr_obs::profile::SPAN_BOUNDS_NS;
 use abr_obs::{HostStopwatch, MetricsSnapshot, ProfileReport, Profiler, TracedEvent};
@@ -230,20 +231,33 @@ where
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<Vec<(usize, T)>>();
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    // Dynamic half of the model checker's partition invariant: record
+    // every claimed range and assert they tile `0..n` exactly once.
+    #[cfg(feature = "debug-invariants")]
+    let claim_ledger = std::sync::Mutex::new(Vec::<(usize, usize)>::new());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
             let init = &init;
             let f = &f;
+            #[cfg(feature = "debug-invariants")]
+            let claim_ledger = &claim_ledger;
             scope.spawn(move || {
                 let mut state = init();
                 loop {
-                    let p0 = next.fetch_add(chunk, Ordering::Relaxed);
-                    if p0 >= n {
+                    // `Relaxed` claim: RMWs on one location have a total
+                    // modification order even at `Relaxed`, so every
+                    // counter value — hence every `claim_range` — is
+                    // handed out exactly once; results synchronize via
+                    // the mpsc channel. Model-checked as
+                    // `sync_model::ClaimModel` (see `lint.toml`).
+                    let claimed = claim_range(next.fetch_add(chunk, Ordering::Relaxed), chunk, n);
+                    let Some((p0, p1)) = claimed else {
                         break;
-                    }
-                    let p1 = (p0 + chunk).min(n);
+                    };
+                    #[cfg(feature = "debug-invariants")]
+                    claim_ledger.lock().expect("claim ledger").push((p0, p1));
                     let batch: Vec<(usize, T)> = (p0..p1)
                         .map(|p| {
                             let i = order.map_or(p, |o| o[p]);
@@ -268,6 +282,14 @@ where
             }
         }
     });
+    #[cfg(feature = "debug-invariants")]
+    {
+        let mut ranges = claim_ledger.into_inner().expect("claim ledger");
+        debug_assert!(
+            abr_event::sync_model::ranges_partition(&mut ranges, n),
+            "claimed ranges must partition 0..{n}"
+        );
+    }
     slots
         .into_iter()
         .enumerate()
@@ -397,6 +419,10 @@ where
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<Vec<(usize, T, ProfileReport)>>();
     let (stx, srx) = mpsc::channel::<WorkerStats>();
+    // Dynamic half of the model checker's partition invariant, as in
+    // `run_chunked`.
+    #[cfg(feature = "debug-invariants")]
+    let claim_ledger = std::sync::Mutex::new(Vec::<(usize, usize)>::new());
     let spawn = HostStopwatch::start();
     let run = HostStopwatch::start();
     let mut slots: Vec<Option<(T, ProfileReport)>> = (0..n).map(|_| None).collect();
@@ -411,6 +437,8 @@ where
             let stx = stx.clone();
             let next = &next;
             let f = &f;
+            #[cfg(feature = "debug-invariants")]
+            let claim_ledger = &claim_ledger;
             scope.spawn(move || {
                 let alive = HostStopwatch::start();
                 let mut stats = WorkerStats {
@@ -419,12 +447,15 @@ where
                 };
                 loop {
                     let claim = HostStopwatch::start();
-                    let p0 = next.fetch_add(chunk, Ordering::Relaxed);
+                    // `Relaxed` claim — same protocol and model evidence
+                    // as `run_chunked` (see `lint.toml`).
+                    let claimed = claim_range(next.fetch_add(chunk, Ordering::Relaxed), chunk, n);
                     stats.claim_ns += claim.elapsed_ns();
-                    if p0 >= n {
+                    let Some((p0, p1)) = claimed else {
                         break;
-                    }
-                    let p1 = (p0 + chunk).min(n);
+                    };
+                    #[cfg(feature = "debug-invariants")]
+                    claim_ledger.lock().expect("claim ledger").push((p0, p1));
                     let mut batch = Vec::with_capacity(p1 - p0);
                     for p in p0..p1 {
                         let i = order.map_or(p, |o| o[p]);
@@ -456,6 +487,14 @@ where
             }
         }
     });
+    #[cfg(feature = "debug-invariants")]
+    {
+        let mut ranges = claim_ledger.into_inner().expect("claim ledger");
+        debug_assert!(
+            abr_event::sync_model::ranges_partition(&mut ranges, n),
+            "claimed ranges must partition 0..{n}"
+        );
+    }
     profile.run_ns = run.elapsed_ns();
     drop(stx);
     let merge = HostStopwatch::start();

@@ -21,6 +21,7 @@
 pub mod arena;
 pub mod queue;
 pub mod rng;
+pub mod sync_model;
 pub mod time;
 pub mod window;
 

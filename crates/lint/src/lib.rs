@@ -16,6 +16,14 @@
 //! | `ABR-L004` | float-time-arith | `f32`/`f64` in integer time/byte core modules |
 //! | `ABR-L005` | unkeyed-map-iter | values-only map iteration in event dispatch |
 //! | `ABR-L006` | truncating-cast | `as` integer casts in `abr_event::time` |
+//! | `ABR-L007` | weak-ordering | sub-`SeqCst` atomics without a justified happens-before edge |
+//! | `ABR-L008` | concurrency-primitives | threading outside the designated concurrency modules |
+//! | `ABR-L009` | raw-board-access | `WindowBoard` slot access outside its protocol API |
+//!
+//! `ABR-L007`–`L009` enforce the concurrency contract (DESIGN.md §17):
+//! the two thread-sharing protocols are model-checked by
+//! `abr_event::sync_model`, and every `ABR-L007` exemption must name the
+//! happens-before edge the model proved sufficient.
 //!
 //! Exemptions live in `lint.toml` at the workspace root; every entry
 //! carries a mandatory justification and fails the run when it no longer

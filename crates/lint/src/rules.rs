@@ -109,6 +109,21 @@ const DISPATCH_MODULES: &[&str] = &[
     "crates/bench/src/fleet/driver.rs",
 ];
 
+/// The designated concurrency modules: the only files allowed to use
+/// threading primitives (`ABR-L008`). `runner.rs` owns the chunked-claim
+/// worker pool, `fleet/driver.rs` owns the window-barrier protocol (both
+/// model-checked by `abr_event::sync_model` — DESIGN.md §17), and
+/// `obs/tracer.rs` is the host-timing boundary where observation
+/// plumbing may touch host-side synchronization. Everywhere else,
+/// threading in a deterministic simulation is a contract hazard by
+/// default and must be argued in here (by joining this list) rather
+/// than slipped in piecemeal.
+const CONCURRENCY_MODULES: &[&str] = &[
+    "crates/bench/src/runner.rs",
+    "crates/bench/src/fleet/driver.rs",
+    "crates/obs/src/tracer.rs",
+];
+
 /// The rule catalog, in rule-id order.
 pub const RULES: &[Rule] = &[
     Rule {
@@ -167,6 +182,53 @@ pub const RULES: &[Rule] = &[
         matcher: Matcher::CastTo(&[
             "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
         ]),
+    },
+    Rule {
+        id: "ABR-L007",
+        name: "weak-ordering",
+        rationale: "memory orderings weaker than SeqCst need a lint.toml \
+                    justification naming the happens-before edge that \
+                    makes them safe (model evidence: sync_model tests)",
+        scope: Scope::AllSources,
+        matcher: Matcher::Words(&[
+            "Ordering::Relaxed",
+            "Ordering::Acquire",
+            "Ordering::Release",
+            "Ordering::AcqRel",
+        ]),
+    },
+    Rule {
+        id: "ABR-L008",
+        name: "concurrency-primitives",
+        rationale: "threading primitives live only in the designated \
+                    concurrency modules (runner, fleet driver, obs \
+                    host-timing boundary); determinism everywhere else \
+                    rests on single-threaded execution",
+        scope: Scope::AllExcept(CONCURRENCY_MODULES),
+        matcher: Matcher::Words(&[
+            "sync::atomic",
+            "AtomicBool",
+            "AtomicU32",
+            "AtomicU64",
+            "AtomicUsize",
+            "Barrier",
+            "Mutex",
+            "RwLock",
+            "Condvar",
+            "thread::scope",
+            "thread::spawn",
+            "mpsc",
+        ]),
+    },
+    Rule {
+        id: "ABR-L009",
+        name: "raw-board-access",
+        rationale: "WindowBoard slots are sound only through the \
+                    publish/read protocol API the model checker proves; \
+                    raw slot indexing outside the driver bypasses the \
+                    parity-epoch discipline",
+        scope: Scope::AllExcept(&["crates/bench/src/fleet/driver.rs"]),
+        matcher: Matcher::Words(&["WindowBoard", ".demand[", ".alive[", ".next_at["]),
     },
 ];
 

@@ -1,0 +1,18 @@
+// ABR-L009 fixture: raw WindowBoard slot access outside the fleet
+// driver. Scanned under `crates/bench/src/fixture.rs` (fires) and under
+// `crates/bench/src/fleet/driver.rs` (silent — the board's home module
+// implements the protocol API itself).
+use crate::fleet::driver::WindowBoard; // VIOLATION (col 27)
+
+fn peek(board: &WindowBoard, parity: usize, w: usize) -> u64 { // VIOLATION (col 17)
+    let d = board.demand[parity][w].load(); // VIOLATION (col 18)
+    let a = board.alive[parity][w].load(); // VIOLATION (col 18)
+    let n = board.next_at[parity][w].load(); // VIOLATION (col 18)
+    d + a + n
+}
+
+// A plain `demand` variable is not slot indexing: the needles require
+// the field-access-plus-bracket shape.
+fn fine(demand: u64) -> u64 {
+    demand
+}

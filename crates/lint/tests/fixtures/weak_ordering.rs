@@ -1,0 +1,30 @@
+// ABR-L007 fixture: sub-SeqCst atomic orderings require a lint.toml
+// justification naming the happens-before edge. Scanned under the
+// designated path `crates/bench/src/runner.rs`, so ABR-L008 stays
+// silent and the ordering rule is isolated.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn claim(next: &AtomicUsize, chunk: usize) -> usize {
+    next.fetch_add(chunk, Ordering::Relaxed) // VIOLATION (col 27)
+}
+
+fn publish(slot: &AtomicUsize, v: usize) {
+    slot.store(v, Ordering::Release); // VIOLATION (col 19)
+    let _ = slot.load(Ordering::Acquire); // VIOLATION (col 23)
+    let _ = slot.swap(v, Ordering::AcqRel); // VIOLATION (col 26)
+}
+
+fn strong_needs_no_entry(slot: &AtomicUsize) {
+    slot.store(0, Ordering::SeqCst); // fine: SeqCst is the default strength
+}
+
+// Prose mentions of Ordering::Relaxed are blanked with the comment.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub fn helper(n: &AtomicUsize) -> usize {
+        n.load(Ordering::Relaxed) // allowed: inside #[cfg(test)]
+    }
+}

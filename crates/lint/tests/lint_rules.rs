@@ -210,6 +210,109 @@ fn l006_rounding_boundary_is_allowlisted_by_pattern() {
 }
 
 #[test]
+fn l007_weak_ordering_fires_with_exact_spans() {
+    assert_eq!(
+        spans_of("crates/bench/src/runner.rs", "weak_ordering.rs"),
+        vec![
+            ("ABR-L007", 8, 27),  // Ordering::Relaxed
+            ("ABR-L007", 12, 19), // Ordering::Release
+            ("ABR-L007", 13, 23), // Ordering::Acquire
+            ("ABR-L007", 14, 26), // Ordering::AcqRel
+        ],
+        "SeqCst and cfg(test) Relaxed must not fire"
+    );
+}
+
+#[test]
+fn l007_justified_edge_is_suppressed_by_pattern() {
+    // A lint.toml entry naming the happens-before edge covers exactly the
+    // ordering it cites; the other weak orderings in the file still fire.
+    let allow = Allowlist::parse(
+        r#"
+[[allow]]
+rule = "ABR-L007"
+path = "crates/bench/src/runner.rs"
+pattern = "Ordering::Relaxed"
+justification = "claim counter RMW: total modification order hands out unique chunks; results synchronize via mpsc send/recv and the thread::scope join"
+"#,
+    )
+    .expect("inline allowlist parses");
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = LintReport::default();
+    lint_source(
+        "crates/bench/src/runner.rs",
+        &fixture("weak_ordering.rs"),
+        &allow,
+        &mut used,
+        &mut report,
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].line, 8);
+    assert_eq!(
+        report.violations.len(),
+        3,
+        "Release/Acquire/AcqRel stay unjustified: {:?}",
+        report.violations
+    );
+    assert!(used[0], "the Relaxed entry must be marked used");
+}
+
+#[test]
+fn l008_concurrency_primitives_fire_outside_designated_modules() {
+    assert_eq!(
+        spans_of("crates/core/src/fixture.rs", "concurrency_outside.rs"),
+        vec![
+            ("ABR-L008", 5, 10),  // sync::atomic
+            ("ABR-L008", 5, 24),  // AtomicU64
+            ("ABR-L008", 6, 16),  // Barrier
+            ("ABR-L008", 7, 16),  // Mutex
+            ("ABR-L008", 10, 17), // AtomicU64::new
+            ("ABR-L008", 11, 10), // thread::scope
+            ("ABR-L008", 14, 13), // Mutex::new
+        ],
+        "Arc and cfg(test) Mutex must not fire"
+    );
+}
+
+#[test]
+fn l008_designated_modules_are_exempt() {
+    // The same primitives inside any designated concurrency module are
+    // that module's business (and ABR-L007 audits its orderings).
+    for module in [
+        "crates/bench/src/runner.rs",
+        "crates/bench/src/fleet/driver.rs",
+        "crates/obs/src/tracer.rs",
+    ] {
+        let spans = spans_of(module, "concurrency_outside.rs");
+        assert!(
+            spans.iter().all(|(rule, _, _)| *rule != "ABR-L008"),
+            "under {module}: {spans:?}"
+        );
+    }
+}
+
+#[test]
+fn l009_raw_board_access_fires_outside_the_driver() {
+    assert_eq!(
+        spans_of("crates/bench/src/fixture.rs", "raw_board_access.rs"),
+        vec![
+            ("ABR-L009", 5, 27),  // WindowBoard (use)
+            ("ABR-L009", 7, 17),  // WindowBoard (type)
+            ("ABR-L009", 8, 18),  // .demand[
+            ("ABR-L009", 9, 18),  // .alive[
+            ("ABR-L009", 10, 18), // .next_at[
+        ],
+        "a plain `demand` variable must not fire"
+    );
+    // Inside the driver the board implements its own protocol API.
+    let home = spans_of("crates/bench/src/fleet/driver.rs", "raw_board_access.rs");
+    assert!(
+        home.iter().all(|(rule, _, _)| *rule != "ABR-L009"),
+        "{home:?}"
+    );
+}
+
+#[test]
 fn stale_allowlist_entries_are_detected() {
     // Run the two fixture scans that use the allowlist; the third entry
     // (qoe/nonexistent.rs) never matches and must surface as stale.

@@ -5,11 +5,16 @@
 
 use std::path::Path;
 
+use abr_lint::allowlist::Allowlist;
 use abr_lint::{lint_workspace, load_allowlist};
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
 
 #[test]
 fn workspace_lints_clean_with_checked_in_allowlist() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = workspace_root();
     let allow = load_allowlist(&root).expect("lint.toml parses");
     assert!(!allow.entries.is_empty(), "root lint.toml should exist");
     let report = lint_workspace(&root, &allow).expect("workspace scan");
@@ -25,4 +30,92 @@ fn workspace_lints_clean_with_checked_in_allowlist() {
     );
     assert!(report.files_scanned > 50, "scan saw the whole workspace");
     assert!(report.is_clean());
+}
+
+#[test]
+fn concurrency_exemptions_are_real_and_audited() {
+    // The concurrency contract (DESIGN.md §17) rests on the ABR-L007
+    // exemptions actually covering live weak-ordering sites: the claim
+    // counter in the runner and the WindowBoard protocol in the fleet
+    // driver. If a refactor moved or strengthened those atomics, the
+    // entries would go stale (caught above) — and if it *added* weak
+    // orderings elsewhere, they would surface as violations. Here we pin
+    // the audit trail itself: the suppressed set names both modules.
+    let root = workspace_root();
+    let allow = load_allowlist(&root).expect("lint.toml parses");
+    let report = lint_workspace(&root, &allow).expect("workspace scan");
+    for module in [
+        "crates/bench/src/runner.rs",
+        "crates/bench/src/fleet/driver.rs",
+    ] {
+        assert!(
+            report
+                .suppressed
+                .iter()
+                .any(|v| v.rule == "ABR-L007" && v.path == module),
+            "no audited weak-ordering exemption for {module}"
+        );
+    }
+    // Every L007 exemption names its happens-before edge: the lint.toml
+    // contract requires the justification to cite the synchronizing
+    // construct, not merely assert safety.
+    for entry in allow.entries.iter().filter(|e| e.rule == "ABR-L007") {
+        let j = entry.justification.to_ascii_lowercase();
+        assert!(
+            j.contains("happens-before") || j.contains("synchroniz"),
+            "ABR-L007 entry for {} must name its happens-before edge",
+            entry.path
+        );
+    }
+}
+
+#[test]
+fn pruned_justification_resurfaces_the_weak_ordering_sites() {
+    // Gate direction 1: dropping the runner's Relaxed justification from
+    // lint.toml must make the workspace dirty again — the exemption is
+    // doing real work, not papering over nothing.
+    let root = workspace_root();
+    let allow = load_allowlist(&root).expect("lint.toml parses");
+    let src = std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    let pruned_src: String = {
+        // Drop exactly the [[allow]] block for the runner's ABR-L007 entry.
+        let mut blocks: Vec<&str> = src.split("[[allow]]").collect();
+        let before = blocks.len();
+        blocks.retain(|b| !(b.contains("ABR-L007") && b.contains("crates/bench/src/runner.rs")));
+        assert_eq!(blocks.len(), before - 1, "exactly one runner L007 entry");
+        blocks.join("[[allow]]")
+    };
+    let pruned = Allowlist::parse(&pruned_src).expect("pruned lint.toml parses");
+    assert_eq!(pruned.entries.len(), allow.entries.len() - 1);
+    let report = lint_workspace(&root, &pruned).expect("workspace scan");
+    let resurfaced: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "ABR-L007" && v.path == "crates/bench/src/runner.rs")
+        .collect();
+    assert!(
+        !resurfaced.is_empty(),
+        "pruning the claim-counter justification must resurface its sites"
+    );
+}
+
+#[test]
+fn orphaned_concurrency_exemption_is_reported_stale() {
+    // Gate direction 2: an ABR-L007 entry pointing at code that no longer
+    // uses a weak ordering must fail the run as stale, so justifications
+    // cannot outlive the atomics they argued for.
+    let root = workspace_root();
+    let src = std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    let orphaned_src = format!(
+        "{src}\n[[allow]]\nrule = \"ABR-L007\"\npath = \"crates/media/src/units.rs\"\n\
+         pattern = \"Ordering::Relaxed\"\njustification = \"orphaned: units.rs has no atomics\"\n"
+    );
+    let orphaned = Allowlist::parse(&orphaned_src).expect("orphaned lint.toml parses");
+    let report = lint_workspace(&root, &orphaned).expect("workspace scan");
+    assert_eq!(
+        report.stale,
+        vec![orphaned.entries.len() - 1],
+        "exactly the orphaned entry must be stale"
+    );
+    assert!(!report.is_clean(), "a stale exemption fails the gate");
 }

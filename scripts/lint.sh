@@ -2,18 +2,25 @@
 # Preflight for the determinism contract: exactly what the CI lint job
 # runs, bundled so a contributor can check a change before pushing.
 #
-#  1. abr-lint      — the workspace determinism linter (DESIGN.md §12);
-#  2. cargo fmt     — formatting, check-only;
-#  3. cargo clippy  — the workspace lint set, warnings denied;
-#  4. cargo test    — the full suite with `debug-invariants` on, so the
+#  1. abr-lint      — the workspace determinism + concurrency linter
+#                     (DESIGN.md §12, §17);
+#  2. sync_model    — the exhaustive concurrency model check in release
+#                     mode (DESIGN.md §17): every bounded interleaving
+#                     of the window-barrier and chunked-claim protocols;
+#  3. cargo fmt     — formatting, check-only;
+#  4. cargo clippy  — the workspace lint set, warnings denied;
+#  5. cargo test    — the full suite with `debug-invariants` on, so the
 #                     runtime invariant checks in Link/EventQueue/
-#                     FlightBoard run under every golden and differential
-#                     test.
+#                     FlightBoard/WindowBoard/claim ledger run under
+#                     every golden and differential test.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== abr-lint (determinism contract) =="
+echo "== abr-lint (determinism + concurrency contract) =="
 cargo run -q -p abr-lint
+
+echo "== sync_model (exhaustive concurrency model check) =="
+cargo test -q -p abr-event --release --test sync_model
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
